@@ -1,0 +1,160 @@
+// Ablations of DUET's design choices (DESIGN.md §5), on Wide-and-Deep:
+//
+//   A. Correction step on/off — quantifies Algorithm 1 Step 3.
+//   B. Profiling runs 5 -> 500 — the paper claims a few hundred runs give
+//      statistically stable means; we report the schedule quality obtained
+//      from increasingly short profiling.
+//   C. Partition granularity — coarse phased subgraphs (DUET) vs one
+//      subgraph per operator: fine granularity loses fusion inside subgraphs
+//      and pays per-subgraph dispatch + transfer overhead.
+
+#include "bench_util.hpp"
+#include "device/calibration.hpp"
+#include "device/interconnect.hpp"
+#include "models/model_zoo.hpp"
+#include "sched/scheduler.hpp"
+
+int main() {
+  using namespace duet;
+  using namespace duet::bench;
+
+  Graph model = models::build_wide_deep();
+
+  // --- A: correction on/off ---------------------------------------------------
+  {
+    DevicePair devices = make_default_device_pair(21);
+    Partition partition = partition_phased(model);
+    Profiler profiler(devices);
+    const auto profiles = profiler.profile_partition(partition, model);
+    LatencyEvaluator evaluator(partition, model, profiles, devices.link->params());
+    Rng rng(5);
+    SchedulingContext ctx{&partition, &profiles, &evaluator, &rng};
+
+    header("Ablation A — correction step (Wide-and-Deep)");
+    TextTable t({"variant", "est latency", "evaluations"});
+    for (const char* name : {"greedy-only", "greedy-correction"}) {
+      ScheduleResult r = make_scheduler(name)->schedule(ctx);
+      t.add_row({name, ms(r.est_latency_s), std::to_string(r.evaluations)});
+    }
+    std::printf("%s", t.render().c_str());
+  }
+
+  // --- B: profiling runs -------------------------------------------------------
+  {
+    header("Ablation B — number of profiling runs");
+    TextTable t({"profile runs", "schedule est latency", "RNN CPU mean",
+                 "RNN CPU stddev"});
+    for (int runs : {5, 20, 100, 500}) {
+      DevicePair devices = make_default_device_pair(22);
+      Partition partition = partition_phased(model);
+      Profiler profiler(devices);
+      ProfileOptions po;
+      po.runs = runs;
+      const auto profiles = profiler.profile_partition(partition, model, po);
+      LatencyEvaluator evaluator(partition, model, profiles,
+                                 devices.link->params());
+      Rng rng(6);
+      SchedulingContext ctx{&partition, &profiles, &evaluator, &rng};
+      ScheduleResult r = make_scheduler("greedy-correction")->schedule(ctx);
+      // Find the RNN-dominated subgraph for the stability columns.
+      const SubgraphProfile* rnn = &profiles[0];
+      for (const auto& p : profiles) {
+        if (p.time_on(DeviceKind::kCpu) > rnn->time_on(DeviceKind::kCpu) &&
+            p.time_on(DeviceKind::kGpu) > p.time_on(DeviceKind::kCpu)) {
+          rnn = &p;
+        }
+      }
+      t.add_row({std::to_string(runs), ms(r.est_latency_s),
+                 ms(rnn->on(DeviceKind::kCpu).stats.mean),
+                 ms(rnn->on(DeviceKind::kCpu).stats.stddev)});
+    }
+    std::printf("%s", t.render().c_str());
+    std::printf("paper claim: ~500 runs suffice for stable measurement\n");
+  }
+
+  // --- C: partition granularity -------------------------------------------------
+  {
+    header("Ablation C — coarse vs fine partition granularity");
+    TextTable t({"granularity", "subgraphs", "est latency"});
+    for (const auto gran : {PartitionOptions::Granularity::kCoarse,
+                            PartitionOptions::Granularity::kFine}) {
+      DevicePair devices = make_default_device_pair(23);
+      PartitionOptions po;
+      po.granularity = gran;
+      Partition partition = partition_phased(model, po);
+      Profiler profiler(devices);
+      const auto profiles = profiler.profile_partition(partition, model);
+      LatencyEvaluator evaluator(partition, model, profiles,
+                                 devices.link->params());
+      Rng rng(7);
+      SchedulingContext ctx{&partition, &profiles, &evaluator, &rng};
+      ScheduleResult r = make_scheduler("greedy-correction")->schedule(ctx);
+      t.add_row({gran == PartitionOptions::Granularity::kCoarse ? "coarse (DUET)"
+                                                                : "fine (per-op)",
+                 std::to_string(partition.subgraphs.size()),
+                 ms(r.est_latency_s)});
+    }
+    std::printf("%s", t.render().c_str());
+    std::printf(
+        "expected: fine granularity loses intra-subgraph fusion and pays "
+        "dispatch per operator -> clearly slower\n");
+  }
+
+  // --- D: nested partitioning (paper footnote 1) -------------------------------
+  {
+    header("Ablation D — nested (multi-level) partitioning on MT-DNN");
+    TextTable t({"partition", "subgraphs", "est latency"});
+    Graph mtdnn = models::build_mtdnn();
+    for (int chunk : {0, 16, 8}) {
+      DevicePair devices = make_default_device_pair(24);
+      PartitionOptions po;
+      if (chunk > 0) {
+        po.granularity = PartitionOptions::Granularity::kNested;
+        po.nested_max_nodes = static_cast<size_t>(chunk);
+      }
+      Partition partition = partition_phased(mtdnn, po);
+      Profiler profiler(devices);
+      const auto profiles = profiler.profile_partition(partition, mtdnn);
+      LatencyEvaluator evaluator(partition, mtdnn, profiles,
+                                 devices.link->params());
+      Rng rng(8);
+      SchedulingContext ctx{&partition, &profiles, &evaluator, &rng};
+      ScheduleResult r = make_scheduler("greedy-correction")->schedule(ctx);
+      t.add_row({chunk == 0 ? "coarse (paper)"
+                            : ("nested <=" + std::to_string(chunk)).c_str(),
+                 std::to_string(partition.subgraphs.size()),
+                 ms(r.est_latency_s)});
+    }
+    std::printf("%s", t.render().c_str());
+    std::printf(
+        "nested chunks add device-switch points inside the encoder at the "
+        "cost of extra boundaries; gains appear only when a chain has "
+        "device-heterogeneous segments\n");
+  }
+
+  // --- E: intra-device concurrency (paper footnote 2) ----------------------------
+  {
+    header("Ablation E — GPU streams for MT-DNN task heads (gpu-only placement)");
+    TextTable t({"gpu lanes", "gpu-only est latency"});
+    Graph mtdnn = models::build_mtdnn();
+    for (int lanes : {1, 2, 4}) {
+      DevicePair devices = make_default_device_pair(25);
+      Partition partition = partition_phased(mtdnn);
+      Profiler profiler(devices);
+      const auto profiles = profiler.profile_partition(partition, mtdnn);
+      LatencyEvaluator evaluator(partition, mtdnn, profiles,
+                                 devices.link->params(),
+                                 LaneConfig::gpu_streams(lanes));
+      const double latency =
+          evaluator.evaluate(Placement(partition.subgraphs.size(),
+                                       DeviceKind::kGpu));
+      t.add_row({std::to_string(lanes), ms(latency)});
+    }
+    std::printf("%s", t.render().c_str());
+    std::printf(
+        "streams recover intra-phase parallelism on a single device (the "
+        "paper's footnote-2 extension); DUET's CPU+GPU split composes with "
+        "it\n");
+  }
+  return 0;
+}

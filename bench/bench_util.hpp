@@ -1,0 +1,72 @@
+#pragma once
+
+// Shared helpers for the benchmark harnesses that regenerate the paper's
+// tables and figures. Every harness prints (a) the measured rows and (b) the
+// paper's reference numbers or bands, so EXPERIMENTS.md can be cross-checked
+// by running the binaries.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "duet/baseline.hpp"
+#include "duet/engine.hpp"
+#include "duet/report.hpp"
+
+namespace duet::bench {
+
+// Mean latency of `runs` noisy modeled executions of the engine's plan.
+inline SummaryStats engine_latency(DuetEngine& engine, int runs) {
+  LatencyRecorder rec;
+  for (int i = 0; i < runs; ++i) rec.add(engine.latency(/*with_noise=*/true));
+  return rec.summarize();
+}
+
+// Mean latency of `runs` noisy baseline executions.
+inline SummaryStats baseline_latency(Baseline& baseline, int runs) {
+  LatencyRecorder rec;
+  for (int i = 0; i < runs; ++i) rec.add(baseline.latency(/*with_noise=*/true));
+  return rec.summarize();
+}
+
+inline std::string ms(double seconds) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.3f ms", seconds * 1e3);
+  return buf;
+}
+
+inline std::string speedup(double base, double mine) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.2fx", base / mine);
+  return buf;
+}
+
+inline void header(const std::string& title) {
+  std::printf("\n=== %s ===\n", title.c_str());
+}
+
+// Shared driver for the Fig. 14-17 model-variation sweeps: for each labeled
+// model variant, prints TVM-CPU / TVM-GPU / DUET latency and DUET's speedups.
+inline void run_variation_sweep(
+    const std::string& title,
+    const std::vector<std::pair<std::string, Graph>>& variants,
+    const std::string& paper_reference, int runs = 1000) {
+  header(title);
+  TextTable t({"variant", "TVM-CPU", "TVM-GPU", "DUET", "vs CPU", "vs GPU",
+               "fallback"});
+  for (const auto& [label, graph] : variants) {
+    DuetEngine engine{Graph(graph)};
+    Baseline tvm_cpu(engine.model(), BaselineKind::kTvmCpu, engine.devices());
+    Baseline tvm_gpu(engine.model(), BaselineKind::kTvmGpu, engine.devices());
+    const double d = engine_latency(engine, runs).mean;
+    const double tc = baseline_latency(tvm_cpu, runs).mean;
+    const double tg = baseline_latency(tvm_gpu, runs).mean;
+    t.add_row({label, ms(tc), ms(tg), ms(d), speedup(tc, d), speedup(tg, d),
+               engine.report().fell_back ? "yes" : "no"});
+  }
+  std::printf("%s", t.render().c_str());
+  std::printf("paper reference: %s\n", paper_reference.c_str());
+}
+
+}  // namespace duet::bench

@@ -1,0 +1,56 @@
+// Reproduces Fig. 11: end-to-end latency of Framework (PyTorch/TensorFlow),
+// TVM-CPU, TVM-GPU, and DUET on Wide-and-Deep, Siamese, and MT-DNN.
+//
+// Paper reference: DUET achieves 1.5-2.3x over TVM-GPU, 1.3-15.9x over
+// TVM-CPU, 2.1-8.4x over framework-GPU, and 2.3-18.8x over framework-CPU.
+
+#include "bench_util.hpp"
+#include "models/model_zoo.hpp"
+
+namespace {
+
+constexpr int kRuns = 2000;
+
+void run_model(const std::string& name, duet::Graph model) {
+  using namespace duet;
+  using namespace duet::bench;
+
+  DuetEngine engine(std::move(model));
+  DevicePair& devices = engine.devices();
+  Baseline fw_cpu(engine.model(), BaselineKind::kFrameworkCpu, devices);
+  Baseline fw_gpu(engine.model(), BaselineKind::kFrameworkGpu, devices);
+  Baseline tvm_cpu(engine.model(), BaselineKind::kTvmCpu, devices);
+  Baseline tvm_gpu(engine.model(), BaselineKind::kTvmGpu, devices);
+
+  const double d = engine_latency(engine, kRuns).mean;
+  const double fc = baseline_latency(fw_cpu, kRuns).mean;
+  const double fg = baseline_latency(fw_gpu, kRuns).mean;
+  const double tc = baseline_latency(tvm_cpu, kRuns).mean;
+  const double tg = baseline_latency(tvm_gpu, kRuns).mean;
+
+  header("Fig.11 — " + name + " (batch 1, mean of " + std::to_string(kRuns) +
+         " runs)");
+  TextTable t({"engine", "latency", "DUET speedup"});
+  t.add_row({"Framework-CPU", ms(fc), speedup(fc, d)});
+  t.add_row({"Framework-GPU", ms(fg), speedup(fg, d)});
+  t.add_row({"TVM-CPU", ms(tc), speedup(tc, d)});
+  t.add_row({"TVM-GPU", ms(tg), speedup(tg, d)});
+  t.add_row({"DUET", ms(d), "1.00x"});
+  std::printf("%s", t.render().c_str());
+  std::printf("fallback: %s | placement: %s\n",
+              engine.report().fell_back ? "yes" : "no",
+              engine.report().schedule.placement.to_string().c_str());
+}
+
+}  // namespace
+
+int main() {
+  using namespace duet::models;
+  run_model("Wide-and-Deep", build_wide_deep());
+  run_model("Siamese", build_siamese());
+  run_model("MT-DNN", build_mtdnn());
+  std::printf(
+      "\npaper reference bands: vs TVM-GPU 1.5-2.3x | vs TVM-CPU 1.3-15.9x | "
+      "vs framework-GPU 2.1-8.4x | vs framework-CPU 2.3-18.8x\n");
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Reproduces Fig. 13: comparison of subgraph scheduling algorithms on
+// Wide-and-Deep — Random, Round-Robin, Random+Correction, Greedy+Correction,
+// and the exhaustive Ideal.
+//
+// Paper reference: Random and Round-Robin are clearly worse; both
+// correction-based schedulers approach the Ideal; greedy initialization
+// needs fewer correction iterations; greedy-correction finds the optimal
+// schedule when enumeration is feasible.
+
+#include "bench_util.hpp"
+#include "device/calibration.hpp"
+#include "device/interconnect.hpp"
+#include "models/model_zoo.hpp"
+#include "sched/scheduler.hpp"
+
+int main() {
+  using namespace duet;
+  using namespace duet::bench;
+
+  Graph model = models::build_wide_deep();
+  DevicePair devices = make_default_device_pair(11);
+  Partition partition = partition_phased(model);
+  Profiler profiler(devices);
+  const std::vector<SubgraphProfile> profiles =
+      profiler.profile_partition(partition, model);
+  LatencyEvaluator evaluator(partition, model, profiles, devices.link->params());
+
+  header("Fig.13 — scheduling algorithms on Wide-and-Deep");
+  TextTable t({"scheduler", "est latency", "corr. rounds", "evaluations"});
+
+  const auto run = [&](const std::string& name, int seeds) {
+    double total = 0.0;
+    int rounds = 0;
+    int64_t evals = 0;
+    for (int s = 0; s < seeds; ++s) {
+      Rng rng(100 + static_cast<uint64_t>(s));
+      SchedulingContext ctx{&partition, &profiles, &evaluator, &rng};
+      ScheduleResult r = make_scheduler(name)->schedule(ctx);
+      total += r.est_latency_s;
+      rounds += r.correction_rounds;
+      evals += r.evaluations;
+    }
+    t.add_row({name, ms(total / seeds),
+               std::to_string(rounds / seeds), std::to_string(evals / seeds)});
+    return total / seeds;
+  };
+
+  run("random", 20);
+  run("round-robin", 1);
+  run("random+correction", 20);
+  const double greedy = run("greedy-correction", 1);
+  run("analytic-dp", 1);  // the §IV-C "analytic placement" alternative
+  run("annealing", 5);    // unstructured search baseline
+  const double ideal = run("exhaustive", 1);
+
+  std::printf("%s", t.render().c_str());
+  std::printf("greedy-correction vs ideal: %.4f%% gap\n",
+              (greedy / ideal - 1.0) * 100.0);
+  std::printf(
+      "paper reference: random & round-robin noticeably slower; correction "
+      "closes the gap; greedy-correction matches the ideal schedule\n");
+  return 0;
+}

@@ -1,0 +1,25 @@
+// Reproduces Fig. 14: Wide-and-Deep latency while varying the number of
+// stacked RNN layers (1/2/4/8).
+//
+// Paper reference: DUET achieves 2.3-2.5x over TVM-GPU and 2.9-9.8x over
+// TVM-CPU; GPU latency grows fastest with layers (RNN is slow there), while
+// DUET tracks the CPU-side RNN cost, hiding the CNN on the GPU.
+
+#include "bench_util.hpp"
+#include "models/model_zoo.hpp"
+
+int main() {
+  using namespace duet;
+  using namespace duet::bench;
+  std::vector<std::pair<std::string, Graph>> variants;
+  for (int layers : {1, 2, 4, 8}) {
+    models::WideDeepConfig c;
+    c.rnn_layers = layers;
+    variants.emplace_back(std::to_string(layers) + " RNN layers",
+                          models::build_wide_deep(c));
+  }
+  run_variation_sweep(
+      "Fig.14 — Wide-and-Deep, varying stacked RNN layers", variants,
+      "2.3-2.5x vs TVM-GPU, 2.9-9.8x vs TVM-CPU; GPU curve grows steepest");
+  return 0;
+}

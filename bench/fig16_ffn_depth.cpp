@@ -1,0 +1,25 @@
+// Reproduces Fig. 16: Wide-and-Deep latency while varying the number of
+// hidden layers in the FFN (deep) component.
+//
+// Paper reference: execution time barely changes — FFN is GEMM-dominated and
+// cheap on both devices, so extra hidden layers are noise next to the RNN
+// and CNN branches.
+
+#include "bench_util.hpp"
+#include "models/model_zoo.hpp"
+
+int main() {
+  using namespace duet;
+  using namespace duet::bench;
+  std::vector<std::pair<std::string, Graph>> variants;
+  for (int layers : {1, 2, 4, 8}) {
+    models::WideDeepConfig c;
+    c.ffn_layers = layers;
+    variants.emplace_back(std::to_string(layers) + " FFN layers",
+                          models::build_wide_deep(c));
+  }
+  run_variation_sweep(
+      "Fig.16 — Wide-and-Deep, varying FFN hidden layers", variants,
+      "latency roughly flat across FFN depths on all engines");
+  return 0;
+}

@@ -1,0 +1,26 @@
+// Reproduces Fig. 17: Wide-and-Deep latency at batch sizes 2/4/8/16/32
+// (the model is frozen per batch size, as TVM lacks dynamic batching).
+//
+// Paper reference: DUET's advantage is largest at small batch (~1.5x at
+// batch 2 vs TVM-GPU) and diminishes as the batch grows, because GPU
+// occupancy improves with batch and single-GPU execution catches up.
+
+#include "bench_util.hpp"
+#include "models/model_zoo.hpp"
+
+int main() {
+  using namespace duet;
+  using namespace duet::bench;
+  std::vector<std::pair<std::string, Graph>> variants;
+  for (int batch : {2, 4, 8, 16, 32}) {
+    models::WideDeepConfig c;
+    c.batch = batch;
+    variants.emplace_back("batch " + std::to_string(batch),
+                          models::build_wide_deep(c));
+  }
+  run_variation_sweep(
+      "Fig.17 — Wide-and-Deep, varying batch size", variants,
+      "speedup vs TVM-GPU ~1.5x at batch 2, shrinking toward 1x (fallback) at "
+      "batch 32");
+  return 0;
+}

@@ -1,0 +1,97 @@
+// Hardware sensitivity study (a new experiment this reproduction can offer
+// beyond the paper): how DUET's advantage depends on the two hardware
+// parameters its design exploits — PCIe bandwidth (cheap coarse-grained
+// communication) and GPU kernel-launch overhead (the reason RNNs run better
+// on the CPU). Each row rebuilds the device pair with one parameter changed
+// and re-runs the whole pipeline (profile -> schedule -> fallback decision).
+
+#include "bench_util.hpp"
+#include "device/calibration.hpp"
+#include "models/model_zoo.hpp"
+#include "sched/scheduler.hpp"
+
+namespace {
+
+using namespace duet;
+using namespace duet::bench;
+
+struct Outcome {
+  double duet_s = 0.0;
+  double best_single_s = 0.0;
+  bool heterogeneous = false;
+  std::string placement;
+};
+
+Outcome run_pipeline(const Graph& model, DevicePair& devices) {
+  Partition partition = partition_phased(model);
+  Profiler profiler(devices);
+  const auto profiles = profiler.profile_partition(partition, model);
+  LatencyEvaluator evaluator(partition, model, profiles, devices.link->params());
+  Rng rng(4);
+  SchedulingContext ctx{&partition, &profiles, &evaluator, &rng};
+  const ScheduleResult hetero = make_scheduler("greedy-correction")->schedule(ctx);
+
+  Baseline cpu(model, BaselineKind::kTvmCpu, devices);
+  Baseline gpu(model, BaselineKind::kTvmGpu, devices);
+  Outcome o;
+  o.best_single_s = std::min(cpu.latency(false), gpu.latency(false));
+  o.heterogeneous = hetero.est_latency_s < o.best_single_s * 0.98;
+  o.duet_s = o.heterogeneous ? hetero.est_latency_s : o.best_single_s;
+  o.placement = hetero.placement.to_string();
+  return o;
+}
+
+}  // namespace
+
+int main() {
+  Graph model = models::build_wide_deep();
+
+  header("Sensitivity A — PCIe bandwidth (Wide-and-Deep)");
+  {
+    TextTable t({"link bandwidth", "DUET", "best single device", "co-executes"});
+    for (double gbps : {0.5, 2.0, 6.0, 12.0, 32.0, 64.0}) {
+      DevicePair devices;
+      devices.cpu = std::make_unique<CpuDevice>(1);
+      devices.gpu = std::make_unique<GpuDevice>(2);
+      TransferParams link = pcie3_x16();
+      link.bandwidth_gbps = gbps;
+      devices.link = std::make_unique<Interconnect>(link, link_noise_sigma(), 3);
+      const Outcome o = run_pipeline(model, devices);
+      char bw[32];
+      std::snprintf(bw, sizeof(bw), "%.1f GB/s", gbps);
+      t.add_row({bw, ms(o.duet_s), ms(o.best_single_s),
+                 o.heterogeneous ? "yes" : "no"});
+    }
+    std::printf("%s", t.render().c_str());
+    std::printf(
+        "W&D's boundary tensors are small (<= a few hundred KiB), so "
+        "co-execution survives even slow links — the payoff of coarse "
+        "granularity (paper §III-B)\n");
+  }
+
+  header("Sensitivity B — GPU kernel-launch overhead (Wide-and-Deep)");
+  {
+    TextTable t({"launch overhead", "DUET", "best single device", "co-executes",
+                 "placement"});
+    for (double us : {0.5, 1.0, 2.0, 5.0, 10.0, 20.0}) {
+      DevicePair devices;
+      DeviceCostParams gpu = titan_v();
+      gpu.launch_overhead_s = us * 1e-6;
+      devices.cpu = std::make_unique<CpuDevice>(1);
+      devices.gpu = std::make_unique<GpuDevice>(gpu, gpu_noise_sigma(), 2);
+      devices.link = std::make_unique<Interconnect>(pcie3_x16(),
+                                                    link_noise_sigma(), 3);
+      const Outcome o = run_pipeline(model, devices);
+      char oh[32];
+      std::snprintf(oh, sizeof(oh), "%.1f us", us);
+      t.add_row({oh, ms(o.duet_s), ms(o.best_single_s),
+                 o.heterogeneous ? "yes" : "no", o.placement});
+    }
+    std::printf("%s", t.render().c_str());
+    std::printf(
+        "lower launch overhead makes the GPU competitive on the RNN, "
+        "shrinking DUET's gain; higher overhead widens it — the asymmetry "
+        "DUET's scheduler keys on\n");
+  }
+  return 0;
+}

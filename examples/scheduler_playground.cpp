@@ -1,0 +1,49 @@
+// Scheduler playground: run every scheduling algorithm on a model of your
+// choice and compare the resulting placements and estimated latencies —
+// a programmatic version of the paper's Fig. 13 study.
+//
+//   $ ./examples/scheduler_playground [model-name]
+//   model-name: wide-deep | siamese | mtdnn | resnet18 | ... (default wide-deep)
+
+#include <cstdio>
+#include <string>
+
+#include "device/calibration.hpp"
+#include "device/interconnect.hpp"
+#include "duet/report.hpp"
+#include "models/model_zoo.hpp"
+#include "sched/scheduler.hpp"
+
+int main(int argc, char** argv) {
+  using namespace duet;
+
+  const std::string model_name = argc > 1 ? argv[1] : "wide-deep";
+  Graph model = models::build_by_name(model_name);
+
+  DevicePair devices = make_default_device_pair(99);
+  Partition partition = partition_phased(model);
+  std::printf("%s\n", partition.to_string(model).c_str());
+
+  Profiler profiler(devices);
+  const auto profiles = profiler.profile_partition(partition, model);
+  LatencyEvaluator evaluator(partition, model, profiles, devices.link->params());
+
+  TextTable table({"scheduler", "placement", "est latency", "evaluations"});
+  for (const char* name :
+       {"cpu-only", "gpu-only", "random", "round-robin", "random+correction",
+        "greedy-only", "greedy-correction", "exhaustive"}) {
+    if (std::string(name) == "exhaustive" && partition.subgraphs.size() > 16) {
+      table.add_row({name, "(skipped: too many subgraphs)", "-", "-"});
+      continue;
+    }
+    Rng rng(1);
+    SchedulingContext ctx{&partition, &profiles, &evaluator, &rng};
+    ScheduleResult r = make_scheduler(name)->schedule(ctx);
+    char lat[32];
+    std::snprintf(lat, sizeof(lat), "%.3f ms", r.est_latency_s * 1e3);
+    table.add_row({name, r.placement.to_string(), lat,
+                   std::to_string(r.evaluations)});
+  }
+  std::printf("%s", table.render().c_str());
+  return 0;
+}

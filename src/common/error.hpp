@@ -1,0 +1,86 @@
+#pragma once
+
+// Error handling for DUET.
+//
+// Invariant violations and user-facing precondition failures throw
+// duet::Error (derived from std::runtime_error) carrying the failing
+// expression and source location. DUET_CHECK is always active — the cost of
+// a predictable branch is negligible next to any tensor kernel, and silent
+// corruption in a scheduler is far more expensive than a throw.
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace duet {
+
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+
+// Stream-style message builder so call sites can write
+//   DUET_CHECK(a == b) << "a=" << a;
+class CheckFailure {
+ public:
+  CheckFailure(const char* expr, const char* file, int line) {
+    stream_ << file << ":" << line << ": check failed: `" << expr << "` ";
+  }
+
+  [[noreturn]] ~CheckFailure() noexcept(false) { throw Error(stream_.str()); }
+
+  template <typename T>
+  CheckFailure& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  std::ostringstream stream_;
+};
+
+// Dummy sink used on the success path; all streaming is a no-op.
+class NullStream {
+ public:
+  template <typename T>
+  NullStream& operator<<(const T&) {
+    return *this;
+  }
+};
+
+// Converts the streamed CheckFailure chain to void so the ternary in
+// DUET_CHECK type-checks. `&` binds looser than `<<`, so all streaming into
+// the failure message happens first (the glog voidify idiom).
+struct Voidify {
+  void operator&(CheckFailure&) {}
+  void operator&(CheckFailure&&) {}
+};
+
+}  // namespace detail
+}  // namespace duet
+
+// Expression-shaped so it is safe as the sole statement of an unbraced `if`
+// (no dangling-else) while still supporting `DUET_CHECK(x) << "context"`.
+// The CheckFailure temporary throws from its destructor at the end of the
+// full expression, after the message is complete.
+#define DUET_CHECK(cond)                    \
+  (cond) ? (void)0                          \
+         : ::duet::detail::Voidify() &      \
+               ::duet::detail::CheckFailure(#cond, __FILE__, __LINE__)
+
+#define DUET_CHECK_EQ(a, b) DUET_CHECK((a) == (b)) << "(" << (a) << " vs " << (b) << ") "
+#define DUET_CHECK_NE(a, b) DUET_CHECK((a) != (b))
+#define DUET_CHECK_LT(a, b) DUET_CHECK((a) < (b)) << "(" << (a) << " vs " << (b) << ") "
+#define DUET_CHECK_LE(a, b) DUET_CHECK((a) <= (b)) << "(" << (a) << " vs " << (b) << ") "
+#define DUET_CHECK_GT(a, b) DUET_CHECK((a) > (b)) << "(" << (a) << " vs " << (b) << ") "
+#define DUET_CHECK_GE(a, b) DUET_CHECK((a) >= (b)) << "(" << (a) << " vs " << (b) << ") "
+
+#define DUET_THROW(msg)                                    \
+  do {                                                     \
+    std::ostringstream duet_throw_os_;                     \
+    duet_throw_os_ << __FILE__ << ":" << __LINE__ << ": "; \
+    duet_throw_os_ << msg;                                 \
+    throw ::duet::Error(duet_throw_os_.str());             \
+  } while (0)

@@ -1,0 +1,45 @@
+#include "common/logging.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+
+namespace duet {
+namespace {
+
+std::atomic<int> g_level{static_cast<int>(LogLevel::kWarn)};
+std::mutex g_write_mutex;
+
+}  // namespace
+
+void Logger::set_level(LogLevel level) { g_level.store(static_cast<int>(level)); }
+
+LogLevel Logger::level() { return static_cast<LogLevel>(g_level.load()); }
+
+const char* Logger::level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarn:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+    case LogLevel::kOff:
+      return "OFF";
+  }
+  return "?";
+}
+
+void Logger::write(LogLevel level, const std::string& message) {
+  if (static_cast<int>(level) < g_level.load()) return;
+  using Clock = std::chrono::steady_clock;
+  static const Clock::time_point start = Clock::now();
+  const double t =
+      std::chrono::duration<double>(Clock::now() - start).count();
+  std::lock_guard<std::mutex> lock(g_write_mutex);
+  std::fprintf(stderr, "[%9.4f] [%-5s] %s\n", t, level_name(level), message.c_str());
+}
+
+}  // namespace duet

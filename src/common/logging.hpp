@@ -1,0 +1,50 @@
+#pragma once
+
+// Minimal leveled logger. Thread-safe; writes to stderr. Level is a process
+// global so benches can silence the library (`Logger::set_level`).
+
+#include <mutex>
+#include <sstream>
+#include <string>
+
+namespace duet {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+class Logger {
+ public:
+  static void set_level(LogLevel level);
+  static LogLevel level();
+
+  // Emits one formatted line (timestamped, tagged) if `level` is enabled.
+  static void write(LogLevel level, const std::string& message);
+
+  static const char* level_name(LogLevel level);
+};
+
+namespace detail {
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level) : level_(level) {}
+  ~LogMessage() { Logger::write(level_, stream_.str()); }
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace detail
+}  // namespace duet
+
+#define DUET_LOG(level) ::duet::detail::LogMessage(::duet::LogLevel::level)
+#define DUET_LOG_DEBUG DUET_LOG(kDebug)
+#define DUET_LOG_INFO DUET_LOG(kInfo)
+#define DUET_LOG_WARN DUET_LOG(kWarn)
+#define DUET_LOG_ERROR DUET_LOG(kError)

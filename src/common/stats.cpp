@@ -1,0 +1,74 @@
+#include "common/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace duet {
+
+std::string SummaryStats::to_string() const {
+  std::ostringstream os;
+  os << "n=" << count << " mean=" << mean << " p50=" << p50 << " p99=" << p99
+     << " p99.9=" << p999 << " min=" << min << " max=" << max;
+  return os.str();
+}
+
+void LatencyRecorder::add(double sample) { samples_.push_back(sample); }
+
+void LatencyRecorder::add_all(const std::vector<double>& samples) {
+  samples_.insert(samples_.end(), samples.begin(), samples.end());
+}
+
+void LatencyRecorder::clear() { samples_.clear(); }
+
+SummaryStats LatencyRecorder::summarize() const {
+  SummaryStats s;
+  if (samples_.empty()) return s;
+  std::vector<double> sorted = samples_;
+  std::sort(sorted.begin(), sorted.end());
+  s.count = sorted.size();
+  s.mean = mean_of(sorted);
+  s.stddev = stddev_of(sorted);
+  s.min = sorted.front();
+  s.max = sorted.back();
+  s.p50 = percentile_sorted(sorted, 0.50);
+  s.p90 = percentile_sorted(sorted, 0.90);
+  s.p99 = percentile_sorted(sorted, 0.99);
+  s.p999 = percentile_sorted(sorted, 0.999);
+  return s;
+}
+
+double percentile_sorted(const std::vector<double>& sorted, double q) {
+  DUET_CHECK(!sorted.empty()) << "percentile of empty sample set";
+  DUET_CHECK(q >= 0.0 && q <= 1.0) << "q=" << q;
+  if (sorted.size() == 1) return sorted[0];
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const size_t lo = static_cast<size_t>(pos);
+  const size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+double percentile(std::vector<double> samples, double q) {
+  std::sort(samples.begin(), samples.end());
+  return percentile_sorted(samples, q);
+}
+
+double mean_of(const std::vector<double>& samples) {
+  if (samples.empty()) return 0.0;
+  double sum = 0.0;
+  for (double s : samples) sum += s;
+  return sum / static_cast<double>(samples.size());
+}
+
+double stddev_of(const std::vector<double>& samples) {
+  if (samples.size() < 2) return 0.0;
+  const double m = mean_of(samples);
+  double acc = 0.0;
+  for (double s : samples) acc += (s - m) * (s - m);
+  return std::sqrt(acc / static_cast<double>(samples.size() - 1));
+}
+
+}  // namespace duet

@@ -1,0 +1,54 @@
+#pragma once
+
+// Latency statistics used throughout the evaluation harness: mean, stddev,
+// and the P50/P99/P99.9 percentiles the paper reports (Fig. 12).
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace duet {
+
+struct SummaryStats {
+  size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double p50 = 0.0;
+  double p90 = 0.0;
+  double p99 = 0.0;
+  double p999 = 0.0;
+
+  std::string to_string() const;
+};
+
+// Accumulates samples and produces SummaryStats. Keeps every sample (the
+// paper uses 5000 runs per configuration, which is tiny) so percentiles are
+// exact rather than sketched.
+class LatencyRecorder {
+ public:
+  void add(double sample);
+  void add_all(const std::vector<double>& samples);
+  void clear();
+
+  size_t count() const { return samples_.size(); }
+  const std::vector<double>& samples() const { return samples_; }
+
+  SummaryStats summarize() const;
+
+ private:
+  std::vector<double> samples_;
+};
+
+// Linear-interpolated percentile of `sorted` (must be ascending, non-empty).
+// `q` in [0, 1].
+double percentile_sorted(const std::vector<double>& sorted, double q);
+
+// Convenience: copies, sorts, interpolates.
+double percentile(std::vector<double> samples, double q);
+
+double mean_of(const std::vector<double>& samples);
+double stddev_of(const std::vector<double>& samples);
+
+}  // namespace duet

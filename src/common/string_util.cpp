@@ -1,0 +1,95 @@
+#include "common/string_util.hpp"
+
+#include <cstdarg>
+#include <cstdio>
+#include <sstream>
+
+namespace duet {
+
+std::vector<std::string> split(const std::string& s, char sep) {
+  std::vector<std::string> out;
+  std::string cur;
+  for (char c : s) {
+    if (c == sep) {
+      out.push_back(cur);
+      cur.clear();
+    } else {
+      cur.push_back(c);
+    }
+  }
+  out.push_back(cur);
+  return out;
+}
+
+std::string join(const std::vector<std::string>& parts, const std::string& sep) {
+  std::string out;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (i) out += sep;
+    out += parts[i];
+  }
+  return out;
+}
+
+std::string trim(const std::string& s) {
+  size_t b = 0;
+  size_t e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
+}
+
+bool starts_with(const std::string& s, const std::string& prefix) {
+  return s.size() >= prefix.size() && s.compare(0, prefix.size(), prefix) == 0;
+}
+
+std::string human_count(double v) {
+  const char* suffix = "";
+  if (v >= 1e9) {
+    v /= 1e9;
+    suffix = "G";
+  } else if (v >= 1e6) {
+    v /= 1e6;
+    suffix = "M";
+  } else if (v >= 1e3) {
+    v /= 1e3;
+    suffix = "K";
+  }
+  return strprintf("%.2f%s", v, suffix);
+}
+
+std::string human_bytes(uint64_t bytes) {
+  double v = static_cast<double>(bytes);
+  const char* units[] = {"B", "KiB", "MiB", "GiB"};
+  int u = 0;
+  while (v >= 1024.0 && u < 3) {
+    v /= 1024.0;
+    ++u;
+  }
+  return strprintf("%.1f %s", v, units[u]);
+}
+
+std::string human_time(double seconds) {
+  if (seconds < 1e-6) return strprintf("%.1f ns", seconds * 1e9);
+  if (seconds < 1e-3) return strprintf("%.2f us", seconds * 1e6);
+  if (seconds < 1.0) return strprintf("%.3f ms", seconds * 1e3);
+  return strprintf("%.3f s", seconds);
+}
+
+std::string strprintf(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  va_list args_copy;
+  va_copy(args_copy, args);
+  const int n = std::vsnprintf(nullptr, 0, fmt, args);
+  va_end(args);
+  std::string out;
+  if (n > 0) {
+    out.resize(static_cast<size_t>(n) + 1);
+    std::vsnprintf(out.data(), out.size(), fmt, args_copy);
+    out.resize(static_cast<size_t>(n));
+  }
+  va_end(args_copy);
+  return out;
+}
+
+}  // namespace duet

@@ -1,0 +1,27 @@
+#pragma once
+
+// Small string helpers shared by the IR printer, DOT exporter, and the
+// table-printing benchmark harnesses.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace duet {
+
+std::vector<std::string> split(const std::string& s, char sep);
+std::string join(const std::vector<std::string>& parts, const std::string& sep);
+std::string trim(const std::string& s);
+bool starts_with(const std::string& s, const std::string& prefix);
+
+// 1234567 -> "1.23M", 2048 -> "2.05K"; used in reports.
+std::string human_count(double v);
+// Bytes with binary units: 1536 -> "1.5 KiB".
+std::string human_bytes(uint64_t bytes);
+// Seconds to a human latency string: 0.00234 -> "2.340 ms".
+std::string human_time(double seconds);
+
+// printf-style formatting into std::string.
+std::string strprintf(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+}  // namespace duet

@@ -1,0 +1,57 @@
+#pragma once
+
+// Fixed-size work-queue thread pool used by (a) the CPU device to execute
+// kernels with intra-op parallelism and (b) the threaded executor's device
+// workers. Follows the classic condition-variable + queue design; tasks are
+// type-erased std::function objects.
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace duet {
+
+class ThreadPool {
+ public:
+  // `num_threads == 0` means std::thread::hardware_concurrency().
+  explicit ThreadPool(size_t num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t size() const { return workers_.size(); }
+
+  // Enqueues a task; returns a future for its completion.
+  std::future<void> submit(std::function<void()> task);
+
+  // Runs fn(i) for i in [0, n) across the pool and blocks until all complete.
+  // Work is divided into contiguous chunks (one per worker) to keep
+  // cache-friendly iteration order; falls back to inline execution for n
+  // smaller than a chunking threshold or for a single-thread pool.
+  void parallel_for(size_t n, const std::function<void(size_t)>& fn);
+
+  // Blocks until the queue is empty and all in-flight tasks finished.
+  void wait_idle();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable cv_task_;
+  std::condition_variable cv_idle_;
+  size_t in_flight_ = 0;
+  bool stop_ = false;
+};
+
+// Process-wide pool shared by CPU kernels (lazily constructed).
+ThreadPool& global_thread_pool();
+
+}  // namespace duet

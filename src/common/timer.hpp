@@ -1,0 +1,25 @@
+#pragma once
+
+// Wall-clock stopwatch for the real-threaded executor and micro-benchmarks.
+
+#include <chrono>
+
+namespace duet {
+
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  void reset() { start_ = Clock::now(); }
+
+  // Seconds since construction / last reset.
+  double elapsed() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace duet

@@ -1,0 +1,42 @@
+// Constant folding: any compute node whose operands are all constants is
+// evaluated at compile time and replaced by a constant carrying the result.
+// Typical win in the model zoo: weight-preprocessing chains (transposes,
+// folded batch-norm scale computations).
+
+#include "compiler/pass.hpp"
+#include "compiler/rewrite.hpp"
+
+namespace duet {
+
+Graph fold_constants(const Graph& g) {
+  Graph out(g.name());
+  std::vector<NodeId> remap(g.num_nodes(), kInvalidNode);
+  for (const Node& node : g.nodes()) {
+    const size_t id = static_cast<size_t>(node.id);
+    if (node.is_input() || node.is_constant()) {
+      remap[id] = copy_node_into(node, out, remap);
+      continue;
+    }
+    bool all_const = !node.inputs.empty();
+    for (NodeId in : node.inputs) {
+      if (!out.node(remap[static_cast<size_t>(in)]).is_constant()) {
+        all_const = false;
+        break;
+      }
+    }
+    if (all_const) {
+      std::vector<Tensor> inputs;
+      inputs.reserve(node.inputs.size());
+      for (NodeId in : node.inputs) {
+        inputs.push_back(out.node(remap[static_cast<size_t>(in)]).value);
+      }
+      remap[id] = out.add_constant(evaluate_node(node, inputs), node.name + ".folded");
+    } else {
+      remap[id] = copy_node_into(node, out, remap);
+    }
+  }
+  copy_outputs(g, out, remap);
+  return out;
+}
+
+}  // namespace duet

@@ -1,0 +1,106 @@
+#include "compiler/cost_model.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "graph/shape_inference.hpp"
+
+namespace duet {
+namespace {
+
+const OpClassCost& class_of(const DeviceCostParams& p, OpType op) {
+  switch (op) {
+    case OpType::kDense:
+    case OpType::kMatMul:
+    case OpType::kBatchMatMul:
+      return p.dense;
+    case OpType::kConv2d:
+      return p.conv;
+    case OpType::kLSTM:
+    case OpType::kGRU:
+      return p.rnn;
+    case OpType::kMultiHeadAttention:
+      return p.attention;
+    default:
+      return p.elementwise;
+  }
+}
+
+int64_t node_batch(const Node& node) {
+  if (node.out_shape.rank() == 0) return 1;
+  return std::max<int64_t>(1, node.out_shape.dim(0));
+}
+
+bool is_metadata_op(OpType op) {
+  switch (op) {
+    case OpType::kInput:
+    case OpType::kConstant:
+    case OpType::kReshape:
+    case OpType::kFlatten:
+    case OpType::kIdentity:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+const char* device_kind_name(DeviceKind kind) {
+  return kind == DeviceKind::kCpu ? "cpu" : "gpu";
+}
+
+DeviceKind other_device(DeviceKind kind) {
+  return kind == DeviceKind::kCpu ? DeviceKind::kGpu : DeviceKind::kCpu;
+}
+
+double transfer_time_seconds(uint64_t bytes, const TransferParams& link) {
+  return link.latency_s + static_cast<double>(bytes) / (link.bandwidth_gbps * 1e9);
+}
+
+double node_time_seconds(const Graph& graph, const Node& node,
+                         const DeviceCostParams& params,
+                         const CompileOptions& options) {
+  if (is_metadata_op(node.op)) return 0.0;
+
+  const double flops = node_flops(graph, node);
+  const NodeBytes bytes = node_bytes(graph, node);
+  const int64_t launches = node_kernel_launches(graph, node);
+
+  const OpClassCost& cls = class_of(params, node.op);
+
+  // Occupancy scaling with per-launch kernel size.
+  const double flops_per_launch =
+      launches > 0 ? flops / static_cast<double>(launches) : flops;
+  double util = cls.eff;
+  if (cls.ref_flops > 0.0 && cls.clamp_hi > cls.clamp_lo) {
+    util *= std::clamp(flops_per_launch / cls.ref_flops, cls.clamp_lo, cls.clamp_hi);
+  }
+
+  // Occupancy scaling with batch size (how the paper's Fig. 17 batch sweep
+  // behaves: GPUs keep gaining throughput as the batch grows).
+  const double batch = static_cast<double>(node_batch(node));
+  util *= std::min(params.max_batch_gain, 1.0 + params.batch_gain * (batch - 1.0));
+
+  // Low-level layout optimization (the compiler's layout pass tags convs).
+  if (node.op == OpType::kConv2d && node.attrs.has("layout")) {
+    util *= params.layout_bonus;
+  }
+
+  if (options.framework_mode) util *= params.framework_eff;
+  if (options.schedule_quality) {
+    util *= options.schedule_quality(node, static_cast<int>(params.kind));
+  }
+  DUET_CHECK_GT(util, 0.0) << "non-positive utilization for " << op_name(node.op);
+
+  const double compute_s = flops / (params.peak_gflops * 1e9 * util);
+  const double memory_s = static_cast<double>(bytes.read + bytes.written) /
+                          (params.mem_bw_gbps * 1e9);
+
+  double t = static_cast<double>(launches) * params.launch_overhead_s +
+             std::max(compute_s, memory_s);
+  if (options.framework_mode) t += params.framework_dispatch_s;
+  return t;
+}
+
+}  // namespace duet

@@ -1,0 +1,48 @@
+// Common subexpression elimination: structurally identical compute nodes
+// (same op, same remapped operands, same attributes) collapse to one. This
+// also re-merges the replicated placeholders the partitioner creates for
+// shared nodes (paper §IV-A) when a subgraph is compiled standalone.
+
+#include <map>
+#include <sstream>
+
+#include "compiler/pass.hpp"
+#include "compiler/rewrite.hpp"
+
+namespace duet {
+namespace {
+
+std::string node_key(const Node& node, const std::vector<NodeId>& remap) {
+  std::ostringstream os;
+  os << op_name(node.op) << "(";
+  for (NodeId in : node.inputs) os << remap[static_cast<size_t>(in)] << ",";
+  os << "){" << node.attrs.to_string() << "}";
+  return os.str();
+}
+
+}  // namespace
+
+Graph eliminate_common_subexpressions(const Graph& g) {
+  Graph out(g.name());
+  std::vector<NodeId> remap(g.num_nodes(), kInvalidNode);
+  std::map<std::string, NodeId> seen;
+  for (const Node& node : g.nodes()) {
+    const size_t id = static_cast<size_t>(node.id);
+    if (node.is_input() || node.is_constant()) {
+      remap[id] = copy_node_into(node, out, remap);
+      continue;
+    }
+    const std::string key = node_key(node, remap);
+    auto it = seen.find(key);
+    if (it != seen.end()) {
+      remap[id] = it->second;
+      continue;
+    }
+    remap[id] = copy_node_into(node, out, remap);
+    seen.emplace(key, remap[id]);
+  }
+  copy_outputs(g, out, remap);
+  return out;
+}
+
+}  // namespace duet

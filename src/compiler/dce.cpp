@@ -1,0 +1,23 @@
+// Dead code elimination: drops nodes that cannot reach any graph output.
+// kInput nodes are preserved regardless so a compiled graph keeps the same
+// feed signature as its source.
+
+#include "compiler/pass.hpp"
+#include "compiler/rewrite.hpp"
+#include "graph/traversal.hpp"
+
+namespace duet {
+
+Graph eliminate_dead_code(const Graph& g) {
+  const std::vector<bool> live = live_nodes(g);
+  Graph out(g.name());
+  std::vector<NodeId> remap(g.num_nodes(), kInvalidNode);
+  for (const Node& node : g.nodes()) {
+    if (!live[static_cast<size_t>(node.id)] && !node.is_input()) continue;
+    remap[static_cast<size_t>(node.id)] = copy_node_into(node, out, remap);
+  }
+  copy_outputs(g, out, remap);
+  return out;
+}
+
+}  // namespace duet

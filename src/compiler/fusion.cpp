@@ -1,0 +1,134 @@
+// Operator fusion (paper §III-B "Opportunities", third point): the pass that
+// makes coarse-grained partitioning worthwhile, because subgraphs that stay
+// big keep their fusion opportunities. Two rewrites are performed:
+//
+//   1. Epilogue fusion: a unary activation whose producer is a Dense /
+//      Conv2d / BatchNorm with no other consumer is folded into the
+//      producer's "epilogue" attribute (TVM's conv2d+relu style fusion).
+//      Cascades fold too (dense -> relu -> identity becomes one node).
+//   2. Chain fusion: maximal chains of >= 2 fusible unary ops elsewhere in
+//      the graph collapse into a single kElementwiseChain kernel.
+//
+// Both eliminate intermediate tensor materialization; the cost model charges
+// fused nodes correspondingly less memory traffic and fewer kernel launches.
+
+#include "common/error.hpp"
+#include "compiler/pass.hpp"
+#include "compiler/rewrite.hpp"
+
+namespace duet {
+namespace {
+
+bool chainable(OpType op) {
+  switch (op) {
+    case OpType::kReLU:
+    case OpType::kSigmoid:
+    case OpType::kTanh:
+    case OpType::kGelu:
+    case OpType::kIdentity:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool epilogue_host(OpType op) {
+  return op == OpType::kDense || op == OpType::kConv2d || op == OpType::kBatchNorm;
+}
+
+}  // namespace
+
+Graph fuse_operators(const Graph& g) {
+  const size_t n = g.num_nodes();
+
+  // A node whose value escapes (graph output) must stay materialized; fusing
+  // its consumer would silently change what the output refers to.
+  std::vector<bool> is_output(n, false);
+  for (NodeId out : g.outputs()) is_output[static_cast<size_t>(out)] = true;
+
+  // Phase 1: decide epilogue fusions. fused_into[u] is the (transitive) host
+  // node absorbing unary node u, or kInvalidNode.
+  std::vector<NodeId> fused_into(n, kInvalidNode);
+  std::vector<std::string> extra_epilogue(n);
+  for (const Node& node : g.nodes()) {
+    if (!chainable(node.op) || node.inputs.size() != 1) continue;
+    const NodeId p = node.inputs[0];
+    if (g.consumers(p).size() != 1) continue;  // intermediate value still needed
+    if (is_output[static_cast<size_t>(p)]) continue;
+    const NodeId root =
+        fused_into[static_cast<size_t>(p)] != kInvalidNode
+            ? fused_into[static_cast<size_t>(p)]
+            : p;
+    if (!epilogue_host(g.node(root).op)) continue;
+    fused_into[static_cast<size_t>(node.id)] = root;
+    std::string& ep = extra_epilogue[static_cast<size_t>(root)];
+    if (!ep.empty()) ep += ",";
+    ep += op_name(node.op);
+  }
+
+  // Phase 2: decide elementwise chains among the remaining unary nodes.
+  // chain_head[u] points to the first member of u's chain; members[head]
+  // lists the ops in order.
+  std::vector<NodeId> chain_head(n, kInvalidNode);
+  std::vector<std::vector<std::string>> chain_ops(n);
+  for (const Node& node : g.nodes()) {
+    if (!chainable(node.op) || fused_into[static_cast<size_t>(node.id)] != kInvalidNode)
+      continue;
+    const NodeId p = node.inputs[0];
+    const bool extend = chainable(g.node(p).op) &&
+                        fused_into[static_cast<size_t>(p)] == kInvalidNode &&
+                        chain_head[static_cast<size_t>(p)] != kInvalidNode &&
+                        g.consumers(p).size() == 1 &&
+                        !is_output[static_cast<size_t>(p)];
+    const NodeId head = extend ? chain_head[static_cast<size_t>(p)] : node.id;
+    chain_head[static_cast<size_t>(node.id)] = head;
+    chain_ops[static_cast<size_t>(head)].push_back(op_name(node.op));
+  }
+
+  // Phase 3: rebuild.
+  Graph out(g.name());
+  std::vector<NodeId> remap(n, kInvalidNode);
+  for (const Node& node : g.nodes()) {
+    const size_t id = static_cast<size_t>(node.id);
+    // Epilogue-fused unary: alias its host's new node.
+    if (fused_into[id] != kInvalidNode) {
+      remap[id] = remap[static_cast<size_t>(fused_into[id])];
+      continue;
+    }
+    // Member of a multi-op chain: the head emits the fused node; every
+    // member (including the head) aliases it so downstream edges resolve.
+    const NodeId head = chain_head[id];
+    if (head != kInvalidNode && chain_ops[static_cast<size_t>(head)].size() >= 2) {
+      if (node.id == head) {
+        AttrMap attrs;
+        std::string joined;
+        for (const std::string& opn : chain_ops[static_cast<size_t>(head)]) {
+          if (!joined.empty()) joined += ",";
+          joined += opn;
+        }
+        attrs.set("chain", joined);
+        const NodeId src = remap[static_cast<size_t>(node.inputs[0])];
+        remap[id] = out.add_node(OpType::kElementwiseChain, {src}, std::move(attrs),
+                                 node.name + ".chain");
+      } else {
+        remap[id] = remap[static_cast<size_t>(head)];
+      }
+      continue;
+    }
+    // Ordinary copy; hosts pick up their accumulated epilogue.
+    if (!extra_epilogue[id].empty()) {
+      Node host = node;  // copy, then extend the epilogue attribute
+      const std::string existing = host.attrs.get_string_or("epilogue", "");
+      host.attrs.set("epilogue", existing.empty()
+                                     ? extra_epilogue[id]
+                                     : existing + "," + extra_epilogue[id]);
+      remap[id] = copy_node_into(host, out, remap);
+    } else {
+      remap[id] = copy_node_into(node, out, remap);
+    }
+  }
+  copy_outputs(g, out, remap);
+  return out;
+}
+
+}  // namespace duet

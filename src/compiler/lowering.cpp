@@ -1,0 +1,60 @@
+#include "compiler/lowering.hpp"
+
+#include "common/error.hpp"
+#include "graph/shape_inference.hpp"
+
+namespace duet {
+
+CompiledSubgraph::CompiledSubgraph(Graph graph, DeviceKind device,
+                                   CompileOptions options,
+                                   std::vector<CompiledKernel> kernels)
+    : graph_(std::move(graph)),
+      device_(device),
+      options_(options),
+      kernels_(std::move(kernels)) {
+  for (const CompiledKernel& k : kernels_) est_total_ += k.est_time_s;
+}
+
+uint64_t CompiledSubgraph::input_bytes() const {
+  uint64_t total = 0;
+  for (NodeId id : graph_.input_ids()) {
+    total += node_output_bytes(graph_.node(id));
+  }
+  return total;
+}
+
+uint64_t CompiledSubgraph::output_bytes() const {
+  uint64_t total = 0;
+  for (NodeId id : graph_.outputs()) {
+    total += node_output_bytes(graph_.node(id));
+  }
+  return total;
+}
+
+std::vector<Tensor> CompiledSubgraph::run(const std::map<NodeId, Tensor>& feeds) const {
+  return evaluate_graph(graph_, feeds);
+}
+
+CompiledSubgraph compile_for_device(const Graph& graph, DeviceKind device,
+                                    const CompileOptions& options,
+                                    const DeviceCostParams& params) {
+  DUET_CHECK(params.kind == device) << "cost params are for the wrong device";
+  Graph optimized = PassManager::standard(options).run(graph);
+  std::vector<CompiledKernel> kernels;
+  kernels.reserve(optimized.num_nodes());
+  for (const Node& node : optimized.nodes()) {
+    if (node.is_input() || node.is_constant()) continue;
+    CompiledKernel k;
+    k.node = node.id;
+    k.flops = node_flops(optimized, node);
+    const NodeBytes b = node_bytes(optimized, node);
+    k.bytes_read = b.read;
+    k.bytes_written = b.written;
+    k.launches = node_kernel_launches(optimized, node);
+    k.est_time_s = node_time_seconds(optimized, node, params, options);
+    kernels.push_back(k);
+  }
+  return CompiledSubgraph(std::move(optimized), device, options, std::move(kernels));
+}
+
+}  // namespace duet

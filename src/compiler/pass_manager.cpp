@@ -1,0 +1,64 @@
+#include <utility>
+
+#include "common/error.hpp"
+#include "common/logging.hpp"
+#include "compiler/pass.hpp"
+#include "compiler/rewrite.hpp"
+
+namespace duet {
+
+NodeId copy_node_into(const Node& n, Graph& dst, const std::vector<NodeId>& remap) {
+  if (n.is_input()) {
+    const NodeId id = dst.add_input(n.out_shape, n.name, n.out_dtype);
+    if (n.value.defined()) dst.mutable_node(id).value = n.value;
+    return id;
+  }
+  if (n.is_constant()) {
+    return dst.add_constant(n.value, n.name);
+  }
+  std::vector<NodeId> inputs;
+  inputs.reserve(n.inputs.size());
+  for (NodeId in : n.inputs) {
+    DUET_CHECK(remap[static_cast<size_t>(in)] != kInvalidNode)
+        << "dangling remap for input " << in << " of node " << n.id;
+    inputs.push_back(remap[static_cast<size_t>(in)]);
+  }
+  return dst.add_node(n.op, std::move(inputs), n.attrs, n.name);
+}
+
+void copy_outputs(const Graph& src, Graph& dst, const std::vector<NodeId>& remap) {
+  for (NodeId out : src.outputs()) {
+    const NodeId mapped = remap[static_cast<size_t>(out)];
+    DUET_CHECK(mapped != kInvalidNode) << "graph output " << out << " was removed";
+    dst.mark_output(mapped);
+  }
+}
+
+PassManager PassManager::standard(const CompileOptions& options) {
+  PassManager pm;
+  if (options.enable_constant_fold) pm.add("constant_fold", fold_constants);
+  if (options.enable_fusion) pm.add("simplify_shape_ops", simplify_shape_ops);
+  if (options.enable_fusion) pm.add("fold_batch_norm", fold_batch_norm);
+  if (options.enable_fusion) pm.add("fusion", fuse_operators);
+  if (options.enable_cse) pm.add("cse", eliminate_common_subexpressions);
+  if (options.enable_dce) pm.add("dce", eliminate_dead_code);
+  if (options.enable_layout_transform) pm.add("layout", transform_layout);
+  return pm;
+}
+
+void PassManager::add(std::string name, Pass pass) {
+  passes_.push_back({std::move(name), std::move(pass)});
+}
+
+Graph PassManager::run(Graph graph) const {
+  for (const NamedPass& p : passes_) {
+    const size_t before = graph.num_nodes();
+    graph = p.run(graph);
+    graph.validate();
+    DUET_LOG_DEBUG << "pass " << p.name << ": " << before << " -> "
+                   << graph.num_nodes() << " nodes";
+  }
+  return graph;
+}
+
+}  // namespace duet

@@ -1,0 +1,20 @@
+#pragma once
+
+// Shared helper for graph-rewriting passes: copies a node into a destination
+// graph, remapping its inputs through `remap`. Terminals keep their payloads
+// (constant tensors are shared, not deep-copied).
+
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace duet {
+
+// Returns the new id. `remap[old_input]` must already be valid for all
+// inputs of `n`.
+NodeId copy_node_into(const Node& n, Graph& dst, const std::vector<NodeId>& remap);
+
+// Remaps and marks all of `src`'s outputs on `dst`.
+void copy_outputs(const Graph& src, Graph& dst, const std::vector<NodeId>& remap);
+
+}  // namespace duet

@@ -1,0 +1,62 @@
+// Shape-op simplification: removes pure-metadata churn the front-end tends
+// to emit —
+//   * identity nodes forward their input;
+//   * reshape(reshape(x)) collapses to one reshape with the final dims;
+//   * reshape/flatten whose output shape equals its input shape vanishes.
+// All rewrites are exact (these ops only relabel the buffer).
+
+#include "compiler/pass.hpp"
+#include "compiler/rewrite.hpp"
+
+namespace duet {
+namespace {
+
+bool is_shape_only(OpType op) {
+  return op == OpType::kReshape || op == OpType::kFlatten;
+}
+
+}  // namespace
+
+Graph simplify_shape_ops(const Graph& g) {
+  const size_t n = g.num_nodes();
+  std::vector<bool> is_output(n, false);
+  for (NodeId out : g.outputs()) is_output[static_cast<size_t>(out)] = true;
+
+  Graph out(g.name());
+  std::vector<NodeId> remap(n, kInvalidNode);
+  for (const Node& node : g.nodes()) {
+    const size_t id = static_cast<size_t>(node.id);
+
+    if (node.op == OpType::kIdentity) {
+      remap[id] = remap[static_cast<size_t>(node.inputs[0])];
+      continue;
+    }
+
+    if (is_shape_only(node.op)) {
+      // Walk through any chain of shape-only producers: only the ultimate
+      // data source and this node's final dims matter. (Bypassing an
+      // intermediate as an *input* is safe even if that intermediate is a
+      // graph output — it still remaps to its own emitted node.)
+      NodeId source = node.inputs[0];
+      while (is_shape_only(g.node(source).op)) source = g.node(source).inputs[0];
+      const NodeId src = remap[static_cast<size_t>(source)];
+      if (g.node(source).out_shape == node.out_shape) {
+        remap[id] = src;  // pure no-op relabeling
+        continue;
+      }
+      if (source != node.inputs[0]) {
+        AttrMap attrs;
+        attrs.set("dims", node.out_shape.dims());
+        remap[id] = out.add_node(OpType::kReshape, {src}, std::move(attrs),
+                                 node.name + ".collapsed");
+        continue;
+      }
+    }
+
+    remap[id] = copy_node_into(node, out, remap);
+  }
+  copy_outputs(g, out, remap);
+  return out;
+}
+
+}  // namespace duet

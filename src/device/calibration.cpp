@@ -1,0 +1,76 @@
+#include "device/calibration.hpp"
+
+namespace duet {
+
+DeviceCostParams xeon_gold_6152() {
+  DeviceCostParams p;
+  p.kind = DeviceKind::kCpu;
+  p.name = "xeon-gold-6152";
+  p.peak_gflops = 1400.0;
+  p.mem_bw_gbps = 80.0;
+  p.launch_overhead_s = 0.2e-6;     // a function call, essentially
+  p.framework_dispatch_s = 15e-6;   // interpreter + op dispatch per operator
+  p.framework_eff = 0.55;           // unfused, generic kernels
+  p.layout_bonus = 1.15;            // NCHWc vectorization
+  p.batch_gain = 0.02;              // cores are busy already at batch 1
+  p.max_batch_gain = 1.5;
+
+  // Dense GEMV/GEMM at inference sizes: mostly memory-bound, decent SIMD.
+  p.dense = {/*eff=*/0.25, /*ref_flops=*/1e6, /*clamp_lo=*/1.0, /*clamp_hi=*/1.0};
+  // TVM CPU conv at batch 1 reaches ~240 GFLOP/s on this part (ResNet-18 at
+  // 224x224 is 3.6 GFLOP and costs ~15 ms in the paper's Table II).
+  p.conv = {0.15, 1e6, 1.0, 1.0};
+  // Small sequential gate GEMMs: ~44 GFLOP/s at hidden=256, improving a bit
+  // with wider gates (DeepCPU-style behaviour).
+  p.rnn = {0.031, 0.35e6, 0.5, 2.0};
+  p.attention = {0.15, 1e6, 1.0, 1.0};
+  p.elementwise = {0.02, 1e6, 1.0, 1.0};
+  p.fallback = p.elementwise;
+  return p;
+}
+
+DeviceCostParams titan_v() {
+  DeviceCostParams p;
+  p.kind = DeviceKind::kGpu;
+  p.name = "titan-v";
+  p.peak_gflops = 14000.0;
+  p.mem_bw_gbps = 650.0;
+  p.launch_overhead_s = 5e-6;       // cudaLaunchKernel + driver
+  p.framework_dispatch_s = 30e-6;   // framework op dispatch + stream sync
+  p.framework_eff = 0.6;
+  p.layout_bonus = 1.2;             // tensor-core-friendly tiling
+  p.batch_gain = 0.25;              // occupancy grows quickly with batch
+  p.max_batch_gain = 8.0;
+
+  // Batch-1 GEMV leaves most SMs idle.
+  p.dense = {0.05, 2e6, 0.5, 4.0};
+  // Large convolutions fill the device even at batch 1 (~5 TFLOP/s with the
+  // layout bonus; ResNet-18's 3.6 GFLOP costs ~0.9 ms in Table II).
+  p.conv = {0.30, 1e6, 1.0, 1.0};
+  // Per-timestep kernels are tiny: utilization collapses, launch overhead
+  // dominates — the paper's motivating observation (Fig. 4).
+  p.rnn = {0.0015, 0.35e6, 0.25, 8.0};
+  p.attention = {0.08, 1e6, 1.0, 1.0};
+  p.elementwise = {0.01, 1e6, 1.0, 1.0};
+  p.fallback = p.elementwise;
+  return p;
+}
+
+TransferParams pcie3_x16() {
+  TransferParams t;
+  t.latency_s = 10e-6;
+  t.bandwidth_gbps = 12.0;
+  return t;
+}
+
+double cpu_noise_sigma() { return 0.03; }
+double gpu_noise_sigma() { return 0.05; }
+double link_noise_sigma() { return 0.10; }
+
+double link_spike_probability() { return 0.004; }
+double link_spike_min_seconds() { return 0.5e-3; }
+double link_spike_max_seconds() { return 3.0e-3; }
+
+double executor_dispatch_overhead() { return 150e-6; }
+
+}  // namespace duet

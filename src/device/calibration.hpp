@@ -1,0 +1,49 @@
+#pragma once
+
+// Calibration constants for the simulated testbed. Every number that shapes
+// an experiment lives here, in one place, so the Table II sanity test
+// (tests/test_calibration.cpp) can pin the model to the paper's measured
+// subgraph costs:
+//
+//   Wide-and-Deep (batch 1): RNN  2.4 ms CPU /  6.4 ms GPU
+//                            CNN 14.9 ms CPU /  0.9 ms GPU
+//
+// The derivation (see DESIGN.md §1): CPU is a 22-core Xeon Gold 6152
+// (~1.4 TFLOP/s fp32 peak with AVX-512), GPU a Titan V (~14 TFLOP/s fp32),
+// PCIe 3.0 x16 (~12 GB/s effective). Effective per-op-class utilization is
+// fitted so sequential small-kernel RNNs are launch-overhead-bound on the
+// GPU while convolutions are an order of magnitude faster there.
+
+#include "compiler/cost_model.hpp"
+
+namespace duet {
+
+// CPU: Intel Xeon Gold 6152, TVM LLVM backend.
+DeviceCostParams xeon_gold_6152();
+// GPU: NVIDIA Titan V, TVM CUDA backend.
+DeviceCostParams titan_v();
+// PCIe 3.0 x16 host<->device link.
+TransferParams pcie3_x16();
+
+// Run-to-run latency variation (log-normal sigma). The link is the noisiest
+// component, which is what makes DUET's P99.9 gains smaller than its P50
+// gains in the paper's Fig. 12.
+double cpu_noise_sigma();
+double gpu_noise_sigma();
+double link_noise_sigma();
+
+// PCIe contention spikes: probability per transfer and the extra delay's
+// uniform range. See Interconnect::set_spikes.
+double link_spike_probability();
+double link_spike_min_seconds();
+double link_spike_max_seconds();
+
+// Per-subgraph cost of the heterogeneous executor itself: popping the
+// shared-memory synchronization queue, waking the device worker, and
+// triggering dependents (paper §IV-D runs two child processes). Charged by
+// the latency evaluator and the simulated executor for every subgraph
+// dispatch; the single-device baselines (plain operators-in-sequence
+// runtimes) do not pay it.
+double executor_dispatch_overhead();
+
+}  // namespace duet

@@ -1,0 +1,58 @@
+#include "device/device.hpp"
+
+#include "common/error.hpp"
+#include "device/calibration.hpp"
+#include "device/interconnect.hpp"
+
+namespace duet {
+
+Device::Device(DeviceCostParams params, double noise_sigma, uint64_t noise_seed)
+    : params_(std::move(params)), noise_sigma_(noise_sigma), rng_(noise_seed) {}
+
+Device::RunResult Device::execute(const CompiledSubgraph& sub,
+                                  const std::map<NodeId, Tensor>& feeds,
+                                  bool with_noise) {
+  DUET_CHECK(sub.device() == kind())
+      << "subgraph compiled for " << device_kind_name(sub.device())
+      << " executed on " << device_kind_name(kind());
+  RunResult r;
+  r.outputs = sub.run(feeds);
+  r.modeled_time_s = modeled_time(sub, with_noise);
+  return r;
+}
+
+double Device::modeled_time(const CompiledSubgraph& sub, bool with_noise) {
+  double total = 0.0;
+  for (const CompiledKernel& k : sub.kernels()) {
+    double t = k.est_time_s;
+    if (with_noise) t *= rng_.lognormal_factor(noise_sigma_);
+    total += t;
+  }
+  return total;
+}
+
+void Device::reseed(uint64_t seed) { rng_ = Rng(seed); }
+
+CpuDevice::CpuDevice(uint64_t noise_seed)
+    : Device(xeon_gold_6152(), cpu_noise_sigma(), noise_seed) {}
+
+GpuDevice::GpuDevice(uint64_t noise_seed)
+    : Device(titan_v(), gpu_noise_sigma(), noise_seed) {}
+
+Device& DevicePair::device(DeviceKind kind) const {
+  if (kind == DeviceKind::kCpu) return *cpu;
+  return *gpu;
+}
+
+DevicePair make_default_device_pair(uint64_t seed) {
+  DevicePair pair;
+  pair.cpu = std::make_unique<CpuDevice>(seed * 3 + 1);
+  pair.gpu = std::make_unique<GpuDevice>(seed * 3 + 2);
+  pair.link = std::make_unique<Interconnect>(pcie3_x16(), link_noise_sigma(),
+                                             seed * 3 + 3);
+  pair.link->set_spikes(link_spike_probability(), link_spike_min_seconds(),
+                        link_spike_max_seconds());
+  return pair;
+}
+
+}  // namespace duet

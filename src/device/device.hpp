@@ -1,0 +1,87 @@
+#pragma once
+
+// Device abstraction: something that can execute a CompiledSubgraph. Both
+// concrete devices execute kernels *numerically* with the reference CPU
+// implementations (so any placement yields bit-identical results), while
+// *time* is charged from the calibrated cost model — the substitution for
+// the paper's physical testbed (DESIGN.md §1). Per-run log-normal noise
+// models the run-to-run variation behind the paper's tail-latency study.
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "compiler/lowering.hpp"
+#include "device/interconnect.hpp"
+
+namespace duet {
+
+class Device {
+ public:
+  Device(DeviceCostParams params, double noise_sigma, uint64_t noise_seed);
+  virtual ~Device() = default;
+
+  Device(const Device&) = delete;
+  Device& operator=(const Device&) = delete;
+
+  DeviceKind kind() const { return params_.kind; }
+  const std::string& name() const { return params_.name; }
+  const DeviceCostParams& params() const { return params_; }
+  double noise_sigma() const { return noise_sigma_; }
+
+  struct RunResult {
+    std::vector<Tensor> outputs;
+    double modeled_time_s = 0.0;
+  };
+
+  // Runs the subgraph numerically and charges modeled time. `with_noise`
+  // draws one log-normal factor per kernel from this device's RNG.
+  RunResult execute(const CompiledSubgraph& sub,
+                    const std::map<NodeId, Tensor>& feeds, bool with_noise);
+
+  // Modeled time only (no numeric execution) — used by measure_latency in
+  // the scheduler's correction loop, where thousands of placements are
+  // evaluated.
+  double modeled_time(const CompiledSubgraph& sub, bool with_noise);
+
+  // Deterministic reset of the noise stream (tests / repeated experiments).
+  void reseed(uint64_t seed);
+
+ protected:
+  DeviceCostParams params_;
+  double noise_sigma_;
+  Rng rng_;
+};
+
+// The paper's Xeon Gold 6152 CPU (22 cores).
+class CpuDevice : public Device {
+ public:
+  explicit CpuDevice(uint64_t noise_seed = 1);
+  CpuDevice(DeviceCostParams params, double noise_sigma, uint64_t noise_seed)
+      : Device(std::move(params), noise_sigma, noise_seed) {}
+};
+
+// The paper's NVIDIA Titan V (simulated; kernels run on the host, time comes
+// from the calibrated model).
+class GpuDevice : public Device {
+ public:
+  explicit GpuDevice(uint64_t noise_seed = 2);
+  GpuDevice(DeviceCostParams params, double noise_sigma, uint64_t noise_seed)
+      : Device(std::move(params), noise_sigma, noise_seed) {}
+};
+
+// A coupled CPU-GPU pair plus interconnect — the architecture DUET targets.
+struct DevicePair {
+  std::unique_ptr<CpuDevice> cpu;
+  std::unique_ptr<GpuDevice> gpu;
+  std::unique_ptr<Interconnect> link;
+
+  Device& device(DeviceKind kind) const;
+};
+
+// Builds the calibrated default testbed (Xeon + Titan V + PCIe 3.0).
+DevicePair make_default_device_pair(uint64_t seed = 42);
+
+}  // namespace duet

@@ -1,0 +1,37 @@
+#include "device/interconnect.hpp"
+
+namespace duet {
+
+Interconnect::Interconnect(TransferParams params, double noise_sigma,
+                           uint64_t noise_seed)
+    : params_(params), noise_sigma_(noise_sigma), rng_(noise_seed) {}
+
+void Interconnect::set_spikes(double probability, double min_seconds,
+                              double max_seconds) {
+  spike_probability_ = probability;
+  spike_min_s_ = min_seconds;
+  spike_max_s_ = max_seconds;
+}
+
+double Interconnect::transfer_time(uint64_t bytes, bool with_noise) {
+  total_bytes_ += bytes;
+  total_transfers_ += 1;
+  double t = transfer_time_seconds(bytes, params_);
+  if (with_noise) {
+    t *= rng_.lognormal_factor(noise_sigma_);
+    if (spike_probability_ > 0.0 && rng_.coin(spike_probability_)) {
+      t += rng_.uniform(spike_min_s_, spike_max_s_);
+    }
+  }
+  return t;
+}
+
+Tensor Interconnect::transfer(const Tensor& t, bool with_noise, double* seconds) {
+  const double dt = transfer_time(t.byte_size(), with_noise);
+  if (seconds != nullptr) *seconds = dt;
+  return t.clone();
+}
+
+void Interconnect::reseed(uint64_t seed) { rng_ = Rng(seed); }
+
+}  // namespace duet

@@ -1,0 +1,55 @@
+#pragma once
+
+// CPU<->GPU interconnect model (PCIe 3.0 in the paper's testbed). Transfer
+// time is latency + size/bandwidth — the linear shape measured by the
+// paper's Fig. 5 microbenchmark — with optional log-normal noise, which the
+// paper identifies as the main source of extra tail latency (Fig. 12).
+// Payloads are actually memcpy'd so a transfer has real data semantics.
+
+#include <cstdint>
+
+#include "common/rng.hpp"
+#include "compiler/cost_model.hpp"
+#include "tensor/tensor.hpp"
+
+namespace duet {
+
+class Interconnect {
+ public:
+  Interconnect(TransferParams params, double noise_sigma, uint64_t noise_seed);
+
+  // Rare contention spikes (DMA queueing, IOMMU, OS jitter): each noisy
+  // transfer additionally pays `spike_seconds` with probability
+  // `spike_probability`. This is what erodes DUET's P99.9 advantage in the
+  // paper's Fig. 12 — heterogeneous execution crosses the link far more
+  // often than a single-device baseline.
+  void set_spikes(double probability, double min_seconds, double max_seconds);
+
+  const TransferParams& params() const { return params_; }
+
+  // Modeled duration of moving `bytes` across the link.
+  double transfer_time(uint64_t bytes, bool with_noise);
+
+  // "Moves" a tensor across the link: deep-copies the payload (a real PCIe
+  // DMA lands in fresh device memory) and returns the modeled duration via
+  // *seconds.
+  Tensor transfer(const Tensor& t, bool with_noise, double* seconds);
+
+  // Cumulative statistics.
+  uint64_t total_bytes() const { return total_bytes_; }
+  uint64_t total_transfers() const { return total_transfers_; }
+
+  void reseed(uint64_t seed);
+
+ private:
+  TransferParams params_;
+  double noise_sigma_;
+  Rng rng_;
+  uint64_t total_bytes_ = 0;
+  uint64_t total_transfers_ = 0;
+  double spike_probability_ = 0.0;
+  double spike_min_s_ = 0.0;
+  double spike_max_s_ = 0.0;
+};
+
+}  // namespace duet

@@ -1,0 +1,16 @@
+#include "device/sim_clock.hpp"
+
+#include "common/error.hpp"
+
+namespace duet {
+
+void SimClock::advance(double dt) {
+  DUET_CHECK_GE(dt, 0.0) << "clock cannot run backwards";
+  now_ += dt;
+}
+
+void SimClock::advance_to(double t) {
+  if (t > now_) now_ = t;
+}
+
+}  // namespace duet

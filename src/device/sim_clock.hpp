@@ -1,0 +1,26 @@
+#pragma once
+
+// Virtual clock for the discrete-event executor. Each device (and the link)
+// owns one; the simulated executor advances them as subgraphs and transfers
+// are scheduled, which yields deterministic, host-independent latencies.
+
+namespace duet {
+
+class SimClock {
+ public:
+  double now() const { return now_; }
+
+  // Moves time forward by `dt` seconds (must be non-negative).
+  void advance(double dt);
+
+  // Moves time to `t` if `t` is later; otherwise a no-op (a device that is
+  // already past `t` is simply busy).
+  void advance_to(double t);
+
+  void reset() { now_ = 0.0; }
+
+ private:
+  double now_ = 0.0;
+};
+
+}  // namespace duet

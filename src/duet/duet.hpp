@@ -1,0 +1,27 @@
+#pragma once
+
+// Umbrella header: everything a downstream user needs.
+//
+//   #include "duet/duet.hpp"
+//
+//   duet::DuetEngine engine(duet::models::build_wide_deep());
+//   auto out = engine.infer(feeds);
+//
+// Layered API (include individually for faster builds):
+//   graph/builder.hpp     — construct models programmatically
+//   relay/relay.hpp       — textual IR front-end (+ serialize.hpp)
+//   models/model_zoo.hpp  — the paper's workloads
+//   duet/engine.hpp       — partition + profile + schedule + execute
+//   duet/baseline.hpp     — TVM-/framework-style single-device baselines
+//   sched/scheduler.hpp   — scheduling algorithms, standalone
+//   runtime/executor.hpp  — executors, standalone
+//   runtime/pipeline.hpp  — throughput-mode pipelined runner
+
+#include "duet/baseline.hpp"
+#include "duet/engine.hpp"
+#include "duet/report.hpp"
+#include "graph/builder.hpp"
+#include "models/model_zoo.hpp"
+#include "relay/relay.hpp"
+#include "relay/serialize.hpp"
+#include "runtime/pipeline.hpp"

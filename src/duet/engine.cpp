@@ -1,0 +1,123 @@
+#include "duet/engine.hpp"
+
+#include <sstream>
+
+#include "common/error.hpp"
+#include "common/logging.hpp"
+#include "common/string_util.hpp"
+#include "device/interconnect.hpp"
+#include "duet/baseline.hpp"
+
+namespace duet {
+
+std::string DuetReport::to_string(const Graph& model,
+                                  const Partition& partition) const {
+  std::ostringstream os;
+  os << "DUET report for \"" << model.name() << "\"\n";
+  os << partition.to_string(model);
+  os << "  schedule (" << schedule.placement.to_string() << ")\n";
+  os << "  est hetero   " << human_time(est_hetero_s) << "\n";
+  os << "  est TVM-CPU  " << human_time(est_single_cpu_s) << "\n";
+  os << "  est TVM-GPU  " << human_time(est_single_gpu_s) << "\n";
+  if (fell_back) {
+    os << "  -> fell back to single-device execution on "
+       << device_kind_name(fallback_device) << "\n";
+  } else {
+    os << "  -> heterogeneous execution selected\n";
+  }
+  return os.str();
+}
+
+DuetEngine::DuetEngine(Graph model, DuetOptions options)
+    : model_(std::move(model)),
+      options_(std::move(options)),
+      devices_(make_default_device_pair(options_.seed)) {
+  model_.validate();
+
+  // Compiler-awareness requires the profiler to measure exactly the code
+  // the plan will run: one compile configuration end to end.
+  options_.profile.compile = options_.compile;
+
+  // (1) Coarse-grained phased partitioning.
+  partition_ = partition_phased(model_, options_.partition);
+
+  // (2) Compiler-aware profiling of every subgraph on both devices.
+  Profiler profiler(devices_);
+  report_.profiles = profiler.profile_partition(partition_, model_, options_.profile);
+
+  // (3) Subgraph scheduling.
+  LatencyEvaluator evaluator(partition_, model_, report_.profiles,
+                             devices_.link->params());
+  Rng sched_rng(options_.seed + 1000);
+  SchedulingContext ctx;
+  ctx.partition = &partition_;
+  ctx.profiles = &report_.profiles;
+  ctx.evaluator = &evaluator;
+  ctx.rng = &sched_rng;
+  std::unique_ptr<Scheduler> scheduler = make_scheduler(options_.scheduler);
+  report_.schedule = scheduler->schedule(ctx);
+  report_.est_hetero_s = report_.schedule.est_latency_s;
+
+  // (4) Fallback decision against the single-device baselines.
+  {
+    Baseline cpu(model_, BaselineKind::kTvmCpu, devices_);
+    Baseline gpu(model_, BaselineKind::kTvmGpu, devices_);
+    report_.est_single_cpu_s = cpu.latency(false);
+    report_.est_single_gpu_s = gpu.latency(false);
+  }
+  const double best_single =
+      std::min(report_.est_single_cpu_s, report_.est_single_gpu_s);
+  report_.fallback_device = report_.est_single_cpu_s <= report_.est_single_gpu_s
+                                ? DeviceKind::kCpu
+                                : DeviceKind::kGpu;
+  if (options_.enable_fallback &&
+      report_.est_hetero_s >= best_single * (1.0 - options_.fallback_margin)) {
+    report_.fell_back = true;
+    report_.schedule.placement =
+        Placement(partition_.subgraphs.size(), report_.fallback_device);
+    report_.schedule.est_latency_s = best_single;
+    // Fallback executes the unpartitioned single-device code, exactly like
+    // the TVM baseline it is falling back to.
+    fallback_ = std::make_unique<Baseline>(
+        model_,
+        report_.fallback_device == DeviceKind::kCpu ? BaselineKind::kTvmCpu
+                                                    : BaselineKind::kTvmGpu,
+        devices_);
+  }
+
+  // (5) Build the execution plan for the chosen placement.
+  plan_ = ExecutionPlan::build(model_, partition_, report_.schedule.placement,
+                               devices_, options_.compile);
+  executor_ = std::make_unique<SimExecutor>(devices_);
+
+  DUET_LOG_INFO << "DUET ready: " << partition_.subgraphs.size() << " subgraphs, "
+                << (report_.fell_back ? "single-device fallback"
+                                      : "heterogeneous schedule")
+                << ", est " << human_time(report_.schedule.est_latency_s);
+}
+
+ExecutionResult DuetEngine::infer(const std::map<NodeId, Tensor>& feeds,
+                                  bool with_noise) {
+  if (fallback_ != nullptr) {
+    Baseline::Result br = fallback_->infer(feeds, with_noise);
+    ExecutionResult r;
+    r.outputs = std::move(br.outputs);
+    r.latency_s = br.latency_s;
+    r.timeline.add({TimelineEvent::Kind::kExec, 0, report_.fallback_device,
+                    "fallback:" + model_.name(), 0.0, br.latency_s});
+    return r;
+  }
+  return executor_->run(plan_, feeds, with_noise);
+}
+
+double DuetEngine::latency(bool with_noise) {
+  if (fallback_ != nullptr) return fallback_->latency(with_noise);
+  return executor_->run_latency_only(plan_, with_noise);
+}
+
+ExecutionResult DuetEngine::infer_threaded(const std::map<NodeId, Tensor>& feeds) {
+  ThreadedExecutor threaded(devices_);
+  return threaded.run(plan_, feeds);
+}
+
+}  // namespace duet

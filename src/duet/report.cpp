@@ -1,0 +1,70 @@
+#include "duet/report.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/string_util.hpp"
+
+namespace duet {
+
+TextTable::TextTable(std::vector<std::string> header) : header_(std::move(header)) {}
+
+void TextTable::add_row(std::vector<std::string> row) {
+  rows_.push_back(std::move(row));
+}
+
+std::string TextTable::render() const {
+  std::vector<size_t> width(header_.size(), 0);
+  const auto widen = [&](const std::vector<std::string>& row) {
+    for (size_t i = 0; i < row.size() && i < width.size(); ++i) {
+      width[i] = std::max(width[i], row[i].size());
+    }
+  };
+  widen(header_);
+  for (const auto& row : rows_) widen(row);
+
+  std::ostringstream os;
+  const auto emit = [&](const std::vector<std::string>& row) {
+    os << "|";
+    for (size_t i = 0; i < width.size(); ++i) {
+      const std::string& cell = i < row.size() ? row[i] : std::string();
+      os << " " << cell << std::string(width[i] - cell.size(), ' ') << " |";
+    }
+    os << "\n";
+  };
+  emit(header_);
+  os << "|";
+  for (size_t i = 0; i < width.size(); ++i) {
+    os << std::string(width[i] + 2, '-') << "|";
+  }
+  os << "\n";
+  for (const auto& row : rows_) emit(row);
+  return os.str();
+}
+
+std::string render_subgraph_breakdown(const DuetEngine& engine) {
+  const Partition& part = engine.partition();
+  const DuetReport& report = engine.report();
+
+  TextTable table({"subgraph", "content", "phase", "CPU cost", "GPU cost",
+                   "placed on"});
+  for (const Subgraph& sub : part.subgraphs) {
+    const SubgraphProfile& prof = report.profiles[static_cast<size_t>(sub.id)];
+    table.add_row({
+        strprintf("#%d %s", sub.id, sub.label.c_str()),
+        sub.summary(engine.model()),
+        strprintf("%d (%s)", sub.phase, phase_type_name(sub.phase_type)),
+        human_time(prof.time_on(DeviceKind::kCpu)),
+        human_time(prof.time_on(DeviceKind::kGpu)),
+        device_kind_name(report.schedule.placement.of(sub.id)),
+    });
+  }
+  return table.render();
+}
+
+std::string speedup_str(double baseline_s, double improved_s) {
+  if (improved_s <= 0.0) return "x?";
+  return strprintf("x%.2f", baseline_s / improved_s);
+}
+
+}  // namespace duet

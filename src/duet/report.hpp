@@ -1,0 +1,32 @@
+#pragma once
+
+// Reporting helpers shared by the benchmark harnesses: fixed-width table
+// rendering and the paper-style per-subgraph cost/placement breakdown
+// (Table II).
+
+#include <string>
+#include <vector>
+
+#include "duet/engine.hpp"
+
+namespace duet {
+
+// Simple fixed-width text table. Columns auto-size to content.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+  void add_row(std::vector<std::string> row);
+  std::string render() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// Table II: subgraph | content | CPU cost | GPU cost | placement.
+std::string render_subgraph_breakdown(const DuetEngine& engine);
+
+// "x1.93" style speedup formatting.
+std::string speedup_str(double baseline_s, double improved_s);
+
+}  // namespace duet

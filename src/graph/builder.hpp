@@ -1,0 +1,74 @@
+#pragma once
+
+// Fluent construction API on top of Graph. The model zoo uses this to build
+// networks the way a framework front-end would; weights are initialized from
+// a seeded Rng so every run of an experiment sees identical parameters.
+
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "graph/graph.hpp"
+
+namespace duet {
+
+class GraphBuilder {
+ public:
+  explicit GraphBuilder(std::string graph_name, uint64_t seed = 42)
+      : graph_(std::move(graph_name)), rng_(seed) {}
+
+  Graph& graph() { return graph_; }
+  Rng& rng() { return rng_; }
+
+  // Finalizes: marks `outputs` (if not already marked), validates, moves out.
+  Graph finish(std::vector<NodeId> outputs);
+
+  // --- terminals -------------------------------------------------------------
+  NodeId input(Shape shape, const std::string& name = {},
+               DType dtype = DType::kFloat32);
+  NodeId constant(Tensor value, const std::string& name = {});
+  // Xavier-ish random weight: stddev = sqrt(2 / fan_in).
+  NodeId weight(Shape shape, const std::string& name = {});
+
+  // --- layers ----------------------------------------------------------------
+  NodeId dense(NodeId x, int64_t out_features, const std::string& act = "",
+               const std::string& name = {});
+  NodeId conv2d(NodeId x, int64_t out_channels, int kernel, int stride, int padding,
+                const std::string& name = {});
+  NodeId batch_norm(NodeId x, const std::string& name = {});
+  NodeId lstm(NodeId x, int64_t hidden, const std::string& name = {});
+  NodeId gru(NodeId x, int64_t hidden, const std::string& name = {});
+  NodeId embedding(NodeId indices, int64_t vocab, int64_t dim,
+                   const std::string& name = {});
+  NodeId attention(NodeId x, int64_t heads, const std::string& name = {});
+  NodeId layer_norm(NodeId x, const std::string& name = {});
+
+  // --- ops ---------------------------------------------------------------------
+  NodeId add(NodeId a, NodeId b);
+  NodeId mul(NodeId a, NodeId b);
+  NodeId relu(NodeId x);
+  NodeId sigmoid(NodeId x);
+  NodeId tanh(NodeId x);
+  NodeId gelu(NodeId x);
+  NodeId softmax(NodeId x);
+  NodeId matmul(NodeId a, NodeId b);
+  NodeId concat(std::vector<NodeId> parts, int axis);
+  NodeId flatten(NodeId x);
+  NodeId reshape(NodeId x, Shape dims);
+  NodeId max_pool2d(NodeId x, int kernel, int stride, int padding);
+  NodeId global_avg_pool(NodeId x);
+  NodeId reduce_mean(NodeId x, int axis);
+  NodeId slice_rows(NodeId x, int64_t begin, int64_t end);
+  // Mean over the sequence axis of [batch, seq, features] -> [batch, features].
+  NodeId seq_mean(NodeId x);
+  // Last timestep of [batch, seq, features] -> [batch, features].
+  NodeId last_timestep(NodeId x);
+
+ private:
+  int64_t last_dim(NodeId x) const;
+
+  Graph graph_;
+  Rng rng_;
+};
+
+}  // namespace duet

@@ -1,0 +1,68 @@
+#include "graph/dot.hpp"
+
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace duet {
+
+std::string to_dot(const Graph& graph, const DotOptions& options) {
+  std::ostringstream os;
+  os << "digraph \"" << graph.name() << "\" {\n";
+  os << "  rankdir=TB;\n  node [shape=box, style=filled, fillcolor=white];\n";
+
+  // Group nodes by cluster label when provided.
+  std::map<int, std::vector<NodeId>> clusters;
+  std::vector<NodeId> loose;
+  for (const Node& n : graph.nodes()) {
+    if (n.is_constant() && !options.show_constants) continue;
+    const int c = options.cluster ? options.cluster(n.id) : -1;
+    if (c >= 0) {
+      clusters[c].push_back(n.id);
+    } else {
+      loose.push_back(n.id);
+    }
+  }
+
+  const auto emit_node = [&](NodeId id) {
+    const Node& n = graph.node(id);
+    os << "  n" << id << " [label=\"" << n.name << "\\n"
+       << op_name(n.op) << " " << n.out_shape.to_string() << "\"";
+    if (options.color) {
+      const std::string c = options.color(id);
+      if (!c.empty()) os << ", fillcolor=\"" << c << "\"";
+    }
+    os << "];\n";
+  };
+
+  for (const auto& [label, members] : clusters) {
+    os << "  subgraph cluster_" << label << " {\n"
+       << "    label=\"subgraph " << label << "\";\n";
+    for (NodeId id : members) emit_node(id);
+    os << "  }\n";
+  }
+  for (NodeId id : loose) emit_node(id);
+
+  for (const Node& n : graph.nodes()) {
+    if (n.is_constant() && !options.show_constants) continue;
+    for (NodeId in : n.inputs) {
+      const Node& p = graph.node(in);
+      if (p.is_constant() && !options.show_constants) continue;
+      os << "  n" << in << " -> n" << n.id << ";\n";
+    }
+  }
+  os << "}\n";
+  return os.str();
+}
+
+void write_dot_file(const Graph& graph, const std::string& path,
+                    const DotOptions& options) {
+  std::ofstream out(path);
+  DUET_CHECK(out.good()) << "cannot open " << path;
+  out << to_dot(graph, options);
+  DUET_CHECK(out.good()) << "write failed: " << path;
+}
+
+}  // namespace duet

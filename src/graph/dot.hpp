@@ -1,0 +1,28 @@
+#pragma once
+
+// Graphviz DOT export for debugging partitions and schedules. Nodes can be
+// colored by an arbitrary labeling (e.g. subgraph id or device assignment).
+
+#include <functional>
+#include <string>
+
+#include "graph/graph.hpp"
+
+namespace duet {
+
+struct DotOptions {
+  bool show_constants = false;
+  // Optional cluster label per node (nodes with equal non-negative labels are
+  // grouped); -1 means unclustered.
+  std::function<int(NodeId)> cluster;
+  // Optional fill color per node (graphviz color string), empty = default.
+  std::function<std::string(NodeId)> color;
+};
+
+std::string to_dot(const Graph& graph, const DotOptions& options = {});
+
+// Writes `dot` text to `path`; throws on I/O failure.
+void write_dot_file(const Graph& graph, const std::string& path,
+                    const DotOptions& options = {});
+
+}  // namespace duet

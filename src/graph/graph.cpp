@@ -1,0 +1,336 @@
+#include "graph/graph.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "common/string_util.hpp"
+#include "graph/shape_inference.hpp"
+#include "tensor/kernels.hpp"
+
+namespace duet {
+
+std::string Node::to_string() const {
+  std::ostringstream os;
+  os << "%" << id << " = " << op_name(op) << "(";
+  for (size_t i = 0; i < inputs.size(); ++i) {
+    if (i) os << ", ";
+    os << "%" << inputs[i];
+  }
+  os << ")";
+  const std::string attrs_str = attrs.to_string();
+  if (!attrs_str.empty()) os << " {" << attrs_str << "}";
+  os << " : " << out_shape.to_string() << " " << dtype_name(out_dtype);
+  if (!name.empty()) os << "  // " << name;
+  return os.str();
+}
+
+NodeId Graph::add_node(OpType op, std::vector<NodeId> inputs, AttrMap attrs,
+                       std::string name) {
+  DUET_CHECK(op != OpType::kInput && op != OpType::kConstant)
+      << "use add_input / add_constant for terminals";
+  const NodeId id = static_cast<NodeId>(nodes_.size());
+  for (NodeId in : inputs) {
+    DUET_CHECK(in >= 0 && in < id) << "add_node input " << in
+                                   << " does not precede node " << id;
+  }
+  Node n;
+  n.id = id;
+  n.op = op;
+  n.inputs = std::move(inputs);
+  n.attrs = std::move(attrs);
+  n.name = name.empty() ? strprintf("%s_%d", op_name(op), id) : std::move(name);
+  nodes_.push_back(std::move(n));
+  consumers_.emplace_back();
+  Node& added = nodes_.back();
+  const InferredType t = infer_node_type(*this, added);
+  added.out_shape = t.shape;
+  added.out_dtype = t.dtype;
+  for (NodeId in : added.inputs) consumers_[static_cast<size_t>(in)].push_back(id);
+  return id;
+}
+
+NodeId Graph::add_input(Shape shape, std::string name, DType dtype) {
+  const NodeId id = static_cast<NodeId>(nodes_.size());
+  Node n;
+  n.id = id;
+  n.op = OpType::kInput;
+  n.name = name.empty() ? strprintf("input_%d", id) : std::move(name);
+  n.out_shape = std::move(shape);
+  n.out_dtype = dtype;
+  nodes_.push_back(std::move(n));
+  consumers_.emplace_back();
+  return id;
+}
+
+NodeId Graph::add_constant(Tensor value, std::string name) {
+  DUET_CHECK(value.defined()) << "constant must carry a tensor";
+  const NodeId id = static_cast<NodeId>(nodes_.size());
+  Node n;
+  n.id = id;
+  n.op = OpType::kConstant;
+  n.name = name.empty() ? strprintf("const_%d", id) : std::move(name);
+  n.out_shape = value.shape();
+  n.out_dtype = value.dtype();
+  n.value = std::move(value);
+  nodes_.push_back(std::move(n));
+  consumers_.emplace_back();
+  return id;
+}
+
+const Node& Graph::node(NodeId id) const {
+  DUET_CHECK(id >= 0 && static_cast<size_t>(id) < nodes_.size())
+      << "node id " << id << " out of range";
+  return nodes_[static_cast<size_t>(id)];
+}
+
+Node& Graph::mutable_node(NodeId id) {
+  DUET_CHECK(id >= 0 && static_cast<size_t>(id) < nodes_.size());
+  return nodes_[static_cast<size_t>(id)];
+}
+
+const std::vector<NodeId>& Graph::consumers(NodeId id) const {
+  DUET_CHECK(id >= 0 && static_cast<size_t>(id) < consumers_.size());
+  return consumers_[static_cast<size_t>(id)];
+}
+
+void Graph::mark_output(NodeId id) {
+  DUET_CHECK(id >= 0 && static_cast<size_t>(id) < nodes_.size());
+  outputs_.push_back(id);
+}
+
+std::vector<NodeId> Graph::input_ids() const {
+  std::vector<NodeId> out;
+  for (const Node& n : nodes_) {
+    if (n.is_input()) out.push_back(n.id);
+  }
+  return out;
+}
+
+std::vector<NodeId> Graph::constant_ids() const {
+  std::vector<NodeId> out;
+  for (const Node& n : nodes_) {
+    if (n.is_constant()) out.push_back(n.id);
+  }
+  return out;
+}
+
+uint64_t Graph::param_bytes() const {
+  uint64_t total = 0;
+  for (const Node& n : nodes_) {
+    if (n.is_constant()) total += n.value.byte_size();
+  }
+  return total;
+}
+
+void Graph::validate() const {
+  DUET_CHECK_EQ(nodes_.size(), consumers_.size());
+  for (const Node& n : nodes_) {
+    DUET_CHECK_EQ(static_cast<size_t>(n.id), static_cast<size_t>(&n - nodes_.data()));
+    for (NodeId in : n.inputs) {
+      DUET_CHECK(in >= 0 && in < n.id)
+          << "node " << n.id << " has non-topological input " << in;
+    }
+  }
+  for (NodeId out : outputs_) {
+    DUET_CHECK(out >= 0 && static_cast<size_t>(out) < nodes_.size())
+        << "unknown output " << out;
+  }
+  DUET_CHECK(!outputs_.empty()) << "graph has no outputs";
+}
+
+std::string Graph::to_string() const {
+  std::ostringstream os;
+  os << "graph \"" << name_ << "\" (" << nodes_.size() << " nodes)\n";
+  for (const Node& n : nodes_) os << "  " << n.to_string() << "\n";
+  os << "  outputs:";
+  for (NodeId out : outputs_) os << " %" << out;
+  os << "\n";
+  return os.str();
+}
+
+namespace {
+
+// Applies one named unary op; shared by kElementwiseChain and Dense/Conv
+// activation epilogues produced by the fusion pass.
+Tensor apply_unary(const std::string& name, const Tensor& x) {
+  if (name == "relu") return kernels::relu(x);
+  if (name == "sigmoid") return kernels::sigmoid(x);
+  if (name == "tanh") return kernels::tanh_op(x);
+  if (name == "gelu") return kernels::gelu(x);
+  if (name == "identity") return x;
+  DUET_THROW("unknown unary epilogue op: " << name);
+}
+
+Tensor apply_epilogue(const Node& node, Tensor value) {
+  const std::string epilogue = node.attrs.get_string_or("epilogue", "");
+  if (epilogue.empty()) return value;
+  for (const std::string& stage : split(epilogue, ',')) {
+    if (!stage.empty()) value = apply_unary(stage, value);
+  }
+  return value;
+}
+
+}  // namespace
+
+Tensor evaluate_node(const Node& node, const std::vector<Tensor>& in) {
+  using namespace kernels;
+  const auto want = [&](size_t n) {
+    DUET_CHECK(in.size() == n || (in.size() == n - 1 && n > 0))
+        << op_name(node.op) << " expects " << n << " inputs, got " << in.size();
+  };
+  switch (node.op) {
+    case OpType::kInput:
+    case OpType::kConstant:
+      DUET_CHECK(node.value.defined()) << "unbound terminal " << node.name;
+      return node.value;
+    case OpType::kAdd:
+      return add(in.at(0), in.at(1));
+    case OpType::kSub:
+      return sub(in.at(0), in.at(1));
+    case OpType::kMul:
+      return mul(in.at(0), in.at(1));
+    case OpType::kReLU:
+      return relu(in.at(0));
+    case OpType::kSigmoid:
+      return sigmoid(in.at(0));
+    case OpType::kTanh:
+      return tanh_op(in.at(0));
+    case OpType::kGelu:
+      return gelu(in.at(0));
+    case OpType::kAddScalar:
+      return add_scalar(in.at(0), static_cast<float>(node.attrs.get_float("value")));
+    case OpType::kMulScalar:
+      return mul_scalar(in.at(0), static_cast<float>(node.attrs.get_float("value")));
+    case OpType::kBiasAdd:
+      return bias_add(in.at(0), in.at(1));
+    case OpType::kIdentity:
+      return in.at(0);
+    case OpType::kMatMul:
+      return matmul(in.at(0), in.at(1));
+    case OpType::kBatchMatMul:
+      return batch_matmul(in.at(0), in.at(1));
+    case OpType::kDense: {
+      want(3);
+      const Tensor bias = in.size() > 2 ? in[2] : Tensor();
+      return apply_epilogue(node, linear(in[0], in[1], bias));
+    }
+    case OpType::kConv2d: {
+      want(3);
+      const Tensor bias = in.size() > 2 ? in[2] : Tensor();
+      return apply_epilogue(
+          node, conv2d(in[0], in[1], bias,
+                       static_cast<int>(node.attrs.get_int_or("stride", 1)),
+                       static_cast<int>(node.attrs.get_int_or("padding", 0))));
+    }
+    case OpType::kMaxPool2d:
+      return max_pool2d(in.at(0), static_cast<int>(node.attrs.get_int("kernel")),
+                        static_cast<int>(node.attrs.get_int_or(
+                            "stride", node.attrs.get_int("kernel"))),
+                        static_cast<int>(node.attrs.get_int_or("padding", 0)));
+    case OpType::kAvgPool2d:
+      return avg_pool2d(in.at(0), static_cast<int>(node.attrs.get_int("kernel")),
+                        static_cast<int>(node.attrs.get_int_or(
+                            "stride", node.attrs.get_int("kernel"))),
+                        static_cast<int>(node.attrs.get_int_or("padding", 0)));
+    case OpType::kGlobalAvgPool:
+      return global_avg_pool(in.at(0));
+    case OpType::kBatchNorm:
+      return apply_epilogue(node, batch_norm(in.at(0), in.at(1), in.at(2)));
+    case OpType::kLSTM: {
+      want(4);
+      const Tensor bias = in.size() > 3 ? in[3] : Tensor();
+      return lstm(in[0], in[1], in[2], bias);
+    }
+    case OpType::kGRU: {
+      want(4);
+      const Tensor bias = in.size() > 3 ? in[3] : Tensor();
+      return gru(in[0], in[1], in[2], bias);
+    }
+    case OpType::kEmbedding:
+      return embedding(in.at(0), in.at(1));
+    case OpType::kSoftmax:
+      return softmax_lastdim(in.at(0));
+    case OpType::kLayerNorm:
+      return layer_norm(in.at(0), in.at(1), in.at(2));
+    case OpType::kReduceSum:
+      return reduce_sum(in.at(0), static_cast<int>(node.attrs.get_int("axis")));
+    case OpType::kReduceMean:
+      return reduce_mean(in.at(0), static_cast<int>(node.attrs.get_int("axis")));
+    case OpType::kReduceMax:
+      return reduce_max(in.at(0), static_cast<int>(node.attrs.get_int("axis")));
+    case OpType::kArgMax:
+      return argmax_lastdim(in.at(0));
+    case OpType::kConcat:
+      return concat(in, static_cast<int>(node.attrs.get_int("axis")));
+    case OpType::kReshape:
+      return in.at(0).reshaped(Shape(node.attrs.get_ints("dims")));
+    case OpType::kFlatten:
+      return flatten(in.at(0));
+    case OpType::kTranspose2d:
+      return transpose2d(in.at(0));
+    case OpType::kSliceRows:
+      return slice_rows(in.at(0), node.attrs.get_int("begin"),
+                        node.attrs.get_int("end"));
+    case OpType::kSeqLast: {
+      const Tensor& x = in.at(0);
+      const int64_t batch = x.shape().dim(0);
+      const int64_t seq = x.shape().dim(1);
+      const int64_t f = x.shape().dim(2);
+      Tensor out(Shape{batch, f});
+      const float* px = x.data<float>();
+      float* po = out.data<float>();
+      for (int64_t b = 0; b < batch; ++b) {
+        std::copy(px + (b * seq + seq - 1) * f, px + (b * seq + seq) * f, po + b * f);
+      }
+      return out;
+    }
+    case OpType::kMultiHeadAttention:
+      return multi_head_attention(in.at(0), in.at(1), in.at(2),
+                                  static_cast<int>(node.attrs.get_int("heads")));
+    case OpType::kElementwiseChain: {
+      Tensor v = in.at(0);
+      for (const std::string& stage : split(node.attrs.get_string("chain"), ',')) {
+        if (!stage.empty()) v = apply_unary(stage, v);
+      }
+      return v;
+    }
+  }
+  DUET_THROW("evaluate_node: unhandled op " << op_name(node.op));
+}
+
+std::vector<Tensor> evaluate_graph(const Graph& graph,
+                                   const std::map<NodeId, Tensor>& feeds) {
+  std::vector<Tensor> values(graph.num_nodes());
+  for (const Node& n : graph.nodes()) {
+    if (n.is_input()) {
+      auto it = feeds.find(n.id);
+      if (it != feeds.end()) {
+        DUET_CHECK(it->second.shape() == n.out_shape)
+            << "feed shape mismatch for " << n.name << ": got "
+            << it->second.shape().to_string() << ", want " << n.out_shape.to_string();
+        values[static_cast<size_t>(n.id)] = it->second;
+      } else {
+        DUET_CHECK(n.value.defined()) << "missing feed for input " << n.name;
+        values[static_cast<size_t>(n.id)] = n.value;
+      }
+      continue;
+    }
+    if (n.is_constant()) {
+      values[static_cast<size_t>(n.id)] = n.value;
+      continue;
+    }
+    std::vector<Tensor> inputs;
+    inputs.reserve(n.inputs.size());
+    for (NodeId in : n.inputs) inputs.push_back(values[static_cast<size_t>(in)]);
+    values[static_cast<size_t>(n.id)] = evaluate_node(n, inputs);
+  }
+  std::vector<Tensor> outputs;
+  outputs.reserve(graph.outputs().size());
+  for (NodeId out : graph.outputs()) {
+    outputs.push_back(values[static_cast<size_t>(out)]);
+  }
+  return outputs;
+}
+
+}  // namespace duet

@@ -1,0 +1,97 @@
+#pragma once
+
+// Adjacency-list dataflow graph IR (paper §V): each node is a tensor
+// operator, each edge a producer→consumer dependency. Node ids are dense
+// indices into the node table; the consumer adjacency lists are maintained
+// incrementally as nodes are added.
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "graph/op.hpp"
+#include "tensor/tensor.hpp"
+
+namespace duet {
+
+using NodeId = int32_t;
+inline constexpr NodeId kInvalidNode = -1;
+
+struct Node {
+  NodeId id = kInvalidNode;
+  OpType op = OpType::kInput;
+  std::string name;               // unique human-readable label
+  std::vector<NodeId> inputs;     // producer node ids, positional
+  AttrMap attrs;
+  Shape out_shape;
+  DType out_dtype = DType::kFloat32;
+  Tensor value;  // defined only for kConstant / pre-bound kInput
+
+  bool is_constant() const { return op == OpType::kConstant; }
+  bool is_input() const { return op == OpType::kInput; }
+  std::string to_string() const;
+};
+
+class Graph {
+ public:
+  Graph() = default;
+  explicit Graph(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+
+  // Adds a node; fills in id, out_shape, out_dtype (via shape inference) and
+  // a generated name if empty. Input ids must already exist.
+  NodeId add_node(OpType op, std::vector<NodeId> inputs, AttrMap attrs = {},
+                  std::string name = {});
+  // Terminals.
+  NodeId add_input(Shape shape, std::string name = {}, DType dtype = DType::kFloat32);
+  NodeId add_constant(Tensor value, std::string name = {});
+
+  size_t num_nodes() const { return nodes_.size(); }
+  const Node& node(NodeId id) const;
+  Node& mutable_node(NodeId id);
+  const std::vector<Node>& nodes() const { return nodes_; }
+
+  // Consumers of node `id` (adjacency list).
+  const std::vector<NodeId>& consumers(NodeId id) const;
+
+  // Graph outputs; order defines the output tuple.
+  void mark_output(NodeId id);
+  const std::vector<NodeId>& outputs() const { return outputs_; }
+
+  // All kInput nodes, in insertion order.
+  std::vector<NodeId> input_ids() const;
+  // All kConstant nodes.
+  std::vector<NodeId> constant_ids() const;
+
+  // Sum of constant (weight) bytes.
+  uint64_t param_bytes() const;
+
+  // Throws if any edge is dangling, any id is inconsistent, or any output is
+  // unknown. Acyclicity holds by construction (inputs must pre-exist) and is
+  // re-checked here.
+  void validate() const;
+
+  std::string to_string() const;
+
+ private:
+  std::string name_;
+  std::vector<Node> nodes_;
+  std::vector<std::vector<NodeId>> consumers_;
+  std::vector<NodeId> outputs_;
+};
+
+// Executes one node on already-computed input tensors using the reference
+// CPU kernels. This is the single source of operator semantics, shared by
+// the interpreter, both devices, and the constant-folding pass.
+Tensor evaluate_node(const Node& node, const std::vector<Tensor>& inputs);
+
+// Reference interpreter: evaluates the whole graph in topological order.
+// `feeds` maps kInput node ids to tensors; constants evaluate to their bound
+// value. Returns the output tuple in graph output order.
+std::vector<Tensor> evaluate_graph(const Graph& graph,
+                                   const std::map<NodeId, Tensor>& feeds);
+
+}  // namespace duet

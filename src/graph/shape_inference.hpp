@@ -1,0 +1,39 @@
+#pragma once
+
+// Static analysis over single nodes: output shape/dtype inference, FLOP
+// estimation, kernel-launch counting, and I/O byte sizes. These feed the
+// compiler cost model and the device performance models.
+
+#include "graph/graph.hpp"
+
+namespace duet {
+
+struct InferredType {
+  Shape shape;
+  DType dtype = DType::kFloat32;
+};
+
+// Infers the output type of `node`, whose inputs' types are read from
+// `graph` (inputs must already be added). Throws on rank/shape errors, which
+// is how graph construction bugs surface early.
+InferredType infer_node_type(const Graph& graph, const Node& node);
+
+// Floating-point operations executed by the node (multiply-add counted as 2).
+double node_flops(const Graph& graph, const Node& node);
+
+// Number of device kernel launches the node costs on a GPU-style device.
+// Sequential ops (LSTM/GRU) launch per-timestep kernels, which is exactly why
+// the paper finds RNNs slow on GPU at batch 1.
+int64_t node_kernel_launches(const Graph& graph, const Node& node);
+
+// Bytes read from / written to memory by the node (tensor traffic only).
+struct NodeBytes {
+  uint64_t read = 0;
+  uint64_t written = 0;
+};
+NodeBytes node_bytes(const Graph& graph, const Node& node);
+
+// Output tensor payload in bytes.
+uint64_t node_output_bytes(const Node& node);
+
+}  // namespace duet

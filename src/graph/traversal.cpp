@@ -1,0 +1,109 @@
+#include "graph/traversal.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace duet {
+
+std::vector<NodeId> topo_order(const Graph& graph) {
+  std::vector<NodeId> order;
+  order.reserve(graph.num_nodes());
+  for (const Node& n : graph.nodes()) {
+    for (NodeId in : n.inputs) {
+      DUET_CHECK_LT(in, n.id) << "topological invariant broken at node " << n.id;
+    }
+    order.push_back(n.id);
+  }
+  return order;
+}
+
+std::vector<int> node_levels(const Graph& graph) {
+  std::vector<int> level(graph.num_nodes(), 0);
+  for (const Node& n : graph.nodes()) {
+    if (n.is_input() || n.is_constant()) continue;
+    int best = 0;
+    for (NodeId in : n.inputs) {
+      const Node& p = graph.node(in);
+      const int contribution =
+          (p.is_input() || p.is_constant()) ? 0 : level[static_cast<size_t>(in)] + 1;
+      best = std::max(best, contribution);
+    }
+    level[static_cast<size_t>(n.id)] = best;
+  }
+  return level;
+}
+
+bool reaches(const Graph& graph, NodeId from, NodeId to) {
+  if (from == to) return true;
+  if (from > to) return false;  // edges only point id-forward
+  std::vector<bool> seen(graph.num_nodes(), false);
+  std::vector<NodeId> stack{from};
+  seen[static_cast<size_t>(from)] = true;
+  while (!stack.empty()) {
+    const NodeId cur = stack.back();
+    stack.pop_back();
+    for (NodeId next : graph.consumers(cur)) {
+      if (next == to) return true;
+      if (!seen[static_cast<size_t>(next)]) {
+        seen[static_cast<size_t>(next)] = true;
+        if (next < to) stack.push_back(next);
+      }
+    }
+  }
+  return false;
+}
+
+std::vector<bool> live_nodes(const Graph& graph) {
+  std::vector<bool> live(graph.num_nodes(), false);
+  std::vector<NodeId> stack(graph.outputs().begin(), graph.outputs().end());
+  for (NodeId out : stack) live[static_cast<size_t>(out)] = true;
+  while (!stack.empty()) {
+    const NodeId cur = stack.back();
+    stack.pop_back();
+    for (NodeId in : graph.node(cur).inputs) {
+      if (!live[static_cast<size_t>(in)]) {
+        live[static_cast<size_t>(in)] = true;
+        stack.push_back(in);
+      }
+    }
+  }
+  return live;
+}
+
+CriticalPath critical_path(const Graph& graph,
+                           const std::function<double(NodeId)>& cost) {
+  const size_t n = graph.num_nodes();
+  std::vector<double> best(n, 0.0);
+  std::vector<NodeId> prev(n, kInvalidNode);
+  for (const Node& node : graph.nodes()) {
+    double incoming = 0.0;
+    NodeId argmax = kInvalidNode;
+    for (NodeId in : node.inputs) {
+      if (best[static_cast<size_t>(in)] > incoming) {
+        incoming = best[static_cast<size_t>(in)];
+        argmax = in;
+      } else if (argmax == kInvalidNode) {
+        argmax = in;
+      }
+    }
+    best[static_cast<size_t>(node.id)] = incoming + cost(node.id);
+    prev[static_cast<size_t>(node.id)] = argmax;
+  }
+
+  CriticalPath cp;
+  NodeId sink = kInvalidNode;
+  for (const Node& node : graph.nodes()) {
+    if (best[static_cast<size_t>(node.id)] > cp.total_cost || sink == kInvalidNode) {
+      cp.total_cost = best[static_cast<size_t>(node.id)];
+      sink = node.id;
+    }
+  }
+  for (NodeId cur = sink; cur != kInvalidNode; cur = prev[static_cast<size_t>(cur)]) {
+    cp.nodes.push_back(cur);
+  }
+  std::reverse(cp.nodes.begin(), cp.nodes.end());
+  return cp;
+}
+
+}  // namespace duet

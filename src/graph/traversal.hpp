@@ -1,0 +1,39 @@
+#pragma once
+
+// Graph traversals and structural analyses used by the partitioner and the
+// schedulers: topological order, ALAP/ASAP levels, reachability, and
+// cost-weighted critical path.
+
+#include <functional>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace duet {
+
+// Topological order of all nodes (node ids are already topological by
+// construction; this returns them filtered/ordered explicitly and validates
+// the invariant as a defense against graph surgery bugs).
+std::vector<NodeId> topo_order(const Graph& graph);
+
+// Longest-path depth of each node counting only non-trivial compute nodes
+// (inputs/constants are level 0 and do not advance depth).
+std::vector<int> node_levels(const Graph& graph);
+
+// True iff `from` can reach `to` along dataflow edges.
+bool reaches(const Graph& graph, NodeId from, NodeId to);
+
+// Set of nodes reachable from any graph output walking backwards (the live
+// set; DCE removes the rest).
+std::vector<bool> live_nodes(const Graph& graph);
+
+// Critical path under a per-node cost function: returns the path (node ids,
+// source to sink) maximizing total cost, and the total.
+struct CriticalPath {
+  std::vector<NodeId> nodes;
+  double total_cost = 0.0;
+};
+CriticalPath critical_path(const Graph& graph,
+                           const std::function<double(NodeId)>& cost);
+
+}  // namespace duet

@@ -1,0 +1,64 @@
+// DLRM-style deep recommendation model (Naumov et al.): a dense-feature
+// bottom MLP runs in parallel with many sparse-feature embedding lookups;
+// their outputs meet in a pairwise feature-interaction layer feeding a top
+// MLP. Like Wide-and-Deep this is a production recommender architecture
+// (the paper's §I cites recommender systems as a DUET target): the embedding
+// gathers are memory-bound and CPU-friendly while the MLPs vectorize well,
+// and the bottom branches are mutually independent.
+
+#include "common/string_util.hpp"
+#include "models/model_zoo.hpp"
+
+namespace duet::models {
+
+DlrmConfig DlrmConfig::tiny() {
+  DlrmConfig c;
+  c.dense_features = 8;
+  c.num_sparse = 3;
+  c.vocab = 50;
+  c.embed_dim = 8;
+  c.bottom_hidden = 16;
+  c.bottom_layers = 2;
+  c.top_hidden = 16;
+  c.top_layers = 2;
+  return c;
+}
+
+Graph build_dlrm(const DlrmConfig& c, uint64_t seed) {
+  GraphBuilder b("dlrm", seed);
+
+  // Bottom MLP over the dense features.
+  const NodeId dense_in = b.input(Shape{c.batch, c.dense_features}, "dense_features");
+  NodeId bottom = dense_in;
+  for (int l = 0; l < c.bottom_layers; ++l) {
+    bottom = b.dense(bottom, c.bottom_hidden, "relu", strprintf("bottom.fc%d", l));
+  }
+  bottom = b.dense(bottom, c.embed_dim, "relu", "bottom.out");
+
+  // One embedding table per sparse feature; indices arrive as int32.
+  std::vector<NodeId> features{bottom};
+  for (int s = 0; s < c.num_sparse; ++s) {
+    const NodeId idx = b.input(Shape{c.batch, 1}, strprintf("sparse%d", s),
+                               DType::kInt32);
+    NodeId e = b.embedding(idx, c.vocab, c.embed_dim, strprintf("emb%d", s));
+    // [batch, 1, dim] -> [batch, dim]
+    e = b.reshape(e, Shape{c.batch, c.embed_dim});
+    features.push_back(e);
+  }
+
+  // Feature interaction: concat all feature vectors, then the dot-product
+  // interaction approximated by a dense mixing layer over the concatenation
+  // (batch-size-agnostic, unlike an explicit pairwise matmul at batch 1).
+  NodeId interact = b.concat(features, 1);
+  interact = b.dense(interact, c.top_hidden, "relu", "interact.mix");
+
+  // Top MLP to the CTR logit.
+  NodeId top = interact;
+  for (int l = 0; l < c.top_layers; ++l) {
+    top = b.dense(top, c.top_hidden, "relu", strprintf("top.fc%d", l));
+  }
+  top = b.dense(top, 1, "", "top.logit");
+  return b.finish({b.sigmoid(top)});
+}
+
+}  // namespace duet::models

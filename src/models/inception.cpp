@@ -1,0 +1,77 @@
+// GoogLeNet-style Inception v1: every inception module runs four parallel
+// branches (1x1 / 3x3 / 5x5 / pool-proj) that concat along channels. The
+// paper's §I cites exactly this kind of high-fan-out CNN as having "more
+// potential for parallel execution" — but the branches are all convolutions
+// (GPU-friendly) and tiny relative to PCIe cost, so DUET's scheduler should
+// still decline to split them: a sharper fallback test than plain ResNet.
+
+#include "common/string_util.hpp"
+#include "models/model_zoo.hpp"
+
+namespace duet::models {
+namespace {
+
+NodeId conv_relu(GraphBuilder& b, NodeId x, int64_t ch, int k, int stride,
+                 int pad, const std::string& name) {
+  NodeId y = b.conv2d(x, ch, k, stride, pad, name);
+  return b.relu(y);
+}
+
+struct InceptionSpec {
+  int64_t c1x1, c3x3r, c3x3, c5x5r, c5x5, pool_proj;
+};
+
+NodeId inception_module(GraphBuilder& b, NodeId x, const InceptionSpec& s,
+                        const std::string& name) {
+  const NodeId b1 = conv_relu(b, x, s.c1x1, 1, 1, 0, name + ".b1.conv");
+  NodeId b2 = conv_relu(b, x, s.c3x3r, 1, 1, 0, name + ".b2.reduce");
+  b2 = conv_relu(b, b2, s.c3x3, 3, 1, 1, name + ".b2.conv");
+  NodeId b3 = conv_relu(b, x, s.c5x5r, 1, 1, 0, name + ".b3.reduce");
+  b3 = conv_relu(b, b3, s.c5x5, 5, 1, 2, name + ".b3.conv");
+  NodeId b4 = b.max_pool2d(x, 3, 1, 1);
+  b4 = conv_relu(b, b4, s.pool_proj, 1, 1, 0, name + ".b4.proj");
+  return b.concat({b1, b2, b3, b4}, 1);
+}
+
+}  // namespace
+
+InceptionConfig InceptionConfig::tiny() {
+  InceptionConfig c;
+  c.image_size = 32;
+  c.num_classes = 10;
+  return c;
+}
+
+Graph build_inception(const InceptionConfig& c, uint64_t seed) {
+  GraphBuilder b("inception-v1", seed);
+  const NodeId image = b.input(Shape{c.batch, 3, c.image_size, c.image_size}, "image");
+
+  NodeId x = conv_relu(b, image, 64, 7, 2, 3, "stem.conv1");
+  x = b.max_pool2d(x, 3, 2, 1);
+  x = conv_relu(b, x, 64, 1, 1, 0, "stem.conv2");
+  x = conv_relu(b, x, 192, 3, 1, 1, "stem.conv3");
+  x = b.max_pool2d(x, 3, 2, 1);
+
+  // GoogLeNet's nine inception modules with the published channel plans.
+  const InceptionSpec specs[9] = {
+      {64, 96, 128, 16, 32, 32},     // 3a
+      {128, 128, 192, 32, 96, 64},   // 3b
+      {192, 96, 208, 16, 48, 64},    // 4a
+      {160, 112, 224, 24, 64, 64},   // 4b
+      {128, 128, 256, 24, 64, 64},   // 4c
+      {112, 144, 288, 32, 64, 64},   // 4d
+      {256, 160, 320, 32, 128, 128}, // 4e
+      {256, 160, 320, 32, 128, 128}, // 5a
+      {384, 192, 384, 48, 128, 128}, // 5b
+  };
+  for (int i = 0; i < 9; ++i) {
+    x = inception_module(b, x, specs[i], strprintf("inc%d", i));
+    if (i == 1 || i == 6) x = b.max_pool2d(x, 3, 2, 1);
+  }
+
+  x = b.global_avg_pool(x);
+  x = b.dense(x, c.num_classes, "", "fc");
+  return b.finish({b.softmax(x)});
+}
+
+}  // namespace duet::models

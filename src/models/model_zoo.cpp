@@ -1,0 +1,50 @@
+#include "models/model_zoo.hpp"
+
+#include "common/error.hpp"
+
+namespace duet::models {
+
+Graph build_by_name(const std::string& name, uint64_t seed) {
+  if (name == "wide-deep") return build_wide_deep(WideDeepConfig{}, seed);
+  if (name == "siamese") return build_siamese(SiameseConfig{}, seed);
+  if (name == "mtdnn") return build_mtdnn(MtDnnConfig{}, seed);
+  if (name == "vgg16") return build_vgg16(VggConfig{}, seed);
+  if (name == "squeezenet") return build_squeezenet(SqueezeNetConfig{}, seed);
+  if (name == "inception") return build_inception(InceptionConfig{}, seed);
+  if (name == "dlrm") return build_dlrm(DlrmConfig{}, seed);
+  if (name.rfind("resnet", 0) == 0) {
+    ResNetConfig c;
+    c.depth = std::stoi(name.substr(6));
+    return build_resnet(c, seed);
+  }
+  DUET_THROW("unknown model: " << name);
+}
+
+std::map<NodeId, Tensor> make_random_feeds(const Graph& graph, Rng& rng) {
+  std::map<NodeId, Tensor> feeds;
+  for (NodeId id : graph.input_ids()) {
+    const Node& n = graph.node(id);
+    if (n.out_dtype == DType::kInt32) {
+      // Index input: bound draws by the smallest table any consuming
+      // embedding gathers from.
+      int64_t limit = 100;
+      for (NodeId c : graph.consumers(id)) {
+        const Node& consumer = graph.node(c);
+        if (consumer.op == OpType::kEmbedding && consumer.inputs[0] == id) {
+          limit = std::min(limit, graph.node(consumer.inputs[1]).out_shape.dim(0));
+        }
+      }
+      Tensor t(n.out_shape, DType::kInt32);
+      int32_t* p = t.data<int32_t>();
+      for (int64_t i = 0; i < t.numel(); ++i) {
+        p[i] = static_cast<int32_t>(rng.uniform_int(0, limit - 1));
+      }
+      feeds[id] = std::move(t);
+    } else {
+      feeds[id] = Tensor::randn(n.out_shape, rng, 1.0f);
+    }
+  }
+  return feeds;
+}
+
+}  // namespace duet::models

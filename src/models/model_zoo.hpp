@@ -1,0 +1,138 @@
+#pragma once
+
+// The evaluation workloads (paper §VI-A, Table I): Wide-and-Deep, Siamese,
+// MT-DNN — the heterogeneous-structure models DUET targets — plus the
+// "traditional" sequential models (ResNet family, VGG, SqueezeNet) used for
+// the fallback study (Table III). All builders take a config struct whose
+// defaults reproduce the paper's setting; the sweep benchmarks (Figs. 14-17)
+// vary single fields.
+
+#include <string>
+
+#include "common/rng.hpp"
+#include "graph/builder.hpp"
+
+namespace duet::models {
+
+// --- Wide-and-Deep (Fig. 2): wide linear + FFN + stacked LSTM + CNN encoder
+// feeding a joint head. -------------------------------------------------------
+struct WideDeepConfig {
+  int64_t batch = 1;
+  int64_t wide_features = 1000;  // sparse-ish wide features (dense encoded)
+  int64_t deep_features = 256;   // FFN input
+  int64_t ffn_hidden = 1024;
+  int ffn_layers = 3;
+  int64_t rnn_input = 256;  // pre-embedded text features
+  int64_t rnn_hidden = 256;
+  int rnn_layers = 1;  // Fig. 14 sweeps 1/2/4/8
+  int64_t seq_len = 100;
+  int cnn_depth = 18;  // ResNet encoder depth; Fig. 15 sweeps 18/34/50/101
+  int64_t image_size = 224;
+  int64_t branch_dim = 256;  // per-branch encoding width
+
+  // Small variant whose kernels run in milliseconds on the host — used by
+  // numeric correctness tests and examples.
+  static WideDeepConfig tiny();
+};
+Graph build_wide_deep(const WideDeepConfig& config = {}, uint64_t seed = 42);
+
+// --- Siamese network (two independent LSTM branches + similarity head). -----
+struct SiameseConfig {
+  int64_t batch = 1;
+  int64_t seq_len = 128;
+  int64_t embed_dim = 128;
+  int64_t rnn_hidden = 768;
+  int64_t proj_dim = 128;
+
+  static SiameseConfig tiny();
+};
+Graph build_siamese(const SiameseConfig& config = {}, uint64_t seed = 43);
+
+// --- MT-DNN (Fig. 3): shared transformer encoder + independent task heads
+// with SAN-style recurrent answer modules. ------------------------------------
+struct MtDnnConfig {
+  int64_t batch = 1;
+  int64_t seq_len = 64;
+  int64_t model_dim = 768;
+  int encoder_layers = 3;
+  int num_heads_attn = 12;
+  int num_tasks = 6;
+  int64_t task_hidden = 512;  // SAN GRU width per task head
+
+  static MtDnnConfig tiny();
+};
+Graph build_mtdnn(const MtDnnConfig& config = {}, uint64_t seed = 44);
+
+// --- Traditional models (Table III fallback study). --------------------------
+struct ResNetConfig {
+  int64_t batch = 1;
+  int depth = 50;  // 18 / 34 / 50 / 101
+  int64_t image_size = 224;
+  int64_t num_classes = 1000;
+
+  static ResNetConfig tiny();
+};
+Graph build_resnet(const ResNetConfig& config = {}, uint64_t seed = 45);
+
+struct VggConfig {
+  int64_t batch = 1;
+  int64_t image_size = 224;
+  int64_t num_classes = 1000;
+
+  static VggConfig tiny();
+};
+Graph build_vgg16(const VggConfig& config = {}, uint64_t seed = 46);
+
+struct SqueezeNetConfig {
+  int64_t batch = 1;
+  int64_t image_size = 224;
+  int64_t num_classes = 1000;
+
+  static SqueezeNetConfig tiny();
+};
+Graph build_squeezenet(const SqueezeNetConfig& config = {}, uint64_t seed = 47);
+
+// DLRM-style recommender: bottom MLP || sparse embedding lookups -> feature
+// interaction -> top MLP.
+struct DlrmConfig {
+  int64_t batch = 1;
+  int64_t dense_features = 256;
+  int num_sparse = 26;       // Criteo-like sparse feature count
+  int64_t vocab = 100000;
+  int64_t embed_dim = 64;
+  int64_t bottom_hidden = 512;
+  int bottom_layers = 3;
+  int64_t top_hidden = 512;
+  int top_layers = 3;
+
+  static DlrmConfig tiny();
+};
+Graph build_dlrm(const DlrmConfig& config = {}, uint64_t seed = 49);
+
+// GoogLeNet-style Inception v1: nine four-branch inception modules — the
+// high-fan-out CNN case the paper's introduction cites.
+struct InceptionConfig {
+  int64_t batch = 1;
+  int64_t image_size = 224;
+  int64_t num_classes = 1000;
+
+  static InceptionConfig tiny();
+};
+Graph build_inception(const InceptionConfig& config = {}, uint64_t seed = 48);
+
+// Internal building block shared by Wide-and-Deep and the ResNet models:
+// appends a ResNet trunk (stem + residual stages + global pool) to `x`
+// (NCHW) and returns the pooled [batch, channels] feature node.
+NodeId resnet_trunk(GraphBuilder& b, NodeId x, int depth,
+                    const std::string& prefix);
+
+// --- common helpers ------------------------------------------------------------
+// Builds by name: "wide-deep", "siamese", "mtdnn", "resnet18/34/50/101",
+// "vgg16", "squeezenet". Uses each model's default config.
+Graph build_by_name(const std::string& name, uint64_t seed = 42);
+
+// Random feed tensors for every kInput of `graph` (normal floats; uniform
+// indices for int32 inputs).
+std::map<NodeId, Tensor> make_random_feeds(const Graph& graph, Rng& rng);
+
+}  // namespace duet::models

@@ -1,0 +1,57 @@
+// MT-DNN (paper Fig. 3): a shared lexicon encoder + multi-layer transformer
+// encoder, followed by independent task-specific output layers. Following
+// the MT-DNN paper, each answer module is a SAN-style multi-step reasoner —
+// recurrent, hence sequential and GPU-unfriendly at batch 1 — which is what
+// gives DUET room to co-execute the heads on the CPU.
+
+#include "common/string_util.hpp"
+#include "models/model_zoo.hpp"
+
+namespace duet::models {
+
+MtDnnConfig MtDnnConfig::tiny() {
+  MtDnnConfig c;
+  c.seq_len = 6;
+  c.model_dim = 48;
+  c.encoder_layers = 1;
+  c.num_heads_attn = 4;
+  c.num_tasks = 3;
+  c.task_hidden = 16;
+  return c;
+}
+
+Graph build_mtdnn(const MtDnnConfig& c, uint64_t seed) {
+  GraphBuilder b("mt-dnn", seed);
+
+  // Lexicon encoder: pre-embedded tokens projected into model space.
+  const NodeId tokens =
+      b.input(Shape{c.batch, c.seq_len, c.model_dim}, "token_embeddings");
+  NodeId x = tokens;
+
+  // Transformer encoder stack (post-norm residual blocks).
+  for (int l = 0; l < c.encoder_layers; ++l) {
+    const std::string name = strprintf("enc%d", l);
+    NodeId attn = b.attention(x, c.num_heads_attn, name + ".attn");
+    x = b.layer_norm(b.add(x, attn), name + ".ln1");
+    // FFN sublayer operates on the flattened token matrix.
+    NodeId flat = b.reshape(x, Shape{c.batch * c.seq_len, c.model_dim});
+    NodeId ff = b.dense(flat, 4 * c.model_dim, "gelu", name + ".ff1");
+    ff = b.dense(ff, c.model_dim, "", name + ".ff2");
+    ff = b.reshape(ff, Shape{c.batch, c.seq_len, c.model_dim});
+    x = b.layer_norm(b.add(x, ff), name + ".ln2");
+  }
+
+  // Task-specific output layers: SAN answer module (GRU over the encoded
+  // sequence) + classifier per task. Independent of each other.
+  std::vector<NodeId> outputs;
+  for (int t = 0; t < c.num_tasks; ++t) {
+    const std::string name = strprintf("task%d", t);
+    NodeId san = b.gru(x, c.task_hidden, name + ".san");
+    NodeId pooled = b.last_timestep(san);
+    NodeId logits = b.dense(pooled, 3, "", name + ".cls");
+    outputs.push_back(b.softmax(logits));
+  }
+  return b.finish(outputs);
+}
+
+}  // namespace duet::models

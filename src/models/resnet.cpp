@@ -1,0 +1,106 @@
+// ResNet-18/34/50/101 (He et al.): the "traditional model" of the paper's
+// Table III fallback study, and the CNN encoder inside Wide-and-Deep.
+// Standard stem (7x7/2 conv + 3x3/2 maxpool), four residual stages with
+// BasicBlock (18/34) or Bottleneck (50/101), global average pool.
+
+#include "common/error.hpp"
+#include "common/string_util.hpp"
+#include "models/model_zoo.hpp"
+
+namespace duet::models {
+namespace {
+
+struct StagePlan {
+  int blocks[4];
+  bool bottleneck;
+};
+
+StagePlan stage_plan(int depth) {
+  switch (depth) {
+    case 18:
+      return {{2, 2, 2, 2}, false};
+    case 34:
+      return {{3, 4, 6, 3}, false};
+    case 50:
+      return {{3, 4, 6, 3}, true};
+    case 101:
+      return {{3, 4, 23, 3}, true};
+    default:
+      DUET_THROW("unsupported ResNet depth " << depth << " (want 18/34/50/101)");
+  }
+}
+
+NodeId conv_bn_relu(GraphBuilder& b, NodeId x, int64_t out_ch, int kernel,
+                    int stride, int padding, bool relu, const std::string& name) {
+  NodeId y = b.conv2d(x, out_ch, kernel, stride, padding, name + ".conv");
+  y = b.batch_norm(y, name + ".bn");
+  if (relu) y = b.relu(y);
+  return y;
+}
+
+NodeId basic_block(GraphBuilder& b, NodeId x, int64_t channels, int stride,
+                   const std::string& name) {
+  NodeId main = conv_bn_relu(b, x, channels, 3, stride, 1, true, name + ".c1");
+  main = conv_bn_relu(b, main, channels, 3, 1, 1, false, name + ".c2");
+  NodeId skip = x;
+  const int64_t in_ch = b.graph().node(x).out_shape.dim(1);
+  if (stride != 1 || in_ch != channels) {
+    skip = conv_bn_relu(b, x, channels, 1, stride, 0, false, name + ".down");
+  }
+  return b.relu(b.add(main, skip));
+}
+
+NodeId bottleneck_block(GraphBuilder& b, NodeId x, int64_t channels, int stride,
+                        const std::string& name) {
+  const int64_t expanded = channels * 4;
+  NodeId main = conv_bn_relu(b, x, channels, 1, 1, 0, true, name + ".c1");
+  main = conv_bn_relu(b, main, channels, 3, stride, 1, true, name + ".c2");
+  main = conv_bn_relu(b, main, expanded, 1, 1, 0, false, name + ".c3");
+  NodeId skip = x;
+  const int64_t in_ch = b.graph().node(x).out_shape.dim(1);
+  if (stride != 1 || in_ch != expanded) {
+    skip = conv_bn_relu(b, x, expanded, 1, stride, 0, false, name + ".down");
+  }
+  return b.relu(b.add(main, skip));
+}
+
+}  // namespace
+
+NodeId resnet_trunk(GraphBuilder& b, NodeId x, int depth,
+                    const std::string& prefix) {
+  const StagePlan plan = stage_plan(depth);
+  NodeId y = conv_bn_relu(b, x, 64, 7, 2, 3, true, prefix + ".stem");
+  y = b.max_pool2d(y, 3, 2, 1);
+  int64_t channels = 64;
+  for (int stage = 0; stage < 4; ++stage) {
+    const int stride = stage == 0 ? 1 : 2;
+    for (int block = 0; block < plan.blocks[stage]; ++block) {
+      const std::string name = strprintf("%s.s%d.b%d", prefix.c_str(), stage, block);
+      if (plan.bottleneck) {
+        y = bottleneck_block(b, y, channels, block == 0 ? stride : 1, name);
+      } else {
+        y = basic_block(b, y, channels, block == 0 ? stride : 1, name);
+      }
+    }
+    channels *= 2;
+  }
+  return b.global_avg_pool(y);
+}
+
+ResNetConfig ResNetConfig::tiny() {
+  ResNetConfig c;
+  c.depth = 18;
+  c.image_size = 32;
+  c.num_classes = 10;
+  return c;
+}
+
+Graph build_resnet(const ResNetConfig& c, uint64_t seed) {
+  GraphBuilder b(strprintf("resnet%d", c.depth), seed);
+  const NodeId image = b.input(Shape{c.batch, 3, c.image_size, c.image_size}, "image");
+  NodeId features = resnet_trunk(b, image, c.depth, "trunk");
+  NodeId logits = b.dense(features, c.num_classes, "", "fc");
+  return b.finish({b.softmax(logits)});
+}
+
+}  // namespace duet::models

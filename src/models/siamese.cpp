@@ -1,0 +1,40 @@
+// Siamese network (paper workload 2): two independent LSTM branches encode
+// a query and a passage; a small head scores their similarity. The two
+// branches are the multi-path phase DUET splits across CPU and GPU.
+
+#include "models/model_zoo.hpp"
+
+namespace duet::models {
+
+SiameseConfig SiameseConfig::tiny() {
+  SiameseConfig c;
+  c.seq_len = 6;
+  c.embed_dim = 16;
+  c.rnn_hidden = 32;
+  c.proj_dim = 16;
+  return c;
+}
+
+Graph build_siamese(const SiameseConfig& c, uint64_t seed) {
+  GraphBuilder b("siamese", seed);
+
+  const auto branch = [&](const std::string& name) {
+    const NodeId in =
+        b.input(Shape{c.batch, c.seq_len, c.embed_dim}, name + "_embeddings");
+    NodeId h = b.lstm(in, c.rnn_hidden, name + ".lstm");
+    h = b.seq_mean(h);
+    return b.dense(h, c.proj_dim, "tanh", name + ".proj");
+  };
+
+  const NodeId left = branch("query");
+  const NodeId right = branch("passage");
+
+  // Similarity head: the branch encodings join here (the first node every
+  // path passes through, so the partitioner's phase boundary lands on it).
+  NodeId joint = b.concat({left, right}, 1);
+  joint = b.dense(joint, 64, "relu", "head.fc");
+  joint = b.dense(joint, 1, "", "head.logit");
+  return b.finish({b.sigmoid(joint)});
+}
+
+}  // namespace duet::models

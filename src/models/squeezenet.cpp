@@ -1,0 +1,53 @@
+// SqueezeNet 1.0 (Iandola et al.): fire modules whose expand stage has two
+// parallel convolutions (1x1 and 3x3). The tiny two-branch regions give the
+// partitioner multi-path phases whose branches are far too small to be worth
+// moving across PCIe — a good stress test of the fallback logic.
+
+#include "common/string_util.hpp"
+#include "models/model_zoo.hpp"
+
+namespace duet::models {
+namespace {
+
+NodeId fire_module(GraphBuilder& b, NodeId x, int64_t squeeze, int64_t expand,
+                   const std::string& name) {
+  NodeId s = b.conv2d(x, squeeze, 1, 1, 0, name + ".squeeze");
+  s = b.relu(s);
+  NodeId e1 = b.conv2d(s, expand, 1, 1, 0, name + ".expand1x1");
+  e1 = b.relu(e1);
+  NodeId e3 = b.conv2d(s, expand, 3, 1, 1, name + ".expand3x3");
+  e3 = b.relu(e3);
+  return b.concat({e1, e3}, 1);
+}
+
+}  // namespace
+
+SqueezeNetConfig SqueezeNetConfig::tiny() {
+  SqueezeNetConfig c;
+  c.image_size = 32;
+  c.num_classes = 10;
+  return c;
+}
+
+Graph build_squeezenet(const SqueezeNetConfig& c, uint64_t seed) {
+  GraphBuilder b("squeezenet", seed);
+  const NodeId image = b.input(Shape{c.batch, 3, c.image_size, c.image_size}, "image");
+
+  NodeId x = b.conv2d(image, 96, 7, 2, 3, "stem.conv");
+  x = b.relu(x);
+  x = b.max_pool2d(x, 3, 2, 0);
+
+  const int64_t squeeze[8] = {16, 16, 32, 32, 48, 48, 64, 64};
+  const int64_t expand[8] = {64, 64, 128, 128, 192, 192, 256, 256};
+  for (int i = 0; i < 8; ++i) {
+    x = fire_module(b, x, squeeze[i], expand[i], strprintf("fire%d", i + 2));
+    if (i == 3 || i == 7) x = b.max_pool2d(x, 3, 2, 0);
+  }
+
+  x = b.conv2d(x, c.num_classes, 1, 1, 0, "classifier.conv");
+  x = b.relu(x);
+  x = b.global_avg_pool(x);
+  return b.finish({b.softmax(x)});
+}
+
+}  // namespace duet::models

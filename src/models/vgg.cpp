@@ -1,0 +1,39 @@
+// VGG-16 (Simonyan & Zisserman): a purely sequential conv stack — another
+// "traditional model" exercising DUET's single-device fallback.
+
+#include "common/string_util.hpp"
+#include "models/model_zoo.hpp"
+
+namespace duet::models {
+
+VggConfig VggConfig::tiny() {
+  VggConfig c;
+  c.image_size = 32;
+  c.num_classes = 10;
+  return c;
+}
+
+Graph build_vgg16(const VggConfig& c, uint64_t seed) {
+  GraphBuilder b("vgg16", seed);
+  const NodeId image = b.input(Shape{c.batch, 3, c.image_size, c.image_size}, "image");
+
+  // Channel plan per stage; each stage is `reps` 3x3 convs then 2x2 maxpool.
+  const int64_t channels[5] = {64, 128, 256, 512, 512};
+  const int reps[5] = {2, 2, 3, 3, 3};
+
+  NodeId x = image;
+  for (int stage = 0; stage < 5; ++stage) {
+    for (int r = 0; r < reps[stage]; ++r) {
+      x = b.conv2d(x, channels[stage], 3, 1, 1, strprintf("s%d.conv%d", stage, r));
+      x = b.relu(x);
+    }
+    x = b.max_pool2d(x, 2, 2, 0);
+  }
+  x = b.flatten(x);
+  x = b.dense(x, 4096, "relu", "fc1");
+  x = b.dense(x, 4096, "relu", "fc2");
+  x = b.dense(x, c.num_classes, "", "fc3");
+  return b.finish({b.softmax(x)});
+}
+
+}  // namespace duet::models

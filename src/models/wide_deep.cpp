@@ -1,0 +1,67 @@
+// Wide-and-Deep (paper Fig. 2): four heterogeneous branches — a wide linear
+// part, a deep FFN, a stacked-LSTM text encoder, and a ResNet image encoder
+// — concatenated into a joint head. This is the model whose execution
+// timeline (Fig. 4) motivates DUET: the LSTM runs much faster on CPU while
+// the CNN runs much faster on GPU.
+
+#include "common/string_util.hpp"
+#include "models/model_zoo.hpp"
+
+namespace duet::models {
+
+WideDeepConfig WideDeepConfig::tiny() {
+  WideDeepConfig c;
+  c.wide_features = 64;
+  c.deep_features = 32;
+  c.ffn_hidden = 64;
+  c.ffn_layers = 2;
+  c.rnn_input = 32;
+  c.rnn_hidden = 32;
+  c.seq_len = 6;
+  c.cnn_depth = 18;
+  c.image_size = 32;
+  c.branch_dim = 32;
+  return c;
+}
+
+Graph build_wide_deep(const WideDeepConfig& c, uint64_t seed) {
+  GraphBuilder b("wide-and-deep", seed);
+
+  // Wide part: a single linear layer over (dense-encoded) wide features.
+  const NodeId wide_in = b.input(Shape{c.batch, c.wide_features}, "wide_features");
+  const NodeId wide = b.dense(wide_in, c.branch_dim, "", "wide.linear");
+
+  // Deep part: FFN over dense features.
+  const NodeId deep_in = b.input(Shape{c.batch, c.deep_features}, "deep_features");
+  NodeId deep = deep_in;
+  for (int l = 0; l < c.ffn_layers; ++l) {
+    deep = b.dense(deep, c.ffn_hidden, "relu", strprintf("ffn.fc%d", l));
+  }
+  deep = b.dense(deep, c.branch_dim, "relu", "ffn.out");
+
+  // Text part: stacked LSTM over pre-embedded tokens, last hidden state.
+  const NodeId text_in =
+      b.input(Shape{c.batch, c.seq_len, c.rnn_input}, "text_embeddings");
+  NodeId rnn = text_in;
+  for (int l = 0; l < c.rnn_layers; ++l) {
+    rnn = b.lstm(rnn, c.rnn_hidden, strprintf("rnn.lstm%d", l));
+  }
+  NodeId text = b.last_timestep(rnn);
+  text = b.dense(text, c.branch_dim, "", "rnn.out");
+
+  // Image part: ResNet trunk + projection.
+  const NodeId image_in =
+      b.input(Shape{c.batch, 3, c.image_size, c.image_size}, "image");
+  NodeId cnn = resnet_trunk(b, image_in, c.cnn_depth, "cnn");
+  cnn = b.dense(cnn, c.branch_dim, "", "cnn.out");
+
+  // Joint head.
+  NodeId joint = b.concat({wide, deep, text, cnn}, 1);
+  joint = b.dense(joint, 128, "relu", "head.fc1");
+  joint = b.dense(joint, 1, "", "head.logit");
+  const NodeId prob = b.sigmoid(joint);
+
+  return b.finish({prob});
+}
+
+}  // namespace duet::models

@@ -1,0 +1,325 @@
+#include "partition/partitioner.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+#include <numeric>
+#include <set>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "common/string_util.hpp"
+#include "graph/traversal.hpp"
+
+namespace duet {
+namespace {
+
+bool is_compute(const Node& n) { return !n.is_input() && !n.is_constant(); }
+
+// Disjoint-set over arbitrary ids.
+class UnionFind {
+ public:
+  void add(NodeId x) { parent_.emplace(x, x); }
+  NodeId find(NodeId x) {
+    NodeId root = x;
+    while (parent_.at(root) != root) root = parent_.at(root);
+    while (parent_.at(x) != root) {
+      const NodeId next = parent_.at(x);
+      parent_[x] = root;
+      x = next;
+    }
+    return root;
+  }
+  void unite(NodeId a, NodeId b) { parent_[find(a)] = find(b); }
+
+ private:
+  std::map<NodeId, NodeId> parent_;
+};
+
+// A maximal run of consecutive topo-order compute nodes, classified as
+// junction-run (every node is a cut node) or region (none is).
+struct Run {
+  bool junction = false;
+  std::vector<NodeId> nodes;
+};
+
+std::vector<Run> classify_runs(const Graph& g, const std::vector<NodeId>& order,
+                               const std::vector<bool>& live) {
+  // Virtual source: stands for the parent graph inputs. It stays live until
+  // every node that reads a raw input has executed, which prevents a branch
+  // that has not started yet (fed directly by inputs) from letting an
+  // already-finished sibling branch masquerade as a sequential chain.
+  constexpr NodeId kSource = -2;
+
+  // remaining[p] = #compute consumers of p not yet processed. Graph outputs
+  // additionally count a virtual *sink* consumer that never retires: a node
+  // whose value escapes to the user keeps its producer branch "open", so a
+  // sibling branch that happens to come later in topological order is still
+  // recognized as parallel (multi-output models like MT-DNN need this).
+  std::vector<int> remaining(g.num_nodes(), 0);
+  int remaining_source = 0;
+  std::vector<bool> reads_input(g.num_nodes(), false);
+  const std::set<NodeId> output_set(g.outputs().begin(), g.outputs().end());
+  for (NodeId id : order) {
+    if (output_set.count(id)) remaining[static_cast<size_t>(id)] += 1;
+    for (NodeId c : g.consumers(id)) {
+      if (is_compute(g.node(c)) && live[static_cast<size_t>(c)]) {
+        remaining[static_cast<size_t>(id)] += 1;
+      }
+    }
+    for (NodeId in : g.node(id).inputs) {
+      if (g.node(in).is_input() && !reads_input[static_cast<size_t>(id)]) {
+        reads_input[static_cast<size_t>(id)] = true;
+        ++remaining_source;
+      }
+    }
+  }
+
+  std::set<NodeId> open;  // producers (incl. source) with pending consumers
+  if (remaining_source > 0) open.insert(kSource);
+  std::vector<bool> is_cut(g.num_nodes(), false);
+  for (NodeId id : order) {
+    for (NodeId in : g.node(id).inputs) {
+      if (!is_compute(g.node(in))) continue;
+      if (--remaining[static_cast<size_t>(in)] == 0) open.erase(in);
+    }
+    if (reads_input[static_cast<size_t>(id)]) {
+      if (--remaining_source == 0) open.erase(kSource);
+    }
+    if (remaining[static_cast<size_t>(id)] > 0) open.insert(id);
+    // Cut iff all open values funnel through this node alone.
+    is_cut[static_cast<size_t>(id)] =
+        open.empty() || (open.size() == 1 && *open.begin() == id);
+  }
+
+  std::vector<Run> runs;
+  for (NodeId id : order) {
+    const bool j = is_cut[static_cast<size_t>(id)];
+    if (runs.empty() || runs.back().junction != j) {
+      runs.push_back(Run{j, {}});
+    }
+    runs.back().nodes.push_back(id);
+  }
+  return runs;
+}
+
+// Splits a region into its independent branches (connected components over
+// intra-region edges).
+std::vector<std::vector<NodeId>> region_components(const Graph& g,
+                                                   const std::vector<NodeId>& region) {
+  std::set<NodeId> member(region.begin(), region.end());
+  UnionFind uf;
+  for (NodeId id : region) uf.add(id);
+  for (NodeId id : region) {
+    for (NodeId in : g.node(id).inputs) {
+      if (member.count(in)) uf.unite(id, in);
+    }
+  }
+  std::map<NodeId, std::vector<NodeId>> groups;
+  for (NodeId id : region) groups[uf.find(id)].push_back(id);
+  std::vector<std::vector<NodeId>> out;
+  out.reserve(groups.size());
+  for (auto& [root, nodes] : groups) {
+    std::sort(nodes.begin(), nodes.end());  // keep topological order
+    out.push_back(std::move(nodes));
+  }
+  // Deterministic branch order: by first node id.
+  std::sort(out.begin(), out.end(),
+            [](const auto& a, const auto& b) { return a.front() < b.front(); });
+  return out;
+}
+
+Partition partition_fine(const Graph& g, const std::vector<NodeId>& order) {
+  Partition part;
+  const std::vector<int> levels = node_levels(g);
+  std::map<int, std::vector<NodeId>> by_level;
+  for (NodeId id : order) by_level[levels[static_cast<size_t>(id)]].push_back(id);
+  for (const auto& [level, nodes] : by_level) {
+    Phase phase;
+    phase.index = static_cast<int>(part.phases.size());
+    phase.type = nodes.size() > 1 ? PhaseType::kMultiPath : PhaseType::kSequential;
+    for (NodeId id : nodes) {
+      Subgraph sub = extract_subgraph(
+          g, {id}, strprintf("p%d.n%d", phase.index, id));
+      sub.id = static_cast<int>(part.subgraphs.size());
+      sub.phase = phase.index;
+      sub.phase_type = phase.type;
+      phase.subgraphs.push_back(sub.id);
+      part.subgraphs.push_back(std::move(sub));
+    }
+    part.phases.push_back(std::move(phase));
+  }
+  return part;
+}
+
+}  // namespace
+
+const Subgraph& Partition::subgraph(int id) const {
+  DUET_CHECK(id >= 0 && static_cast<size_t>(id) < subgraphs.size());
+  return subgraphs[static_cast<size_t>(id)];
+}
+
+void Partition::build_owner_index(size_t parent_size) const {
+  if (!node_owner_.empty()) return;
+  node_owner_.assign(parent_size, -1);
+  for (const Subgraph& sub : subgraphs) {
+    for (NodeId id : sub.parent_nodes) {
+      node_owner_[static_cast<size_t>(id)] = sub.id;
+    }
+  }
+}
+
+int Partition::producer_subgraph(NodeId n) const {
+  DUET_CHECK(!node_owner_.empty())
+      << "call validate() (which builds the index) before producer_subgraph";
+  DUET_CHECK(n >= 0 && static_cast<size_t>(n) < node_owner_.size());
+  return node_owner_[static_cast<size_t>(n)];
+}
+
+std::string Partition::to_string(const Graph& parent) const {
+  std::ostringstream os;
+  os << "partition of \"" << parent.name() << "\": " << phases.size() << " phases, "
+     << subgraphs.size() << " subgraphs\n";
+  for (const Phase& phase : phases) {
+    os << "  phase " << phase.index << " [" << phase_type_name(phase.type) << "]\n";
+    for (int sid : phase.subgraphs) {
+      const Subgraph& sub = subgraph(sid);
+      os << "    #" << sid << " " << sub.label << ": " << sub.parent_nodes.size()
+         << " nodes (" << sub.summary(parent) << ")\n";
+    }
+  }
+  return os.str();
+}
+
+void Partition::validate(const Graph& parent) const {
+  build_owner_index(parent.num_nodes());
+
+  // Every *live* compute node belongs to exactly one subgraph (dead code is
+  // deliberately left out of the partition).
+  const std::vector<bool> live = live_nodes(parent);
+  size_t covered = 0;
+  for (const Node& n : parent.nodes()) {
+    if (is_compute(n) && live[static_cast<size_t>(n.id)]) {
+      DUET_CHECK(node_owner_[static_cast<size_t>(n.id)] >= 0)
+          << "node " << n.name << " not covered by any subgraph";
+      ++covered;
+    }
+  }
+  size_t total = 0;
+  for (const Subgraph& sub : subgraphs) total += sub.parent_nodes.size();
+  DUET_CHECK_EQ(covered, total) << "subgraphs overlap";
+
+  // Phase ordering: a subgraph's external compute dependencies must come
+  // from strictly earlier phases.
+  for (const Subgraph& sub : subgraphs) {
+    for (const Subgraph::BoundaryInput& b : sub.boundary_inputs) {
+      const Node& p = parent.node(b.parent_producer);
+      if (!is_compute(p)) continue;  // parent graph input: always available
+      const int producer = node_owner_[static_cast<size_t>(b.parent_producer)];
+      DUET_CHECK_GE(producer, 0);
+      DUET_CHECK_LT(subgraph(producer).phase, sub.phase)
+          << "subgraph " << sub.label << " depends on phase-peer or later "
+          << subgraph(producer).label;
+    }
+  }
+
+  // Phases alternate in type only when adjacent phases both exist; the
+  // stronger paper property (strict alternation) holds for coarse partitions:
+  for (size_t i = 1; i < phases.size(); ++i) {
+    if (phases[i].type == PhaseType::kSequential &&
+        phases[i - 1].type == PhaseType::kSequential) {
+      // Only possible for fine granularity (singleton levels); tolerated.
+    }
+  }
+}
+
+Partition partition_phased(const Graph& graph, const PartitionOptions& options) {
+  graph.validate();
+  // Only live nodes are scheduled: a dead branch has no boundary outputs, so
+  // it cannot be a subgraph (a DL compiler would have DCE'd it anyway).
+  const std::vector<bool> live = live_nodes(graph);
+  std::vector<NodeId> order;
+  for (NodeId id : topo_order(graph)) {
+    if (is_compute(graph.node(id)) && live[static_cast<size_t>(id)]) {
+      order.push_back(id);
+    }
+  }
+  DUET_CHECK(!order.empty()) << "graph has no live compute nodes";
+
+  if (options.granularity == PartitionOptions::Granularity::kFine) {
+    Partition part = partition_fine(graph, order);
+    part.validate(graph);
+    return part;
+  }
+
+  const std::vector<Run> runs = classify_runs(graph, order, live);
+
+  Partition part;
+  std::vector<NodeId> seq_accum;
+
+  const bool nested =
+      options.granularity == PartitionOptions::Granularity::kNested;
+  const size_t max_chunk =
+      nested ? std::max<size_t>(1, options.nested_max_nodes)
+             : std::numeric_limits<size_t>::max();
+
+  const auto emit_sequential_chunk = [&](std::vector<NodeId> chunk) {
+    Phase phase;
+    phase.index = static_cast<int>(part.phases.size());
+    phase.type = PhaseType::kSequential;
+    Subgraph sub = extract_subgraph(graph, chunk,
+                                    strprintf("phase%d.seq", phase.index));
+    sub.id = static_cast<int>(part.subgraphs.size());
+    sub.phase = phase.index;
+    sub.phase_type = phase.type;
+    phase.subgraphs.push_back(sub.id);
+    part.subgraphs.push_back(std::move(sub));
+    part.phases.push_back(std::move(phase));
+  };
+
+  const auto flush_sequential = [&] {
+    if (seq_accum.empty()) return;
+    // Nested granularity: split long chains into consecutive chunks, each a
+    // sequential phase of its own (footnote-1 multi-level partitioning).
+    for (size_t begin = 0; begin < seq_accum.size(); begin += max_chunk) {
+      const size_t end = std::min(begin + max_chunk, seq_accum.size());
+      emit_sequential_chunk(std::vector<NodeId>(seq_accum.begin() + begin,
+                                                seq_accum.begin() + end));
+    }
+    seq_accum.clear();
+  };
+
+  for (const Run& run : runs) {
+    if (run.junction) {
+      seq_accum.insert(seq_accum.end(), run.nodes.begin(), run.nodes.end());
+      continue;
+    }
+    std::vector<std::vector<NodeId>> branches = region_components(graph, run.nodes);
+    if (branches.size() <= 1) {
+      // Single-branch region: no parallelism to expose, keep it sequential.
+      seq_accum.insert(seq_accum.end(), run.nodes.begin(), run.nodes.end());
+      continue;
+    }
+    flush_sequential();
+    Phase phase;
+    phase.index = static_cast<int>(part.phases.size());
+    phase.type = PhaseType::kMultiPath;
+    for (size_t b = 0; b < branches.size(); ++b) {
+      Subgraph sub = extract_subgraph(
+          graph, branches[b],
+          strprintf("phase%d.branch%zu", phase.index, b));
+      sub.id = static_cast<int>(part.subgraphs.size());
+      sub.phase = phase.index;
+      sub.phase_type = phase.type;
+      phase.subgraphs.push_back(sub.id);
+      part.subgraphs.push_back(std::move(sub));
+    }
+    part.phases.push_back(std::move(phase));
+  }
+  flush_sequential();
+
+  part.validate(graph);
+  return part;
+}
+
+}  // namespace duet

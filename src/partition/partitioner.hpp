@@ -1,0 +1,64 @@
+#pragma once
+
+// Coarse-grained multi-phase graph partitioning (paper §IV-A, Fig. 7).
+//
+// The DAG is decomposed into an alternating sequence of phases:
+//   * sequential phase — one subgraph holding a chain of nodes every
+//     execution must pass through (between "cut nodes"), and
+//   * multi-path phase — several independent branch subgraphs that may run
+//     concurrently on different devices.
+//
+// Cut nodes are found with a sweep over the topological order: a node v is a
+// cut iff, once v has executed, every still-pending node's external
+// dependencies are satisfied by v alone (all live values funnel through v).
+// Consecutive cut nodes and single-branch regions merge into one sequential
+// subgraph, which keeps granularity high — the property that lets the DL
+// compiler keep fusing inside each subgraph (paper §III-B).
+
+#include <string>
+#include <vector>
+
+#include "partition/subgraph.hpp"
+
+namespace duet {
+
+struct Phase {
+  int index = 0;
+  PhaseType type = PhaseType::kSequential;
+  std::vector<int> subgraphs;  // ids into Partition::subgraphs
+};
+
+struct Partition {
+  std::vector<Subgraph> subgraphs;
+  std::vector<Phase> phases;
+
+  const Subgraph& subgraph(int id) const;
+  // Subgraph (id) producing parent node `n`, or -1 for parent inputs.
+  int producer_subgraph(NodeId n) const;
+
+  std::string to_string(const Graph& parent) const;
+  // Dependency check: true when every boundary input of `sub` is produced by
+  // an earlier phase (the phased-schedule invariant).
+  void validate(const Graph& parent) const;
+
+ private:
+  mutable std::vector<int> node_owner_;  // lazily built parent-node -> subgraph
+  void build_owner_index(size_t parent_size) const;
+};
+
+struct PartitionOptions {
+  // kCoarse: the paper's scheme. kFine: one subgraph per compute node — the
+  // ablation showing why coarse granularity matters. kNested: the paper's
+  // footnote-1 future work — coarse phases, but sequential phases larger
+  // than `nested_max_nodes` are split into consecutive chunks, giving the
+  // scheduler device-switch points inside long chains (e.g. a transformer
+  // encoder) at the cost of extra boundary traffic.
+  enum class Granularity { kCoarse, kFine, kNested } granularity =
+      Granularity::kCoarse;
+  // Chunk size bound for kNested (compute nodes per sequential chunk).
+  size_t nested_max_nodes = 12;
+};
+
+Partition partition_phased(const Graph& graph, const PartitionOptions& options = {});
+
+}  // namespace duet

@@ -1,0 +1,131 @@
+#include "partition/subgraph.hpp"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "graph/shape_inference.hpp"
+
+namespace duet {
+
+const char* phase_type_name(PhaseType t) {
+  return t == PhaseType::kSequential ? "sequential" : "multi-path";
+}
+
+uint64_t Subgraph::input_bytes(const Graph& parent) const {
+  uint64_t total = 0;
+  for (const BoundaryInput& b : boundary_inputs) {
+    total += node_output_bytes(parent.node(b.parent_producer));
+  }
+  return total;
+}
+
+uint64_t Subgraph::output_bytes(const Graph& parent) const {
+  uint64_t total = 0;
+  for (NodeId out : boundary_outputs) {
+    total += node_output_bytes(parent.node(out));
+  }
+  return total;
+}
+
+std::string Subgraph::summary(const Graph& parent) const {
+  // Histogram of op kinds, most frequent first — a readable fingerprint like
+  // "lstm x1, dense x2".
+  std::map<std::string, int> histogram;
+  for (NodeId id : parent_nodes) {
+    histogram[op_name(parent.node(id).op)] += 1;
+  }
+  std::vector<std::pair<int, std::string>> ranked;
+  for (const auto& [name, count] : histogram) ranked.emplace_back(count, name);
+  std::sort(ranked.rbegin(), ranked.rend());
+  std::ostringstream os;
+  for (size_t i = 0; i < ranked.size() && i < 3; ++i) {
+    if (i) os << ", ";
+    os << ranked[i].second << " x" << ranked[i].first;
+  }
+  if (ranked.size() > 3) os << ", ...";
+  return os.str();
+}
+
+Subgraph extract_subgraph(const Graph& parent, const std::vector<NodeId>& nodes,
+                          const std::string& label) {
+  Subgraph sub;
+  sub.label = label;
+  sub.parent_nodes = nodes;
+
+  std::set<NodeId> member(nodes.begin(), nodes.end());
+  for (NodeId id : nodes) {
+    const Node& n = parent.node(id);
+    DUET_CHECK(!n.is_input() && !n.is_constant())
+        << "subgraph members must be compute nodes, got " << n.name;
+  }
+
+  sub.graph.set_name(parent.name() + "." + label);
+  std::map<NodeId, NodeId> remap;  // parent id -> sub id (incl. terminals)
+
+  const auto placeholder_for = [&](NodeId parent_producer) -> NodeId {
+    auto it = remap.find(parent_producer);
+    if (it != remap.end()) return it->second;
+    const Node& p = parent.node(parent_producer);
+    const NodeId ph =
+        sub.graph.add_input(p.out_shape, "ph." + p.name, p.out_dtype);
+    remap[parent_producer] = ph;
+    sub.boundary_inputs.push_back({parent_producer, ph});
+    return ph;
+  };
+
+  for (NodeId id : nodes) {
+    const Node& n = parent.node(id);
+    std::vector<NodeId> inputs;
+    inputs.reserve(n.inputs.size());
+    for (NodeId in : n.inputs) {
+      const Node& p = parent.node(in);
+      if (member.count(in)) {
+        auto it = remap.find(in);
+        DUET_CHECK(it != remap.end())
+            << "member input " << in << " not yet copied; nodes must be topo-sorted";
+        inputs.push_back(it->second);
+      } else if (p.is_constant()) {
+        auto it = remap.find(in);
+        if (it == remap.end()) {
+          const NodeId c = sub.graph.add_constant(p.value, p.name);
+          remap[in] = c;
+          inputs.push_back(c);
+        } else {
+          inputs.push_back(it->second);
+        }
+      } else {
+        // Parent input or external compute node: replicated placeholder.
+        inputs.push_back(placeholder_for(in));
+      }
+    }
+    const NodeId copied = sub.graph.add_node(n.op, std::move(inputs), n.attrs, n.name);
+    remap[id] = copied;
+    sub.node_map[id] = copied;
+  }
+
+  // Outputs: members consumed outside the set, or marked parent outputs.
+  std::set<NodeId> parent_outputs(parent.outputs().begin(), parent.outputs().end());
+  for (NodeId id : nodes) {
+    bool escapes = parent_outputs.count(id) > 0;
+    if (!escapes) {
+      for (NodeId c : parent.consumers(id)) {
+        if (!member.count(c)) {
+          escapes = true;
+          break;
+        }
+      }
+    }
+    if (escapes) {
+      sub.boundary_outputs.push_back(id);
+      sub.graph.mark_output(sub.node_map.at(id));
+    }
+  }
+  DUET_CHECK(!sub.boundary_outputs.empty())
+      << "subgraph " << label << " produces nothing";
+  sub.graph.validate();
+  return sub;
+}
+
+}  // namespace duet

@@ -1,0 +1,62 @@
+#pragma once
+
+// Subgraph extraction (paper §IV-A). A Subgraph is a contiguous piece of the
+// parent DAG, materialized as a standalone Graph whose external dependencies
+// become placeholder inputs — "replicated placeholders that all point to the
+// same input stream" in the paper's words. The standalone graph is what the
+// compiler-aware profiler compiles and measures end-to-end.
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace duet {
+
+enum class PhaseType : uint8_t { kSequential, kMultiPath };
+const char* phase_type_name(PhaseType t);
+
+struct Subgraph {
+  int id = -1;
+  int phase = -1;
+  PhaseType phase_type = PhaseType::kSequential;
+  std::string label;
+
+  // Node ids in the PARENT graph, topologically ordered (compute nodes only;
+  // the constants they use are pulled in at extraction).
+  std::vector<NodeId> parent_nodes;
+
+  // Standalone graph: placeholders + replicated constants + the nodes.
+  Graph graph;
+
+  // External value consumed: the parent producer (a compute node or a parent
+  // kInput) and the placeholder that stands for it inside `graph`.
+  struct BoundaryInput {
+    NodeId parent_producer = kInvalidNode;
+    NodeId placeholder = kInvalidNode;
+  };
+  std::vector<BoundaryInput> boundary_inputs;
+
+  // Values that escape: parent node ids (== the outputs of `graph`, in the
+  // same order, through `node_map`).
+  std::vector<NodeId> boundary_outputs;
+
+  // parent node id -> node id in `graph` (compute nodes only).
+  std::map<NodeId, NodeId> node_map;
+
+  // Payload sizes crossing the boundary.
+  uint64_t input_bytes(const Graph& parent) const;
+  uint64_t output_bytes(const Graph& parent) const;
+
+  std::string summary(const Graph& parent) const;
+};
+
+// Extracts `nodes` (must be topologically sorted parent compute nodes) into
+// a standalone Subgraph. `is_member` must answer membership for any parent
+// node id. Outputs are the member nodes consumed outside the set or marked
+// as parent outputs.
+Subgraph extract_subgraph(const Graph& parent, const std::vector<NodeId>& nodes,
+                          const std::string& label);
+
+}  // namespace duet

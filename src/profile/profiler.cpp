@@ -1,0 +1,43 @@
+#include "profile/profiler.hpp"
+
+#include "common/error.hpp"
+#include "device/calibration.hpp"
+#include "device/interconnect.hpp"
+
+namespace duet {
+
+DeviceProfile Profiler::profile_graph(const Graph& graph, DeviceKind kind,
+                                      const ProfileOptions& options) const {
+  Device& dev = devices_.device(kind);
+  DeviceProfile prof;
+  prof.compiled = compile_for_device(graph, kind, options.compile, dev.params());
+  LatencyRecorder recorder;
+  DUET_CHECK_GT(options.runs, 0);
+  for (int i = 0; i < options.runs; ++i) {
+    recorder.add(dev.modeled_time(prof.compiled, options.with_noise));
+  }
+  prof.stats = recorder.summarize();
+  prof.mean_s = prof.stats.mean;
+  return prof;
+}
+
+std::vector<SubgraphProfile> Profiler::profile_partition(
+    const Partition& partition, const Graph& parent,
+    const ProfileOptions& options) const {
+  std::vector<SubgraphProfile> out;
+  out.reserve(partition.subgraphs.size());
+  for (const Subgraph& sub : partition.subgraphs) {
+    SubgraphProfile p;
+    p.subgraph_id = sub.id;
+    p.per_device[static_cast<int>(DeviceKind::kCpu)] =
+        profile_graph(sub.graph, DeviceKind::kCpu, options);
+    p.per_device[static_cast<int>(DeviceKind::kGpu)] =
+        profile_graph(sub.graph, DeviceKind::kGpu, options);
+    p.input_bytes = sub.input_bytes(parent);
+    p.output_bytes = sub.output_bytes(parent);
+    out.push_back(std::move(p));
+  }
+  return out;
+}
+
+}  // namespace duet

@@ -1,0 +1,25 @@
+#include "relay/expr.hpp"
+
+#include <sstream>
+
+namespace duet::relay {
+
+std::string TensorType::to_string() const {
+  std::ostringstream os;
+  os << "Tensor[(";
+  for (size_t i = 0; i < shape.rank(); ++i) {
+    if (i) os << ", ";
+    os << shape.dim(i);
+  }
+  os << "), " << dtype_name(dtype) << "]";
+  return os.str();
+}
+
+const Binding* Module::find(const VarName& var) const {
+  for (const Binding& b : bindings) {
+    if (b.var == var) return &b;
+  }
+  return nullptr;
+}
+
+}  // namespace duet::relay

@@ -1,0 +1,85 @@
+#pragma once
+
+// A Relay-like expression IR (paper §V, Listing 1): a pure, expression-
+// oriented language in A-normal form. DUET's front-end ingests models in
+// this form, translates them to the adjacency-list graph via a visitor
+// (to_graph.cpp), and translates partitioned subgraphs back to a sequence of
+// Relay statements (from_graph.cpp) for compilation.
+//
+// Grammar (BNF, printed/parsed by printer.cpp / parser.cpp):
+//
+//   module   ::= "def" "@" ident "(" params ")" "{" let* result "}"
+//   params   ::= param ("," param)*
+//   param    ::= var ":" type
+//   let      ::= var "=" expr ";"
+//   expr     ::= call | var | const-decl
+//   call     ::= ident "(" args? ")" attrs?
+//   args     ::= operand ("," operand)*
+//   operand  ::= var
+//   const-decl ::= "constant" type
+//   attrs    ::= "{" key "=" value ("," key "=" value)* "}"
+//   result   ::= "(" var ("," var)* ")"
+//   type     ::= "Tensor[" shape "," dtype "]"
+//   var      ::= "%" ident
+//
+// Semantics match the graph IR one-to-one; the op vocabulary is OpType.
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "graph/op.hpp"
+#include "tensor/tensor.hpp"
+
+namespace duet::relay {
+
+struct TensorType {
+  Shape shape;
+  DType dtype = DType::kFloat32;
+
+  bool operator==(const TensorType& other) const {
+    return shape == other.shape && dtype == other.dtype;
+  }
+  std::string to_string() const;
+};
+
+// A binding name, e.g. "%x" or "%17". Stored without the '%'.
+using VarName = std::string;
+
+struct CallExpr {
+  OpType op = OpType::kIdentity;
+  std::vector<VarName> args;
+  AttrMap attrs;
+};
+
+struct ConstDecl {
+  TensorType type;
+  Tensor value;  // may be undefined when parsed from text without a table
+};
+
+// One ANF statement: either `%v = call(...)` or `%v = constant Tensor[...]`.
+struct Binding {
+  VarName var;
+  enum class Kind { kCall, kConstant } kind = Kind::kCall;
+  CallExpr call;
+  ConstDecl constant;
+  TensorType type;  // result type (redundant but kept for checking/printing)
+};
+
+struct Param {
+  VarName var;
+  TensorType type;
+};
+
+// A whole function: `def @name(params) { bindings; (outputs) }`.
+struct Module {
+  std::string name = "main";
+  std::vector<Param> params;
+  std::vector<Binding> bindings;
+  std::vector<VarName> outputs;
+
+  const Binding* find(const VarName& var) const;
+};
+
+}  // namespace duet::relay

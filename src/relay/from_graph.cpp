@@ -1,0 +1,66 @@
+// Graph -> Module translation: emits partitioned subgraphs back as a
+// sequence of Relay statements (paper §V), ready to be printed or fed to the
+// compiler of another system.
+
+#include "common/error.hpp"
+#include "common/string_util.hpp"
+#include "relay/relay.hpp"
+
+namespace duet::relay {
+namespace {
+
+// Variable names must be grammar-safe; node names may contain anything, so
+// sanitize while keeping them readable and unique.
+std::string var_for(const Node& n) {
+  std::string s = n.name.empty() ? strprintf("v%d", n.id) : n.name;
+  for (char& c : s) {
+    if (!std::isalnum(static_cast<unsigned char>(c)) && c != '_' && c != '.' &&
+        c != '-') {
+      c = '_';
+    }
+  }
+  return strprintf("%s_%d", s.c_str(), n.id);
+}
+
+}  // namespace
+
+Module from_graph(const Graph& graph) {
+  Module m;
+  m.name = graph.name().empty() ? "main" : graph.name();
+  for (char& c : m.name) {
+    if (!std::isalnum(static_cast<unsigned char>(c)) && c != '_') c = '_';
+  }
+
+  std::vector<VarName> names(graph.num_nodes());
+  for (const Node& n : graph.nodes()) {
+    names[static_cast<size_t>(n.id)] = var_for(n);
+    if (n.is_input()) {
+      m.params.push_back({names[static_cast<size_t>(n.id)],
+                          TensorType{n.out_shape, n.out_dtype}});
+      continue;
+    }
+    Binding b;
+    b.var = names[static_cast<size_t>(n.id)];
+    b.type = TensorType{n.out_shape, n.out_dtype};
+    if (n.is_constant()) {
+      b.kind = Binding::Kind::kConstant;
+      b.constant.type = b.type;
+      b.constant.value = n.value;
+    } else {
+      b.kind = Binding::Kind::kCall;
+      b.call.op = n.op;
+      b.call.attrs = n.attrs;
+      for (NodeId in : n.inputs) {
+        b.call.args.push_back(names[static_cast<size_t>(in)]);
+      }
+    }
+    m.bindings.push_back(std::move(b));
+  }
+
+  for (NodeId out : graph.outputs()) {
+    m.outputs.push_back(names[static_cast<size_t>(out)]);
+  }
+  return m;
+}
+
+}  // namespace duet::relay

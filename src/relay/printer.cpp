@@ -1,0 +1,47 @@
+#include <sstream>
+
+#include "relay/relay.hpp"
+
+namespace duet::relay {
+namespace {
+
+void print_attrs(std::ostringstream& os, const AttrMap& attrs) {
+  const std::string s = attrs.to_string();
+  if (!s.empty()) os << " {" << s << "}";
+}
+
+}  // namespace
+
+std::string print_module(const Module& module) {
+  std::ostringstream os;
+  os << "def @" << module.name << "(";
+  for (size_t i = 0; i < module.params.size(); ++i) {
+    if (i) os << ", ";
+    os << "%" << module.params[i].var << ": " << module.params[i].type.to_string();
+  }
+  os << ") {\n";
+  for (const Binding& b : module.bindings) {
+    os << "  %" << b.var << " = ";
+    if (b.kind == Binding::Kind::kConstant) {
+      os << "constant " << b.constant.type.to_string();
+    } else {
+      os << op_name(b.call.op) << "(";
+      for (size_t i = 0; i < b.call.args.size(); ++i) {
+        if (i) os << ", ";
+        os << "%" << b.call.args[i];
+      }
+      os << ")";
+      print_attrs(os, b.call.attrs);
+    }
+    os << ";\n";
+  }
+  os << "  (";
+  for (size_t i = 0; i < module.outputs.size(); ++i) {
+    if (i) os << ", ";
+    os << "%" << module.outputs[i];
+  }
+  os << ")\n}\n";
+  return os.str();
+}
+
+}  // namespace duet::relay

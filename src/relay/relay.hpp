@@ -1,0 +1,27 @@
+#pragma once
+
+// Public facade of the Relay-like front-end: text printing/parsing and the
+// visitor-based translation to/from the adjacency-list graph IR (paper §V).
+
+#include "graph/graph.hpp"
+#include "relay/expr.hpp"
+
+namespace duet::relay {
+
+// --- printing ----------------------------------------------------------------
+std::string print_module(const Module& module);
+
+// --- parsing -----------------------------------------------------------------
+// Parses the textual form. Constants are materialized as zero tensors of
+// their declared type unless `const_table` provides a value by var name.
+Module parse_module(const std::string& text,
+                    const std::map<std::string, Tensor>* const_table = nullptr);
+
+// --- translation --------------------------------------------------------------
+// Visitor over the module that builds the adjacency-list Graph.
+Graph to_graph(const Module& module);
+// Inverse: emits a sequence of Relay statements for a graph (e.g. a
+// partitioned subgraph, ready to go back through the compiler).
+Module from_graph(const Graph& graph);
+
+}  // namespace duet::relay

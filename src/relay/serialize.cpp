@@ -1,0 +1,97 @@
+#include "relay/serialize.hpp"
+
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace duet::relay {
+namespace {
+
+constexpr char kMagic[8] = {'D', 'U', 'E', 'T', 'W', 'T', '0', '1'};
+
+template <typename T>
+void write_pod(std::ostream& os, T value) {
+  os.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+T read_pod(std::istream& is) {
+  T value{};
+  is.read(reinterpret_cast<char*>(&value), sizeof(T));
+  DUET_CHECK(is.good()) << "truncated weight file";
+  return value;
+}
+
+}  // namespace
+
+void save_module(const Module& module, const std::string& path) {
+  {
+    std::ofstream text(path);
+    DUET_CHECK(text.good()) << "cannot open " << path;
+    text << print_module(module);
+    DUET_CHECK(text.good()) << "write failed: " << path;
+  }
+
+  std::ofstream bin(path + ".weights", std::ios::binary);
+  DUET_CHECK(bin.good()) << "cannot open " << path << ".weights";
+  bin.write(kMagic, sizeof(kMagic));
+  uint32_t count = 0;
+  for (const Binding& b : module.bindings) {
+    count += b.kind == Binding::Kind::kConstant;
+  }
+  write_pod(bin, count);
+  for (const Binding& b : module.bindings) {
+    if (b.kind != Binding::Kind::kConstant) continue;
+    DUET_CHECK(b.constant.value.defined()) << "constant %" << b.var << " unbound";
+    const Tensor& t = b.constant.value;
+    DUET_CHECK_LE(b.var.size(), 65535u);
+    write_pod(bin, static_cast<uint16_t>(b.var.size()));
+    bin.write(b.var.data(), static_cast<std::streamsize>(b.var.size()));
+    write_pod(bin, static_cast<uint8_t>(t.dtype()));
+    write_pod(bin, static_cast<uint8_t>(t.shape().rank()));
+    for (size_t d = 0; d < t.shape().rank(); ++d) {
+      write_pod(bin, static_cast<int64_t>(t.shape().dim(d)));
+    }
+    bin.write(reinterpret_cast<const char*>(t.raw_data()),
+              static_cast<std::streamsize>(t.byte_size()));
+  }
+  DUET_CHECK(bin.good()) << "write failed: " << path << ".weights";
+}
+
+Module load_module(const std::string& path) {
+  std::ifstream text(path);
+  DUET_CHECK(text.good()) << "cannot open " << path;
+  std::ostringstream buffer;
+  buffer << text.rdbuf();
+
+  std::map<std::string, Tensor> table;
+  std::ifstream bin(path + ".weights", std::ios::binary);
+  if (bin.good()) {
+    char magic[8];
+    bin.read(magic, sizeof(magic));
+    DUET_CHECK(bin.good() && std::memcmp(magic, kMagic, sizeof(kMagic)) == 0)
+        << "bad weight file magic: " << path << ".weights";
+    const uint32_t count = read_pod<uint32_t>(bin);
+    for (uint32_t i = 0; i < count; ++i) {
+      const uint16_t name_len = read_pod<uint16_t>(bin);
+      std::string name(name_len, '\0');
+      bin.read(name.data(), name_len);
+      const auto dtype = static_cast<DType>(read_pod<uint8_t>(bin));
+      const uint8_t rank = read_pod<uint8_t>(bin);
+      std::vector<int64_t> dims;
+      dims.reserve(rank);
+      for (uint8_t d = 0; d < rank; ++d) dims.push_back(read_pod<int64_t>(bin));
+      Tensor t(Shape(std::move(dims)), dtype);
+      bin.read(reinterpret_cast<char*>(t.raw_data()),
+               static_cast<std::streamsize>(t.byte_size()));
+      DUET_CHECK(bin.good()) << "truncated weight payload for %" << name;
+      table.emplace(std::move(name), std::move(t));
+    }
+  }
+
+  return parse_module(buffer.str(), table.empty() ? nullptr : &table);
+}
+
+}  // namespace duet::relay

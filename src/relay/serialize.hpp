@@ -1,0 +1,28 @@
+#pragma once
+
+// Persistence for Relay modules: the text form carries structure; a binary
+// sidecar (`<path>.weights`) carries the constant tensors so a saved model
+// round-trips with its parameters. Format of the sidecar:
+//
+//   magic "DUETWT01"
+//   u32 count
+//   repeat count times:
+//     u16 name_len, name bytes            (binding var name)
+//     u8 dtype, u8 rank, i64 dims[rank]
+//     raw payload (numel * dtype_size bytes, little-endian host order)
+
+#include <string>
+
+#include "relay/relay.hpp"
+
+namespace duet::relay {
+
+// Writes `<path>` (text) and `<path>.weights` (constants). Throws on I/O
+// failure.
+void save_module(const Module& module, const std::string& path);
+
+// Parses `<path>`; if `<path>.weights` exists its tensors override the
+// zero-initialized constants.
+Module load_module(const std::string& path);
+
+}  // namespace duet::relay

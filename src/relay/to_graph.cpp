@@ -1,0 +1,47 @@
+// Module -> adjacency-list Graph translation (paper §V: "we iterate the
+// Relay IR using the visitor pattern and obtain the inputs/outputs of each
+// operator to build a graph with adjacency-lists").
+
+#include <map>
+
+#include "common/error.hpp"
+#include "relay/relay.hpp"
+
+namespace duet::relay {
+
+Graph to_graph(const Module& module) {
+  Graph g(module.name);
+  std::map<VarName, NodeId> env;
+
+  for (const Param& p : module.params) {
+    DUET_CHECK(env.find(p.var) == env.end()) << "duplicate param %" << p.var;
+    env[p.var] = g.add_input(p.type.shape, p.var, p.type.dtype);
+  }
+
+  for (const Binding& b : module.bindings) {
+    DUET_CHECK(env.find(b.var) == env.end()) << "rebinding %" << b.var;
+    if (b.kind == Binding::Kind::kConstant) {
+      DUET_CHECK(b.constant.value.defined()) << "constant %" << b.var << " has no value";
+      env[b.var] = g.add_constant(b.constant.value, b.var);
+      continue;
+    }
+    std::vector<NodeId> inputs;
+    inputs.reserve(b.call.args.size());
+    for (const VarName& arg : b.call.args) {
+      auto it = env.find(arg);
+      DUET_CHECK(it != env.end()) << "use of unbound var %" << arg;
+      inputs.push_back(it->second);
+    }
+    env[b.var] = g.add_node(b.call.op, std::move(inputs), b.call.attrs, b.var);
+  }
+
+  for (const VarName& out : module.outputs) {
+    auto it = env.find(out);
+    DUET_CHECK(it != env.end()) << "unknown output var %" << out;
+    g.mark_output(it->second);
+  }
+  g.validate();
+  return g;
+}
+
+}  // namespace duet::relay

@@ -1,0 +1,78 @@
+#pragma once
+
+// ExecutionPlan: the fully resolved artifact the executors run — partition +
+// placement + per-subgraph compiled code for the assigned device + the feed
+// routing between subgraph boundaries. Building the plan resolves the
+// placeholder ids of each (optimized) compiled graph back to parent node
+// ids, so executors move tensors purely by parent-node key.
+
+#include <map>
+#include <vector>
+
+#include "device/device.hpp"
+#include "partition/partitioner.hpp"
+#include "sched/placement.hpp"
+
+namespace duet {
+
+struct PlannedSubgraph {
+  int id = -1;
+  DeviceKind device = DeviceKind::kCpu;
+  CompiledSubgraph compiled;
+
+  struct Feed {
+    NodeId parent_producer = kInvalidNode;  // node in the parent graph
+    NodeId input_node = kInvalidNode;       // kInput in compiled.graph()
+  };
+  std::vector<Feed> feeds;
+
+  // Parent node ids this subgraph materializes, aligned 1:1 with
+  // compiled.graph().outputs().
+  std::vector<NodeId> produces;
+
+  // Producer subgraph ids this one waits for (deduplicated).
+  std::vector<int> dep_subgraphs;
+};
+
+class ExecutionPlan {
+ public:
+  ExecutionPlan() = default;
+
+  const Graph& parent() const { return parent_; }
+  const Partition& partition() const { return partition_; }
+  const Placement& placement() const { return placement_; }
+  const std::vector<PlannedSubgraph>& subgraphs() const { return subgraphs_; }
+  const PlannedSubgraph& subgraph(int id) const;
+
+  // Consumers of each subgraph (inverse of dep_subgraphs).
+  const std::vector<std::vector<int>>& consumers() const { return consumers_; }
+
+  // Per-device memory footprint of the plan: resident weights plus the
+  // boundary tensors the executor holds between subgraphs. Deployment
+  // engineers size device memory with this (weights are replicated onto the
+  // device that runs each subgraph; model load time is offline, as in the
+  // paper).
+  struct MemoryReport {
+    uint64_t weight_bytes[kNumDeviceKinds] = {0, 0};
+    uint64_t boundary_bytes[kNumDeviceKinds] = {0, 0};
+    uint64_t total(DeviceKind kind) const {
+      return weight_bytes[static_cast<int>(kind)] +
+             boundary_bytes[static_cast<int>(kind)];
+    }
+  };
+  MemoryReport memory_report() const;
+
+  // Builds a plan by compiling every subgraph for its placed device.
+  static ExecutionPlan build(const Graph& parent, Partition partition,
+                             Placement placement, const DevicePair& devices,
+                             const CompileOptions& options);
+
+ private:
+  Graph parent_;
+  Partition partition_;
+  Placement placement_;
+  std::vector<PlannedSubgraph> subgraphs_;
+  std::vector<std::vector<int>> consumers_;
+};
+
+}  // namespace duet

@@ -1,0 +1,72 @@
+#pragma once
+
+// Blocking synchronization queue used between the executor's device workers
+// (paper §IV-D: "the synchronization queue is implemented as a shared memory
+// queue for high efficiency"; our workers are threads sharing an address
+// space, so the queue is a mutex/condvar-protected deque carrying ready
+// subgraph ids).
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+
+namespace duet {
+
+template <typename T>
+class SyncQueue {
+ public:
+  void push(T item) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      items_.push_back(std::move(item));
+    }
+    cv_.notify_one();
+  }
+
+  // Blocks until an item arrives or the queue is closed; nullopt on close
+  // with an empty queue.
+  std::optional<T> pop() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_.wait(lock, [this] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return std::nullopt;
+    T item = std::move(items_.front());
+    items_.pop_front();
+    return item;
+  }
+
+  // Non-blocking variant for the busy-poll loop of the paper's executor.
+  std::optional<T> try_pop() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (items_.empty()) return std::nullopt;
+    T item = std::move(items_.front());
+    items_.pop_front();
+    return item;
+  }
+
+  void close() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      closed_ = true;
+    }
+    cv_.notify_all();
+  }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return closed_;
+  }
+
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return items_.size();
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace duet

@@ -1,0 +1,196 @@
+#include <algorithm>
+#include <limits>
+
+#include "common/error.hpp"
+#include "device/calibration.hpp"
+#include "device/interconnect.hpp"
+#include "runtime/executor.hpp"
+
+namespace duet {
+
+template <bool kNumeric>
+ExecutionResult SimExecutor::run_impl(const ExecutionPlan& plan,
+                                      const std::map<NodeId, Tensor>& feeds,
+                                      bool with_noise, bool record_timeline) {
+  const size_t n = plan.subgraphs().size();
+  ExecutionResult result;
+
+  std::vector<double> ready(n, 0.0);
+  std::vector<double> finish(n, 0.0);
+  std::vector<int> pending(n, 0);
+  std::vector<bool> done(n, false);
+  // Per-lane availability (LaneConfig models footnote-2 device streams).
+  std::vector<std::vector<double>> lane_free(kNumDeviceKinds);
+  for (int d = 0; d < kNumDeviceKinds; ++d) {
+    lane_free[d].assign(static_cast<size_t>(std::max(1, lanes_.lanes[d])), 0.0);
+  }
+  const auto earliest_lane = [&](DeviceKind dev) {
+    size_t best_lane = 0;
+    const auto& lanes = lane_free[static_cast<int>(dev)];
+    for (size_t l = 1; l < lanes.size(); ++l) {
+      if (lanes[l] < lanes[best_lane]) best_lane = l;
+    }
+    return best_lane;
+  };
+
+  // Values keyed by parent node id. Feeds seed the store.
+  std::map<NodeId, Tensor> values;
+  if constexpr (kNumeric) values = feeds;
+
+  // Host-input transfer for GPU subgraphs (inputs are host-resident).
+  for (const PlannedSubgraph& ps : plan.subgraphs()) {
+    pending[static_cast<size_t>(ps.id)] = static_cast<int>(ps.dep_subgraphs.size());
+    if (ps.device != DeviceKind::kGpu) continue;
+    uint64_t host_bytes = 0;
+    for (const PlannedSubgraph::Feed& f : ps.feeds) {
+      if (plan.parent().node(f.parent_producer).is_input()) {
+        host_bytes +=
+            static_cast<uint64_t>(
+                plan.parent().node(f.parent_producer).out_shape.numel()) *
+            dtype_size(plan.parent().node(f.parent_producer).out_dtype);
+      }
+    }
+    if (host_bytes > 0) {
+      const double dt = devices_.link->transfer_time(host_bytes, with_noise);
+      ready[static_cast<size_t>(ps.id)] = dt;
+      if (record_timeline) {
+        result.timeline.add({TimelineEvent::Kind::kTransfer, ps.id,
+                             DeviceKind::kGpu, "h2d-input", 0.0, dt});
+      }
+    }
+  }
+
+  size_t completed = 0;
+  while (completed < n) {
+    int best = -1;
+    double best_start = std::numeric_limits<double>::infinity();
+    for (size_t i = 0; i < n; ++i) {
+      if (done[i] || pending[i] > 0) continue;
+      const PlannedSubgraph& ps = plan.subgraphs()[i];
+      const double start = std::max(
+          ready[i], lane_free[static_cast<int>(ps.device)][earliest_lane(ps.device)]);
+      if (best < 0 || start < best_start ||
+          (start == best_start &&
+           plan.partition().subgraphs[i].phase <
+               plan.partition().subgraphs[static_cast<size_t>(best)].phase)) {
+        best = static_cast<int>(i);
+        best_start = start;
+      }
+    }
+    DUET_CHECK_GE(best, 0) << "executor deadlock";
+
+    const size_t i = static_cast<size_t>(best);
+    const PlannedSubgraph& ps = plan.subgraphs()[i];
+    Device& dev = devices_.device(ps.device);
+
+    double exec_time = 0.0;
+    if constexpr (kNumeric) {
+      std::map<NodeId, Tensor> sub_feeds;
+      for (const PlannedSubgraph::Feed& f : ps.feeds) {
+        auto it = values.find(f.parent_producer);
+        DUET_CHECK(it != values.end())
+            << "missing value for parent node " << f.parent_producer;
+        sub_feeds[f.input_node] = it->second;
+      }
+      Device::RunResult rr = dev.execute(ps.compiled, sub_feeds, with_noise);
+      exec_time = rr.modeled_time_s;
+      for (size_t o = 0; o < ps.produces.size(); ++o) {
+        values[ps.produces[o]] = rr.outputs[o];
+      }
+    } else {
+      exec_time = dev.modeled_time(ps.compiled, with_noise);
+    }
+    // Queue pop + worker wake + dependency triggering (paper §IV-D).
+    exec_time += executor_dispatch_overhead();
+
+    const double end = best_start + exec_time;
+    finish[i] = end;
+    done[i] = true;
+    lane_free[static_cast<int>(ps.device)][earliest_lane(ps.device)] = end;
+    ++completed;
+    if (record_timeline) {
+      result.timeline.add({TimelineEvent::Kind::kExec, ps.id, ps.device,
+                           plan.partition().subgraphs[i].label, best_start, end});
+    }
+
+    // Trigger dependents; cross-device edges pay a transfer.
+    for (int consumer : plan.consumers()[i]) {
+      const size_t j = static_cast<size_t>(consumer);
+      const PlannedSubgraph& cs = plan.subgraphs()[j];
+      double avail = end;
+      if (cs.device != ps.device) {
+        uint64_t bytes = 0;
+        for (const PlannedSubgraph::Feed& f : cs.feeds) {
+          if (std::find(ps.produces.begin(), ps.produces.end(), f.parent_producer) !=
+              ps.produces.end()) {
+            const Node& p = plan.parent().node(f.parent_producer);
+            bytes += static_cast<uint64_t>(p.out_shape.numel()) *
+                     dtype_size(p.out_dtype);
+          }
+        }
+        const double dt = devices_.link->transfer_time(bytes, with_noise);
+        avail += dt;
+        if (record_timeline) {
+          result.timeline.add({TimelineEvent::Kind::kTransfer, ps.id, cs.device,
+                               "xfer", end, end + dt});
+        }
+      }
+      ready[j] = std::max(ready[j], avail);
+      pending[j] -= 1;
+    }
+  }
+
+  // Makespan, including the d2h transfer of user-facing GPU outputs.
+  double latency = 0.0;
+  std::map<NodeId, int> output_owner;
+  for (const PlannedSubgraph& ps : plan.subgraphs()) {
+    for (NodeId out : ps.produces) output_owner[out] = ps.id;
+  }
+  std::vector<double> output_available(plan.parent().outputs().size(), 0.0);
+  for (size_t o = 0; o < plan.parent().outputs().size(); ++o) {
+    const NodeId out = plan.parent().outputs()[o];
+    const int owner = output_owner.at(out);
+    double t = finish[static_cast<size_t>(owner)];
+    if (plan.subgraphs()[static_cast<size_t>(owner)].device == DeviceKind::kGpu) {
+      const Node& node = plan.parent().node(out);
+      const uint64_t bytes =
+          static_cast<uint64_t>(node.out_shape.numel()) * dtype_size(node.out_dtype);
+      const double dt = devices_.link->transfer_time(bytes, with_noise);
+      if (record_timeline) {
+        result.timeline.add({TimelineEvent::Kind::kTransfer, owner,
+                             DeviceKind::kCpu, "d2h-output", t, t + dt});
+      }
+      t += dt;
+    }
+    output_available[o] = t;
+    latency = std::max(latency, t);
+  }
+  // Also count subgraphs whose finish defines the makespan even without a
+  // user-facing output (should not happen in a well-formed plan, but be safe).
+  for (size_t i = 0; i < n; ++i) latency = std::max(latency, finish[i]);
+  result.latency_s = latency;
+
+  if constexpr (kNumeric) {
+    result.outputs.reserve(plan.parent().outputs().size());
+    for (NodeId out : plan.parent().outputs()) {
+      auto it = values.find(out);
+      DUET_CHECK(it != values.end()) << "output " << out << " was not produced";
+      result.outputs.push_back(it->second);
+    }
+  }
+  return result;
+}
+
+ExecutionResult SimExecutor::run(const ExecutionPlan& plan,
+                                 const std::map<NodeId, Tensor>& feeds,
+                                 bool with_noise) {
+  return run_impl<true>(plan, feeds, with_noise, /*record_timeline=*/true);
+}
+
+double SimExecutor::run_latency_only(const ExecutionPlan& plan, bool with_noise) {
+  static const std::map<NodeId, Tensor> kNoFeeds;
+  return run_impl<false>(plan, kNoFeeds, with_noise, /*record_timeline=*/false)
+      .latency_s;
+}
+
+}  // namespace duet

@@ -1,0 +1,48 @@
+#pragma once
+
+// Execution timeline capture: which subgraph ran on which device when, and
+// which transfers crossed the link. Renders the ASCII equivalent of the
+// paper's Fig. 4 execution timelines and exports CSV for plotting.
+
+#include <string>
+#include <vector>
+
+#include "compiler/cost_model.hpp"
+
+namespace duet {
+
+struct TimelineEvent {
+  enum class Kind { kExec, kTransfer } kind = Kind::kExec;
+  int subgraph = -1;
+  DeviceKind device = DeviceKind::kCpu;  // executing device; transfers: dest
+  std::string label;
+  double start = 0.0;
+  double end = 0.0;
+
+  double duration() const { return end - start; }
+};
+
+class Timeline {
+ public:
+  void add(TimelineEvent event);
+  void clear() { events_.clear(); }
+
+  const std::vector<TimelineEvent>& events() const { return events_; }
+  double makespan() const;
+
+  // Per-device busy time (utilization numerator).
+  double busy_time(DeviceKind kind) const;
+
+  // ASCII Gantt chart, `width` characters wide.
+  std::string render_ascii(int width = 80) const;
+  // "kind,device,subgraph,label,start,end" rows.
+  std::string to_csv() const;
+  // Chrome trace-event JSON (load in chrome://tracing or Perfetto): one
+  // complete ("X") event per span, devices as pids, the link as its own pid.
+  std::string to_chrome_trace() const;
+
+ private:
+  std::vector<TimelineEvent> events_;
+};
+
+}  // namespace duet

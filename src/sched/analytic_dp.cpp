@@ -1,0 +1,91 @@
+// Analytic stage-wise placement (the alternative the paper discusses in
+// §IV-C: "it is possible to analytically decide the placement strategy based
+// on the profiled subgraph computation and communication cost, similar to
+// the dynamic programming based method [24]").
+//
+// The algorithm walks phases in order and, for each phase, enumerates every
+// branch->device assignment (2^k, k = branches in the phase), scoring it
+// *analytically*: per-device serial load, plus transfer terms computed from
+// profiled boundary byte counts and the link model — no measure_latency
+// calls. Earlier phases are frozen when a later phase is scored (stage-wise
+// DP with the boundary placement as the carried state).
+//
+// The paper prefers greedy-correction because analytic communication terms
+// carry estimation error; keeping this scheduler around lets the ablation
+// quantify that argument (it is near — but not always at — the optimum).
+
+#include <limits>
+
+#include "common/error.hpp"
+#include "device/calibration.hpp"
+#include "sched/scheduler.hpp"
+
+namespace duet {
+
+ScheduleResult AnalyticDpScheduler::schedule(const SchedulingContext& ctx) {
+  const Partition& part = *ctx.partition;
+  const std::vector<SubgraphProfile>& prof = *ctx.profiles;
+  const LatencyEvaluator& eval = *ctx.evaluator;
+  const size_t n = part.subgraphs.size();
+  const TransferParams link = pcie3_x16();
+  const double dispatch = executor_dispatch_overhead();
+
+  ScheduleResult r;
+  r.placement = Placement(n);
+
+  // Analytic cost of running subgraph `sid` on `dev`, given already-frozen
+  // producer placements: compute + dispatch + incoming transfers.
+  const auto analytic_cost = [&](int sid, DeviceKind dev) {
+    double t = prof[static_cast<size_t>(sid)].time_on(dev) + dispatch;
+    if (dev == DeviceKind::kGpu && eval.host_input_bytes(sid) > 0) {
+      t += transfer_time_seconds(eval.host_input_bytes(sid), link);
+    }
+    for (size_t p = 0; p < n; ++p) {
+      const uint64_t bytes = eval.edge_bytes(static_cast<int>(p), sid);
+      if (bytes == 0) continue;
+      if (part.subgraph(static_cast<int>(p)).phase >=
+          part.subgraph(sid).phase) {
+        continue;  // same-phase edges cannot exist; later-phase never
+      }
+      if (r.placement.of(static_cast<int>(p)) != dev) {
+        t += transfer_time_seconds(bytes, link);
+      }
+    }
+    return t;
+  };
+
+  for (const Phase& phase : part.phases) {
+    const size_t k = phase.subgraphs.size();
+    DUET_CHECK_LE(k, 20u) << "phase too wide for exact stage enumeration";
+    double best_stage = std::numeric_limits<double>::infinity();
+    uint64_t best_mask = 0;
+    for (uint64_t mask = 0; mask < (1ull << k); ++mask) {
+      // Stage makespan: per-device serial load of this phase's subgraphs.
+      double load[kNumDeviceKinds] = {0.0, 0.0};
+      for (size_t i = 0; i < k; ++i) {
+        const DeviceKind dev =
+            (mask >> i) & 1 ? DeviceKind::kGpu : DeviceKind::kCpu;
+        load[static_cast<int>(dev)] += analytic_cost(phase.subgraphs[i], dev);
+      }
+      const double stage = std::max(load[0], load[1]);
+      if (stage < best_stage) {
+        best_stage = stage;
+        best_mask = mask;
+      }
+    }
+    for (size_t i = 0; i < k; ++i) {
+      r.placement.set(phase.subgraphs[i], (best_mask >> i) & 1
+                                              ? DeviceKind::kGpu
+                                              : DeviceKind::kCpu);
+    }
+  }
+
+  // Report the *measured* latency of the analytic placement (one evaluation,
+  // for comparability; the search itself used none).
+  const int64_t before = ctx.evaluator->evaluations();
+  r.est_latency_s = ctx.evaluator->evaluate(r.placement);
+  r.evaluations = ctx.evaluator->evaluations() - before;
+  return r;
+}
+
+}  // namespace duet

@@ -1,0 +1,96 @@
+// The correction step (paper §IV-C Step 3, Algorithm 1): Kernighan-Lin-style
+// iterative refinement, but the objective is measured end-to-end latency
+// rather than edge cut. For each multi-path phase: repeatedly find the
+// swap-of-a-pair (or movement of a single subgraph — "one of the subgraphs
+// could be empty") that maximally reduces measure_latency; apply it; stop
+// after a full round yields no gain.
+
+#include "common/error.hpp"
+#include "sched/scheduler.hpp"
+
+namespace duet {
+namespace {
+
+// Best improving swap/move within one phase. Returns the gain (>= 0).
+double best_phase_move(const SchedulingContext& ctx, const Phase& phase,
+                       Placement& placement, double current) {
+  std::vector<int> cpu_side;
+  std::vector<int> gpu_side;
+  for (int sid : phase.subgraphs) {
+    (placement.of(sid) == DeviceKind::kCpu ? cpu_side : gpu_side).push_back(sid);
+  }
+
+  double best_latency = current;
+  int best_i = -1;  // from CPU (or -1 = none)
+  int best_j = -1;  // from GPU (or -1 = none)
+
+  const auto try_candidate = [&](int i, int j) {
+    Placement trial = placement;
+    if (i >= 0) trial.set(i, DeviceKind::kGpu);
+    if (j >= 0) trial.set(j, DeviceKind::kCpu);
+    const double t = ctx.evaluator->evaluate(trial);
+    if (t < best_latency) {
+      best_latency = t;
+      best_i = i;
+      best_j = j;
+    }
+  };
+
+  for (int i : cpu_side) try_candidate(i, -1);         // move CPU -> GPU
+  for (int j : gpu_side) try_candidate(-1, j);         // move GPU -> CPU
+  for (int i : cpu_side) {
+    for (int j : gpu_side) try_candidate(i, j);        // swap the pair
+  }
+
+  if (best_latency < current) {
+    if (best_i >= 0) placement.set(best_i, DeviceKind::kGpu);
+    if (best_j >= 0) placement.set(best_j, DeviceKind::kCpu);
+    return current - best_latency;
+  }
+  return 0.0;
+}
+
+}  // namespace
+
+int correct_placement(const SchedulingContext& ctx, Placement& placement,
+                      double& latency) {
+  DUET_CHECK(ctx.partition != nullptr && ctx.evaluator != nullptr);
+  int rounds = 0;
+  // The paper runs the refinement per multi-path phase ("we perform the
+  // third step for each multi-path layer").
+  for (const Phase& phase : ctx.partition->phases) {
+    if (phase.type != PhaseType::kMultiPath) continue;
+    for (;;) {
+      const double gain = best_phase_move(ctx, phase, placement, latency);
+      ++rounds;
+      if (gain <= 0.0) break;
+      latency -= gain;
+    }
+  }
+  // Final sweep across sequential phases too: moving a sequential subgraph
+  // is a "movement of an individual subgraph" in Algorithm 1's terms and
+  // costs little to check.
+  for (const Phase& phase : ctx.partition->phases) {
+    if (phase.type != PhaseType::kSequential) continue;
+    for (int sid : phase.subgraphs) {
+      Placement trial = placement;
+      trial.flip(sid);
+      const double t = ctx.evaluator->evaluate(trial);
+      if (t < latency) {
+        placement = trial;
+        latency = t;
+      }
+    }
+  }
+  return rounds;
+}
+
+ScheduleResult RandomCorrectionScheduler::schedule(const SchedulingContext& ctx) {
+  ScheduleResult r = RandomScheduler().schedule(ctx);
+  const int64_t before = ctx.evaluator->evaluations();
+  r.correction_rounds = correct_placement(ctx, r.placement, r.est_latency_s);
+  r.evaluations += ctx.evaluator->evaluations() - before;
+  return r;
+}
+
+}  // namespace duet

@@ -1,0 +1,47 @@
+// Exhaustive enumeration of all 2^N placements — the "Ideal" reference of
+// the paper's Fig. 13, used to verify that greedy-correction finds the
+// optimal schedule when N is small enough to enumerate.
+
+#include "common/error.hpp"
+#include "sched/scheduler.hpp"
+
+namespace duet {
+
+ScheduleResult ExhaustiveScheduler::schedule(const SchedulingContext& ctx) {
+  const size_t n = ctx.partition->subgraphs.size();
+  DUET_CHECK_LE(static_cast<int>(n), kMaxSubgraphs)
+      << "exhaustive search over 2^" << n << " placements is not feasible";
+  const int64_t evals_before = ctx.evaluator->evaluations();
+
+  ScheduleResult r;
+  r.placement = Placement(n);
+  r.est_latency_s = ctx.evaluator->evaluate(r.placement);
+
+  Placement trial(n);
+  const uint64_t total = 1ull << n;
+  for (uint64_t mask = 1; mask < total; ++mask) {
+    for (size_t i = 0; i < n; ++i) {
+      trial.set(static_cast<int>(i), (mask >> i) & 1 ? DeviceKind::kGpu
+                                                     : DeviceKind::kCpu);
+    }
+    const double t = ctx.evaluator->evaluate(trial);
+    if (t < r.est_latency_s) {
+      r.est_latency_s = t;
+      r.placement = trial;
+    }
+  }
+  r.evaluations = ctx.evaluator->evaluations() - evals_before;
+  return r;
+}
+
+ScheduleResult SingleDeviceScheduler::schedule(const SchedulingContext& ctx) {
+  const size_t n = ctx.partition->subgraphs.size();
+  ScheduleResult r;
+  r.placement = Placement(n, kind_);
+  const int64_t before = ctx.evaluator->evaluations();
+  r.est_latency_s = ctx.evaluator->evaluate(r.placement);
+  r.evaluations = ctx.evaluator->evaluations() - before;
+  return r;
+}
+
+}  // namespace duet

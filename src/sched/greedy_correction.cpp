@@ -1,0 +1,92 @@
+// Greedy-correction scheduling (paper Algorithm 1).
+//
+// Step 1 — place the critical path on the fastest device(s). Sequential-
+//   phase subgraphs are on the critical path by construction: each gets its
+//   faster device. In each multi-path phase the subgraph with the maximum
+//   cost (cost = its faster-device time) joins the critical path and is
+//   placed on that device.
+// Step 2 — greedily place the remaining multi-path subgraphs, largest
+//   first, onto whichever device minimizes the increase of the critical
+//   path (evaluated with measure_latency).
+// Step 3 — correction: iterative swap refinement (correction.cpp).
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "sched/scheduler.hpp"
+
+namespace duet {
+
+ScheduleResult GreedyCorrectionScheduler::schedule(const SchedulingContext& ctx) {
+  const Partition& part = *ctx.partition;
+  const std::vector<SubgraphProfile>& prof = *ctx.profiles;
+  const size_t n = part.subgraphs.size();
+  const int64_t evals_before = ctx.evaluator->evaluations();
+
+  ScheduleResult r;
+  r.placement = Placement(n);
+
+  // --- Step 1: critical path -------------------------------------------------
+  std::vector<bool> placed(n, false);
+  for (const Phase& phase : part.phases) {
+    if (phase.type == PhaseType::kSequential) {
+      for (int sid : phase.subgraphs) {
+        r.placement.set(sid, prof[static_cast<size_t>(sid)].faster_device());
+        placed[static_cast<size_t>(sid)] = true;
+      }
+    } else {
+      int heaviest = -1;
+      double heaviest_cost = -1.0;
+      for (int sid : phase.subgraphs) {
+        const double cost = prof[static_cast<size_t>(sid)].best_time();
+        if (cost > heaviest_cost) {
+          heaviest_cost = cost;
+          heaviest = sid;
+        }
+      }
+      DUET_CHECK_GE(heaviest, 0);
+      r.placement.set(heaviest, prof[static_cast<size_t>(heaviest)].faster_device());
+      placed[static_cast<size_t>(heaviest)] = true;
+    }
+  }
+
+  // --- Step 2: greedy fill ----------------------------------------------------
+  std::vector<int> remaining;
+  for (size_t i = 0; i < n; ++i) {
+    if (!placed[i]) remaining.push_back(static_cast<int>(i));
+  }
+  std::sort(remaining.begin(), remaining.end(), [&](int a, int b) {
+    return prof[static_cast<size_t>(a)].best_time() >
+           prof[static_cast<size_t>(b)].best_time();
+  });
+  // Unplaced subgraphs start on their faster device so early evaluations see
+  // a sane baseline; each is then committed in sorted order.
+  for (int sid : remaining) {
+    r.placement.set(sid, prof[static_cast<size_t>(sid)].faster_device());
+  }
+  for (int sid : remaining) {
+    double best_latency = 0.0;
+    DeviceKind best_kind = DeviceKind::kCpu;
+    for (int k = 0; k < kNumDeviceKinds; ++k) {
+      const DeviceKind kind = static_cast<DeviceKind>(k);
+      r.placement.set(sid, kind);
+      const double t = ctx.evaluator->evaluate(r.placement);
+      if (k == 0 || t < best_latency) {
+        best_latency = t;
+        best_kind = kind;
+      }
+    }
+    r.placement.set(sid, best_kind);
+  }
+
+  r.est_latency_s = ctx.evaluator->evaluate(r.placement);
+
+  // --- Step 3: correction -----------------------------------------------------
+  if (enable_correction_) {
+    r.correction_rounds = correct_placement(ctx, r.placement, r.est_latency_s);
+  }
+  r.evaluations = ctx.evaluator->evaluations() - evals_before;
+  return r;
+}
+
+}  // namespace duet

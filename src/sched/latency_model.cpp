@@ -1,0 +1,179 @@
+#include "sched/latency_model.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+
+#include "common/error.hpp"
+#include "device/calibration.hpp"
+#include "graph/shape_inference.hpp"
+
+namespace duet {
+
+LatencyEvaluator::LatencyEvaluator(const Partition& partition, const Graph& parent,
+                                   const std::vector<SubgraphProfile>& profiles,
+                                   const TransferParams& link,
+                                   const LaneConfig& lanes)
+    : partition_(partition),
+      profiles_(profiles),
+      link_(link),
+      lanes_(lanes),
+      dispatch_overhead_(executor_dispatch_overhead()) {
+  DUET_CHECK_GE(lanes_.of(DeviceKind::kCpu), 1);
+  DUET_CHECK_GE(lanes_.of(DeviceKind::kGpu), 1);
+  DUET_CHECK_EQ(profiles_.size(), partition_.subgraphs.size());
+  const size_t n = partition_.subgraphs.size();
+  deps_.resize(n);
+  input_bytes_.assign(n, 0);
+
+  for (const Subgraph& sub : partition_.subgraphs) {
+    // Aggregate boundary inputs by producer subgraph.
+    std::map<int, uint64_t> by_producer;
+    for (const Subgraph::BoundaryInput& b : sub.boundary_inputs) {
+      const Node& p = parent.node(b.parent_producer);
+      const uint64_t bytes = node_output_bytes(p);
+      if (p.is_input()) {
+        input_bytes_[static_cast<size_t>(sub.id)] += bytes;
+        continue;
+      }
+      const int producer = partition_.producer_subgraph(b.parent_producer);
+      DUET_CHECK_GE(producer, 0) << "boundary producer not owned by any subgraph";
+      by_producer[producer] += bytes;
+    }
+    for (const auto& [producer, bytes] : by_producer) {
+      deps_[static_cast<size_t>(sub.id)].push_back({producer, bytes});
+    }
+  }
+
+  // Bytes each subgraph returns to the user (parent graph outputs it owns).
+  user_output_bytes_.assign(n, 0);
+  for (NodeId out : parent.outputs()) {
+    const int owner = partition_.producer_subgraph(out);
+    DUET_CHECK_GE(owner, 0) << "parent output not owned by any subgraph";
+    user_output_bytes_[static_cast<size_t>(owner)] +=
+        node_output_bytes(parent.node(out));
+  }
+}
+
+uint64_t LatencyEvaluator::edge_bytes(int from, int to) const {
+  for (const Dep& d : deps_[static_cast<size_t>(to)]) {
+    if (d.producer == from) return d.bytes;
+  }
+  return 0;
+}
+
+uint64_t LatencyEvaluator::host_input_bytes(int to) const {
+  return input_bytes_[static_cast<size_t>(to)];
+}
+
+double LatencyEvaluator::evaluate(const Placement& placement,
+                                  std::vector<ScheduleEvent>* events) const {
+  ++evaluations_;
+  const size_t n = partition_.subgraphs.size();
+  DUET_CHECK_EQ(placement.size(), n);
+
+  std::vector<double> ready(n, 0.0);
+  std::vector<double> finish(n, 0.0);
+  std::vector<int> pending(n, 0);
+  std::vector<bool> done(n, false);
+  std::vector<bool> dep_ready(n, false);
+
+  for (size_t i = 0; i < n; ++i) {
+    pending[i] = static_cast<int>(deps_[i].size());
+    const DeviceKind dev = placement.of(static_cast<int>(i));
+    // Host inputs must reach the GPU over the link before it can start.
+    if (dev == DeviceKind::kGpu && input_bytes_[i] > 0) {
+      ready[i] = transfer_time_seconds(input_bytes_[i], link_);
+    }
+    dep_ready[i] = pending[i] == 0;
+  }
+
+  // One free-time entry per execution lane (footnote-2 streams).
+  std::vector<std::vector<double>> lane_free(kNumDeviceKinds);
+  for (int d = 0; d < kNumDeviceKinds; ++d) {
+    lane_free[d].assign(static_cast<size_t>(lanes_.lanes[d]), 0.0);
+  }
+  const auto earliest_lane = [&](DeviceKind dev) {
+    size_t best_lane = 0;
+    const auto& lanes = lane_free[static_cast<int>(dev)];
+    for (size_t l = 1; l < lanes.size(); ++l) {
+      if (lanes[l] < lanes[best_lane]) best_lane = l;
+    }
+    return best_lane;
+  };
+
+  std::vector<ScheduleEvent> schedule;
+  schedule.reserve(n);
+
+  size_t completed = 0;
+  while (completed < n) {
+    // Pick the runnable subgraph with the earliest feasible start; break
+    // ties by phase then id (the executor's FIFO order).
+    int best = -1;
+    double best_start = std::numeric_limits<double>::infinity();
+    for (size_t i = 0; i < n; ++i) {
+      if (done[i] || !dep_ready[i]) continue;
+      const DeviceKind dev = placement.of(static_cast<int>(i));
+      const double start =
+          std::max(ready[i], lane_free[static_cast<int>(dev)][earliest_lane(dev)]);
+      const bool better =
+          start < best_start ||
+          (start == best_start && best >= 0 &&
+           (partition_.subgraphs[i].phase < partition_.subgraphs[static_cast<size_t>(best)].phase ||
+            (partition_.subgraphs[i].phase ==
+                 partition_.subgraphs[static_cast<size_t>(best)].phase &&
+             static_cast<int>(i) < best)));
+      if (better || best < 0) {
+        best = static_cast<int>(i);
+        best_start = start;
+      }
+    }
+    DUET_CHECK_GE(best, 0) << "deadlock: no runnable subgraph (cyclic partition?)";
+
+    const size_t i = static_cast<size_t>(best);
+    const DeviceKind dev = placement.of(best);
+    const double exec = profiles_[i].time_on(dev) + dispatch_overhead_;
+    const double end = best_start + exec;
+    finish[i] = end;
+    done[i] = true;
+    lane_free[static_cast<int>(dev)][earliest_lane(dev)] = end;
+    ++completed;
+    schedule.push_back({best, dev, ready[i], best_start, end});
+
+    // Release consumers.
+    for (size_t j = 0; j < n; ++j) {
+      if (done[j] || dep_ready[j]) continue;
+      for (const Dep& d : deps_[j]) {
+        if (d.producer != best) continue;
+        double avail = end;
+        if (placement.of(static_cast<int>(j)) != dev) {
+          avail += transfer_time_seconds(d.bytes, link_);
+        }
+        ready[j] = std::max(ready[j], avail);
+        if (--pending[j] == 0) dep_ready[j] = true;
+      }
+    }
+  }
+
+  double makespan = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    double end = finish[i];
+    // User-facing results produced on the GPU come back to the host.
+    if (user_output_bytes_[i] > 0 &&
+        placement.of(static_cast<int>(i)) == DeviceKind::kGpu) {
+      end += transfer_time_seconds(user_output_bytes_[i], link_);
+    }
+    makespan = std::max(makespan, end);
+  }
+
+  if (events != nullptr) {
+    std::sort(schedule.begin(), schedule.end(),
+              [](const ScheduleEvent& a, const ScheduleEvent& b) {
+                return a.start < b.start;
+              });
+    *events = std::move(schedule);
+  }
+  return makespan;
+}
+
+}  // namespace duet

@@ -1,0 +1,56 @@
+#include "sched/placement.hpp"
+
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace duet {
+
+DeviceKind Placement::of(int subgraph_id) const {
+  DUET_CHECK(subgraph_id >= 0 && static_cast<size_t>(subgraph_id) < device_.size())
+      << "subgraph id " << subgraph_id << " out of placement range";
+  return device_[static_cast<size_t>(subgraph_id)];
+}
+
+void Placement::set(int subgraph_id, DeviceKind kind) {
+  DUET_CHECK(subgraph_id >= 0 && static_cast<size_t>(subgraph_id) < device_.size());
+  device_[static_cast<size_t>(subgraph_id)] = kind;
+}
+
+void Placement::flip(int subgraph_id) {
+  set(subgraph_id, other_device(of(subgraph_id)));
+}
+
+std::vector<int> Placement::on(DeviceKind kind) const {
+  std::vector<int> out;
+  for (size_t i = 0; i < device_.size(); ++i) {
+    if (device_[i] == kind) out.push_back(static_cast<int>(i));
+  }
+  return out;
+}
+
+bool Placement::single_device() const {
+  for (size_t i = 1; i < device_.size(); ++i) {
+    if (device_[i] != device_[0]) return false;
+  }
+  return true;
+}
+
+std::string Placement::to_string() const {
+  std::ostringstream os;
+  for (int k = 0; k < kNumDeviceKinds; ++k) {
+    const DeviceKind kind = static_cast<DeviceKind>(k);
+    if (k) os << " ";
+    os << (kind == DeviceKind::kCpu ? "CPU={" : "GPU={");
+    bool first = true;
+    for (int id : on(kind)) {
+      if (!first) os << ",";
+      first = false;
+      os << id;
+    }
+    os << "}";
+  }
+  return os.str();
+}
+
+}  // namespace duet

@@ -1,0 +1,40 @@
+#pragma once
+
+// A Placement maps every subgraph of a Partition to a device. This is the
+// object the scheduling algorithms search over and the executor consumes.
+
+#include <string>
+#include <vector>
+
+#include "compiler/cost_model.hpp"
+#include "partition/partitioner.hpp"
+
+namespace duet {
+
+class Placement {
+ public:
+  Placement() = default;
+  explicit Placement(size_t num_subgraphs, DeviceKind fill = DeviceKind::kCpu)
+      : device_(num_subgraphs, fill) {}
+
+  size_t size() const { return device_.size(); }
+  DeviceKind of(int subgraph_id) const;
+  void set(int subgraph_id, DeviceKind kind);
+  void flip(int subgraph_id);
+
+  bool operator==(const Placement& other) const { return device_ == other.device_; }
+  bool operator!=(const Placement& other) const { return !(*this == other); }
+
+  // Subgraph ids on `kind`, ascending.
+  std::vector<int> on(DeviceKind kind) const;
+  // True if every subgraph is on the same device.
+  bool single_device() const;
+
+  // e.g. "GPU={1,3,6} CPU={2,4,5}" (paper Fig. 8 notation).
+  std::string to_string() const;
+
+ private:
+  std::vector<DeviceKind> device_;
+};
+
+}  // namespace duet

@@ -1,0 +1,21 @@
+#include "common/error.hpp"
+#include "sched/scheduler.hpp"
+
+namespace duet {
+
+ScheduleResult RandomScheduler::schedule(const SchedulingContext& ctx) {
+  DUET_CHECK(ctx.rng != nullptr) << "random scheduler needs an Rng";
+  const size_t n = ctx.partition->subgraphs.size();
+  ScheduleResult r;
+  r.placement = Placement(n);
+  for (size_t i = 0; i < n; ++i) {
+    r.placement.set(static_cast<int>(i),
+                    ctx.rng->coin() ? DeviceKind::kCpu : DeviceKind::kGpu);
+  }
+  const int64_t before = ctx.evaluator->evaluations();
+  r.est_latency_s = ctx.evaluator->evaluate(r.placement);
+  r.evaluations = ctx.evaluator->evaluations() - before;
+  return r;
+}
+
+}  // namespace duet

@@ -1,0 +1,19 @@
+#include "sched/scheduler.hpp"
+
+namespace duet {
+
+ScheduleResult RoundRobinScheduler::schedule(const SchedulingContext& ctx) {
+  const size_t n = ctx.partition->subgraphs.size();
+  ScheduleResult r;
+  r.placement = Placement(n);
+  for (size_t i = 0; i < n; ++i) {
+    r.placement.set(static_cast<int>(i),
+                    i % 2 == 0 ? DeviceKind::kGpu : DeviceKind::kCpu);
+  }
+  const int64_t before = ctx.evaluator->evaluations();
+  r.est_latency_s = ctx.evaluator->evaluate(r.placement);
+  r.evaluations = ctx.evaluator->evaluations() - before;
+  return r;
+}
+
+}  // namespace duet

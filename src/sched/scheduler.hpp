@@ -1,0 +1,127 @@
+#pragma once
+
+// Subgraph scheduling algorithms (paper §IV-C and §VI-C):
+//   random            — each subgraph to a random device
+//   round-robin       — alternate CPU / GPU by subgraph order
+//   random+correction — random init, then the iterative correction step
+//   greedy-correction — Algorithm 1 (critical path, greedy fill, correction)
+//   exhaustive        — all 2^N placements (the "Ideal" bar of Fig. 13)
+//   analytic-dp       — stage-wise analytic placement (§IV-C's alternative)
+//   annealing         — simulated annealing over single flips
+//   cpu-only/gpu-only — single-device baselines
+
+#include <memory>
+#include <string>
+
+#include "common/rng.hpp"
+#include "sched/latency_model.hpp"
+
+namespace duet {
+
+struct SchedulingContext {
+  const Partition* partition = nullptr;
+  const std::vector<SubgraphProfile>* profiles = nullptr;
+  LatencyEvaluator* evaluator = nullptr;
+  Rng* rng = nullptr;  // only stochastic schedulers need it
+};
+
+struct ScheduleResult {
+  Placement placement;
+  double est_latency_s = 0.0;
+  int correction_rounds = 0;    // swap rounds performed (0 if no correction)
+  int64_t evaluations = 0;      // measure_latency calls consumed
+};
+
+class Scheduler {
+ public:
+  virtual ~Scheduler() = default;
+  virtual std::string name() const = 0;
+  virtual ScheduleResult schedule(const SchedulingContext& ctx) = 0;
+};
+
+class RandomScheduler : public Scheduler {
+ public:
+  std::string name() const override { return "random"; }
+  ScheduleResult schedule(const SchedulingContext& ctx) override;
+};
+
+class RoundRobinScheduler : public Scheduler {
+ public:
+  std::string name() const override { return "round-robin"; }
+  ScheduleResult schedule(const SchedulingContext& ctx) override;
+};
+
+class RandomCorrectionScheduler : public Scheduler {
+ public:
+  std::string name() const override { return "random+correction"; }
+  ScheduleResult schedule(const SchedulingContext& ctx) override;
+};
+
+class GreedyCorrectionScheduler : public Scheduler {
+ public:
+  // `enable_correction=false` gives the greedy-only ablation.
+  explicit GreedyCorrectionScheduler(bool enable_correction = true)
+      : enable_correction_(enable_correction) {}
+  std::string name() const override {
+    return enable_correction_ ? "greedy-correction" : "greedy-only";
+  }
+  ScheduleResult schedule(const SchedulingContext& ctx) override;
+
+ private:
+  bool enable_correction_;
+};
+
+class ExhaustiveScheduler : public Scheduler {
+ public:
+  // Refuses above this many subgraphs (2^N blowup), matching the paper's
+  // remark that enumeration "may not always be feasible".
+  static constexpr int kMaxSubgraphs = 20;
+  std::string name() const override { return "exhaustive"; }
+  ScheduleResult schedule(const SchedulingContext& ctx) override;
+};
+
+// Simulated annealing over single-subgraph flips — an unstructured search
+// baseline that needs many more evaluations than Algorithm 1.
+class SimulatedAnnealingScheduler : public Scheduler {
+ public:
+  explicit SimulatedAnnealingScheduler(int steps = 200) : steps_(steps) {}
+  std::string name() const override { return "annealing"; }
+  ScheduleResult schedule(const SchedulingContext& ctx) override;
+
+ private:
+  int steps_;
+};
+
+// Analytic stage-wise DP (no measure_latency in the search loop); the
+// paper's discussed alternative to profiling-based correction.
+class AnalyticDpScheduler : public Scheduler {
+ public:
+  std::string name() const override { return "analytic-dp"; }
+  ScheduleResult schedule(const SchedulingContext& ctx) override;
+};
+
+class SingleDeviceScheduler : public Scheduler {
+ public:
+  explicit SingleDeviceScheduler(DeviceKind kind) : kind_(kind) {}
+  std::string name() const override {
+    return kind_ == DeviceKind::kCpu ? "cpu-only" : "gpu-only";
+  }
+  ScheduleResult schedule(const SchedulingContext& ctx) override;
+
+ private:
+  DeviceKind kind_;
+};
+
+// The correction step (Algorithm 1, Step 3), shared by the correction-based
+// schedulers: for each multi-path phase, greedily apply the best
+// swap-or-move while it reduces measured latency. Returns rounds performed
+// and updates `placement` / `latency` in place.
+int correct_placement(const SchedulingContext& ctx, Placement& placement,
+                      double& latency);
+
+// Name-based factory: "random", "round-robin", "random+correction",
+// "greedy-correction", "greedy-only", "exhaustive", "analytic-dp",
+// "annealing", "cpu-only", "gpu-only".
+std::unique_ptr<Scheduler> make_scheduler(const std::string& name);
+
+}  // namespace duet

@@ -1,0 +1,30 @@
+#include "common/error.hpp"
+#include "sched/scheduler.hpp"
+
+namespace duet {
+
+std::unique_ptr<Scheduler> make_scheduler(const std::string& name) {
+  if (name == "random") return std::make_unique<RandomScheduler>();
+  if (name == "round-robin") return std::make_unique<RoundRobinScheduler>();
+  if (name == "random+correction") {
+    return std::make_unique<RandomCorrectionScheduler>();
+  }
+  if (name == "greedy-correction") {
+    return std::make_unique<GreedyCorrectionScheduler>(true);
+  }
+  if (name == "greedy-only") {
+    return std::make_unique<GreedyCorrectionScheduler>(false);
+  }
+  if (name == "exhaustive") return std::make_unique<ExhaustiveScheduler>();
+  if (name == "analytic-dp") return std::make_unique<AnalyticDpScheduler>();
+  if (name == "annealing") return std::make_unique<SimulatedAnnealingScheduler>();
+  if (name == "cpu-only") {
+    return std::make_unique<SingleDeviceScheduler>(DeviceKind::kCpu);
+  }
+  if (name == "gpu-only") {
+    return std::make_unique<SingleDeviceScheduler>(DeviceKind::kGpu);
+  }
+  DUET_THROW("unknown scheduler: " << name);
+}
+
+}  // namespace duet

@@ -1,0 +1,35 @@
+#include "tensor/dtype.hpp"
+
+#include "common/error.hpp"
+
+namespace duet {
+
+size_t dtype_size(DType dtype) {
+  switch (dtype) {
+    case DType::kFloat32:
+      return 4;
+    case DType::kInt32:
+      return 4;
+    case DType::kInt64:
+      return 8;
+    case DType::kUInt8:
+      return 1;
+  }
+  DUET_THROW("unknown dtype");
+}
+
+const char* dtype_name(DType dtype) {
+  switch (dtype) {
+    case DType::kFloat32:
+      return "float32";
+    case DType::kInt32:
+      return "int32";
+    case DType::kInt64:
+      return "int64";
+    case DType::kUInt8:
+      return "uint8";
+  }
+  return "?";
+}
+
+}  // namespace duet

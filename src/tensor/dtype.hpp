@@ -1,0 +1,38 @@
+#pragma once
+
+// Element types supported by the tensor substrate. DNN inference in this
+// reproduction is float32 end-to-end; int32/int64 exist for embedding /
+// lookup indices, mirroring what the paper's workloads need.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace duet {
+
+enum class DType : uint8_t { kFloat32, kInt32, kInt64, kUInt8 };
+
+size_t dtype_size(DType dtype);
+const char* dtype_name(DType dtype);
+
+template <typename T>
+constexpr DType dtype_of();
+
+template <>
+constexpr DType dtype_of<float>() {
+  return DType::kFloat32;
+}
+template <>
+constexpr DType dtype_of<int32_t>() {
+  return DType::kInt32;
+}
+template <>
+constexpr DType dtype_of<int64_t>() {
+  return DType::kInt64;
+}
+template <>
+constexpr DType dtype_of<uint8_t>() {
+  return DType::kUInt8;
+}
+
+}  // namespace duet

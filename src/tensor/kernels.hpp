@@ -1,0 +1,111 @@
+#pragma once
+
+// The CPU kernel library: reference implementations of every tensor operator
+// the model zoo uses. These execute for real (so heterogeneous runs are
+// numerically checkable against single-device runs); the device layer charges
+// *modeled* time for them, since this host is not the paper's testbed.
+//
+// Conventions:
+//   * float32, row-major, NCHW for images, [batch, seq, feature] for
+//     sequences.
+//   * Kernels return freshly allocated tensors; they never alias inputs.
+//   * Shape errors throw duet::Error via DUET_CHECK.
+
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace duet::kernels {
+
+// --- elementwise ------------------------------------------------------------
+Tensor add(const Tensor& a, const Tensor& b);
+Tensor sub(const Tensor& a, const Tensor& b);
+Tensor mul(const Tensor& a, const Tensor& b);
+Tensor relu(const Tensor& x);
+Tensor sigmoid(const Tensor& x);
+Tensor tanh_op(const Tensor& x);
+Tensor gelu(const Tensor& x);
+Tensor add_scalar(const Tensor& x, float s);
+Tensor mul_scalar(const Tensor& x, float s);
+// Adds a [features] bias across the last dimension of x.
+Tensor bias_add(const Tensor& x, const Tensor& bias);
+
+// --- matmul / linear ---------------------------------------------------------
+// C[M,N] = A[M,K] * B[K,N]; cache-blocked with k-inner accumulation.
+Tensor matmul(const Tensor& a, const Tensor& b);
+// Batched: A[B,M,K] * B2[K,N] -> [B,M,N] (shared weight), or
+// A[B,M,K] * B2[B,K,N] -> [B,M,N].
+Tensor batch_matmul(const Tensor& a, const Tensor& b);
+// y = x * W + b where x:[batch, in], W:[in, out], b:[out] (b may be null).
+Tensor linear(const Tensor& x, const Tensor& w, const Tensor& b);
+
+// --- convolution / pooling ---------------------------------------------------
+// x: [N, C, H, W], w: [O, C, kh, kw], bias: [O] or undefined.
+// Dispatches between the direct loop nest (small reduction windows) and the
+// im2col+GEMM lowering (large ones) — the same two strategies real backends
+// pick between.
+Tensor conv2d(const Tensor& x, const Tensor& w, const Tensor& bias, int stride,
+              int padding);
+// The individual strategies, exposed for testing/benchmarks.
+Tensor conv2d_direct(const Tensor& x, const Tensor& w, const Tensor& bias,
+                     int stride, int padding);
+Tensor conv2d_im2col(const Tensor& x, const Tensor& w, const Tensor& bias,
+                     int stride, int padding);
+Tensor max_pool2d(const Tensor& x, int kernel, int stride, int padding);
+Tensor avg_pool2d(const Tensor& x, int kernel, int stride, int padding);
+// [N, C, H, W] -> [N, C]
+Tensor global_avg_pool(const Tensor& x);
+// Inference-mode batch norm folded to scale/shift: y = x * scale[c] + shift[c].
+Tensor batch_norm(const Tensor& x, const Tensor& scale, const Tensor& shift);
+
+// --- recurrent ----------------------------------------------------------------
+// One LSTM step. x:[batch, input], h/c:[batch, hidden].
+// w_ih:[input, 4*hidden], w_hh:[hidden, 4*hidden], bias:[4*hidden].
+// Gate order: input, forget, cell(g), output.
+struct LstmState {
+  Tensor h;
+  Tensor c;
+};
+LstmState lstm_cell(const Tensor& x, const LstmState& state, const Tensor& w_ih,
+                    const Tensor& w_hh, const Tensor& bias);
+// Full sequence: x:[batch, seq, input] -> outputs [batch, seq, hidden]; the
+// final hidden state is written to *final if non-null.
+Tensor lstm(const Tensor& x, const Tensor& w_ih, const Tensor& w_hh,
+            const Tensor& bias, LstmState* final = nullptr);
+// GRU step / sequence; w_ih:[input, 3*hidden], w_hh:[hidden, 3*hidden],
+// gate order: reset, update, new.
+Tensor gru_cell(const Tensor& x, const Tensor& h, const Tensor& w_ih,
+                const Tensor& w_hh, const Tensor& bias);
+Tensor gru(const Tensor& x, const Tensor& w_ih, const Tensor& w_hh,
+           const Tensor& bias);
+// indices:[batch, seq] int32 -> [batch, seq, dim] rows of table:[vocab, dim].
+Tensor embedding(const Tensor& indices, const Tensor& table);
+
+// --- reductions / normalization -----------------------------------------------
+Tensor softmax_lastdim(const Tensor& x);
+Tensor layer_norm(const Tensor& x, const Tensor& gamma, const Tensor& beta,
+                  float eps = 1e-5f);
+// Reduces over `axis`, keeping other dims.
+Tensor reduce_sum(const Tensor& x, int axis);
+Tensor reduce_mean(const Tensor& x, int axis);
+Tensor reduce_max(const Tensor& x, int axis);
+// argmax over last dim -> int32 tensor with last dim removed.
+Tensor argmax_lastdim(const Tensor& x);
+
+// --- shape / data movement ------------------------------------------------------
+Tensor concat(const std::vector<Tensor>& parts, int axis);
+std::vector<Tensor> split(const Tensor& x, int axis, int pieces);
+Tensor transpose2d(const Tensor& x);
+// Permutes [B, S, H*D] -> heads view is internal to attention; this is a
+// general last-two-dims transpose for rank >= 2.
+Tensor transpose_last2(const Tensor& x);
+Tensor flatten(const Tensor& x);  // [N, ...] -> [N, rest]
+Tensor slice_rows(const Tensor& x, int64_t begin, int64_t end);  // axis 0
+
+// --- attention -------------------------------------------------------------------
+// Multi-head self attention over x:[batch, seq, model] with fused qkv weight
+// wqkv:[model, 3*model], output projection wo:[model, model].
+Tensor multi_head_attention(const Tensor& x, const Tensor& wqkv,
+                            const Tensor& wo, int num_heads);
+
+}  // namespace duet::kernels

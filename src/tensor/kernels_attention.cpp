@@ -1,0 +1,98 @@
+#include <cmath>
+#include <cstring>
+
+#include "tensor/kernels.hpp"
+
+namespace duet::kernels {
+namespace {
+
+// Gathers head `h` from fused [batch, seq, heads*dim] into [seq, dim] for a
+// single batch element.
+void gather_head(const float* src, int64_t seq, int64_t heads, int64_t dim,
+                 int64_t h, float* dst) {
+  for (int64_t s = 0; s < seq; ++s) {
+    std::memcpy(dst + s * dim, src + s * heads * dim + h * dim,
+                sizeof(float) * static_cast<size_t>(dim));
+  }
+}
+
+}  // namespace
+
+Tensor multi_head_attention(const Tensor& x, const Tensor& wqkv, const Tensor& wo,
+                            int num_heads) {
+  DUET_CHECK_EQ(x.shape().rank(), 3u) << "attention input must be [batch, seq, model]";
+  const int64_t batch = x.shape().dim(0);
+  const int64_t seq = x.shape().dim(1);
+  const int64_t model = x.shape().dim(2);
+  DUET_CHECK_EQ(wqkv.shape().dim(0), model);
+  DUET_CHECK_EQ(wqkv.shape().dim(1), 3 * model);
+  DUET_CHECK_EQ(model % num_heads, 0) << "model dim must divide heads";
+  const int64_t dim = model / num_heads;
+  const float scale = 1.0f / std::sqrt(static_cast<float>(dim));
+
+  // Fused QKV projection on the flattened [batch*seq, model] view.
+  Tensor qkv = matmul(x.reshaped(Shape{batch * seq, model}), wqkv);
+  const float* pqkv = qkv.data<float>();
+
+  Tensor ctx(Shape{batch, seq, model});
+  float* pctx = ctx.data<float>();
+
+  std::vector<float> q(static_cast<size_t>(seq * dim));
+  std::vector<float> k(static_cast<size_t>(seq * dim));
+  std::vector<float> v(static_cast<size_t>(seq * dim));
+  std::vector<float> scores(static_cast<size_t>(seq * seq));
+
+  for (int64_t b = 0; b < batch; ++b) {
+    const float* base = pqkv + b * seq * 3 * model;
+    for (int64_t h = 0; h < num_heads; ++h) {
+      // The fused projection lays out [q(model) | k(model) | v(model)] per
+      // token; each head's slice is at offset h*dim within its section.
+      for (int64_t s = 0; s < seq; ++s) {
+        const float* tok = base + s * 3 * model;
+        std::memcpy(q.data() + s * dim, tok + h * dim,
+                    sizeof(float) * static_cast<size_t>(dim));
+        std::memcpy(k.data() + s * dim, tok + model + h * dim,
+                    sizeof(float) * static_cast<size_t>(dim));
+        std::memcpy(v.data() + s * dim, tok + 2 * model + h * dim,
+                    sizeof(float) * static_cast<size_t>(dim));
+      }
+      (void)gather_head;  // gather_head retained for tests of layout helpers
+
+      // scores = softmax(Q K^T * scale) row-wise.
+      for (int64_t i = 0; i < seq; ++i) {
+        float mx = -1e30f;
+        for (int64_t j = 0; j < seq; ++j) {
+          float dot = 0.0f;
+          for (int64_t d = 0; d < dim; ++d) dot += q[i * dim + d] * k[j * dim + d];
+          dot *= scale;
+          scores[i * seq + j] = dot;
+          if (dot > mx) mx = dot;
+        }
+        float sum = 0.0f;
+        for (int64_t j = 0; j < seq; ++j) {
+          scores[i * seq + j] = std::exp(scores[i * seq + j] - mx);
+          sum += scores[i * seq + j];
+        }
+        const float inv = 1.0f / sum;
+        for (int64_t j = 0; j < seq; ++j) scores[i * seq + j] *= inv;
+      }
+
+      // ctx_head = scores * V, scattered back into the fused layout.
+      for (int64_t i = 0; i < seq; ++i) {
+        float* dst = pctx + (b * seq + i) * model + h * dim;
+        for (int64_t d = 0; d < dim; ++d) dst[d] = 0.0f;
+        for (int64_t j = 0; j < seq; ++j) {
+          const float w = scores[i * seq + j];
+          const float* vr = v.data() + j * dim;
+          for (int64_t d = 0; d < dim; ++d) dst[d] += w * vr[d];
+        }
+      }
+    }
+  }
+
+  // Output projection.
+  Tensor out = matmul(ctx.reshaped(Shape{batch * seq, model}), wo);
+  return out.reshaped(Shape{batch, seq, model});
+}
+
+}  // namespace duet::kernels

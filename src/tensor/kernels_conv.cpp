@@ -1,0 +1,271 @@
+#include <algorithm>
+#include <limits>
+
+#include "common/threadpool.hpp"
+#include "tensor/kernels.hpp"
+
+namespace duet::kernels {
+namespace {
+
+int64_t conv_out_dim(int64_t in, int64_t kernel, int64_t stride, int64_t pad) {
+  return (in + 2 * pad - kernel) / stride + 1;
+}
+
+}  // namespace
+
+Tensor conv2d(const Tensor& x, const Tensor& w, const Tensor& bias, int stride,
+              int padding) {
+  // Heuristic mirror of real backends: once the per-output reduction
+  // (C * kh * kw) is long enough, the GEMM formulation's cache blocking wins
+  // over the direct loop nest despite the im2col materialization.
+  const int64_t reduction = w.shape().numel() / w.shape().dim(0);
+  if (reduction >= 64) return conv2d_im2col(x, w, bias, stride, padding);
+  return conv2d_direct(x, w, bias, stride, padding);
+}
+
+Tensor conv2d_direct(const Tensor& x, const Tensor& w, const Tensor& bias,
+                     int stride, int padding) {
+  DUET_CHECK_EQ(x.shape().rank(), 4u) << "conv2d input must be NCHW";
+  DUET_CHECK_EQ(w.shape().rank(), 4u) << "conv2d weight must be OIHW";
+  DUET_CHECK_GE(stride, 1);
+  DUET_CHECK_GE(padding, 0);
+  const int64_t n = x.shape().dim(0);
+  const int64_t c = x.shape().dim(1);
+  const int64_t h = x.shape().dim(2);
+  const int64_t wd = x.shape().dim(3);
+  const int64_t oc = w.shape().dim(0);
+  DUET_CHECK_EQ(w.shape().dim(1), c) << "conv2d channel mismatch";
+  const int64_t kh = w.shape().dim(2);
+  const int64_t kw = w.shape().dim(3);
+  const int64_t oh = conv_out_dim(h, kh, stride, padding);
+  const int64_t ow = conv_out_dim(wd, kw, stride, padding);
+  DUET_CHECK_GT(oh, 0);
+  DUET_CHECK_GT(ow, 0);
+  if (bias.defined()) DUET_CHECK_EQ(bias.shape().dim(0), oc);
+
+  Tensor out(Shape{n, oc, oh, ow});
+  const float* px = x.data<float>();
+  const float* pw = w.data<float>();
+  const float* pb = bias.defined() ? bias.data<float>() : nullptr;
+  float* po = out.data<float>();
+
+  // Direct convolution, parallelized over (image, output channel) pairs;
+  // the hot inner loops stay contiguous over kw and ow.
+  const auto job = [&](size_t idx) {
+    const int64_t ni = static_cast<int64_t>(idx) / oc;
+    const int64_t o = static_cast<int64_t>(idx) % oc;
+    const float* img = px + ni * c * h * wd;
+    const float* ker = pw + o * c * kh * kw;
+    float* dst = po + (ni * oc + o) * oh * ow;
+    const float b0 = pb ? pb[o] : 0.0f;
+    for (int64_t y = 0; y < oh; ++y) {
+      for (int64_t xo = 0; xo < ow; ++xo) {
+        float acc = b0;
+        const int64_t iy0 = y * stride - padding;
+        const int64_t ix0 = xo * stride - padding;
+        for (int64_t ci = 0; ci < c; ++ci) {
+          const float* plane = img + ci * h * wd;
+          const float* kplane = ker + ci * kh * kw;
+          for (int64_t ky = 0; ky < kh; ++ky) {
+            const int64_t iy = iy0 + ky;
+            if (iy < 0 || iy >= h) continue;
+            const float* row = plane + iy * wd;
+            const float* krow = kplane + ky * kw;
+            for (int64_t kx = 0; kx < kw; ++kx) {
+              const int64_t ix = ix0 + kx;
+              if (ix < 0 || ix >= wd) continue;
+              acc += row[ix] * krow[kx];
+            }
+          }
+        }
+        dst[y * ow + xo] = acc;
+      }
+    }
+  };
+  global_thread_pool().parallel_for(static_cast<size_t>(n * oc), job);
+  return out;
+}
+
+Tensor conv2d_im2col(const Tensor& x, const Tensor& w, const Tensor& bias,
+                     int stride, int padding) {
+  DUET_CHECK_EQ(x.shape().rank(), 4u) << "conv2d input must be NCHW";
+  DUET_CHECK_EQ(w.shape().rank(), 4u) << "conv2d weight must be OIHW";
+  const int64_t n = x.shape().dim(0);
+  const int64_t c = x.shape().dim(1);
+  const int64_t h = x.shape().dim(2);
+  const int64_t wd = x.shape().dim(3);
+  const int64_t oc = w.shape().dim(0);
+  DUET_CHECK_EQ(w.shape().dim(1), c) << "conv2d channel mismatch";
+  const int64_t kh = w.shape().dim(2);
+  const int64_t kw = w.shape().dim(3);
+  const int64_t oh = conv_out_dim(h, kh, stride, padding);
+  const int64_t ow = conv_out_dim(wd, kw, stride, padding);
+  DUET_CHECK(oh > 0 && ow > 0) << "conv2d output collapsed";
+  if (bias.defined()) DUET_CHECK_EQ(bias.shape().dim(0), oc);
+
+  const int64_t patch = c * kh * kw;  // reduction length
+  Tensor out(Shape{n, oc, oh, ow});
+  const float* pw = w.data<float>();
+  const float* pb = bias.defined() ? bias.data<float>() : nullptr;
+
+  // Per image: scatter input windows into the [oh*ow, patch] patch matrix,
+  // multiply against the [patch, oc] weight view, transpose into NCHW.
+  Tensor patches(Shape{oh * ow, patch});
+  // Weight reshaped to [patch, oc] once (transposed view of [oc, patch]).
+  Tensor wt(Shape{patch, oc});
+  {
+    float* pwt = wt.data<float>();
+    for (int64_t o = 0; o < oc; ++o) {
+      for (int64_t p = 0; p < patch; ++p) pwt[p * oc + o] = pw[o * patch + p];
+    }
+  }
+
+  for (int64_t ni = 0; ni < n; ++ni) {
+    const float* img = x.data<float>() + ni * c * h * wd;
+    float* pp = patches.data<float>();
+    const auto fill_row = [&](size_t row_sz) {
+      const int64_t row = static_cast<int64_t>(row_sz);
+      const int64_t y = row / ow;
+      const int64_t xo = row % ow;
+      float* dst = pp + row * patch;
+      const int64_t iy0 = y * stride - padding;
+      const int64_t ix0 = xo * stride - padding;
+      int64_t idx = 0;
+      for (int64_t ci = 0; ci < c; ++ci) {
+        const float* plane = img + ci * h * wd;
+        for (int64_t ky = 0; ky < kh; ++ky) {
+          const int64_t iy = iy0 + ky;
+          for (int64_t kx = 0; kx < kw; ++kx, ++idx) {
+            const int64_t ix = ix0 + kx;
+            dst[idx] = (iy < 0 || iy >= h || ix < 0 || ix >= wd)
+                           ? 0.0f
+                           : plane[iy * wd + ix];
+          }
+        }
+      }
+    };
+    global_thread_pool().parallel_for(static_cast<size_t>(oh * ow), fill_row);
+
+    // [oh*ow, patch] x [patch, oc] = [oh*ow, oc]
+    const Tensor gemm_out = matmul(patches, wt);
+    const float* pg = gemm_out.data<float>();
+    float* po = out.data<float>() + ni * oc * oh * ow;
+    for (int64_t o = 0; o < oc; ++o) {
+      const float b0 = pb ? pb[o] : 0.0f;
+      float* dst = po + o * oh * ow;
+      for (int64_t i = 0; i < oh * ow; ++i) dst[i] = pg[i * oc + o] + b0;
+    }
+  }
+  return out;
+}
+
+Tensor max_pool2d(const Tensor& x, int kernel, int stride, int padding) {
+  DUET_CHECK_EQ(x.shape().rank(), 4u);
+  const int64_t n = x.shape().dim(0);
+  const int64_t c = x.shape().dim(1);
+  const int64_t h = x.shape().dim(2);
+  const int64_t w = x.shape().dim(3);
+  const int64_t oh = conv_out_dim(h, kernel, stride, padding);
+  const int64_t ow = conv_out_dim(w, kernel, stride, padding);
+  Tensor out(Shape{n, c, oh, ow});
+  const float* px = x.data<float>();
+  float* po = out.data<float>();
+  for (int64_t plane = 0; plane < n * c; ++plane) {
+    const float* src = px + plane * h * w;
+    float* dst = po + plane * oh * ow;
+    for (int64_t y = 0; y < oh; ++y) {
+      for (int64_t xo = 0; xo < ow; ++xo) {
+        float best = -std::numeric_limits<float>::infinity();
+        for (int64_t ky = 0; ky < kernel; ++ky) {
+          const int64_t iy = y * stride - padding + ky;
+          if (iy < 0 || iy >= h) continue;
+          for (int64_t kx = 0; kx < kernel; ++kx) {
+            const int64_t ix = xo * stride - padding + kx;
+            if (ix < 0 || ix >= w) continue;
+            best = std::max(best, src[iy * w + ix]);
+          }
+        }
+        dst[y * ow + xo] = best;
+      }
+    }
+  }
+  return out;
+}
+
+Tensor avg_pool2d(const Tensor& x, int kernel, int stride, int padding) {
+  DUET_CHECK_EQ(x.shape().rank(), 4u);
+  const int64_t n = x.shape().dim(0);
+  const int64_t c = x.shape().dim(1);
+  const int64_t h = x.shape().dim(2);
+  const int64_t w = x.shape().dim(3);
+  const int64_t oh = conv_out_dim(h, kernel, stride, padding);
+  const int64_t ow = conv_out_dim(w, kernel, stride, padding);
+  Tensor out(Shape{n, c, oh, ow});
+  const float* px = x.data<float>();
+  float* po = out.data<float>();
+  for (int64_t plane = 0; plane < n * c; ++plane) {
+    const float* src = px + plane * h * w;
+    float* dst = po + plane * oh * ow;
+    for (int64_t y = 0; y < oh; ++y) {
+      for (int64_t xo = 0; xo < ow; ++xo) {
+        float acc = 0.0f;
+        int64_t cnt = 0;
+        for (int64_t ky = 0; ky < kernel; ++ky) {
+          const int64_t iy = y * stride - padding + ky;
+          if (iy < 0 || iy >= h) continue;
+          for (int64_t kx = 0; kx < kernel; ++kx) {
+            const int64_t ix = xo * stride - padding + kx;
+            if (ix < 0 || ix >= w) continue;
+            acc += src[iy * w + ix];
+            ++cnt;
+          }
+        }
+        dst[y * ow + xo] = cnt > 0 ? acc / static_cast<float>(cnt) : 0.0f;
+      }
+    }
+  }
+  return out;
+}
+
+Tensor global_avg_pool(const Tensor& x) {
+  DUET_CHECK_EQ(x.shape().rank(), 4u);
+  const int64_t n = x.shape().dim(0);
+  const int64_t c = x.shape().dim(1);
+  const int64_t hw = x.shape().dim(2) * x.shape().dim(3);
+  Tensor out(Shape{n, c});
+  const float* px = x.data<float>();
+  float* po = out.data<float>();
+  for (int64_t plane = 0; plane < n * c; ++plane) {
+    const float* src = px + plane * hw;
+    float acc = 0.0f;
+    for (int64_t i = 0; i < hw; ++i) acc += src[i];
+    po[plane] = acc / static_cast<float>(hw);
+  }
+  return out;
+}
+
+Tensor batch_norm(const Tensor& x, const Tensor& scale, const Tensor& shift) {
+  DUET_CHECK_EQ(x.shape().rank(), 4u);
+  const int64_t n = x.shape().dim(0);
+  const int64_t c = x.shape().dim(1);
+  const int64_t hw = x.shape().dim(2) * x.shape().dim(3);
+  DUET_CHECK_EQ(scale.shape().dim(0), c);
+  DUET_CHECK_EQ(shift.shape().dim(0), c);
+  Tensor out(x.shape());
+  const float* px = x.data<float>();
+  const float* ps = scale.data<float>();
+  const float* pf = shift.data<float>();
+  float* po = out.data<float>();
+  for (int64_t ni = 0; ni < n; ++ni) {
+    for (int64_t ci = 0; ci < c; ++ci) {
+      const float s = ps[ci];
+      const float f = pf[ci];
+      const float* src = px + (ni * c + ci) * hw;
+      float* dst = po + (ni * c + ci) * hw;
+      for (int64_t i = 0; i < hw; ++i) dst[i] = src[i] * s + f;
+    }
+  }
+  return out;
+}
+
+}  // namespace duet::kernels

@@ -1,0 +1,93 @@
+#include <cmath>
+
+#include "tensor/kernels.hpp"
+
+namespace duet::kernels {
+namespace {
+
+// Shared skeleton for binary elementwise kernels with identical shapes.
+template <typename F>
+Tensor binary_op(const Tensor& a, const Tensor& b, F&& f) {
+  DUET_CHECK(a.shape() == b.shape())
+      << "elementwise shape mismatch: " << a.shape().to_string() << " vs "
+      << b.shape().to_string();
+  Tensor out(a.shape());
+  const float* pa = a.data<float>();
+  const float* pb = b.data<float>();
+  float* po = out.data<float>();
+  const int64_t n = a.numel();
+  for (int64_t i = 0; i < n; ++i) po[i] = f(pa[i], pb[i]);
+  return out;
+}
+
+template <typename F>
+Tensor unary_op(const Tensor& x, F&& f) {
+  Tensor out(x.shape());
+  const float* px = x.data<float>();
+  float* po = out.data<float>();
+  const int64_t n = x.numel();
+  for (int64_t i = 0; i < n; ++i) po[i] = f(px[i]);
+  return out;
+}
+
+}  // namespace
+
+Tensor add(const Tensor& a, const Tensor& b) {
+  return binary_op(a, b, [](float x, float y) { return x + y; });
+}
+
+Tensor sub(const Tensor& a, const Tensor& b) {
+  return binary_op(a, b, [](float x, float y) { return x - y; });
+}
+
+Tensor mul(const Tensor& a, const Tensor& b) {
+  return binary_op(a, b, [](float x, float y) { return x * y; });
+}
+
+Tensor relu(const Tensor& x) {
+  return unary_op(x, [](float v) { return v > 0.0f ? v : 0.0f; });
+}
+
+Tensor sigmoid(const Tensor& x) {
+  return unary_op(x, [](float v) { return 1.0f / (1.0f + std::exp(-v)); });
+}
+
+Tensor tanh_op(const Tensor& x) {
+  return unary_op(x, [](float v) { return std::tanh(v); });
+}
+
+Tensor gelu(const Tensor& x) {
+  // tanh approximation (as used by BERT-family models).
+  return unary_op(x, [](float v) {
+    const float c = 0.7978845608f;  // sqrt(2/pi)
+    return 0.5f * v * (1.0f + std::tanh(c * (v + 0.044715f * v * v * v)));
+  });
+}
+
+Tensor add_scalar(const Tensor& x, float s) {
+  return unary_op(x, [s](float v) { return v + s; });
+}
+
+Tensor mul_scalar(const Tensor& x, float s) {
+  return unary_op(x, [s](float v) { return v * s; });
+}
+
+Tensor bias_add(const Tensor& x, const Tensor& bias) {
+  DUET_CHECK_GE(x.shape().rank(), 1u);
+  DUET_CHECK_EQ(bias.shape().rank(), 1u);
+  const int64_t features = x.shape().dim(x.shape().rank() - 1);
+  DUET_CHECK_EQ(bias.shape().dim(0), features) << "bias width mismatch";
+  Tensor out(x.shape());
+  const float* px = x.data<float>();
+  const float* pb = bias.data<float>();
+  float* po = out.data<float>();
+  const int64_t rows = x.numel() / features;
+  for (int64_t r = 0; r < rows; ++r) {
+    const float* src = px + r * features;
+    float* dst = po + r * features;
+    for (int64_t c = 0; c < features; ++c) dst[c] = src[c] + pb[c];
+  }
+  return out;
+}
+
+}  // namespace duet::kernels

@@ -1,0 +1,89 @@
+#include <algorithm>
+#include <cstring>
+
+#include "common/threadpool.hpp"
+#include "tensor/kernels.hpp"
+
+namespace duet::kernels {
+namespace {
+
+// Blocked GEMM: C[M,N] += A[M,K] * B[K,N]. i-k-j loop order keeps the B row
+// streaming through cache and lets the compiler vectorize the j loop.
+// Blocking over K and N bounds the working set to L1/L2-friendly tiles.
+void gemm(const float* a, const float* b, float* c, int64_t m, int64_t k,
+          int64_t n) {
+  constexpr int64_t kBlockK = 256;
+  constexpr int64_t kBlockN = 512;
+  std::memset(c, 0, sizeof(float) * static_cast<size_t>(m * n));
+  const auto row_job = [&](size_t i_sz) {
+    const int64_t i = static_cast<int64_t>(i_sz);
+    float* crow = c + i * n;
+    for (int64_t k0 = 0; k0 < k; k0 += kBlockK) {
+      const int64_t k1 = std::min(k0 + kBlockK, k);
+      for (int64_t n0 = 0; n0 < n; n0 += kBlockN) {
+        const int64_t n1 = std::min(n0 + kBlockN, n);
+        for (int64_t kk = k0; kk < k1; ++kk) {
+          const float av = a[i * k + kk];
+          const float* brow = b + kk * n;
+          for (int64_t j = n0; j < n1; ++j) crow[j] += av * brow[j];
+        }
+      }
+    }
+  };
+  // Rows are independent; parallelize when the matrix is worth it.
+  if (m * k * n >= (64LL << 10)) {
+    global_thread_pool().parallel_for(static_cast<size_t>(m), row_job);
+  } else {
+    for (int64_t i = 0; i < m; ++i) row_job(static_cast<size_t>(i));
+  }
+}
+
+}  // namespace
+
+Tensor matmul(const Tensor& a, const Tensor& b) {
+  DUET_CHECK_EQ(a.shape().rank(), 2u) << "matmul lhs must be rank 2";
+  DUET_CHECK_EQ(b.shape().rank(), 2u) << "matmul rhs must be rank 2";
+  const int64_t m = a.shape().dim(0);
+  const int64_t k = a.shape().dim(1);
+  DUET_CHECK_EQ(b.shape().dim(0), k) << "matmul inner dim mismatch";
+  const int64_t n = b.shape().dim(1);
+  Tensor out(Shape{m, n});
+  gemm(a.data<float>(), b.data<float>(), out.data<float>(), m, k, n);
+  return out;
+}
+
+Tensor batch_matmul(const Tensor& a, const Tensor& b) {
+  DUET_CHECK_EQ(a.shape().rank(), 3u) << "batch_matmul lhs must be rank 3";
+  const int64_t batch = a.shape().dim(0);
+  const int64_t m = a.shape().dim(1);
+  const int64_t k = a.shape().dim(2);
+  int64_t n = 0;
+  bool shared_rhs = false;
+  if (b.shape().rank() == 2) {
+    DUET_CHECK_EQ(b.shape().dim(0), k);
+    n = b.shape().dim(1);
+    shared_rhs = true;
+  } else {
+    DUET_CHECK_EQ(b.shape().rank(), 3u);
+    DUET_CHECK_EQ(b.shape().dim(0), batch);
+    DUET_CHECK_EQ(b.shape().dim(1), k);
+    n = b.shape().dim(2);
+  }
+  Tensor out(Shape{batch, m, n});
+  const float* pa = a.data<float>();
+  const float* pb = b.data<float>();
+  float* po = out.data<float>();
+  for (int64_t bi = 0; bi < batch; ++bi) {
+    const float* bptr = shared_rhs ? pb : pb + bi * k * n;
+    gemm(pa + bi * m * k, bptr, po + bi * m * n, m, k, n);
+  }
+  return out;
+}
+
+Tensor linear(const Tensor& x, const Tensor& w, const Tensor& b) {
+  Tensor y = matmul(x, w);
+  if (b.defined()) y = bias_add(y, b);
+  return y;
+}
+
+}  // namespace duet::kernels

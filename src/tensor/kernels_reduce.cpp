@@ -1,0 +1,154 @@
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "tensor/kernels.hpp"
+
+namespace duet::kernels {
+namespace {
+
+// Decomposes a shape around `axis` into (outer, axis_len, inner) so a
+// reduction can walk src[o * axis_len * inner + a * inner + i].
+struct AxisView {
+  int64_t outer = 1;
+  int64_t len = 1;
+  int64_t inner = 1;
+};
+
+AxisView axis_view(const Shape& shape, int axis) {
+  DUET_CHECK(axis >= 0 && static_cast<size_t>(axis) < shape.rank())
+      << "reduce axis " << axis << " out of range for " << shape.to_string();
+  AxisView v;
+  for (size_t i = 0; i < shape.rank(); ++i) {
+    if (static_cast<int>(i) < axis) {
+      v.outer *= shape.dim(i);
+    } else if (static_cast<int>(i) == axis) {
+      v.len = shape.dim(i);
+    } else {
+      v.inner *= shape.dim(i);
+    }
+  }
+  return v;
+}
+
+Shape drop_axis(const Shape& shape, int axis) {
+  std::vector<int64_t> dims;
+  for (size_t i = 0; i < shape.rank(); ++i) {
+    if (static_cast<int>(i) != axis) dims.push_back(shape.dim(i));
+  }
+  if (dims.empty()) dims.push_back(1);
+  return Shape(std::move(dims));
+}
+
+template <typename Init, typename Fold, typename Finish>
+Tensor reduce_impl(const Tensor& x, int axis, Init init, Fold fold, Finish fin) {
+  const AxisView v = axis_view(x.shape(), axis);
+  Tensor out(drop_axis(x.shape(), axis));
+  const float* px = x.data<float>();
+  float* po = out.data<float>();
+  for (int64_t o = 0; o < v.outer; ++o) {
+    for (int64_t i = 0; i < v.inner; ++i) {
+      float acc = init();
+      for (int64_t a = 0; a < v.len; ++a) {
+        acc = fold(acc, px[(o * v.len + a) * v.inner + i]);
+      }
+      po[o * v.inner + i] = fin(acc, v.len);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Tensor softmax_lastdim(const Tensor& x) {
+  DUET_CHECK_GE(x.shape().rank(), 1u);
+  const int64_t features = x.shape().dim(x.shape().rank() - 1);
+  const int64_t rows = x.numel() / features;
+  Tensor out(x.shape());
+  const float* px = x.data<float>();
+  float* po = out.data<float>();
+  for (int64_t r = 0; r < rows; ++r) {
+    const float* src = px + r * features;
+    float* dst = po + r * features;
+    float mx = -std::numeric_limits<float>::infinity();
+    for (int64_t i = 0; i < features; ++i) mx = std::max(mx, src[i]);
+    float sum = 0.0f;
+    for (int64_t i = 0; i < features; ++i) {
+      dst[i] = std::exp(src[i] - mx);
+      sum += dst[i];
+    }
+    const float inv = 1.0f / sum;
+    for (int64_t i = 0; i < features; ++i) dst[i] *= inv;
+  }
+  return out;
+}
+
+Tensor layer_norm(const Tensor& x, const Tensor& gamma, const Tensor& beta,
+                  float eps) {
+  const int64_t features = x.shape().dim(x.shape().rank() - 1);
+  DUET_CHECK_EQ(gamma.shape().dim(0), features);
+  DUET_CHECK_EQ(beta.shape().dim(0), features);
+  const int64_t rows = x.numel() / features;
+  Tensor out(x.shape());
+  const float* px = x.data<float>();
+  const float* pg = gamma.data<float>();
+  const float* pb = beta.data<float>();
+  float* po = out.data<float>();
+  for (int64_t r = 0; r < rows; ++r) {
+    const float* src = px + r * features;
+    float* dst = po + r * features;
+    float mean = 0.0f;
+    for (int64_t i = 0; i < features; ++i) mean += src[i];
+    mean /= static_cast<float>(features);
+    float var = 0.0f;
+    for (int64_t i = 0; i < features; ++i) {
+      const float d = src[i] - mean;
+      var += d * d;
+    }
+    var /= static_cast<float>(features);
+    const float inv = 1.0f / std::sqrt(var + eps);
+    for (int64_t i = 0; i < features; ++i) {
+      dst[i] = (src[i] - mean) * inv * pg[i] + pb[i];
+    }
+  }
+  return out;
+}
+
+Tensor reduce_sum(const Tensor& x, int axis) {
+  return reduce_impl(
+      x, axis, [] { return 0.0f; }, [](float a, float v) { return a + v; },
+      [](float a, int64_t) { return a; });
+}
+
+Tensor reduce_mean(const Tensor& x, int axis) {
+  return reduce_impl(
+      x, axis, [] { return 0.0f; }, [](float a, float v) { return a + v; },
+      [](float a, int64_t n) { return a / static_cast<float>(n); });
+}
+
+Tensor reduce_max(const Tensor& x, int axis) {
+  return reduce_impl(
+      x, axis, [] { return -std::numeric_limits<float>::infinity(); },
+      [](float a, float v) { return std::max(a, v); },
+      [](float a, int64_t) { return a; });
+}
+
+Tensor argmax_lastdim(const Tensor& x) {
+  const int64_t features = x.shape().dim(x.shape().rank() - 1);
+  const int64_t rows = x.numel() / features;
+  Shape out_shape = drop_axis(x.shape(), static_cast<int>(x.shape().rank()) - 1);
+  Tensor out(out_shape, DType::kInt32);
+  const float* px = x.data<float>();
+  int32_t* po = out.data<int32_t>();
+  for (int64_t r = 0; r < rows; ++r) {
+    const float* src = px + r * features;
+    int64_t best = 0;
+    for (int64_t i = 1; i < features; ++i) {
+      if (src[i] > src[best]) best = i;
+    }
+    po[r] = static_cast<int32_t>(best);
+  }
+  return out;
+}
+
+}  // namespace duet::kernels

@@ -1,0 +1,153 @@
+#include <cmath>
+#include <cstring>
+
+#include "tensor/kernels.hpp"
+
+namespace duet::kernels {
+namespace {
+
+float sigmoid_f(float v) { return 1.0f / (1.0f + std::exp(-v)); }
+
+// Extracts timestep `t` of x:[batch, seq, input] as [batch, input].
+Tensor timestep(const Tensor& x, int64_t t) {
+  const int64_t batch = x.shape().dim(0);
+  const int64_t seq = x.shape().dim(1);
+  const int64_t input = x.shape().dim(2);
+  DUET_CHECK_LT(t, seq);
+  Tensor out(Shape{batch, input});
+  const float* px = x.data<float>();
+  float* po = out.data<float>();
+  for (int64_t b = 0; b < batch; ++b) {
+    std::memcpy(po + b * input, px + (b * seq + t) * input,
+                sizeof(float) * static_cast<size_t>(input));
+  }
+  return out;
+}
+
+}  // namespace
+
+LstmState lstm_cell(const Tensor& x, const LstmState& state, const Tensor& w_ih,
+                    const Tensor& w_hh, const Tensor& bias) {
+  const int64_t batch = x.shape().dim(0);
+  const int64_t hidden = state.h.shape().dim(1);
+  DUET_CHECK_EQ(w_ih.shape().dim(1), 4 * hidden) << "w_ih gate width";
+  DUET_CHECK_EQ(w_hh.shape().dim(0), hidden);
+  DUET_CHECK_EQ(w_hh.shape().dim(1), 4 * hidden);
+
+  // gates = x*W_ih + h*W_hh + b : [batch, 4*hidden]
+  Tensor gates = add(matmul(x, w_ih), matmul(state.h, w_hh));
+  if (bias.defined()) gates = bias_add(gates, bias);
+
+  LstmState next{Tensor(Shape{batch, hidden}), Tensor(Shape{batch, hidden})};
+  const float* pg = gates.data<float>();
+  const float* pc = state.c.data<float>();
+  float* ph = next.h.data<float>();
+  float* pcn = next.c.data<float>();
+  for (int64_t b = 0; b < batch; ++b) {
+    const float* g = pg + b * 4 * hidden;
+    for (int64_t j = 0; j < hidden; ++j) {
+      const float i_g = sigmoid_f(g[j]);
+      const float f_g = sigmoid_f(g[hidden + j]);
+      const float g_g = std::tanh(g[2 * hidden + j]);
+      const float o_g = sigmoid_f(g[3 * hidden + j]);
+      const float c_new = f_g * pc[b * hidden + j] + i_g * g_g;
+      pcn[b * hidden + j] = c_new;
+      ph[b * hidden + j] = o_g * std::tanh(c_new);
+    }
+  }
+  return next;
+}
+
+Tensor lstm(const Tensor& x, const Tensor& w_ih, const Tensor& w_hh,
+            const Tensor& bias, LstmState* final) {
+  DUET_CHECK_EQ(x.shape().rank(), 3u) << "lstm input must be [batch, seq, input]";
+  const int64_t batch = x.shape().dim(0);
+  const int64_t seq = x.shape().dim(1);
+  const int64_t hidden = w_hh.shape().dim(0);
+
+  LstmState state{Tensor::zeros(Shape{batch, hidden}),
+                  Tensor::zeros(Shape{batch, hidden})};
+  Tensor out(Shape{batch, seq, hidden});
+  float* po = out.data<float>();
+  for (int64_t t = 0; t < seq; ++t) {
+    state = lstm_cell(timestep(x, t), state, w_ih, w_hh, bias);
+    const float* ph = state.h.data<float>();
+    for (int64_t b = 0; b < batch; ++b) {
+      std::memcpy(po + (b * seq + t) * hidden, ph + b * hidden,
+                  sizeof(float) * static_cast<size_t>(hidden));
+    }
+  }
+  if (final != nullptr) *final = state;
+  return out;
+}
+
+Tensor gru_cell(const Tensor& x, const Tensor& h, const Tensor& w_ih,
+                const Tensor& w_hh, const Tensor& bias) {
+  const int64_t batch = x.shape().dim(0);
+  const int64_t hidden = h.shape().dim(1);
+  DUET_CHECK_EQ(w_ih.shape().dim(1), 3 * hidden);
+  DUET_CHECK_EQ(w_hh.shape().dim(1), 3 * hidden);
+
+  Tensor gi = matmul(x, w_ih);  // [batch, 3*hidden]
+  Tensor gh = matmul(h, w_hh);
+  if (bias.defined()) gi = bias_add(gi, bias);
+
+  Tensor out(Shape{batch, hidden});
+  const float* pgi = gi.data<float>();
+  const float* pgh = gh.data<float>();
+  const float* ph = h.data<float>();
+  float* po = out.data<float>();
+  for (int64_t b = 0; b < batch; ++b) {
+    const float* gi_b = pgi + b * 3 * hidden;
+    const float* gh_b = pgh + b * 3 * hidden;
+    for (int64_t j = 0; j < hidden; ++j) {
+      const float r = sigmoid_f(gi_b[j] + gh_b[j]);
+      const float z = sigmoid_f(gi_b[hidden + j] + gh_b[hidden + j]);
+      const float n = std::tanh(gi_b[2 * hidden + j] + r * gh_b[2 * hidden + j]);
+      po[b * hidden + j] = (1.0f - z) * n + z * ph[b * hidden + j];
+    }
+  }
+  return out;
+}
+
+Tensor gru(const Tensor& x, const Tensor& w_ih, const Tensor& w_hh,
+           const Tensor& bias) {
+  DUET_CHECK_EQ(x.shape().rank(), 3u);
+  const int64_t batch = x.shape().dim(0);
+  const int64_t seq = x.shape().dim(1);
+  const int64_t hidden = w_hh.shape().dim(0);
+  Tensor h = Tensor::zeros(Shape{batch, hidden});
+  Tensor out(Shape{batch, seq, hidden});
+  float* po = out.data<float>();
+  for (int64_t t = 0; t < seq; ++t) {
+    h = gru_cell(timestep(x, t), h, w_ih, w_hh, bias);
+    const float* ph = h.data<float>();
+    for (int64_t b = 0; b < batch; ++b) {
+      std::memcpy(po + (b * seq + t) * hidden, ph + b * hidden,
+                  sizeof(float) * static_cast<size_t>(hidden));
+    }
+  }
+  return out;
+}
+
+Tensor embedding(const Tensor& indices, const Tensor& table) {
+  DUET_CHECK_EQ(indices.shape().rank(), 2u) << "indices must be [batch, seq]";
+  DUET_CHECK_EQ(table.shape().rank(), 2u);
+  DUET_CHECK(indices.dtype() == DType::kInt32) << "indices must be int32";
+  const int64_t batch = indices.shape().dim(0);
+  const int64_t seq = indices.shape().dim(1);
+  const int64_t vocab = table.shape().dim(0);
+  const int64_t dim = table.shape().dim(1);
+  Tensor out(Shape{batch, seq, dim});
+  const int32_t* pi = indices.data<int32_t>();
+  const float* pt = table.data<float>();
+  float* po = out.data<float>();
+  for (int64_t i = 0; i < batch * seq; ++i) {
+    const int64_t row = pi[i];
+    DUET_CHECK(row >= 0 && row < vocab) << "embedding index out of range: " << row;
+    std::memcpy(po + i * dim, pt + row * dim, sizeof(float) * static_cast<size_t>(dim));
+  }
+  return out;
+}
+
+}  // namespace duet::kernels

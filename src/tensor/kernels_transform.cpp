@@ -1,0 +1,143 @@
+#include <cstring>
+
+#include "tensor/kernels.hpp"
+
+namespace duet::kernels {
+
+Tensor concat(const std::vector<Tensor>& parts, int axis) {
+  DUET_CHECK(!parts.empty()) << "concat of zero tensors";
+  const Shape& first = parts[0].shape();
+  DUET_CHECK(axis >= 0 && static_cast<size_t>(axis) < first.rank())
+      << "concat axis out of range";
+
+  int64_t axis_total = 0;
+  for (const Tensor& t : parts) {
+    DUET_CHECK_EQ(t.shape().rank(), first.rank());
+    for (size_t i = 0; i < first.rank(); ++i) {
+      if (static_cast<int>(i) == axis) continue;
+      DUET_CHECK_EQ(t.shape().dim(i), first.dim(i)) << "concat non-axis dim mismatch";
+    }
+    axis_total += t.shape().dim(static_cast<size_t>(axis));
+  }
+
+  Shape out_shape = first.with_dim(static_cast<size_t>(axis), axis_total);
+  Tensor out(out_shape);
+
+  // Walk [outer][axis][inner]: copy each part's contiguous (axis*inner) chunk
+  // per outer index.
+  int64_t outer = 1;
+  int64_t inner = 1;
+  for (size_t i = 0; i < first.rank(); ++i) {
+    if (static_cast<int>(i) < axis) outer *= first.dim(i);
+    if (static_cast<int>(i) > axis) inner *= first.dim(i);
+  }
+
+  float* po = out.data<float>();
+  const int64_t out_stride = axis_total * inner;
+  int64_t axis_offset = 0;
+  for (const Tensor& t : parts) {
+    const int64_t part_axis = t.shape().dim(static_cast<size_t>(axis));
+    const int64_t chunk = part_axis * inner;
+    const float* pt = t.data<float>();
+    for (int64_t o = 0; o < outer; ++o) {
+      std::memcpy(po + o * out_stride + axis_offset * inner, pt + o * chunk,
+                  sizeof(float) * static_cast<size_t>(chunk));
+    }
+    axis_offset += part_axis;
+  }
+  return out;
+}
+
+std::vector<Tensor> split(const Tensor& x, int axis, int pieces) {
+  DUET_CHECK_GT(pieces, 0);
+  const int64_t axis_len = x.shape().dim(static_cast<size_t>(axis));
+  DUET_CHECK_EQ(axis_len % pieces, 0) << "split must divide axis evenly";
+  const int64_t piece_len = axis_len / pieces;
+
+  int64_t outer = 1;
+  int64_t inner = 1;
+  for (size_t i = 0; i < x.shape().rank(); ++i) {
+    if (static_cast<int>(i) < axis) outer *= x.shape().dim(i);
+    if (static_cast<int>(i) > axis) inner *= x.shape().dim(i);
+  }
+
+  std::vector<Tensor> out;
+  out.reserve(static_cast<size_t>(pieces));
+  const float* px = x.data<float>();
+  const int64_t in_stride = axis_len * inner;
+  for (int p = 0; p < pieces; ++p) {
+    Tensor part(x.shape().with_dim(static_cast<size_t>(axis), piece_len));
+    float* pp = part.data<float>();
+    const int64_t chunk = piece_len * inner;
+    for (int64_t o = 0; o < outer; ++o) {
+      std::memcpy(pp + o * chunk, px + o * in_stride + p * chunk,
+                  sizeof(float) * static_cast<size_t>(chunk));
+    }
+    out.push_back(std::move(part));
+  }
+  return out;
+}
+
+Tensor transpose2d(const Tensor& x) {
+  DUET_CHECK_EQ(x.shape().rank(), 2u);
+  const int64_t m = x.shape().dim(0);
+  const int64_t n = x.shape().dim(1);
+  Tensor out(Shape{n, m});
+  const float* px = x.data<float>();
+  float* po = out.data<float>();
+  // Simple tiled transpose to avoid fully strided writes.
+  constexpr int64_t kTile = 32;
+  for (int64_t i0 = 0; i0 < m; i0 += kTile) {
+    for (int64_t j0 = 0; j0 < n; j0 += kTile) {
+      const int64_t i1 = std::min(i0 + kTile, m);
+      const int64_t j1 = std::min(j0 + kTile, n);
+      for (int64_t i = i0; i < i1; ++i) {
+        for (int64_t j = j0; j < j1; ++j) {
+          po[j * m + i] = px[i * n + j];
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Tensor transpose_last2(const Tensor& x) {
+  DUET_CHECK_GE(x.shape().rank(), 2u);
+  const size_t r = x.shape().rank();
+  const int64_t m = x.shape().dim(r - 2);
+  const int64_t n = x.shape().dim(r - 1);
+  int64_t outer = x.numel() / (m * n);
+  Shape out_shape = x.shape().with_dim(r - 2, n).with_dim(r - 1, m);
+  Tensor out(out_shape);
+  const float* px = x.data<float>();
+  float* po = out.data<float>();
+  for (int64_t o = 0; o < outer; ++o) {
+    const float* src = px + o * m * n;
+    float* dst = po + o * m * n;
+    for (int64_t i = 0; i < m; ++i) {
+      for (int64_t j = 0; j < n; ++j) dst[j * m + i] = src[i * n + j];
+    }
+  }
+  return out;
+}
+
+Tensor flatten(const Tensor& x) {
+  DUET_CHECK_GE(x.shape().rank(), 1u);
+  const int64_t batch = x.shape().dim(0);
+  const int64_t rest = x.numel() / batch;
+  return x.reshaped(Shape{batch, rest});
+}
+
+Tensor slice_rows(const Tensor& x, int64_t begin, int64_t end) {
+  DUET_CHECK_GE(x.shape().rank(), 1u);
+  const int64_t rows = x.shape().dim(0);
+  DUET_CHECK(begin >= 0 && begin < end && end <= rows)
+      << "slice [" << begin << ", " << end << ") of " << rows << " rows";
+  const int64_t inner = x.numel() / rows;
+  Tensor out(x.shape().with_dim(0, end - begin));
+  std::memcpy(out.data<float>(), x.data<float>() + begin * inner,
+              sizeof(float) * static_cast<size_t>((end - begin) * inner));
+  return out;
+}
+
+}  // namespace duet::kernels

@@ -1,0 +1,60 @@
+#include "tensor/shape.hpp"
+
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace duet {
+
+Shape::Shape(std::initializer_list<int64_t> dims) : dims_(dims) {
+  for (int64_t d : dims_) DUET_CHECK_GE(d, 0) << "negative dimension";
+}
+
+Shape::Shape(std::vector<int64_t> dims) : dims_(std::move(dims)) {
+  for (int64_t d : dims_) DUET_CHECK_GE(d, 0) << "negative dimension";
+}
+
+int64_t Shape::dim(size_t i) const {
+  DUET_CHECK_LT(i, dims_.size()) << "shape dim out of range";
+  return dims_[i];
+}
+
+int64_t Shape::numel() const {
+  int64_t n = 1;
+  for (int64_t d : dims_) n *= d;
+  return n;
+}
+
+Shape Shape::with_dim(size_t i, int64_t value) const {
+  DUET_CHECK_LT(i, dims_.size());
+  std::vector<int64_t> d = dims_;
+  d[i] = value;
+  return Shape(std::move(d));
+}
+
+Shape Shape::append(int64_t value) const {
+  std::vector<int64_t> d = dims_;
+  d.push_back(value);
+  return Shape(std::move(d));
+}
+
+Shape Shape::prepend(int64_t value) const {
+  std::vector<int64_t> d;
+  d.reserve(dims_.size() + 1);
+  d.push_back(value);
+  d.insert(d.end(), dims_.begin(), dims_.end());
+  return Shape(std::move(d));
+}
+
+std::string Shape::to_string() const {
+  std::ostringstream os;
+  os << "[";
+  for (size_t i = 0; i < dims_.size(); ++i) {
+    if (i) os << ", ";
+    os << dims_[i];
+  }
+  os << "]";
+  return os.str();
+}
+
+}  // namespace duet

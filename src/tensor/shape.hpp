@@ -1,0 +1,44 @@
+#pragma once
+
+// Dense row-major tensor shape. Ranks in DNN graphs are tiny (<= 5), so the
+// dims live in an inline-friendly std::vector<int64_t>; copying Shapes is
+// cheap enough for IR use.
+
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace duet {
+
+class Shape {
+ public:
+  Shape() = default;
+  Shape(std::initializer_list<int64_t> dims);
+  explicit Shape(std::vector<int64_t> dims);
+
+  size_t rank() const { return dims_.size(); }
+  int64_t dim(size_t i) const;
+  int64_t operator[](size_t i) const { return dim(i); }
+  const std::vector<int64_t>& dims() const { return dims_; }
+
+  // Product of all dims (1 for a scalar / rank-0 shape).
+  int64_t numel() const;
+
+  bool operator==(const Shape& other) const { return dims_ == other.dims_; }
+  bool operator!=(const Shape& other) const { return !(*this == other); }
+
+  // Returns a copy with dimension `i` replaced.
+  Shape with_dim(size_t i, int64_t value) const;
+  // Appends / prepends a dimension.
+  Shape append(int64_t value) const;
+  Shape prepend(int64_t value) const;
+
+  // "[2, 3, 4]"
+  std::string to_string() const;
+
+ private:
+  std::vector<int64_t> dims_;
+};
+
+}  // namespace duet

@@ -1,0 +1,92 @@
+#include "tensor/tensor.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace duet {
+
+Tensor::Tensor(Shape shape, DType dtype)
+    : shape_(std::move(shape)),
+      dtype_(dtype),
+      buffer_(std::make_shared<std::vector<uint8_t>>(
+          static_cast<size_t>(shape_.numel()) * dtype_size(dtype))) {}
+
+Tensor Tensor::clone() const {
+  DUET_CHECK(defined());
+  Tensor out(shape_, dtype_);
+  std::memcpy(out.buffer_->data(), buffer_->data(), byte_size());
+  return out;
+}
+
+Tensor Tensor::reshaped(Shape new_shape) const {
+  DUET_CHECK(defined());
+  DUET_CHECK_EQ(new_shape.numel(), shape_.numel()) << "reshape numel mismatch";
+  Tensor out;
+  out.shape_ = std::move(new_shape);
+  out.dtype_ = dtype_;
+  out.buffer_ = buffer_;
+  return out;
+}
+
+Tensor Tensor::zeros(Shape shape, DType dtype) {
+  Tensor t(std::move(shape), dtype);
+  std::memset(t.raw_data(), 0, t.byte_size());
+  return t;
+}
+
+Tensor Tensor::full(Shape shape, float value) {
+  Tensor t(std::move(shape), DType::kFloat32);
+  float* p = t.data<float>();
+  std::fill(p, p + t.numel(), value);
+  return t;
+}
+
+Tensor Tensor::randn(Shape shape, Rng& rng, float stddev) {
+  Tensor t(std::move(shape), DType::kFloat32);
+  float* p = t.data<float>();
+  for (int64_t i = 0; i < t.numel(); ++i) {
+    p[i] = static_cast<float>(rng.normal(0.0, stddev));
+  }
+  return t;
+}
+
+Tensor Tensor::arange(int64_t n) {
+  Tensor t(Shape{n}, DType::kFloat32);
+  float* p = t.data<float>();
+  for (int64_t i = 0; i < n; ++i) p[i] = static_cast<float>(i);
+  return t;
+}
+
+Tensor Tensor::from_vector(Shape shape, const std::vector<float>& values) {
+  DUET_CHECK_EQ(shape.numel(), static_cast<int64_t>(values.size()));
+  Tensor t(std::move(shape), DType::kFloat32);
+  std::memcpy(t.raw_data(), values.data(), values.size() * sizeof(float));
+  return t;
+}
+
+float Tensor::max_abs_diff(const Tensor& a, const Tensor& b) {
+  DUET_CHECK(a.defined() && b.defined());
+  DUET_CHECK(a.shape() == b.shape())
+      << a.shape().to_string() << " vs " << b.shape().to_string();
+  const float* pa = a.data<float>();
+  const float* pb = b.data<float>();
+  float worst = 0.0f;
+  for (int64_t i = 0; i < a.numel(); ++i) {
+    worst = std::max(worst, std::fabs(pa[i] - pb[i]));
+  }
+  return worst;
+}
+
+bool Tensor::allclose(const Tensor& a, const Tensor& b, float rtol, float atol) {
+  if (!a.defined() || !b.defined()) return false;
+  if (a.shape() != b.shape()) return false;
+  const float* pa = a.data<float>();
+  const float* pb = b.data<float>();
+  for (int64_t i = 0; i < a.numel(); ++i) {
+    const float tol = atol + rtol * std::fabs(pb[i]);
+    if (std::fabs(pa[i] - pb[i]) > tol) return false;
+  }
+  return true;
+}
+
+}  // namespace duet

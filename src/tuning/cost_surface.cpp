@@ -1,0 +1,87 @@
+#include "tuning/cost_surface.hpp"
+
+#include <cmath>
+#include <sstream>
+
+namespace duet::tuning {
+namespace {
+
+// FNV-1a — stable across platforms, unlike std::hash.
+uint64_t fnv1a(const std::string& s) {
+  uint64_t h = 1469598103934665603ull;
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+double log2_ratio(double a, double b) { return std::log2(a / b); }
+
+}  // namespace
+
+std::string task_key(const Node& node, DeviceKind kind) {
+  std::ostringstream os;
+  os << op_name(node.op) << "|" << node.out_shape.to_string() << "|"
+     << device_kind_name(kind);
+  return os.str();
+}
+
+KernelSchedule task_optimum(const std::string& task, DeviceKind kind) {
+  const ScheduleSpace space = ScheduleSpace::for_device(kind);
+  const uint64_t h = fnv1a(task);
+  // Hash-pick each knob; biased toward the middle of the tile range (the
+  // plausible regime) by averaging two hash draws.
+  const auto pick = [&](const std::vector<int>& range, int shift) {
+    const uint64_t a = (h >> shift) % range.size();
+    const uint64_t b = (h >> (shift + 17)) % range.size();
+    return range[(a + b) / 2];
+  };
+  KernelSchedule opt;
+  opt.tile_m = pick(space.tiles(), 0);
+  opt.tile_n = pick(space.tiles(), 7);
+  opt.tile_k = pick(space.tiles(), 14);
+  opt.vector_width = pick(space.vector_widths(), 21);
+  opt.unroll = pick(space.unrolls(), 28);
+  opt.parallel_outer = kind == DeviceKind::kCpu ? true : ((h >> 35) & 1);
+
+  // The optimum must not sit on an interaction cliff, or it would not be the
+  // optimum (schedule_efficiency applies the same cliffs to every schedule).
+  while (opt.vector_width > opt.tile_k) opt.vector_width /= 2;
+  if (opt.vector_width == 0) opt.vector_width = 1;
+  if (kind == DeviceKind::kGpu) {
+    while (opt.tile_m * opt.tile_n > 128 * 128) {
+      if (opt.tile_m >= opt.tile_n) {
+        opt.tile_m /= 2;
+      } else {
+        opt.tile_n /= 2;
+      }
+    }
+  }
+  return opt;
+}
+
+double schedule_efficiency(const std::string& task, const KernelSchedule& s,
+                           DeviceKind kind) {
+  const KernelSchedule opt = task_optimum(task, kind);
+
+  // Smooth decay with log-space tile distance from the optimum.
+  const double d2 = std::pow(log2_ratio(s.tile_m, opt.tile_m), 2) +
+                    std::pow(log2_ratio(s.tile_n, opt.tile_n), 2) +
+                    std::pow(log2_ratio(s.tile_k, opt.tile_k), 2) +
+                    0.5 * std::pow(log2_ratio(s.vector_width, opt.vector_width), 2) +
+                    0.25 * std::pow(log2_ratio(s.unroll, opt.unroll), 2);
+  double eff = std::exp(-0.08 * d2);
+
+  // Interaction cliffs.
+  if (s.vector_width > s.tile_k) eff *= 0.7;  // lanes starve past the k-tile
+  if (kind == DeviceKind::kCpu && !s.parallel_outer) eff *= 0.25;  // 1 of 22 cores
+  if (kind == DeviceKind::kGpu && s.tile_m * s.tile_n > 128 * 128) {
+    eff *= 0.6;  // register/shared-memory spill
+  }
+  if (s.parallel_outer != opt.parallel_outer) eff *= 0.85;
+
+  return std::max(0.05, std::min(1.0, eff));
+}
+
+}  // namespace duet::tuning

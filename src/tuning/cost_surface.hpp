@@ -1,0 +1,35 @@
+#pragma once
+
+// Deterministic synthetic hardware response for the tuning simulation: maps
+// (task, schedule) to the fraction of the calibrated (converged-tuning)
+// efficiency that the schedule achieves, in (0, 1]. The surface is built so
+// search algorithms face the realities of real tuning:
+//
+//   * a task-specific hidden optimum (hashed from the task key), so no fixed
+//     schedule is best everywhere;
+//   * smooth log-distance decay around the optimum (tile mismatch hurts
+//     gradually, like cache/occupancy effects);
+//   * hard interaction cliffs (vector width > tile_k is wasted; serial outer
+//     loop throws away the CPU's cores; oversized GPU tiles spill);
+//   * deterministic "measurement" — noise is added by the tuner, not here.
+
+#include <string>
+
+#include "compiler/cost_model.hpp"
+#include "tuning/schedule_space.hpp"
+
+namespace duet::tuning {
+
+// Stable identifier of a tuning task: op + relevant shape dims + device.
+std::string task_key(const Node& node, DeviceKind kind);
+
+// Achieved fraction of calibrated efficiency, in (0, 1]. A schedule equal to
+// the task's hidden optimum scores 1.0.
+double schedule_efficiency(const std::string& task, const KernelSchedule& schedule,
+                           DeviceKind kind);
+
+// The hidden optimum itself (exposed for tests and for seeding "expert"
+// databases).
+KernelSchedule task_optimum(const std::string& task, DeviceKind kind);
+
+}  // namespace duet::tuning

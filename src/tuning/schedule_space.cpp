@@ -1,0 +1,87 @@
+#include "tuning/schedule_space.hpp"
+
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace duet::tuning {
+
+bool KernelSchedule::operator==(const KernelSchedule& other) const {
+  return tile_m == other.tile_m && tile_n == other.tile_n &&
+         tile_k == other.tile_k && vector_width == other.vector_width &&
+         unroll == other.unroll && parallel_outer == other.parallel_outer;
+}
+
+std::string KernelSchedule::to_string() const {
+  std::ostringstream os;
+  os << "tile(" << tile_m << "," << tile_n << "," << tile_k << ") vec"
+     << vector_width << " unroll" << unroll
+     << (parallel_outer ? " par" : " seq");
+  return os.str();
+}
+
+ScheduleSpace ScheduleSpace::for_device(DeviceKind kind) {
+  ScheduleSpace s;
+  if (kind == DeviceKind::kCpu) {
+    s.tiles_ = {4, 8, 16, 32, 64, 128};
+    s.vector_widths_ = {1, 4, 8, 16};  // scalar .. AVX-512 lanes
+    s.unrolls_ = {1, 2, 4, 8};
+  } else {
+    s.tiles_ = {8, 16, 32, 64, 128, 256};  // thread-block tiles
+    s.vector_widths_ = {1, 2, 4, 8};       // vectorized loads
+    s.unrolls_ = {1, 2, 4, 8};
+  }
+  return s;
+}
+
+uint64_t ScheduleSpace::size() const {
+  const uint64_t t = tiles_.size();
+  return t * t * t * vector_widths_.size() * unrolls_.size() * 2;
+}
+
+KernelSchedule ScheduleSpace::at(uint64_t index) const {
+  DUET_CHECK_LT(index, size());
+  const uint64_t t = tiles_.size();
+  KernelSchedule s;
+  s.parallel_outer = index % 2;
+  index /= 2;
+  s.unroll = unrolls_[index % unrolls_.size()];
+  index /= unrolls_.size();
+  s.vector_width = vector_widths_[index % vector_widths_.size()];
+  index /= vector_widths_.size();
+  s.tile_k = tiles_[index % t];
+  index /= t;
+  s.tile_n = tiles_[index % t];
+  index /= t;
+  s.tile_m = tiles_[index % t];
+  return s;
+}
+
+KernelSchedule ScheduleSpace::sample(Rng& rng) const {
+  return at(static_cast<uint64_t>(
+      rng.uniform_int(0, static_cast<int64_t>(size()) - 1)));
+}
+
+std::vector<KernelSchedule> ScheduleSpace::neighbors(const KernelSchedule& s) const {
+  std::vector<KernelSchedule> out;
+  const auto vary = [&](auto setter, const std::vector<int>& range, int current) {
+    for (int v : range) {
+      if (v == current) continue;
+      KernelSchedule next = s;
+      setter(next, v);
+      out.push_back(next);
+    }
+  };
+  vary([](KernelSchedule& k, int v) { k.tile_m = v; }, tiles_, s.tile_m);
+  vary([](KernelSchedule& k, int v) { k.tile_n = v; }, tiles_, s.tile_n);
+  vary([](KernelSchedule& k, int v) { k.tile_k = v; }, tiles_, s.tile_k);
+  vary([](KernelSchedule& k, int v) { k.vector_width = v; }, vector_widths_,
+       s.vector_width);
+  vary([](KernelSchedule& k, int v) { k.unroll = v; }, unrolls_, s.unroll);
+  KernelSchedule flipped = s;
+  flipped.parallel_outer = !s.parallel_outer;
+  out.push_back(flipped);
+  return out;
+}
+
+}  // namespace duet::tuning

@@ -1,0 +1,63 @@
+#pragma once
+
+// Simulated kernel-schedule search space — the low-level half of the TVM
+// substrate (paper Fig. 1, layer 4: "tiling size, vectorization ...").
+//
+// A KernelSchedule is the knob vector AutoTVM would search per task (tensor
+// operator x shape x device): tile sizes, vector width, unroll factor,
+// outer-loop parallelization. The *calibrated* device efficiencies in
+// device/calibration.cpp represent converged, well-tuned schedules; the
+// tuner (tuner.hpp) reproduces the convergence toward them from arbitrary
+// schedules over a deterministic, non-convex cost surface
+// (cost_surface.hpp), so tuning-time/quality trade-offs can be studied
+// without the real hardware.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "compiler/cost_model.hpp"
+#include "graph/graph.hpp"
+
+namespace duet::tuning {
+
+struct KernelSchedule {
+  int tile_m = 32;
+  int tile_n = 32;
+  int tile_k = 32;
+  int vector_width = 8;   // lanes
+  int unroll = 2;
+  bool parallel_outer = true;
+
+  bool operator==(const KernelSchedule& other) const;
+  std::string to_string() const;
+};
+
+// The discrete knob ranges AutoTVM-style search enumerates. All knobs are
+// powers of two within device-plausible bounds.
+class ScheduleSpace {
+ public:
+  static ScheduleSpace for_device(DeviceKind kind);
+
+  // Number of distinct schedules.
+  uint64_t size() const;
+  // The i-th schedule (row-major over the knob ranges).
+  KernelSchedule at(uint64_t index) const;
+  // Uniformly random schedule.
+  KernelSchedule sample(Rng& rng) const;
+  // All neighbors of `s` at Hamming distance 1 in knob space (used by the
+  // evolutionary mutator).
+  std::vector<KernelSchedule> neighbors(const KernelSchedule& s) const;
+
+  const std::vector<int>& tiles() const { return tiles_; }
+  const std::vector<int>& vector_widths() const { return vector_widths_; }
+  const std::vector<int>& unrolls() const { return unrolls_; }
+
+ private:
+  std::vector<int> tiles_;          // shared range for tile_m/n/k
+  std::vector<int> vector_widths_;
+  std::vector<int> unrolls_;
+};
+
+}  // namespace duet::tuning

@@ -1,0 +1,154 @@
+#include "tuning/tuner.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace duet::tuning {
+
+void TuningDatabase::update(TuningRecord record) {
+  auto it = records_.find(record.task);
+  if (it == records_.end() || record.efficiency > it->second.efficiency) {
+    records_[record.task] = std::move(record);
+  } else {
+    it->second.trials += record.trials;
+  }
+}
+
+const TuningRecord* TuningDatabase::lookup(const std::string& task) const {
+  auto it = records_.find(task);
+  return it == records_.end() ? nullptr : &it->second;
+}
+
+double TuningDatabase::efficiency_or(const std::string& task, double fallback) const {
+  const TuningRecord* rec = lookup(task);
+  return rec != nullptr ? rec->efficiency : fallback;
+}
+
+void TuningDatabase::save(const std::string& path) const {
+  std::ofstream out(path);
+  DUET_CHECK(out.good()) << "cannot open " << path;
+  out << std::setprecision(17);
+  for (const auto& [task, r] : records_) {
+    out << task << "\t" << r.schedule.tile_m << " " << r.schedule.tile_n << " "
+        << r.schedule.tile_k << " " << r.schedule.vector_width << " "
+        << r.schedule.unroll << " " << (r.schedule.parallel_outer ? 1 : 0) << " "
+        << r.efficiency << " " << r.trials << "\n";
+  }
+  DUET_CHECK(out.good()) << "write failed: " << path;
+}
+
+TuningDatabase TuningDatabase::load(const std::string& path) {
+  std::ifstream in(path);
+  DUET_CHECK(in.good()) << "cannot open " << path;
+  TuningDatabase db;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    const size_t tab = line.find('\t');
+    DUET_CHECK(tab != std::string::npos) << "malformed tuning record: " << line;
+    TuningRecord r;
+    r.task = line.substr(0, tab);
+    std::istringstream rest(line.substr(tab + 1));
+    int par = 0;
+    rest >> r.schedule.tile_m >> r.schedule.tile_n >> r.schedule.tile_k >>
+        r.schedule.vector_width >> r.schedule.unroll >> par >> r.efficiency >>
+        r.trials;
+    DUET_CHECK(!rest.fail()) << "malformed tuning record: " << line;
+    r.schedule.parallel_outer = par != 0;
+    db.records_[r.task] = std::move(r);
+  }
+  return db;
+}
+
+TuningDatabase TuningDatabase::oracle(const Graph& graph, DeviceKind kind) {
+  TuningDatabase db;
+  for (const Node& node : graph.nodes()) {
+    if (node.is_input() || node.is_constant()) continue;
+    TuningRecord r;
+    r.task = task_key(node, kind);
+    r.schedule = task_optimum(r.task, kind);
+    r.efficiency = schedule_efficiency(r.task, r.schedule, kind);
+    r.trials = 0;
+    db.update(std::move(r));
+  }
+  return db;
+}
+
+double AutoTuner::measure(const std::string& task, const KernelSchedule& s,
+                          DeviceKind kind, Rng& rng) const {
+  double total = 0.0;
+  for (int i = 0; i < std::max(1, options_.measure_repeats); ++i) {
+    // Noise divides throughput (a slow run under-reports efficiency).
+    total += schedule_efficiency(task, s, kind) /
+             rng.lognormal_factor(options_.noise_sigma);
+  }
+  return total / std::max(1, options_.measure_repeats);
+}
+
+TuningRecord AutoTuner::tune_task(const std::string& task, DeviceKind kind,
+                                  Rng& rng) const {
+  const ScheduleSpace space = ScheduleSpace::for_device(kind);
+  TuningRecord best;
+  best.task = task;
+  best.trials = options_.trials;
+  double best_measured = -1.0;
+
+  const auto consider = [&](const KernelSchedule& s) {
+    const double measured = measure(task, s, kind, rng);
+    if (measured > best_measured) {
+      best_measured = measured;
+      best.schedule = s;
+    }
+  };
+
+  if (options_.strategy == TuningOptions::Strategy::kRandom) {
+    for (int t = 0; t < options_.trials; ++t) consider(space.sample(rng));
+  } else {
+    // (mu + lambda) evolutionary search: random population, then mutate the
+    // incumbent via knob-space neighbors.
+    int budget = options_.trials;
+    for (int p = 0; p < options_.population && budget > 0; ++p, --budget) {
+      consider(space.sample(rng));
+    }
+    while (budget > 0) {
+      std::vector<KernelSchedule> moves = space.neighbors(best.schedule);
+      rng.shuffle(moves);
+      const int step = std::min<int>(budget, std::max<int>(1, static_cast<int>(moves.size()) / 4));
+      for (int m = 0; m < step; ++m) consider(moves[static_cast<size_t>(m)]);
+      budget -= step;
+    }
+  }
+
+  // Record the *true* (noise-free) efficiency of the selected schedule: the
+  // deployed kernel runs at its real speed regardless of what the noisy
+  // measurement claimed.
+  best.efficiency = schedule_efficiency(task, best.schedule, kind);
+  return best;
+}
+
+std::function<double(const Node&, int)> make_schedule_quality_hook(
+    const TuningDatabase& db, double untuned_fallback) {
+  return [&db, untuned_fallback](const Node& node, int device_kind) {
+    return db.efficiency_or(
+        task_key(node, static_cast<DeviceKind>(device_kind)), untuned_fallback);
+  };
+}
+
+void AutoTuner::tune_graph(const Graph& graph, DeviceKind kind,
+                           TuningDatabase& db) const {
+  Rng rng(options_.seed);
+  std::map<std::string, bool> seen;
+  for (const Node& node : graph.nodes()) {
+    if (node.is_input() || node.is_constant()) continue;
+    const std::string task = task_key(node, kind);
+    if (seen[task]) continue;
+    seen[task] = true;
+    db.update(tune_task(task, kind, rng));
+  }
+}
+
+}  // namespace duet::tuning

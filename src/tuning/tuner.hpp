@@ -1,0 +1,91 @@
+#pragma once
+
+// AutoTVM-style schedule tuner + tuning database.
+//
+// For every tuning task (distinct op/shape/device triple) in a graph, the
+// tuner searches the ScheduleSpace for a schedule maximizing measured
+// efficiency. "Measurement" is the deterministic cost surface plus
+// log-normal noise with repeats — the same trade-off real tuners face
+// (more repeats = less noise = fewer wasted trials). Results accumulate in
+// a TuningDatabase that the compiler's cost model consumes: a node whose
+// task is present runs at `calibrated_efficiency x record.efficiency`, so an
+// untuned or badly tuned database makes code slower than the paper's
+// converged-TVM calibration, and a converged database approaches it.
+
+#include <functional>
+#include <map>
+#include <string>
+
+#include "common/rng.hpp"
+#include "graph/graph.hpp"
+#include "tuning/cost_surface.hpp"
+#include "tuning/schedule_space.hpp"
+
+namespace duet::tuning {
+
+struct TuningRecord {
+  std::string task;
+  KernelSchedule schedule;
+  double efficiency = 1.0;  // achieved fraction of calibrated throughput
+  int trials = 0;
+};
+
+class TuningDatabase {
+ public:
+  void update(TuningRecord record);  // keeps the better of old/new
+  const TuningRecord* lookup(const std::string& task) const;
+  // Efficiency multiplier for the cost model; `fallback` when untuned.
+  double efficiency_or(const std::string& task, double fallback) const;
+
+  size_t size() const { return records_.size(); }
+  const std::map<std::string, TuningRecord>& records() const { return records_; }
+
+  // Text format: one "task<TAB>tile_m tile_n tile_k vec unroll par eff trials"
+  // line per record.
+  void save(const std::string& path) const;
+  static TuningDatabase load(const std::string& path);
+
+  // An oracle database holding every task's hidden optimum (what infinite
+  // tuning would find) — useful as an upper bound in studies.
+  static TuningDatabase oracle(const Graph& graph, DeviceKind kind);
+
+ private:
+  std::map<std::string, TuningRecord> records_;
+};
+
+struct TuningOptions {
+  enum class Strategy { kRandom, kEvolutionary } strategy = Strategy::kEvolutionary;
+  int trials = 64;          // measurements per task
+  int measure_repeats = 3;  // repeats averaged per measurement
+  double noise_sigma = 0.08;
+  uint64_t seed = 1;
+  // Evolutionary knobs.
+  int population = 8;
+};
+
+// Adapter binding a TuningDatabase to CompileOptions::schedule_quality. A
+// task missing from the database runs at `untuned_fallback` of calibrated
+// throughput (TVM's default schedule templates before tuning). The database
+// must outlive every CompileOptions holding the hook.
+std::function<double(const Node&, int)> make_schedule_quality_hook(
+    const TuningDatabase& db, double untuned_fallback = 0.45);
+
+class AutoTuner {
+ public:
+  explicit AutoTuner(TuningOptions options = {}) : options_(options) {}
+
+  // Tunes one task; returns the best record found.
+  TuningRecord tune_task(const std::string& task, DeviceKind kind, Rng& rng) const;
+
+  // Tunes every distinct task in `graph` for `kind`, merging into `db`.
+  void tune_graph(const Graph& graph, DeviceKind kind, TuningDatabase& db) const;
+
+ private:
+  // One noisy measurement of a schedule (averaged repeats).
+  double measure(const std::string& task, const KernelSchedule& s, DeviceKind kind,
+                 Rng& rng) const;
+
+  TuningOptions options_;
+};
+
+}  // namespace duet::tuning

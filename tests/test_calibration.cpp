@@ -1,0 +1,118 @@
+// Pins the calibrated device model to the paper's measured Table II subgraph
+// costs for Wide-and-Deep (batch 1):
+//
+//     RNN subgraph:  2.4 ms CPU /  6.4 ms GPU
+//     CNN subgraph: 14.9 ms CPU /  0.9 ms GPU
+//
+// If a calibration constant drifts, these tests localize the regression to
+// the responsible operator class.
+
+#include <gtest/gtest.h>
+
+#include "device/calibration.hpp"
+#include "duet/engine.hpp"
+#include "models/model_zoo.hpp"
+
+namespace duet {
+namespace {
+
+class WideDeepCalibration : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    engine_ = new DuetEngine(models::build_wide_deep());
+  }
+  static void TearDownTestSuite() {
+    delete engine_;
+    engine_ = nullptr;
+  }
+
+  // Finds the subgraph whose op histogram contains `op`.
+  static const SubgraphProfile& profile_with(OpType op) {
+    for (const Subgraph& sub : engine_->partition().subgraphs) {
+      for (NodeId id : sub.parent_nodes) {
+        if (engine_->model().node(id).op == op) {
+          return engine_->report().profiles[static_cast<size_t>(sub.id)];
+        }
+      }
+    }
+    throw Error("no subgraph with requested op");
+  }
+
+  static DuetEngine* engine_;
+};
+
+DuetEngine* WideDeepCalibration::engine_ = nullptr;
+
+TEST_F(WideDeepCalibration, RnnSubgraphCpuNearPaper) {
+  EXPECT_NEAR(profile_with(OpType::kLSTM).time_on(DeviceKind::kCpu), 2.4e-3,
+              0.5e-3);
+}
+
+TEST_F(WideDeepCalibration, RnnSubgraphGpuNearPaper) {
+  EXPECT_NEAR(profile_with(OpType::kLSTM).time_on(DeviceKind::kGpu), 6.4e-3,
+              1.3e-3);
+}
+
+TEST_F(WideDeepCalibration, CnnSubgraphCpuNearPaper) {
+  EXPECT_NEAR(profile_with(OpType::kConv2d).time_on(DeviceKind::kCpu), 14.9e-3,
+              3.0e-3);
+}
+
+TEST_F(WideDeepCalibration, CnnSubgraphGpuNearPaper) {
+  EXPECT_NEAR(profile_with(OpType::kConv2d).time_on(DeviceKind::kGpu), 0.9e-3,
+              0.35e-3);
+}
+
+TEST_F(WideDeepCalibration, PlacementMatchesPaper) {
+  // RNN -> CPU, CNN -> GPU (the paper's headline placement).
+  const Placement& placement = engine_->report().schedule.placement;
+  for (const Subgraph& sub : engine_->partition().subgraphs) {
+    for (NodeId id : sub.parent_nodes) {
+      if (engine_->model().node(id).op == OpType::kLSTM) {
+        EXPECT_EQ(placement.of(sub.id), DeviceKind::kCpu);
+      }
+      if (engine_->model().node(id).op == OpType::kConv2d) {
+        EXPECT_EQ(placement.of(sub.id), DeviceKind::kGpu);
+      }
+    }
+  }
+}
+
+TEST_F(WideDeepCalibration, HeadlineSpeedupBands) {
+  const DuetReport& r = engine_->report();
+  EXPECT_FALSE(r.fell_back);
+  const double vs_gpu = r.est_single_gpu_s / r.est_hetero_s;
+  const double vs_cpu = r.est_single_cpu_s / r.est_hetero_s;
+  // Paper: 1.5-2.3x vs TVM-GPU (our simulation lands slightly above; see
+  // EXPERIMENTS.md), 1.3-15.9x vs TVM-CPU across models.
+  EXPECT_GT(vs_gpu, 1.5);
+  EXPECT_LT(vs_gpu, 3.5);
+  EXPECT_GT(vs_cpu, 1.3);
+  EXPECT_LT(vs_cpu, 15.9);
+}
+
+TEST(Calibration, DeviceParamsSane) {
+  const DeviceCostParams cpu = xeon_gold_6152();
+  const DeviceCostParams gpu = titan_v();
+  EXPECT_EQ(cpu.kind, DeviceKind::kCpu);
+  EXPECT_EQ(gpu.kind, DeviceKind::kGpu);
+  EXPECT_GT(gpu.peak_gflops, cpu.peak_gflops);
+  EXPECT_GT(gpu.mem_bw_gbps, cpu.mem_bw_gbps);
+  EXPECT_GT(gpu.launch_overhead_s, cpu.launch_overhead_s);
+  EXPECT_GT(gpu.batch_gain, cpu.batch_gain);
+  // RNN efficiency collapse on GPU is the paper's central observation.
+  EXPECT_LT(gpu.rnn.eff, cpu.rnn.eff);
+}
+
+TEST(Calibration, NoiseAndOverheadsPositive) {
+  EXPECT_GT(cpu_noise_sigma(), 0.0);
+  EXPECT_GT(gpu_noise_sigma(), 0.0);
+  EXPECT_GT(link_noise_sigma(), 0.0);
+  EXPECT_GT(executor_dispatch_overhead(), 0.0);
+  EXPECT_GT(link_spike_probability(), 0.0);
+  EXPECT_LT(link_spike_probability(), 0.05);
+  EXPECT_LT(link_spike_min_seconds(), link_spike_max_seconds());
+}
+
+}  // namespace
+}  // namespace duet

@@ -1,0 +1,199 @@
+// Unit tests for common utilities: stats, rng, strings, thread pool.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <set>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "common/string_util.hpp"
+#include "common/threadpool.hpp"
+
+namespace duet {
+namespace {
+
+// --- stats -------------------------------------------------------------------
+
+TEST(Stats, PercentileExactValues) {
+  std::vector<double> v{1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
+  EXPECT_DOUBLE_EQ(percentile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 1.0), 10.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 0.5), 5.5);
+}
+
+TEST(Stats, PercentileInterpolates) {
+  std::vector<double> v{0.0, 10.0};
+  EXPECT_DOUBLE_EQ(percentile(v, 0.25), 2.5);
+  EXPECT_DOUBLE_EQ(percentile(v, 0.99), 9.9);
+}
+
+TEST(Stats, PercentileSingleSample) {
+  EXPECT_DOUBLE_EQ(percentile({42.0}, 0.999), 42.0);
+}
+
+TEST(Stats, PercentileEmptyThrows) {
+  std::vector<double> empty;
+  EXPECT_THROW(percentile_sorted(empty, 0.5), Error);
+}
+
+TEST(Stats, PercentileBadQuantileThrows) {
+  std::vector<double> v{1.0};
+  EXPECT_THROW(percentile_sorted(v, 1.5), Error);
+}
+
+TEST(Stats, RecorderSummary) {
+  LatencyRecorder rec;
+  for (int i = 1; i <= 100; ++i) rec.add(i);
+  const SummaryStats s = rec.summarize();
+  EXPECT_EQ(s.count, 100u);
+  EXPECT_DOUBLE_EQ(s.mean, 50.5);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 100.0);
+  EXPECT_NEAR(s.p50, 50.5, 1e-9);
+  EXPECT_GT(s.p99, 98.0);
+  EXPECT_GT(s.stddev, 0.0);
+}
+
+TEST(Stats, EmptySummaryIsZero) {
+  const SummaryStats s = LatencyRecorder().summarize();
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_EQ(s.mean, 0.0);
+}
+
+TEST(Stats, MeanStd) {
+  EXPECT_DOUBLE_EQ(mean_of({2.0, 4.0}), 3.0);
+  EXPECT_NEAR(stddev_of({2.0, 4.0}), std::sqrt(2.0), 1e-12);
+  EXPECT_DOUBLE_EQ(stddev_of({5.0}), 0.0);
+}
+
+// --- rng ---------------------------------------------------------------------
+
+TEST(Rng, DeterministicAcrossInstances) {
+  Rng a(7);
+  Rng b(7);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(a.uniform(), b.uniform());
+  }
+}
+
+TEST(Rng, SeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  bool any_diff = false;
+  for (int i = 0; i < 10; ++i) any_diff |= a.uniform() != b.uniform();
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Rng, UniformIntInRange) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    const int64_t v = rng.uniform_int(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+  }
+}
+
+TEST(Rng, LognormalFactorMedianNearOne) {
+  Rng rng(4);
+  std::vector<double> samples;
+  for (int i = 0; i < 20000; ++i) samples.push_back(rng.lognormal_factor(0.2));
+  EXPECT_NEAR(percentile(samples, 0.5), 1.0, 0.02);
+  // Upper tail heavier than lower.
+  EXPECT_GT(percentile(samples, 0.999) - 1.0, 1.0 - percentile(samples, 0.001));
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(5);
+  std::vector<double> samples;
+  for (int i = 0; i < 50000; ++i) samples.push_back(rng.normal(2.0, 3.0));
+  EXPECT_NEAR(mean_of(samples), 2.0, 0.1);
+  EXPECT_NEAR(stddev_of(samples), 3.0, 0.1);
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  Rng rng(6);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  auto original = v;
+  rng.shuffle(v);
+  std::multiset<int> a(v.begin(), v.end());
+  std::multiset<int> b(original.begin(), original.end());
+  EXPECT_EQ(a, b);
+}
+
+// --- strings -----------------------------------------------------------------
+
+TEST(StringUtil, SplitJoinRoundTrip) {
+  const std::vector<std::string> parts = split("a,b,,c", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[2], "");
+  EXPECT_EQ(join(parts, ","), "a,b,,c");
+}
+
+TEST(StringUtil, Trim) {
+  EXPECT_EQ(trim("  hi \n"), "hi");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("   "), "");
+}
+
+TEST(StringUtil, HumanTime) {
+  EXPECT_EQ(human_time(0.002), "2.000 ms");
+  EXPECT_EQ(human_time(3.5e-6), "3.50 us");
+  EXPECT_EQ(human_time(2.0), "2.000 s");
+}
+
+TEST(StringUtil, HumanBytes) {
+  EXPECT_EQ(human_bytes(512), "512.0 B");
+  EXPECT_EQ(human_bytes(1536), "1.5 KiB");
+  EXPECT_EQ(human_bytes(3u << 20), "3.0 MiB");
+}
+
+TEST(StringUtil, Strprintf) {
+  EXPECT_EQ(strprintf("%d-%s", 42, "x"), "42-x");
+  EXPECT_EQ(strprintf("%s", std::string(500, 'a').c_str()).size(), 500u);
+}
+
+// --- thread pool ---------------------------------------------------------------
+
+TEST(ThreadPool, SubmitRuns) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 50; ++i) {
+    futures.push_back(pool.submit([&] { counter.fetch_add(1); }));
+  }
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(counter.load(), 50);
+}
+
+TEST(ThreadPool, ParallelForCoversAllIndices) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(5000);
+  pool.parallel_for(hits.size(), [&](size_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForSmallRunsInline) {
+  ThreadPool pool(4);
+  int sum = 0;  // intentionally unsynchronized: must run inline
+  pool.parallel_for(10, [&](size_t i) { sum += static_cast<int>(i); });
+  EXPECT_EQ(sum, 45);
+}
+
+TEST(ThreadPool, ParallelForZero) {
+  ThreadPool pool(2);
+  bool called = false;
+  pool.parallel_for(0, [&](size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ThreadPool, ExceptionPropagatesThroughFuture) {
+  ThreadPool pool(1);
+  auto fut = pool.submit([] { throw std::runtime_error("boom"); });
+  EXPECT_THROW(fut.get(), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace duet

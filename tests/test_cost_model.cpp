@@ -1,0 +1,140 @@
+// Tests for the analytic device cost model: monotonicity, launch-overhead
+// behaviour for sequential ops, batch-occupancy scaling, layout bonus,
+// framework penalties, and the transfer model.
+
+#include <gtest/gtest.h>
+
+#include "compiler/cost_model.hpp"
+#include "device/calibration.hpp"
+#include "graph/builder.hpp"
+
+namespace duet {
+namespace {
+
+double time_of(const Graph& g, NodeId id, const DeviceCostParams& p,
+               const CompileOptions& o = CompileOptions::compiler_defaults()) {
+  return node_time_seconds(g, g.node(id), p, o);
+}
+
+TEST(CostModel, MoreFlopsCostMore) {
+  GraphBuilder b("t");
+  const NodeId x = b.input(Shape{1, 128});
+  const NodeId small = b.dense(x, 64);
+  const NodeId big = b.dense(x, 4096);
+  const Graph& g = b.graph();
+  const DeviceCostParams cpu = xeon_gold_6152();
+  EXPECT_LT(time_of(g, small, cpu), time_of(g, big, cpu));
+}
+
+TEST(CostModel, LongerSequenceCostsMoreOnGpuThanCpuRelative) {
+  // The paper's core asymmetry: RNN time on GPU is launch-bound, so the
+  // GPU/CPU ratio for an LSTM is far worse than for a conv.
+  GraphBuilder b("t");
+  const NodeId x = b.input(Shape{1, 100, 256});
+  const NodeId l = b.lstm(x, 256);
+  const NodeId img = b.input(Shape{1, 3, 224, 224});
+  const NodeId c = b.conv2d(img, 64, 7, 2, 3);
+  const Graph& g = b.graph();
+  const DeviceCostParams cpu = xeon_gold_6152();
+  const DeviceCostParams gpu = titan_v();
+  const double rnn_ratio = time_of(g, l, gpu) / time_of(g, l, cpu);
+  const double conv_ratio = time_of(g, c, gpu) / time_of(g, c, cpu);
+  EXPECT_GT(rnn_ratio, 1.0);   // GPU slower on the RNN
+  EXPECT_LT(conv_ratio, 0.3);  // GPU much faster on the conv
+}
+
+TEST(CostModel, MetadataOpsFree) {
+  GraphBuilder b("t");
+  const NodeId x = b.input(Shape{2, 6});
+  const NodeId r = b.reshape(x, Shape{3, 4});
+  const NodeId f = b.flatten(x);
+  const Graph& g = b.graph();
+  EXPECT_EQ(time_of(g, r, titan_v()), 0.0);
+  EXPECT_EQ(time_of(g, f, xeon_gold_6152()), 0.0);
+}
+
+TEST(CostModel, BatchImprovesGpuThroughputMoreThanCpu) {
+  const auto lstm_time = [&](int64_t batch, const DeviceCostParams& p) {
+    GraphBuilder b("t");
+    const NodeId x = b.input(Shape{batch, 50, 128});
+    const NodeId l = b.lstm(x, 128);
+    return time_of(b.graph(), l, p) / static_cast<double>(batch);
+  };
+  const DeviceCostParams cpu = xeon_gold_6152();
+  const DeviceCostParams gpu = titan_v();
+  // Per-sample GPU time should drop much more from batch 1 to 32.
+  const double gpu_gain = lstm_time(1, gpu) / lstm_time(32, gpu);
+  const double cpu_gain = lstm_time(1, cpu) / lstm_time(32, cpu);
+  EXPECT_GT(gpu_gain, cpu_gain * 2.0);
+}
+
+TEST(CostModel, LayoutBonusSpeedsConv) {
+  GraphBuilder b("t");
+  const NodeId x = b.input(Shape{1, 16, 32, 32});
+  const NodeId c = b.conv2d(x, 16, 3, 1, 1);
+  Graph g = b.finish({c});
+  const DeviceCostParams gpu = titan_v();
+  const double plain = time_of(g, c, gpu);
+  Node& node = g.mutable_node(c);
+  node.attrs.set("layout", std::string("NCHWc"));
+  const double tagged = time_of(g, c, gpu);
+  EXPECT_LT(tagged, plain);
+  EXPECT_NEAR(plain / tagged, gpu.layout_bonus, 0.2);
+}
+
+TEST(CostModel, FrameworkModeSlower) {
+  GraphBuilder b("t");
+  const NodeId x = b.input(Shape{1, 512});
+  const NodeId d = b.dense(x, 512);
+  const Graph& g = b.graph();
+  const DeviceCostParams cpu = xeon_gold_6152();
+  EXPECT_GT(time_of(g, d, cpu, CompileOptions::framework()),
+            time_of(g, d, cpu, CompileOptions::compiler_defaults()));
+}
+
+TEST(CostModel, MemoryBoundOpsSeeBandwidth) {
+  // A huge elementwise op must be bounded by memory bandwidth, not flops.
+  GraphBuilder b("t");
+  const NodeId x = b.input(Shape{1, 16 * 1024 * 1024});
+  const NodeId r = b.relu(x);
+  const Graph& g = b.graph();
+  const DeviceCostParams cpu = xeon_gold_6152();
+  const double t = time_of(g, r, cpu);
+  const double bytes = 2.0 * 16 * 1024 * 1024 * 4;  // read + write
+  EXPECT_NEAR(t, bytes / (cpu.mem_bw_gbps * 1e9), t * 0.5);
+}
+
+TEST(CostModel, DeviceKindHelpers) {
+  EXPECT_STREQ(device_kind_name(DeviceKind::kCpu), "cpu");
+  EXPECT_STREQ(device_kind_name(DeviceKind::kGpu), "gpu");
+  EXPECT_EQ(other_device(DeviceKind::kCpu), DeviceKind::kGpu);
+  EXPECT_EQ(other_device(DeviceKind::kGpu), DeviceKind::kCpu);
+}
+
+// --- transfers -----------------------------------------------------------------------
+
+TEST(TransferModel, LatencyLinearInSize) {
+  const TransferParams link = pcie3_x16();
+  const double t1 = transfer_time_seconds(1 << 20, link);
+  const double t2 = transfer_time_seconds(2 << 20, link);
+  const double t4 = transfer_time_seconds(4 << 20, link);
+  // Equal increments in size -> equal increments in time.
+  EXPECT_NEAR(t2 - t1, (t4 - t2) / 2.0, 1e-9);
+}
+
+TEST(TransferModel, SmallMessagesLatencyBound) {
+  const TransferParams link = pcie3_x16();
+  EXPECT_NEAR(transfer_time_seconds(64, link), link.latency_s,
+              link.latency_s * 0.1);
+}
+
+TEST(TransferModel, LargeMessagesBandwidthBound) {
+  const TransferParams link = pcie3_x16();
+  const uint64_t size = 64ull << 20;
+  const double t = transfer_time_seconds(size, link);
+  EXPECT_NEAR(static_cast<double>(size) / t, link.bandwidth_gbps * 1e9,
+              link.bandwidth_gbps * 1e9 * 0.05);
+}
+
+}  // namespace
+}  // namespace duet

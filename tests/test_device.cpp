@@ -1,0 +1,153 @@
+// Tests for the device layer: numeric execution fidelity, noise behaviour,
+// reseeding, the interconnect, and the SimClock.
+
+#include <gtest/gtest.h>
+
+#include "common/stats.hpp"
+#include "device/calibration.hpp"
+#include "device/device.hpp"
+#include "device/sim_clock.hpp"
+#include "models/model_zoo.hpp"
+
+namespace duet {
+namespace {
+
+TEST(Device, ExecuteMatchesInterpreter) {
+  Graph g = models::build_siamese(models::SiameseConfig::tiny());
+  DevicePair devices = make_default_device_pair(1);
+  const CompiledSubgraph cs =
+      compile_for_device(g, DeviceKind::kCpu, CompileOptions::compiler_defaults(),
+                         devices.cpu->params());
+
+  Rng rng(4);
+  const auto feeds = models::make_random_feeds(g, rng);
+  // Remap feeds to compiled graph inputs (positional).
+  std::map<NodeId, Tensor> remapped;
+  const auto src = g.input_ids();
+  const auto dst = cs.graph().input_ids();
+  for (size_t i = 0; i < src.size(); ++i) remapped[dst[i]] = feeds.at(src[i]);
+
+  Device::RunResult rr = devices.cpu->execute(cs, remapped, false);
+  const auto expect = evaluate_graph(g, feeds);
+  ASSERT_EQ(rr.outputs.size(), expect.size());
+  EXPECT_TRUE(Tensor::allclose(rr.outputs[0], expect[0], 1e-3f, 1e-4f));
+  EXPECT_GT(rr.modeled_time_s, 0.0);
+}
+
+TEST(Device, WrongDeviceSubgraphThrows) {
+  Graph g = models::build_siamese(models::SiameseConfig::tiny());
+  DevicePair devices = make_default_device_pair(2);
+  const CompiledSubgraph cs =
+      compile_for_device(g, DeviceKind::kGpu, CompileOptions::compiler_defaults(),
+                         devices.gpu->params());
+  EXPECT_THROW(devices.cpu->execute(cs, {}, false), Error);
+}
+
+TEST(Device, NoiselessTimeIsDeterministic) {
+  Graph g = models::build_mtdnn(models::MtDnnConfig::tiny());
+  DevicePair devices = make_default_device_pair(3);
+  const CompiledSubgraph cs =
+      compile_for_device(g, DeviceKind::kGpu, CompileOptions::compiler_defaults(),
+                         devices.gpu->params());
+  const double t1 = devices.gpu->modeled_time(cs, false);
+  const double t2 = devices.gpu->modeled_time(cs, false);
+  EXPECT_DOUBLE_EQ(t1, t2);
+  EXPECT_DOUBLE_EQ(t1, cs.est_total_time_s());
+}
+
+TEST(Device, NoiseCentersOnDeterministicTime) {
+  Graph g = models::build_mtdnn(models::MtDnnConfig::tiny());
+  DevicePair devices = make_default_device_pair(4);
+  const CompiledSubgraph cs =
+      compile_for_device(g, DeviceKind::kCpu, CompileOptions::compiler_defaults(),
+                         devices.cpu->params());
+  const double base = cs.est_total_time_s();
+  LatencyRecorder rec;
+  for (int i = 0; i < 3000; ++i) {
+    rec.add(devices.cpu->modeled_time(cs, true));
+  }
+  const SummaryStats s = rec.summarize();
+  EXPECT_NEAR(s.mean, base, base * 0.05);
+  EXPECT_GT(s.stddev, 0.0);
+}
+
+TEST(Device, ReseedReproducesNoiseStream) {
+  Graph g = models::build_siamese(models::SiameseConfig::tiny());
+  DevicePair devices = make_default_device_pair(5);
+  const CompiledSubgraph cs =
+      compile_for_device(g, DeviceKind::kCpu, CompileOptions::compiler_defaults(),
+                         devices.cpu->params());
+  devices.cpu->reseed(99);
+  std::vector<double> first;
+  for (int i = 0; i < 10; ++i) first.push_back(devices.cpu->modeled_time(cs, true));
+  devices.cpu->reseed(99);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_DOUBLE_EQ(devices.cpu->modeled_time(cs, true), first[static_cast<size_t>(i)]);
+  }
+}
+
+TEST(Device, PairAccessors) {
+  DevicePair devices = make_default_device_pair(6);
+  EXPECT_EQ(devices.device(DeviceKind::kCpu).kind(), DeviceKind::kCpu);
+  EXPECT_EQ(devices.device(DeviceKind::kGpu).kind(), DeviceKind::kGpu);
+  EXPECT_NE(devices.link, nullptr);
+}
+
+// --- interconnect ----------------------------------------------------------------
+
+TEST(Interconnect, TransferCopiesPayload) {
+  Interconnect link(pcie3_x16(), 0.1, 7);
+  Tensor t = Tensor::full(Shape{8}, 3.0f);
+  double seconds = 0.0;
+  Tensor moved = link.transfer(t, false, &seconds);
+  EXPECT_GT(seconds, 0.0);
+  EXPECT_TRUE(Tensor::allclose(moved, t));
+  // Deep copy: mutating the original does not affect the moved tensor.
+  t.data<float>()[0] = -1.0f;
+  EXPECT_EQ(moved.data<float>()[0], 3.0f);
+}
+
+TEST(Interconnect, AccountsTraffic) {
+  Interconnect link(pcie3_x16(), 0.1, 8);
+  link.transfer_time(1000, false);
+  link.transfer_time(2000, false);
+  EXPECT_EQ(link.total_bytes(), 3000u);
+  EXPECT_EQ(link.total_transfers(), 2u);
+}
+
+TEST(Interconnect, SpikesOnlyWithNoise) {
+  Interconnect link(pcie3_x16(), 0.0, 9);
+  link.set_spikes(1.0, 1e-3, 1e-3);  // always spike when noisy
+  const double quiet = link.transfer_time(100, false);
+  const double spiky = link.transfer_time(100, true);
+  EXPECT_NEAR(spiky - quiet, 1e-3, 1e-5);
+}
+
+TEST(Interconnect, NoiseTailIsOneSided) {
+  Interconnect link(pcie3_x16(), 0.2, 10);
+  LatencyRecorder rec;
+  for (int i = 0; i < 5000; ++i) rec.add(link.transfer_time(1 << 20, true));
+  const SummaryStats s = rec.summarize();
+  const double base = transfer_time_seconds(1 << 20, pcie3_x16());
+  EXPECT_NEAR(s.p50, base, base * 0.05);
+  EXPECT_GT(s.max - s.p50, s.p50 - s.min);  // log-normal upper tail
+}
+
+// --- sim clock ----------------------------------------------------------------------
+
+TEST(SimClock, AdvanceSemantics) {
+  SimClock clock;
+  EXPECT_EQ(clock.now(), 0.0);
+  clock.advance(1.5);
+  EXPECT_DOUBLE_EQ(clock.now(), 1.5);
+  clock.advance_to(1.0);  // no-op: already later
+  EXPECT_DOUBLE_EQ(clock.now(), 1.5);
+  clock.advance_to(2.0);
+  EXPECT_DOUBLE_EQ(clock.now(), 2.0);
+  EXPECT_THROW(clock.advance(-1.0), Error);
+  clock.reset();
+  EXPECT_EQ(clock.now(), 0.0);
+}
+
+}  // namespace
+}  // namespace duet

@@ -1,0 +1,172 @@
+// End-to-end tests of DuetEngine and the baselines: the full pipeline on
+// every zoo model, the fallback decision, option plumbing, and report
+// contents.
+
+#include <gtest/gtest.h>
+
+#include "duet/baseline.hpp"
+#include "duet/engine.hpp"
+#include "duet/report.hpp"
+#include "models/model_zoo.hpp"
+
+namespace duet {
+namespace {
+
+TEST(Engine, HeterogeneousModelsBeatSingleDevice) {
+  for (Graph (*build)() : {+[] { return models::build_wide_deep(); },
+                           +[] { return models::build_siamese(); },
+                           +[] { return models::build_mtdnn(); }}) {
+    DuetEngine engine(build());
+    const DuetReport& r = engine.report();
+    EXPECT_FALSE(r.fell_back) << engine.model().name();
+    EXPECT_LT(r.est_hetero_s, r.est_single_cpu_s);
+    EXPECT_LT(r.est_hetero_s, r.est_single_gpu_s);
+  }
+}
+
+TEST(Engine, SequentialModelFallsBackToBestDevice) {
+  models::ResNetConfig c;
+  c.depth = 18;
+  DuetEngine engine(models::build_resnet(c));
+  const DuetReport& r = engine.report();
+  EXPECT_TRUE(r.fell_back);
+  EXPECT_EQ(r.fallback_device, DeviceKind::kGpu);
+  // Fallback latency equals the TVM-GPU baseline.
+  Baseline gpu(engine.model(), BaselineKind::kTvmGpu, engine.devices());
+  EXPECT_NEAR(engine.latency(false), gpu.latency(false), 1e-9);
+}
+
+TEST(Engine, FallbackCanBeDisabled) {
+  models::ResNetConfig c;
+  c.depth = 18;
+  DuetOptions opts;
+  opts.enable_fallback = false;
+  DuetEngine engine(models::build_resnet(c), opts);
+  EXPECT_FALSE(engine.report().fell_back);
+  // Still executes correctly through the partitioned plan.
+  Rng rng(3);
+  const auto feeds = models::make_random_feeds(engine.model(), rng);
+  const auto expect = evaluate_graph(engine.model(), feeds);
+  ExecutionResult result = engine.infer(feeds);
+  EXPECT_TRUE(Tensor::allclose(result.outputs[0], expect[0], 1e-3f, 1e-4f));
+}
+
+TEST(Engine, FallbackInferenceMatchesReference) {
+  DuetEngine engine(models::build_resnet(models::ResNetConfig::tiny()));
+  Rng rng(4);
+  const auto feeds = models::make_random_feeds(engine.model(), rng);
+  const auto expect = evaluate_graph(engine.model(), feeds);
+  ExecutionResult result = engine.infer(feeds);
+  ASSERT_EQ(result.outputs.size(), 1u);
+  EXPECT_TRUE(Tensor::allclose(result.outputs[0], expect[0], 1e-3f, 1e-4f));
+  EXPECT_EQ(result.timeline.events().size(), 1u);  // one fallback span
+}
+
+TEST(Engine, SchedulerOptionIsRespected) {
+  DuetOptions opts;
+  opts.scheduler = "round-robin";
+  opts.enable_fallback = false;
+  DuetEngine engine(models::build_wide_deep(models::WideDeepConfig::tiny()), opts);
+  const Placement& p = engine.report().schedule.placement;
+  for (size_t i = 0; i < p.size(); ++i) {
+    EXPECT_EQ(p.of(static_cast<int>(i)),
+              i % 2 == 0 ? DeviceKind::kGpu : DeviceKind::kCpu);
+  }
+}
+
+TEST(Engine, UnknownSchedulerThrows) {
+  DuetOptions opts;
+  opts.scheduler = "nope";
+  EXPECT_THROW(
+      DuetEngine(models::build_siamese(models::SiameseConfig::tiny()), opts),
+      Error);
+}
+
+TEST(Engine, LatencyNoiseToggle) {
+  DuetEngine engine(models::build_siamese(models::SiameseConfig::tiny()));
+  const double a = engine.latency(false);
+  const double b = engine.latency(false);
+  EXPECT_DOUBLE_EQ(a, b);
+  const double c = engine.latency(true);
+  const double d = engine.latency(true);
+  EXPECT_NE(c, d);
+}
+
+TEST(Engine, ReportRendering) {
+  DuetEngine engine(models::build_wide_deep(models::WideDeepConfig::tiny()));
+  const std::string report =
+      engine.report().to_string(engine.model(), engine.partition());
+  EXPECT_NE(report.find("DUET report"), std::string::npos);
+  EXPECT_NE(report.find("est TVM-CPU"), std::string::npos);
+  const std::string table = render_subgraph_breakdown(engine);
+  EXPECT_NE(table.find("CPU cost"), std::string::npos);
+  EXPECT_NE(table.find("placed on"), std::string::npos);
+}
+
+TEST(Engine, ThreadedInferMatchesSim) {
+  DuetOptions opts;
+  opts.enable_fallback = false;
+  DuetEngine engine(models::build_mtdnn(models::MtDnnConfig::tiny()), opts);
+  Rng rng(5);
+  const auto feeds = models::make_random_feeds(engine.model(), rng);
+  ExecutionResult sim = engine.infer(feeds);
+  ExecutionResult threaded = engine.infer_threaded(feeds);
+  ASSERT_EQ(sim.outputs.size(), threaded.outputs.size());
+  for (size_t i = 0; i < sim.outputs.size(); ++i) {
+    EXPECT_TRUE(Tensor::allclose(sim.outputs[i], threaded.outputs[i]));
+  }
+}
+
+// --- baselines ---------------------------------------------------------------------
+
+TEST(BaselineTest, NamesAndDevices) {
+  EXPECT_STREQ(baseline_name(BaselineKind::kTvmGpu), "TVM-GPU");
+  EXPECT_STREQ(baseline_name(BaselineKind::kFrameworkCpu), "Framework-CPU");
+  EXPECT_EQ(baseline_device(BaselineKind::kTvmCpu), DeviceKind::kCpu);
+  EXPECT_EQ(baseline_device(BaselineKind::kFrameworkGpu), DeviceKind::kGpu);
+}
+
+TEST(BaselineTest, FrameworkSlowerThanCompiler) {
+  Graph g = models::build_wide_deep();
+  DevicePair devices = make_default_device_pair(61);
+  Baseline fw(g, BaselineKind::kFrameworkCpu, devices);
+  Baseline tvm(g, BaselineKind::kTvmCpu, devices);
+  EXPECT_GT(fw.latency(false), tvm.latency(false) * 1.3);
+}
+
+TEST(BaselineTest, GpuPaysTransfers) {
+  // Same graph compiled for GPU twice: once the raw kernel time, once the
+  // baseline latency; the difference is the input/output PCIe cost.
+  Graph g = models::build_siamese(models::SiameseConfig::tiny());
+  DevicePair devices = make_default_device_pair(62);
+  Baseline gpu(g, BaselineKind::kTvmGpu, devices);
+  const double kernels_only = gpu.compiled().est_total_time_s();
+  EXPECT_GT(gpu.latency(false), kernels_only);
+}
+
+TEST(BaselineTest, InferMatchesReference) {
+  Graph g = models::build_wide_deep(models::WideDeepConfig::tiny());
+  DevicePair devices = make_default_device_pair(63);
+  Rng rng(6);
+  const auto feeds = models::make_random_feeds(g, rng);
+  const auto expect = evaluate_graph(g, feeds);
+  for (BaselineKind kind : {BaselineKind::kTvmCpu, BaselineKind::kTvmGpu,
+                            BaselineKind::kFrameworkCpu,
+                            BaselineKind::kFrameworkGpu}) {
+    Baseline baseline(g, kind, devices);
+    Baseline::Result r = baseline.infer(feeds, false);
+    ASSERT_EQ(r.outputs.size(), 1u) << baseline_name(kind);
+    EXPECT_TRUE(Tensor::allclose(r.outputs[0], expect[0], 1e-3f, 1e-4f))
+        << baseline_name(kind);
+  }
+}
+
+TEST(BaselineTest, MissingFeedThrows) {
+  Graph g = models::build_siamese(models::SiameseConfig::tiny());
+  DevicePair devices = make_default_device_pair(64);
+  Baseline baseline(g, BaselineKind::kTvmCpu, devices);
+  EXPECT_THROW(baseline.infer({}, false), Error);
+}
+
+}  // namespace
+}  // namespace duet

@@ -1,0 +1,241 @@
+// Tests for the paper's discussed-but-deferred extensions implemented here:
+// the analytic DP scheduler (§IV-C's alternative), intra-device lanes
+// (footnote 2), nested partitioning (footnote 1), Chrome trace export, and
+// the plan memory report.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "device/calibration.hpp"
+#include "duet/engine.hpp"
+#include "models/model_zoo.hpp"
+#include "runtime/executor.hpp"
+#include "sched/scheduler.hpp"
+
+namespace duet {
+namespace {
+
+struct ExtBench {
+  Graph graph;
+  DevicePair devices;
+  Partition partition;
+  std::vector<SubgraphProfile> profiles;
+  std::unique_ptr<LatencyEvaluator> evaluator;
+  Rng rng{5};
+
+  explicit ExtBench(Graph g, PartitionOptions popts = {},
+                    LaneConfig lanes = LaneConfig::single())
+      : graph(std::move(g)),
+        devices(make_default_device_pair(71)),
+        partition(partition_phased(graph, popts)) {
+    Profiler profiler(devices);
+    ProfileOptions opts;
+    opts.with_noise = false;
+    opts.runs = 1;
+    profiles = profiler.profile_partition(partition, graph, opts);
+    evaluator = std::make_unique<LatencyEvaluator>(partition, graph, profiles,
+                                                   devices.link->params(), lanes);
+  }
+
+  SchedulingContext ctx() {
+    return SchedulingContext{&partition, &profiles, evaluator.get(), &rng};
+  }
+};
+
+// --- analytic DP scheduler -----------------------------------------------------
+
+TEST(AnalyticDp, CompetitiveWithGreedyCorrectionOnWideDeep) {
+  ExtBench bench(models::build_wide_deep());
+  auto ctx = bench.ctx();
+  const ScheduleResult dp = make_scheduler("analytic-dp")->schedule(ctx);
+  const ScheduleResult ideal = make_scheduler("exhaustive")->schedule(ctx);
+  // Analytic placement is good (within 25% of optimal) but not guaranteed
+  // optimal — the paper's reason to prefer measured-latency correction.
+  EXPECT_LE(dp.est_latency_s, ideal.est_latency_s * 1.25);
+  EXPECT_GE(dp.est_latency_s, ideal.est_latency_s * (1 - 1e-12));
+}
+
+TEST(AnalyticDp, UsesNoSearchEvaluations) {
+  ExtBench bench(models::build_mtdnn());
+  auto ctx = bench.ctx();
+  const ScheduleResult dp = make_scheduler("analytic-dp")->schedule(ctx);
+  EXPECT_EQ(dp.evaluations, 1);  // only the final report evaluation
+}
+
+TEST(AnalyticDp, BeatsSingleDeviceOnHeterogeneousModels) {
+  for (Graph (*build)() : {+[] { return models::build_wide_deep(); },
+                           +[] { return models::build_siamese(); }}) {
+    ExtBench bench(build());
+    auto ctx = bench.ctx();
+    const double dp = make_scheduler("analytic-dp")->schedule(ctx).est_latency_s;
+    const double cpu = make_scheduler("cpu-only")->schedule(ctx).est_latency_s;
+    const double gpu = make_scheduler("gpu-only")->schedule(ctx).est_latency_s;
+    EXPECT_LT(dp, cpu);
+    EXPECT_LT(dp, gpu);
+  }
+}
+
+// --- lanes (footnote 2) ---------------------------------------------------------
+
+TEST(Lanes, GpuStreamsImproveGpuOnlyMultiPathLatency) {
+  // MT-DNN: six independent heads on the GPU. With 1 stream they serialize;
+  // with 4 streams they overlap, so gpu-only latency must drop.
+  ExtBench serial{models::build_mtdnn()};
+  ExtBench streams{models::build_mtdnn(), {}, LaneConfig::gpu_streams(4)};
+
+  const size_t n = serial.partition.subgraphs.size();
+  const double one = serial.evaluator->evaluate(Placement(n, DeviceKind::kGpu));
+  const double four = streams.evaluator->evaluate(Placement(n, DeviceKind::kGpu));
+  EXPECT_LT(four, one * 0.6);
+}
+
+TEST(Lanes, NoEffectOnPureChain) {
+  GraphBuilder b("chain");
+  NodeId x = b.input(Shape{1, 64});
+  for (int i = 0; i < 4; ++i) x = b.dense(x, 64);
+  Graph g = b.finish({x});
+  ExtBench serial{Graph(g)};
+  ExtBench streams{Graph(g), {}, LaneConfig::gpu_streams(8)};
+  const size_t n = serial.partition.subgraphs.size();
+  EXPECT_DOUBLE_EQ(serial.evaluator->evaluate(Placement(n, DeviceKind::kGpu)),
+                   streams.evaluator->evaluate(Placement(n, DeviceKind::kGpu)));
+}
+
+TEST(Lanes, SimExecutorHonorsLanes) {
+  Graph model = models::build_mtdnn(models::MtDnnConfig::tiny());
+  DevicePair devices = make_default_device_pair(72);
+  Partition partition = partition_phased(model);
+  ExecutionPlan plan = ExecutionPlan::build(
+      model, partition, Placement(partition.subgraphs.size(), DeviceKind::kGpu),
+      devices, CompileOptions::compiler_defaults());
+  SimExecutor one(devices);
+  SimExecutor four(devices, LaneConfig::gpu_streams(4));
+  const double serial = one.run_latency_only(plan, false);
+  const double overlapped = four.run_latency_only(plan, false);
+  EXPECT_LT(overlapped, serial);
+}
+
+TEST(Lanes, ConfigHelpers) {
+  const LaneConfig c = LaneConfig::gpu_streams(3);
+  EXPECT_EQ(c.of(DeviceKind::kGpu), 3);
+  EXPECT_EQ(c.of(DeviceKind::kCpu), 1);
+}
+
+// --- nested partitioning (footnote 1) -------------------------------------------
+
+TEST(NestedPartition, SplitsLongSequentialPhases) {
+  PartitionOptions coarse;
+  PartitionOptions nested;
+  nested.granularity = PartitionOptions::Granularity::kNested;
+  nested.nested_max_nodes = 8;
+
+  Graph model = models::build_mtdnn();  // long sequential encoder
+  Partition pc = partition_phased(model, coarse);
+  Partition pn = partition_phased(model, nested);
+  EXPECT_GT(pn.subgraphs.size(), pc.subgraphs.size());
+  pn.validate(model);
+  // Chunks respect the bound.
+  for (const Subgraph& sub : pn.subgraphs) {
+    if (sub.phase_type == PhaseType::kSequential) {
+      EXPECT_LE(sub.parent_nodes.size(), 8u);
+    }
+  }
+}
+
+TEST(NestedPartition, ExecutionStillCorrect) {
+  PartitionOptions nested;
+  nested.granularity = PartitionOptions::Granularity::kNested;
+  nested.nested_max_nodes = 4;
+  Graph model = models::build_mtdnn(models::MtDnnConfig::tiny());
+  DevicePair devices = make_default_device_pair(73);
+  Partition partition = partition_phased(model, nested);
+  // Alternate placement across the nested chunks.
+  Placement placement(partition.subgraphs.size());
+  for (size_t i = 0; i < placement.size(); ++i) {
+    placement.set(static_cast<int>(i),
+                  i % 2 ? DeviceKind::kGpu : DeviceKind::kCpu);
+  }
+  ExecutionPlan plan = ExecutionPlan::build(model, partition, placement, devices,
+                                            CompileOptions::compiler_defaults());
+  SimExecutor executor(devices);
+  Rng rng(6);
+  const auto feeds = models::make_random_feeds(model, rng);
+  const auto expect = evaluate_graph(model, feeds);
+  const auto result = executor.run(plan, feeds, false);
+  for (size_t i = 0; i < expect.size(); ++i) {
+    EXPECT_TRUE(Tensor::allclose(result.outputs[i], expect[i], 1e-3f, 1e-4f));
+  }
+}
+
+TEST(NestedPartition, EngineOptionPlumbed) {
+  DuetOptions opts;
+  opts.partition.granularity = PartitionOptions::Granularity::kNested;
+  opts.partition.nested_max_nodes = 6;
+  DuetEngine engine(models::build_mtdnn(models::MtDnnConfig::tiny()), opts);
+  for (const Subgraph& sub : engine.partition().subgraphs) {
+    if (sub.phase_type == PhaseType::kSequential) {
+      EXPECT_LE(sub.parent_nodes.size(), 6u);
+    }
+  }
+}
+
+// --- chrome trace ----------------------------------------------------------------
+
+TEST(ChromeTrace, WellFormedJson) {
+  Timeline tl;
+  tl.add({TimelineEvent::Kind::kExec, 0, DeviceKind::kCpu, "rnn", 0.0, 1e-3});
+  tl.add({TimelineEvent::Kind::kTransfer, 1, DeviceKind::kGpu, "xfer", 1e-3, 2e-3});
+  const std::string json = tl.to_chrome_trace();
+  EXPECT_NE(json.find("\"traceEvents\":["), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"rnn\""), std::string::npos);
+  EXPECT_NE(json.find("\"cat\":\"transfer\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  // Microsecond timestamps.
+  EXPECT_NE(json.find("\"ts\":1000"), std::string::npos);
+  // Balanced braces/brackets (cheap well-formedness proxy).
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+  EXPECT_EQ(std::count(json.begin(), json.end(), '['),
+            std::count(json.begin(), json.end(), ']'));
+}
+
+TEST(ChromeTrace, FromRealExecution) {
+  DuetOptions opts;
+  opts.enable_fallback = false;
+  DuetEngine engine(models::build_wide_deep(models::WideDeepConfig::tiny()), opts);
+  Rng rng(7);
+  const auto feeds = models::make_random_feeds(engine.model(), rng);
+  const auto result = engine.infer(feeds);
+  const std::string json = result.timeline.to_chrome_trace();
+  EXPECT_NE(json.find("phase0"), std::string::npos);
+}
+
+// --- memory report ------------------------------------------------------------------
+
+TEST(MemoryReport, WeightsFollowPlacement) {
+  Graph model = models::build_wide_deep(models::WideDeepConfig::tiny());
+  DevicePair devices = make_default_device_pair(74);
+  Partition partition = partition_phased(model);
+
+  // All CPU: everything resident host-side.
+  ExecutionPlan cpu_plan = ExecutionPlan::build(
+      model, partition, Placement(partition.subgraphs.size(), DeviceKind::kCpu),
+      devices, CompileOptions::compiler_defaults());
+  const auto cpu_report = cpu_plan.memory_report();
+  EXPECT_GT(cpu_report.total(DeviceKind::kCpu), 0u);
+  EXPECT_EQ(cpu_report.total(DeviceKind::kGpu), 0u);
+
+  // Split: both devices hold weights; totals exceed zero on each side.
+  Placement split(partition.subgraphs.size(), DeviceKind::kCpu);
+  split.set(3, DeviceKind::kGpu);
+  ExecutionPlan split_plan = ExecutionPlan::build(model, partition, split, devices,
+                                                  CompileOptions::compiler_defaults());
+  const auto split_report = split_plan.memory_report();
+  EXPECT_GT(split_report.weight_bytes[0], 0u);
+  EXPECT_GT(split_report.weight_bytes[1], 0u);
+  EXPECT_LT(split_report.weight_bytes[0], cpu_report.weight_bytes[0]);
+}
+
+}  // namespace
+}  // namespace duet

@@ -1,0 +1,211 @@
+// Randomized property tests: generate random layered DAGs of tensor
+// operators and assert the system-wide invariants hold on all of them —
+// partition validity, optimization-pass semantics preservation, executor
+// equivalence under random placements, and relay round-trips. Seeds are
+// fixed, so failures reproduce.
+
+#include <gtest/gtest.h>
+
+#include "compiler/pass.hpp"
+#include "device/calibration.hpp"
+#include "models/model_zoo.hpp"
+#include "relay/relay.hpp"
+#include "runtime/executor.hpp"
+#include "sched/scheduler.hpp"
+
+namespace duet {
+namespace {
+
+// Generates a random DAG: a few "lanes" of feature vectors that are mapped
+// through random unary/dense ops, occasionally merged (add/concat) or
+// forked, then reduced to a handful of outputs. Shapes stay rank-2
+// [batch, features] so every op combination is valid.
+Graph random_graph(uint64_t seed) {
+  Rng rng(seed);
+  GraphBuilder b("fuzz_" + std::to_string(seed), seed * 13 + 1);
+  const int64_t batch = rng.uniform_int(1, 3);
+
+  std::vector<NodeId> live;
+  const int num_inputs = static_cast<int>(rng.uniform_int(1, 3));
+  for (int i = 0; i < num_inputs; ++i) {
+    const int64_t features = 4 << rng.uniform_int(0, 3);  // 4..32
+    live.push_back(b.input(Shape{batch, features}));
+  }
+
+  const int steps = static_cast<int>(rng.uniform_int(6, 24));
+  for (int s = 0; s < steps; ++s) {
+    const int64_t choice = rng.uniform_int(0, 9);
+    const size_t pick = static_cast<size_t>(
+        rng.uniform_int(0, static_cast<int64_t>(live.size()) - 1));
+    const NodeId x = live[pick];
+    NodeId produced = kInvalidNode;
+    switch (choice) {
+      case 0:
+        produced = b.relu(x);
+        break;
+      case 1:
+        produced = b.sigmoid(x);
+        break;
+      case 2:
+        produced = b.tanh(x);
+        break;
+      case 3:
+      case 4:
+        produced = b.dense(x, 4 << rng.uniform_int(0, 3));
+        break;
+      case 5: {  // merge two equal-shaped values with add (or skip)
+        NodeId other = kInvalidNode;
+        for (NodeId cand : live) {
+          if (cand != x &&
+              b.graph().node(cand).out_shape == b.graph().node(x).out_shape) {
+            other = cand;
+            break;
+          }
+        }
+        produced = other != kInvalidNode ? b.add(x, other) : b.gelu(x);
+        break;
+      }
+      case 6: {  // concat any two values along features
+        const size_t pick2 = static_cast<size_t>(
+            rng.uniform_int(0, static_cast<int64_t>(live.size()) - 1));
+        const NodeId y = live[pick2];
+        if (b.graph().node(y).out_shape.dim(0) == batch) {
+          produced = b.concat({x, y}, 1);
+        } else {
+          produced = b.relu(x);
+        }
+        break;
+      }
+      case 7:
+        produced = b.layer_norm(x);
+        break;
+      case 8:
+        produced = b.softmax(x);
+        break;
+      default:
+        produced = b.dense(x, 8, "relu");
+        break;
+    }
+    // Fork: sometimes keep the input alive as well.
+    if (!rng.coin(0.35)) live.erase(live.begin() + static_cast<long>(pick));
+    live.push_back(produced);
+  }
+
+  // Outputs: up to 4 live *compute* values (raw inputs as outputs would be
+  // pure pass-throughs, which the engine does not route).
+  std::vector<NodeId> outputs;
+  for (NodeId id : live) {
+    if (!b.graph().node(id).is_input()) outputs.push_back(id);
+    if (outputs.size() == 4) break;
+  }
+  return b.finish(std::move(outputs));
+}
+
+class Fuzz : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(Fuzz, PartitionInvariantsHold) {
+  Graph g = random_graph(GetParam());
+  Partition p = partition_phased(g);
+  p.validate(g);  // covering, non-overlapping, phase-ordered
+  EXPECT_GE(p.subgraphs.size(), 1u);
+}
+
+TEST_P(Fuzz, PassesPreserveSemantics) {
+  Graph g = random_graph(GetParam());
+  Graph opt = PassManager::standard(CompileOptions::compiler_defaults()).run(g);
+  Rng rng(GetParam() + 1);
+  const auto feeds = models::make_random_feeds(g, rng);
+  std::map<NodeId, Tensor> remapped;
+  const auto src = g.input_ids();
+  const auto dst = opt.input_ids();
+  ASSERT_EQ(src.size(), dst.size());
+  for (size_t i = 0; i < src.size(); ++i) remapped[dst[i]] = feeds.at(src[i]);
+  const auto before = evaluate_graph(g, feeds);
+  const auto after = evaluate_graph(opt, remapped);
+  ASSERT_EQ(before.size(), after.size());
+  for (size_t i = 0; i < before.size(); ++i) {
+    EXPECT_TRUE(Tensor::allclose(before[i], after[i], 1e-3f, 1e-4f))
+        << "seed " << GetParam() << " output " << i;
+  }
+}
+
+TEST_P(Fuzz, RandomPlacementExecutesCorrectly) {
+  Graph g = random_graph(GetParam());
+  DevicePair devices = make_default_device_pair(GetParam());
+  Partition partition = partition_phased(g);
+  Rng prng(GetParam() + 2);
+  Placement placement(partition.subgraphs.size());
+  for (size_t i = 0; i < placement.size(); ++i) {
+    placement.set(static_cast<int>(i),
+                  prng.coin() ? DeviceKind::kGpu : DeviceKind::kCpu);
+  }
+  ExecutionPlan plan = ExecutionPlan::build(g, partition, placement, devices,
+                                            CompileOptions::compiler_defaults());
+  SimExecutor executor(devices);
+  Rng rng(GetParam() + 3);
+  const auto feeds = models::make_random_feeds(g, rng);
+  const auto expect = evaluate_graph(g, feeds);
+  const auto result = executor.run(plan, feeds, false);
+  ASSERT_EQ(result.outputs.size(), expect.size());
+  for (size_t i = 0; i < expect.size(); ++i) {
+    EXPECT_TRUE(Tensor::allclose(result.outputs[i], expect[i], 1e-3f, 1e-4f))
+        << "seed " << GetParam();
+  }
+}
+
+TEST_P(Fuzz, RelayRoundTripPreservesSemantics) {
+  Graph g = random_graph(GetParam());
+  relay::Module m = relay::from_graph(g);
+  std::map<std::string, Tensor> table;
+  for (const relay::Binding& bind : m.bindings) {
+    if (bind.kind == relay::Binding::Kind::kConstant) {
+      table[bind.var] = bind.constant.value;
+    }
+  }
+  Graph g2 = relay::to_graph(relay::parse_module(relay::print_module(m), &table));
+
+  Rng rng(GetParam() + 4);
+  const auto feeds = models::make_random_feeds(g, rng);
+  std::map<NodeId, Tensor> feeds2;
+  const auto in1 = g.input_ids();
+  const auto in2 = g2.input_ids();
+  ASSERT_EQ(in1.size(), in2.size());
+  for (size_t i = 0; i < in1.size(); ++i) feeds2[in2[i]] = feeds.at(in1[i]);
+  const auto out1 = evaluate_graph(g, feeds);
+  const auto out2 = evaluate_graph(g2, feeds2);
+  for (size_t i = 0; i < out1.size(); ++i) {
+    EXPECT_TRUE(Tensor::allclose(out1[i], out2[i], 1e-4f, 1e-5f))
+        << "seed " << GetParam();
+  }
+}
+
+TEST_P(Fuzz, SchedulersProduceConsistentEstimates) {
+  Graph g = random_graph(GetParam());
+  DevicePair devices = make_default_device_pair(GetParam() + 5);
+  Partition partition = partition_phased(g);
+  Profiler profiler(devices);
+  ProfileOptions opts;
+  opts.runs = 1;
+  opts.with_noise = false;
+  const auto profiles = profiler.profile_partition(partition, g, opts);
+  LatencyEvaluator evaluator(partition, g, profiles, devices.link->params());
+  Rng rng(GetParam() + 6);
+  SchedulingContext ctx{&partition, &profiles, &evaluator, &rng};
+
+  const double greedy =
+      make_scheduler("greedy-correction")->schedule(ctx).est_latency_s;
+  const double cpu = make_scheduler("cpu-only")->schedule(ctx).est_latency_s;
+  const double gpu = make_scheduler("gpu-only")->schedule(ctx).est_latency_s;
+  // Greedy-correction should not end up meaningfully worse than the worse of
+  // the two trivial placements (small slack: it is a local search).
+  EXPECT_LE(greedy, std::max(cpu, gpu) * 1.05);
+  // Every reported estimate re-evaluates to itself.
+  const ScheduleResult r = make_scheduler("greedy-correction")->schedule(ctx);
+  EXPECT_NEAR(r.est_latency_s, evaluator.evaluate(r.placement), 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Fuzz,
+                         ::testing::Range<uint64_t>(1000, 1012));
+
+}  // namespace
+}  // namespace duet

@@ -1,0 +1,306 @@
+// Unit tests for the graph IR: construction, shape inference, traversals,
+// evaluation, attributes, and DOT export.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/builder.hpp"
+#include "graph/dot.hpp"
+#include "graph/shape_inference.hpp"
+#include "graph/traversal.hpp"
+
+namespace duet {
+namespace {
+
+Graph diamond_graph() {
+  // x -> relu -> a ; x -> sigmoid -> b ; add(a, b) -> out
+  GraphBuilder b("diamond");
+  const NodeId x = b.input(Shape{2, 4}, "x");
+  const NodeId a = b.relu(x);
+  const NodeId s = b.sigmoid(x);
+  const NodeId out = b.add(a, s);
+  return b.finish({out});
+}
+
+TEST(Graph, BuilderAssignsIdsAndNames) {
+  Graph g = diamond_graph();
+  EXPECT_EQ(g.num_nodes(), 4u);
+  EXPECT_EQ(g.node(0).name, "x");
+  EXPECT_TRUE(g.node(1).name.find("relu") != std::string::npos);
+  EXPECT_EQ(g.outputs().size(), 1u);
+}
+
+TEST(Graph, ConsumersAdjacency) {
+  Graph g = diamond_graph();
+  EXPECT_EQ(g.consumers(0).size(), 2u);  // relu and sigmoid read x
+  EXPECT_EQ(g.consumers(1).size(), 1u);
+  EXPECT_TRUE(g.consumers(3).empty());
+}
+
+TEST(Graph, AddNodeRejectsForwardEdges) {
+  Graph g;
+  EXPECT_THROW(g.add_node(OpType::kReLU, {0}), Error);  // node 0 doesn't exist
+}
+
+TEST(Graph, ValidateRequiresOutputs) {
+  Graph g;
+  g.add_input(Shape{1});
+  EXPECT_THROW(g.validate(), Error);
+}
+
+TEST(Graph, InputAndConstantListing) {
+  GraphBuilder b("t");
+  const NodeId x = b.input(Shape{1, 2});
+  const NodeId d = b.dense(x, 3);
+  Graph g = b.finish({d});
+  EXPECT_EQ(g.input_ids().size(), 1u);
+  EXPECT_EQ(g.constant_ids().size(), 2u);  // weight + bias
+  EXPECT_EQ(g.param_bytes(), (2 * 3 + 3) * sizeof(float));
+}
+
+TEST(Graph, EvaluateDiamond) {
+  Graph g = diamond_graph();
+  std::map<NodeId, Tensor> feeds{
+      {0, Tensor::from_vector(Shape{2, 4}, {1, -1, 2, -2, 0, 3, -3, 4})}};
+  const auto out = evaluate_graph(g, feeds);
+  ASSERT_EQ(out.size(), 1u);
+  // out = relu(x) + sigmoid(x); check one positive and one negative entry.
+  EXPECT_NEAR(out[0].data<float>()[0], 1.0f + 1.0f / (1.0f + std::exp(-1.0f)),
+              1e-5);
+  EXPECT_NEAR(out[0].data<float>()[1], 0.0f + 1.0f / (1.0f + std::exp(1.0f)),
+              1e-5);
+}
+
+TEST(Graph, EvaluateMissingFeedThrows) {
+  Graph g = diamond_graph();
+  EXPECT_THROW(evaluate_graph(g, {}), Error);
+}
+
+TEST(Graph, EvaluateWrongFeedShapeThrows) {
+  Graph g = diamond_graph();
+  std::map<NodeId, Tensor> feeds{{0, Tensor::zeros(Shape{3, 3})}};
+  EXPECT_THROW(evaluate_graph(g, feeds), Error);
+}
+
+// --- shape inference across ops ------------------------------------------------
+
+TEST(ShapeInference, DenseAndFlatten) {
+  GraphBuilder b("t");
+  const NodeId x = b.input(Shape{2, 3, 4, 4});
+  const NodeId f = b.flatten(x);
+  EXPECT_EQ(b.graph().node(f).out_shape, Shape({2, 48}));
+  const NodeId d = b.dense(f, 10);
+  EXPECT_EQ(b.graph().node(d).out_shape, Shape({2, 10}));
+}
+
+TEST(ShapeInference, Conv2dGeometry) {
+  GraphBuilder b("t");
+  const NodeId x = b.input(Shape{1, 3, 32, 32});
+  const NodeId c = b.conv2d(x, 16, 3, 2, 1);
+  EXPECT_EQ(b.graph().node(c).out_shape, Shape({1, 16, 16, 16}));
+  const NodeId p = b.max_pool2d(c, 2, 2, 0);
+  EXPECT_EQ(b.graph().node(p).out_shape, Shape({1, 16, 8, 8}));
+  const NodeId gap = b.global_avg_pool(p);
+  EXPECT_EQ(b.graph().node(gap).out_shape, Shape({1, 16}));
+}
+
+TEST(ShapeInference, RnnOps) {
+  GraphBuilder b("t");
+  const NodeId x = b.input(Shape{2, 7, 5});
+  const NodeId l = b.lstm(x, 11);
+  EXPECT_EQ(b.graph().node(l).out_shape, Shape({2, 7, 11}));
+  const NodeId g = b.gru(l, 3);
+  EXPECT_EQ(b.graph().node(g).out_shape, Shape({2, 7, 3}));
+  const NodeId last = b.last_timestep(g);
+  EXPECT_EQ(b.graph().node(last).out_shape, Shape({2, 3}));
+  const NodeId mean = b.seq_mean(g);
+  EXPECT_EQ(b.graph().node(mean).out_shape, Shape({2, 3}));
+}
+
+TEST(ShapeInference, ConcatAxis) {
+  GraphBuilder b("t");
+  const NodeId x = b.input(Shape{2, 3});
+  const NodeId y = b.input(Shape{2, 5});
+  const NodeId c = b.concat({x, y}, 1);
+  EXPECT_EQ(b.graph().node(c).out_shape, Shape({2, 8}));
+}
+
+TEST(ShapeInference, ConcatMismatchThrows) {
+  GraphBuilder b("t");
+  const NodeId x = b.input(Shape{2, 3});
+  const NodeId y = b.input(Shape{3, 3});
+  EXPECT_THROW(b.concat({x, y}, 1), Error);
+}
+
+TEST(ShapeInference, MatMulMismatchThrows) {
+  GraphBuilder b("t");
+  const NodeId x = b.input(Shape{2, 3});
+  const NodeId y = b.input(Shape{4, 5});
+  EXPECT_THROW(b.matmul(x, y), Error);
+}
+
+TEST(ShapeInference, AttentionPreservesShape) {
+  GraphBuilder b("t");
+  const NodeId x = b.input(Shape{2, 6, 8});
+  const NodeId a = b.attention(x, 4);
+  EXPECT_EQ(b.graph().node(a).out_shape, Shape({2, 6, 8}));
+}
+
+TEST(ShapeInference, ReshapeChecksNumel) {
+  GraphBuilder b("t");
+  const NodeId x = b.input(Shape{2, 6});
+  const NodeId r = b.reshape(x, Shape{3, 4});
+  EXPECT_EQ(b.graph().node(r).out_shape, Shape({3, 4}));
+  EXPECT_THROW(b.reshape(x, Shape{5, 5}), Error);
+}
+
+TEST(ShapeInference, ArgmaxProducesInt) {
+  GraphBuilder b("t");
+  const NodeId x = b.input(Shape{2, 9});
+  const NodeId a = b.graph().add_node(OpType::kArgMax, {x});
+  EXPECT_EQ(b.graph().node(a).out_dtype, DType::kInt32);
+  EXPECT_EQ(b.graph().node(a).out_shape, Shape({2}));
+}
+
+// --- flops / bytes / launches ------------------------------------------------------
+
+TEST(CostAnalysis, DenseFlops) {
+  GraphBuilder b("t");
+  const NodeId x = b.input(Shape{2, 10});
+  const NodeId d = b.dense(x, 20);
+  const Graph& g = b.graph();
+  EXPECT_DOUBLE_EQ(node_flops(g, g.node(d)), 2.0 * 2 * 10 * 20);
+}
+
+TEST(CostAnalysis, LstmLaunchesScaleWithSeq) {
+  GraphBuilder b("t");
+  const NodeId x = b.input(Shape{1, 50, 8});
+  const NodeId l = b.lstm(x, 16);
+  const Graph& g = b.graph();
+  EXPECT_EQ(node_kernel_launches(g, g.node(l)), 3 * 50);
+  // Doubling the sequence doubles launches.
+  GraphBuilder b2("t2");
+  const NodeId x2 = b2.input(Shape{1, 100, 8});
+  const NodeId l2 = b2.lstm(x2, 16);
+  EXPECT_EQ(node_kernel_launches(b2.graph(), b2.graph().node(l2)), 3 * 100);
+}
+
+TEST(CostAnalysis, MetadataOpsAreFree) {
+  GraphBuilder b("t");
+  const NodeId x = b.input(Shape{2, 6});
+  const NodeId r = b.reshape(x, Shape{3, 4});
+  const Graph& g = b.graph();
+  EXPECT_EQ(node_flops(g, g.node(r)), 0.0);
+  EXPECT_EQ(node_kernel_launches(g, g.node(r)), 0);
+}
+
+TEST(CostAnalysis, EmbeddingBytesAreGatherOnly) {
+  GraphBuilder b("t");
+  const NodeId idx = b.input(Shape{1, 4}, "idx", DType::kInt32);
+  const NodeId e = b.embedding(idx, 1000, 64);
+  const Graph& g = b.graph();
+  const NodeBytes bytes = node_bytes(g, g.node(e));
+  // Must NOT count the whole 1000x64 table.
+  EXPECT_LT(bytes.read, 1000 * 64 * 4ull);
+  EXPECT_EQ(bytes.written, 4ull * 64 * 4);
+}
+
+// --- traversal -----------------------------------------------------------------------
+
+TEST(Traversal, LevelsOnDiamond) {
+  Graph g = diamond_graph();
+  const auto levels = node_levels(g);
+  EXPECT_EQ(levels[0], 0);  // input
+  EXPECT_EQ(levels[1], 0);  // relu: first compute level
+  EXPECT_EQ(levels[2], 0);
+  EXPECT_EQ(levels[3], 1);  // add depends on both
+}
+
+TEST(Traversal, Reachability) {
+  Graph g = diamond_graph();
+  EXPECT_TRUE(reaches(g, 0, 3));
+  EXPECT_TRUE(reaches(g, 1, 3));
+  EXPECT_FALSE(reaches(g, 1, 2));
+  EXPECT_FALSE(reaches(g, 3, 0));
+  EXPECT_TRUE(reaches(g, 2, 2));
+}
+
+TEST(Traversal, LiveNodes) {
+  GraphBuilder b("t");
+  const NodeId x = b.input(Shape{1, 2});
+  const NodeId used = b.relu(x);
+  const NodeId dead = b.sigmoid(x);
+  (void)dead;
+  Graph g = b.finish({used});
+  const auto live = live_nodes(g);
+  EXPECT_TRUE(live[static_cast<size_t>(used)]);
+  EXPECT_FALSE(live[static_cast<size_t>(dead)]);
+}
+
+TEST(Traversal, CriticalPathPicksHeavyBranch) {
+  Graph g = diamond_graph();
+  // Make sigmoid (node 2) very expensive.
+  const auto cost = [](NodeId id) { return id == 2 ? 100.0 : 1.0; };
+  const CriticalPath cp = critical_path(g, cost);
+  EXPECT_NEAR(cp.total_cost, 102.0, 1e-9);  // x -> sigmoid -> add
+  ASSERT_EQ(cp.nodes.size(), 3u);
+  EXPECT_EQ(cp.nodes[1], 2);
+}
+
+// --- attrs -------------------------------------------------------------------------
+
+TEST(Attrs, TypedAccessors) {
+  AttrMap m;
+  m.set("i", int64_t{42});
+  m.set("d", 1.5);
+  m.set("s", std::string("hi"));
+  m.set("v", std::vector<int64_t>{1, 2, 3});
+  EXPECT_EQ(m.get_int("i"), 42);
+  EXPECT_DOUBLE_EQ(m.get_float("d"), 1.5);
+  EXPECT_DOUBLE_EQ(m.get_float("i"), 42.0);  // int promotes
+  EXPECT_EQ(m.get_string("s"), "hi");
+  EXPECT_EQ(m.get_ints("v").size(), 3u);
+  EXPECT_EQ(m.get_int_or("missing", 7), 7);
+  EXPECT_THROW(m.get_int("missing"), Error);
+  EXPECT_THROW(m.get_int("s"), Error);
+}
+
+TEST(Attrs, ToStringStable) {
+  AttrMap m;
+  m.set("b", int64_t{2});
+  m.set("a", int64_t{1});
+  EXPECT_EQ(m.to_string(), "a=1, b=2");  // sorted by key (std::map)
+}
+
+// --- dot ---------------------------------------------------------------------------
+
+TEST(Dot, ContainsNodesAndEdges) {
+  Graph g = diamond_graph();
+  const std::string dot = to_dot(g);
+  EXPECT_NE(dot.find("digraph"), std::string::npos);
+  EXPECT_NE(dot.find("n0 -> n1"), std::string::npos);
+  EXPECT_NE(dot.find("n2 -> n3"), std::string::npos);
+}
+
+TEST(Dot, ClusterGrouping) {
+  Graph g = diamond_graph();
+  DotOptions opts;
+  opts.cluster = [](NodeId id) { return id <= 1 ? 0 : 1; };
+  const std::string dot = to_dot(g, opts);
+  EXPECT_NE(dot.find("cluster_0"), std::string::npos);
+  EXPECT_NE(dot.find("cluster_1"), std::string::npos);
+}
+
+// --- op registry ---------------------------------------------------------------------
+
+TEST(OpRegistry, NameRoundTrip) {
+  for (OpType op : {OpType::kDense, OpType::kLSTM, OpType::kConcat,
+                    OpType::kMultiHeadAttention, OpType::kSeqLast}) {
+    EXPECT_EQ(op_from_name(op_name(op)), op);
+  }
+  EXPECT_THROW(op_from_name("bogus_op"), Error);
+}
+
+}  // namespace
+}  // namespace duet

@@ -1,0 +1,451 @@
+// Unit tests for the kernel library against hand-computed values and
+// mathematical identities.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tensor/kernels.hpp"
+
+namespace duet {
+namespace {
+
+using namespace kernels;
+
+Tensor t2x2(float a, float b, float c, float d) {
+  return Tensor::from_vector(Shape{2, 2}, {a, b, c, d});
+}
+
+// --- elementwise ----------------------------------------------------------------
+
+TEST(Elementwise, AddSubMul) {
+  const Tensor a = t2x2(1, 2, 3, 4);
+  const Tensor b = t2x2(10, 20, 30, 40);
+  EXPECT_EQ(add(a, b).data<float>()[3], 44.0f);
+  EXPECT_EQ(sub(b, a).data<float>()[0], 9.0f);
+  EXPECT_EQ(mul(a, b).data<float>()[2], 90.0f);
+}
+
+TEST(Elementwise, ShapeMismatchThrows) {
+  EXPECT_THROW(add(Tensor::zeros(Shape{2}), Tensor::zeros(Shape{3})), Error);
+}
+
+TEST(Elementwise, ReluClampsNegatives) {
+  const Tensor x = Tensor::from_vector(Shape{4}, {-1, 0, 2, -3});
+  const Tensor y = relu(x);
+  EXPECT_EQ(y.data<float>()[0], 0.0f);
+  EXPECT_EQ(y.data<float>()[2], 2.0f);
+}
+
+TEST(Elementwise, SigmoidKnownValues) {
+  const Tensor y = sigmoid(Tensor::from_vector(Shape{2}, {0.0f, 100.0f}));
+  EXPECT_FLOAT_EQ(y.data<float>()[0], 0.5f);
+  EXPECT_NEAR(y.data<float>()[1], 1.0f, 1e-6);
+}
+
+TEST(Elementwise, TanhOddFunction) {
+  const Tensor y = tanh_op(Tensor::from_vector(Shape{2}, {1.5f, -1.5f}));
+  EXPECT_NEAR(y.data<float>()[0], -y.data<float>()[1], 1e-6);
+}
+
+TEST(Elementwise, GeluAnchors) {
+  const Tensor y = gelu(Tensor::from_vector(Shape{3}, {0.0f, 10.0f, -10.0f}));
+  EXPECT_FLOAT_EQ(y.data<float>()[0], 0.0f);
+  EXPECT_NEAR(y.data<float>()[1], 10.0f, 1e-3);
+  EXPECT_NEAR(y.data<float>()[2], 0.0f, 1e-3);
+}
+
+TEST(Elementwise, ScalarOps) {
+  const Tensor x = Tensor::full(Shape{2}, 3.0f);
+  EXPECT_EQ(add_scalar(x, 2.0f).data<float>()[0], 5.0f);
+  EXPECT_EQ(mul_scalar(x, -2.0f).data<float>()[1], -6.0f);
+}
+
+TEST(Elementwise, BiasAddBroadcastsLastDim) {
+  const Tensor x = Tensor::zeros(Shape{2, 3});
+  const Tensor b = Tensor::from_vector(Shape{3}, {1, 2, 3});
+  const Tensor y = bias_add(x, b);
+  EXPECT_EQ(y.data<float>()[0], 1.0f);
+  EXPECT_EQ(y.data<float>()[5], 3.0f);
+  EXPECT_THROW(bias_add(x, Tensor::zeros(Shape{4})), Error);
+}
+
+// --- matmul ----------------------------------------------------------------------
+
+TEST(MatMul, HandComputed) {
+  const Tensor a = t2x2(1, 2, 3, 4);
+  const Tensor b = t2x2(5, 6, 7, 8);
+  const Tensor c = matmul(a, b);
+  EXPECT_EQ(c.data<float>()[0], 19.0f);
+  EXPECT_EQ(c.data<float>()[1], 22.0f);
+  EXPECT_EQ(c.data<float>()[2], 43.0f);
+  EXPECT_EQ(c.data<float>()[3], 50.0f);
+}
+
+TEST(MatMul, IdentityIsNoop) {
+  Rng rng(1);
+  const Tensor a = Tensor::randn(Shape{5, 5}, rng);
+  Tensor eye = Tensor::zeros(Shape{5, 5});
+  for (int i = 0; i < 5; ++i) eye.data<float>()[i * 5 + i] = 1.0f;
+  EXPECT_TRUE(Tensor::allclose(matmul(a, eye), a));
+}
+
+TEST(MatMul, InnerDimMismatchThrows) {
+  EXPECT_THROW(matmul(Tensor::zeros(Shape{2, 3}), Tensor::zeros(Shape{4, 2})),
+               Error);
+}
+
+TEST(MatMul, BatchSharedRhs) {
+  Rng rng(2);
+  const Tensor a = Tensor::randn(Shape{3, 2, 4}, rng);
+  const Tensor b = Tensor::randn(Shape{4, 5}, rng);
+  const Tensor c = batch_matmul(a, b);
+  EXPECT_EQ(c.shape(), Shape({3, 2, 5}));
+  // Batch 1 must equal a standalone matmul of that slice.
+  Tensor a1(Shape{2, 4});
+  std::copy(a.data<float>() + 8, a.data<float>() + 16, a1.data<float>());
+  const Tensor expect = matmul(a1, b);
+  Tensor c1(Shape{2, 5});
+  std::copy(c.data<float>() + 10, c.data<float>() + 20, c1.data<float>());
+  EXPECT_TRUE(Tensor::allclose(c1, expect));
+}
+
+TEST(MatMul, LinearAddsBias) {
+  const Tensor x = t2x2(1, 0, 0, 1);
+  const Tensor w = t2x2(2, 0, 0, 2);
+  const Tensor b = Tensor::from_vector(Shape{2}, {10, 20});
+  const Tensor y = linear(x, w, b);
+  EXPECT_EQ(y.data<float>()[0], 12.0f);
+  EXPECT_EQ(y.data<float>()[3], 22.0f);
+  const Tensor y2 = linear(x, w, Tensor());
+  EXPECT_EQ(y2.data<float>()[0], 2.0f);
+}
+
+// --- conv / pool -------------------------------------------------------------------
+
+TEST(Conv2d, HandComputed3x3) {
+  // 1x1x3x3 input = 1..9, 1x1x2x2 kernel of ones, stride 1, no padding.
+  Tensor x = Tensor::from_vector(Shape{1, 1, 3, 3}, {1, 2, 3, 4, 5, 6, 7, 8, 9});
+  Tensor w = Tensor::full(Shape{1, 1, 2, 2}, 1.0f);
+  const Tensor y = conv2d(x, w, Tensor(), 1, 0);
+  EXPECT_EQ(y.shape(), Shape({1, 1, 2, 2}));
+  EXPECT_EQ(y.data<float>()[0], 1 + 2 + 4 + 5);
+  EXPECT_EQ(y.data<float>()[3], 5 + 6 + 8 + 9);
+}
+
+TEST(Conv2d, PaddingAndStride) {
+  Tensor x = Tensor::full(Shape{1, 1, 4, 4}, 1.0f);
+  Tensor w = Tensor::full(Shape{1, 1, 3, 3}, 1.0f);
+  const Tensor y = conv2d(x, w, Tensor(), 2, 1);
+  EXPECT_EQ(y.shape(), Shape({1, 1, 2, 2}));
+  // Top-left window covers 4 valid pixels (others padded).
+  EXPECT_EQ(y.data<float>()[0], 4.0f);
+}
+
+TEST(Conv2d, BiasApplied) {
+  Tensor x = Tensor::zeros(Shape{1, 1, 2, 2});
+  Tensor w = Tensor::full(Shape{2, 1, 1, 1}, 1.0f);
+  Tensor b = Tensor::from_vector(Shape{2}, {3, -1});
+  const Tensor y = conv2d(x, w, b, 1, 0);
+  EXPECT_EQ(y.data<float>()[0], 3.0f);
+  EXPECT_EQ(y.data<float>()[4], -1.0f);
+}
+
+TEST(Conv2d, ChannelMismatchThrows) {
+  EXPECT_THROW(conv2d(Tensor::zeros(Shape{1, 3, 4, 4}),
+                      Tensor::zeros(Shape{8, 4, 3, 3}), Tensor(), 1, 1),
+               Error);
+}
+
+TEST(Pool, MaxPoolPicksMax) {
+  Tensor x = Tensor::from_vector(Shape{1, 1, 2, 2}, {1, 9, 3, 4});
+  const Tensor y = max_pool2d(x, 2, 2, 0);
+  EXPECT_EQ(y.numel(), 1);
+  EXPECT_EQ(y.data<float>()[0], 9.0f);
+}
+
+TEST(Pool, AvgPoolAverages) {
+  Tensor x = Tensor::from_vector(Shape{1, 1, 2, 2}, {1, 2, 3, 6});
+  const Tensor y = avg_pool2d(x, 2, 2, 0);
+  EXPECT_EQ(y.data<float>()[0], 3.0f);
+}
+
+TEST(Pool, GlobalAvgPool) {
+  Tensor x = Tensor::from_vector(Shape{1, 2, 1, 2}, {2, 4, 10, 30});
+  const Tensor y = global_avg_pool(x);
+  EXPECT_EQ(y.shape(), Shape({1, 2}));
+  EXPECT_EQ(y.data<float>()[0], 3.0f);
+  EXPECT_EQ(y.data<float>()[1], 20.0f);
+}
+
+TEST(BatchNorm, ScaleShift) {
+  Tensor x = Tensor::full(Shape{1, 2, 1, 1}, 2.0f);
+  Tensor scale = Tensor::from_vector(Shape{2}, {3, 0.5});
+  Tensor shift = Tensor::from_vector(Shape{2}, {1, -1});
+  const Tensor y = batch_norm(x, scale, shift);
+  EXPECT_EQ(y.data<float>()[0], 7.0f);
+  EXPECT_EQ(y.data<float>()[1], 0.0f);
+}
+
+// --- reductions -----------------------------------------------------------------
+
+TEST(Reduce, SoftmaxRowsSumToOne) {
+  Rng rng(3);
+  const Tensor x = Tensor::randn(Shape{4, 7}, rng);
+  const Tensor y = softmax_lastdim(x);
+  for (int r = 0; r < 4; ++r) {
+    float sum = 0.0f;
+    for (int c = 0; c < 7; ++c) sum += y.data<float>()[r * 7 + c];
+    EXPECT_NEAR(sum, 1.0f, 1e-5);
+  }
+}
+
+TEST(Reduce, SoftmaxInvariantToShift) {
+  const Tensor a = Tensor::from_vector(Shape{1, 3}, {1, 2, 3});
+  const Tensor b = Tensor::from_vector(Shape{1, 3}, {101, 102, 103});
+  EXPECT_TRUE(Tensor::allclose(softmax_lastdim(a), softmax_lastdim(b)));
+}
+
+TEST(Reduce, LayerNormNormalizes) {
+  Rng rng(4);
+  const Tensor x = Tensor::randn(Shape{3, 16}, rng, 5.0f);
+  const Tensor gamma = Tensor::full(Shape{16}, 1.0f);
+  const Tensor beta = Tensor::zeros(Shape{16});
+  const Tensor y = layer_norm(x, gamma, beta);
+  for (int r = 0; r < 3; ++r) {
+    float mean = 0.0f;
+    float var = 0.0f;
+    for (int c = 0; c < 16; ++c) mean += y.data<float>()[r * 16 + c];
+    mean /= 16;
+    for (int c = 0; c < 16; ++c) {
+      const float d = y.data<float>()[r * 16 + c] - mean;
+      var += d * d;
+    }
+    var /= 16;
+    EXPECT_NEAR(mean, 0.0f, 1e-4);
+    EXPECT_NEAR(var, 1.0f, 1e-2);
+  }
+}
+
+TEST(Reduce, AxisReductions) {
+  const Tensor x = Tensor::from_vector(Shape{2, 3}, {1, 2, 3, 4, 5, 6});
+  const Tensor s0 = reduce_sum(x, 0);
+  EXPECT_EQ(s0.shape(), Shape({3}));
+  EXPECT_EQ(s0.data<float>()[0], 5.0f);
+  const Tensor m1 = reduce_mean(x, 1);
+  EXPECT_EQ(m1.data<float>()[1], 5.0f);
+  const Tensor mx = reduce_max(x, 1);
+  EXPECT_EQ(mx.data<float>()[0], 3.0f);
+}
+
+TEST(Reduce, ArgmaxLastDim) {
+  const Tensor x = Tensor::from_vector(Shape{2, 3}, {1, 9, 3, 7, 2, 1});
+  const Tensor y = argmax_lastdim(x);
+  EXPECT_EQ(y.dtype(), DType::kInt32);
+  EXPECT_EQ(y.data<int32_t>()[0], 1);
+  EXPECT_EQ(y.data<int32_t>()[1], 0);
+}
+
+// --- transforms -------------------------------------------------------------------
+
+TEST(Transform, ConcatSplitRoundTrip) {
+  Rng rng(5);
+  const Tensor a = Tensor::randn(Shape{2, 3}, rng);
+  const Tensor b = Tensor::randn(Shape{2, 5}, rng);
+  const Tensor cat = concat({a, b}, 1);
+  EXPECT_EQ(cat.shape(), Shape({2, 8}));
+  // Check a value from each part landed in the right place.
+  EXPECT_EQ(cat.data<float>()[0], a.data<float>()[0]);
+  EXPECT_EQ(cat.data<float>()[3], b.data<float>()[0]);
+
+  const Tensor even = concat({a, a}, 1);
+  const auto halves = split(even, 1, 2);
+  EXPECT_TRUE(Tensor::allclose(halves[0], a));
+  EXPECT_TRUE(Tensor::allclose(halves[1], a));
+}
+
+TEST(Transform, ConcatAxis0) {
+  const Tensor a = Tensor::full(Shape{1, 2}, 1.0f);
+  const Tensor b = Tensor::full(Shape{3, 2}, 2.0f);
+  const Tensor c = concat({a, b}, 0);
+  EXPECT_EQ(c.shape(), Shape({4, 2}));
+  EXPECT_EQ(c.data<float>()[0], 1.0f);
+  EXPECT_EQ(c.data<float>()[7], 2.0f);
+}
+
+TEST(Transform, ConcatMismatchThrows) {
+  EXPECT_THROW(concat({Tensor::zeros(Shape{2, 2}), Tensor::zeros(Shape{3, 3})}, 1),
+               Error);
+}
+
+TEST(Transform, Transpose2dInvolution) {
+  Rng rng(6);
+  const Tensor x = Tensor::randn(Shape{7, 13}, rng);
+  EXPECT_TRUE(Tensor::allclose(transpose2d(transpose2d(x)), x));
+  EXPECT_EQ(transpose2d(x).shape(), Shape({13, 7}));
+}
+
+TEST(Transform, TransposeLast2) {
+  Rng rng(7);
+  const Tensor x = Tensor::randn(Shape{2, 3, 4}, rng);
+  const Tensor y = transpose_last2(x);
+  EXPECT_EQ(y.shape(), Shape({2, 4, 3}));
+  EXPECT_EQ(y.data<float>()[1], x.data<float>()[4]);  // [0][0][1] == x[0][1][0]
+}
+
+TEST(Transform, FlattenAndSlice) {
+  Rng rng(8);
+  const Tensor x = Tensor::randn(Shape{2, 3, 4}, rng);
+  EXPECT_EQ(flatten(x).shape(), Shape({2, 12}));
+  const Tensor row = slice_rows(x, 1, 2);
+  EXPECT_EQ(row.shape(), Shape({1, 3, 4}));
+  EXPECT_EQ(row.data<float>()[0], x.data<float>()[12]);
+  EXPECT_THROW(slice_rows(x, 1, 5), Error);
+}
+
+// --- rnn ---------------------------------------------------------------------------
+
+TEST(Rnn, LstmCellZeroWeightsGivesZeroHidden) {
+  const Tensor x = Tensor::full(Shape{1, 4}, 1.0f);
+  kernels::LstmState s{Tensor::zeros(Shape{1, 3}), Tensor::zeros(Shape{1, 3})};
+  const Tensor w_ih = Tensor::zeros(Shape{4, 12});
+  const Tensor w_hh = Tensor::zeros(Shape{3, 12});
+  const auto next = lstm_cell(x, s, w_ih, w_hh, Tensor::zeros(Shape{12}));
+  // gates all sigmoid(0)=0.5, g=tanh(0)=0 -> c = 0.5*0 + 0.5*0 = 0, h = 0.
+  EXPECT_NEAR(next.c.data<float>()[0], 0.0f, 1e-6);
+  EXPECT_NEAR(next.h.data<float>()[0], 0.0f, 1e-6);
+}
+
+TEST(Rnn, LstmCellSaturatedGates) {
+  // Huge positive bias on input & output gates, g-gate driven to tanh(large).
+  const Tensor x = Tensor::full(Shape{1, 1}, 0.0f);
+  kernels::LstmState s{Tensor::zeros(Shape{1, 1}), Tensor::zeros(Shape{1, 1})};
+  const Tensor w_ih = Tensor::zeros(Shape{1, 4});
+  const Tensor w_hh = Tensor::zeros(Shape{1, 4});
+  Tensor bias = Tensor::from_vector(Shape{4}, {100, -100, 100, 100});
+  const auto next = lstm_cell(x, s, w_ih, w_hh, bias);
+  // i=1, f=0, g=tanh(100)=1, o=1 -> c=1, h=tanh(1).
+  EXPECT_NEAR(next.c.data<float>()[0], 1.0f, 1e-5);
+  EXPECT_NEAR(next.h.data<float>()[0], std::tanh(1.0f), 1e-5);
+}
+
+TEST(Rnn, LstmSequenceMatchesManualUnroll) {
+  Rng rng(9);
+  const int64_t batch = 2, seq = 4, input = 3, hidden = 5;
+  const Tensor x = Tensor::randn(Shape{batch, seq, input}, rng);
+  const Tensor w_ih = Tensor::randn(Shape{input, 4 * hidden}, rng, 0.3f);
+  const Tensor w_hh = Tensor::randn(Shape{hidden, 4 * hidden}, rng, 0.3f);
+  const Tensor bias = Tensor::randn(Shape{4 * hidden}, rng, 0.1f);
+
+  kernels::LstmState final_state;
+  const Tensor out = lstm(x, w_ih, w_hh, bias, &final_state);
+  EXPECT_EQ(out.shape(), Shape({batch, seq, hidden}));
+
+  // Manual unroll.
+  kernels::LstmState s{Tensor::zeros(Shape{batch, hidden}),
+                       Tensor::zeros(Shape{batch, hidden})};
+  for (int64_t t = 0; t < seq; ++t) {
+    Tensor xt(Shape{batch, input});
+    for (int64_t b = 0; b < batch; ++b) {
+      std::copy(x.data<float>() + (b * seq + t) * input,
+                x.data<float>() + (b * seq + t + 1) * input,
+                xt.data<float>() + b * input);
+    }
+    s = lstm_cell(xt, s, w_ih, w_hh, bias);
+    for (int64_t b = 0; b < batch; ++b) {
+      for (int64_t h = 0; h < hidden; ++h) {
+        EXPECT_NEAR(out.data<float>()[(b * seq + t) * hidden + h],
+                    s.h.data<float>()[b * hidden + h], 1e-5);
+      }
+    }
+  }
+  EXPECT_TRUE(Tensor::allclose(final_state.h, s.h));
+}
+
+TEST(Rnn, GruCellUpdateGateInterpolates) {
+  // With z saturated to 1, h' = h regardless of candidate.
+  const Tensor x = Tensor::full(Shape{1, 1}, 1.0f);
+  const Tensor h = Tensor::full(Shape{1, 1}, 0.7f);
+  const Tensor w_ih = Tensor::zeros(Shape{1, 3});
+  const Tensor w_hh = Tensor::zeros(Shape{1, 3});
+  Tensor bias = Tensor::from_vector(Shape{3}, {0, 100, 0});  // update gate -> 1
+  const Tensor next = gru_cell(x, h, w_ih, w_hh, bias);
+  EXPECT_NEAR(next.data<float>()[0], 0.7f, 1e-5);
+}
+
+TEST(Rnn, GruSequenceShape) {
+  Rng rng(10);
+  const Tensor x = Tensor::randn(Shape{2, 3, 4}, rng);
+  const Tensor w_ih = Tensor::randn(Shape{4, 9}, rng, 0.2f);
+  const Tensor w_hh = Tensor::randn(Shape{3, 9}, rng, 0.2f);
+  const Tensor out = gru(x, w_ih, w_hh, Tensor::zeros(Shape{9}));
+  EXPECT_EQ(out.shape(), Shape({2, 3, 3}));
+}
+
+TEST(Rnn, EmbeddingGathersRows) {
+  Tensor idx(Shape{1, 3}, DType::kInt32);
+  idx.data<int32_t>()[0] = 2;
+  idx.data<int32_t>()[1] = 0;
+  idx.data<int32_t>()[2] = 2;
+  const Tensor table =
+      Tensor::from_vector(Shape{3, 2}, {10, 11, 20, 21, 30, 31});
+  const Tensor y = embedding(idx, table);
+  EXPECT_EQ(y.shape(), Shape({1, 3, 2}));
+  EXPECT_EQ(y.data<float>()[0], 30.0f);
+  EXPECT_EQ(y.data<float>()[2], 10.0f);
+  EXPECT_EQ(y.data<float>()[4], 30.0f);
+}
+
+TEST(Rnn, EmbeddingOutOfRangeThrows) {
+  Tensor idx(Shape{1, 1}, DType::kInt32);
+  idx.data<int32_t>()[0] = 5;
+  const Tensor table = Tensor::zeros(Shape{3, 2});
+  EXPECT_THROW(embedding(idx, table), Error);
+}
+
+// --- attention ----------------------------------------------------------------------
+
+TEST(Attention, OutputShapeAndFiniteness) {
+  Rng rng(11);
+  const int64_t model = 8;
+  const Tensor x = Tensor::randn(Shape{2, 5, model}, rng);
+  const Tensor wqkv = Tensor::randn(Shape{model, 3 * model}, rng, 0.3f);
+  const Tensor wo = Tensor::randn(Shape{model, model}, rng, 0.3f);
+  const Tensor y = multi_head_attention(x, wqkv, wo, 2);
+  EXPECT_EQ(y.shape(), x.shape());
+  for (int64_t i = 0; i < y.numel(); ++i) {
+    EXPECT_TRUE(std::isfinite(y.data<float>()[i]));
+  }
+}
+
+TEST(Attention, SingleTokenIsProjectionOnly) {
+  // With seq=1 attention weights are exactly 1, so out = (x Wv) Wo.
+  Rng rng(12);
+  const int64_t model = 6;
+  const Tensor x = Tensor::randn(Shape{1, 1, model}, rng);
+  const Tensor wqkv = Tensor::randn(Shape{model, 3 * model}, rng, 0.3f);
+  const Tensor wo = Tensor::randn(Shape{model, model}, rng, 0.3f);
+  const Tensor y = multi_head_attention(x, wqkv, wo, 3);
+
+  // Manual: v = x * Wv (last third of wqkv), out = v * wo.
+  Tensor wv(Shape{model, model});
+  for (int64_t i = 0; i < model; ++i) {
+    for (int64_t j = 0; j < model; ++j) {
+      wv.data<float>()[i * model + j] =
+          wqkv.data<float>()[i * 3 * model + 2 * model + j];
+    }
+  }
+  const Tensor v = kernels::matmul(x.reshaped(Shape{1, model}), wv);
+  const Tensor expect = kernels::matmul(v, wo);
+  EXPECT_TRUE(Tensor::allclose(y.reshaped(Shape{1, model}), expect, 1e-3f, 1e-4f));
+}
+
+TEST(Attention, HeadsMustDivideModel) {
+  const Tensor x = Tensor::zeros(Shape{1, 2, 6});
+  const Tensor wqkv = Tensor::zeros(Shape{6, 18});
+  const Tensor wo = Tensor::zeros(Shape{6, 6});
+  EXPECT_THROW(multi_head_attention(x, wqkv, wo, 4), Error);
+}
+
+}  // namespace
+}  // namespace duet

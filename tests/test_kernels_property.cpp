@@ -1,0 +1,233 @@
+// Property-based / parameterized kernel tests: the optimized (blocked,
+// parallelized) kernels must agree with straightforward triple-loop
+// references across a sweep of shapes, strides and paddings.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "tensor/kernels.hpp"
+
+namespace duet {
+namespace {
+
+// --- naive references ----------------------------------------------------------
+
+Tensor naive_matmul(const Tensor& a, const Tensor& b) {
+  const int64_t m = a.shape().dim(0);
+  const int64_t k = a.shape().dim(1);
+  const int64_t n = b.shape().dim(1);
+  Tensor c = Tensor::zeros(Shape{m, n});
+  for (int64_t i = 0; i < m; ++i) {
+    for (int64_t j = 0; j < n; ++j) {
+      float acc = 0.0f;
+      for (int64_t kk = 0; kk < k; ++kk) {
+        acc += a.data<float>()[i * k + kk] * b.data<float>()[kk * n + j];
+      }
+      c.data<float>()[i * n + j] = acc;
+    }
+  }
+  return c;
+}
+
+Tensor naive_conv2d(const Tensor& x, const Tensor& w, int stride, int pad) {
+  const int64_t n = x.shape().dim(0), c = x.shape().dim(1), h = x.shape().dim(2),
+                wd = x.shape().dim(3);
+  const int64_t oc = w.shape().dim(0), kh = w.shape().dim(2), kw = w.shape().dim(3);
+  const int64_t oh = (h + 2 * pad - kh) / stride + 1;
+  const int64_t ow = (wd + 2 * pad - kw) / stride + 1;
+  Tensor y = Tensor::zeros(Shape{n, oc, oh, ow});
+  for (int64_t ni = 0; ni < n; ++ni)
+    for (int64_t o = 0; o < oc; ++o)
+      for (int64_t yy = 0; yy < oh; ++yy)
+        for (int64_t xx = 0; xx < ow; ++xx) {
+          float acc = 0.0f;
+          for (int64_t ci = 0; ci < c; ++ci)
+            for (int64_t ky = 0; ky < kh; ++ky)
+              for (int64_t kx = 0; kx < kw; ++kx) {
+                const int64_t iy = yy * stride - pad + ky;
+                const int64_t ix = xx * stride - pad + kx;
+                if (iy < 0 || iy >= h || ix < 0 || ix >= wd) continue;
+                acc += x.data<float>()[((ni * c + ci) * h + iy) * wd + ix] *
+                       w.data<float>()[((o * c + ci) * kh + ky) * kw + kx];
+              }
+          y.data<float>()[((ni * oc + o) * oh + yy) * ow + xx] = acc;
+        }
+  return y;
+}
+
+// --- matmul sweep -----------------------------------------------------------------
+
+class MatMulSweep
+    : public ::testing::TestWithParam<std::tuple<int64_t, int64_t, int64_t>> {};
+
+TEST_P(MatMulSweep, MatchesNaive) {
+  const auto [m, k, n] = GetParam();
+  Rng rng(static_cast<uint64_t>(m * 10007 + k * 101 + n));
+  const Tensor a = Tensor::randn(Shape{m, k}, rng);
+  const Tensor b = Tensor::randn(Shape{k, n}, rng);
+  const Tensor fast = kernels::matmul(a, b);
+  const Tensor slow = naive_matmul(a, b);
+  EXPECT_TRUE(Tensor::allclose(fast, slow, 1e-3f, 1e-3f))
+      << "m=" << m << " k=" << k << " n=" << n
+      << " max diff=" << Tensor::max_abs_diff(fast, slow);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, MatMulSweep,
+    ::testing::Values(std::make_tuple(1, 1, 1), std::make_tuple(1, 64, 1),
+                      std::make_tuple(1, 1, 64), std::make_tuple(3, 5, 7),
+                      std::make_tuple(17, 31, 13), std::make_tuple(64, 64, 64),
+                      std::make_tuple(1, 300, 50), std::make_tuple(33, 1, 33),
+                      std::make_tuple(100, 257, 3)));
+
+// --- conv sweep --------------------------------------------------------------------
+
+struct ConvCase {
+  int64_t n, c, h, oc, k;
+  int stride, pad;
+};
+
+class ConvSweep : public ::testing::TestWithParam<ConvCase> {};
+
+TEST_P(ConvSweep, MatchesNaive) {
+  const ConvCase p = GetParam();
+  Rng rng(static_cast<uint64_t>(p.c * 31 + p.k * 7 + p.stride));
+  const Tensor x = Tensor::randn(Shape{p.n, p.c, p.h, p.h}, rng);
+  const Tensor w = Tensor::randn(Shape{p.oc, p.c, p.k, p.k}, rng);
+  const Tensor fast = kernels::conv2d(x, w, Tensor(), p.stride, p.pad);
+  const Tensor slow = naive_conv2d(x, w, p.stride, p.pad);
+  EXPECT_TRUE(Tensor::allclose(fast, slow, 1e-3f, 1e-3f))
+      << "max diff=" << Tensor::max_abs_diff(fast, slow);
+}
+
+TEST_P(ConvSweep, Im2colMatchesDirect) {
+  const ConvCase p = GetParam();
+  Rng rng(static_cast<uint64_t>(p.c * 17 + p.k * 3 + p.pad));
+  const Tensor x = Tensor::randn(Shape{p.n, p.c, p.h, p.h}, rng);
+  const Tensor w = Tensor::randn(Shape{p.oc, p.c, p.k, p.k}, rng);
+  const Tensor bias = Tensor::randn(Shape{p.oc}, rng);
+  const Tensor direct = kernels::conv2d_direct(x, w, bias, p.stride, p.pad);
+  const Tensor im2col = kernels::conv2d_im2col(x, w, bias, p.stride, p.pad);
+  EXPECT_TRUE(Tensor::allclose(im2col, direct, 1e-3f, 1e-3f))
+      << "max diff=" << Tensor::max_abs_diff(im2col, direct);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, ConvSweep,
+    ::testing::Values(ConvCase{1, 1, 5, 1, 3, 1, 0}, ConvCase{1, 3, 8, 4, 3, 1, 1},
+                      ConvCase{2, 2, 9, 3, 3, 2, 1}, ConvCase{1, 4, 7, 2, 1, 1, 0},
+                      ConvCase{1, 2, 11, 5, 5, 2, 2},
+                      ConvCase{1, 3, 12, 6, 7, 3, 3},
+                      ConvCase{2, 1, 6, 2, 2, 2, 0},
+                      ConvCase{1, 8, 14, 16, 3, 1, 1},   // im2col regime
+                      ConvCase{1, 16, 10, 8, 3, 2, 1}));
+
+// --- reduction properties --------------------------------------------------------
+
+class ReduceAxisSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(ReduceAxisSweep, SumEqualsManualTotal) {
+  const int axis = GetParam();
+  Rng rng(20 + static_cast<uint64_t>(axis));
+  const Tensor x = Tensor::randn(Shape{3, 4, 5}, rng);
+  const Tensor r = kernels::reduce_sum(x, axis);
+  // Total over all elements must be preserved by a full re-reduction.
+  float total_direct = 0.0f;
+  for (int64_t i = 0; i < x.numel(); ++i) total_direct += x.data<float>()[i];
+  float total_reduced = 0.0f;
+  for (int64_t i = 0; i < r.numel(); ++i) total_reduced += r.data<float>()[i];
+  EXPECT_NEAR(total_direct, total_reduced, 1e-3);
+}
+
+TEST_P(ReduceAxisSweep, MeanTimesLenEqualsSum) {
+  const int axis = GetParam();
+  Rng rng(30 + static_cast<uint64_t>(axis));
+  const Tensor x = Tensor::randn(Shape{3, 4, 5}, rng);
+  const Tensor mean = kernels::reduce_mean(x, axis);
+  const Tensor sum = kernels::reduce_sum(x, axis);
+  const float len = static_cast<float>(x.shape().dim(static_cast<size_t>(axis)));
+  for (int64_t i = 0; i < mean.numel(); ++i) {
+    EXPECT_NEAR(mean.data<float>()[i] * len, sum.data<float>()[i], 1e-4);
+  }
+}
+
+TEST_P(ReduceAxisSweep, MaxIsUpperBound) {
+  const int axis = GetParam();
+  Rng rng(40 + static_cast<uint64_t>(axis));
+  const Tensor x = Tensor::randn(Shape{3, 4, 5}, rng);
+  const Tensor mx = kernels::reduce_max(x, axis);
+  const Tensor mean = kernels::reduce_mean(x, axis);
+  for (int64_t i = 0; i < mx.numel(); ++i) {
+    EXPECT_GE(mx.data<float>()[i], mean.data<float>()[i] - 1e-6f);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Axes, ReduceAxisSweep, ::testing::Values(0, 1, 2));
+
+// --- elementwise algebraic properties ----------------------------------------------
+
+class ElementwisePropSweep : public ::testing::TestWithParam<int64_t> {};
+
+TEST_P(ElementwisePropSweep, ReluIdempotent) {
+  Rng rng(50);
+  const Tensor x = Tensor::randn(Shape{GetParam()}, rng);
+  const Tensor once = kernels::relu(x);
+  EXPECT_TRUE(Tensor::allclose(kernels::relu(once), once));
+}
+
+TEST_P(ElementwisePropSweep, AddCommutes) {
+  Rng rng(51);
+  const Tensor a = Tensor::randn(Shape{GetParam()}, rng);
+  const Tensor b = Tensor::randn(Shape{GetParam()}, rng);
+  EXPECT_TRUE(Tensor::allclose(kernels::add(a, b), kernels::add(b, a)));
+}
+
+TEST_P(ElementwisePropSweep, SigmoidBounded) {
+  Rng rng(52);
+  const Tensor x = Tensor::randn(Shape{GetParam()}, rng, 10.0f);
+  const Tensor y = kernels::sigmoid(x);
+  for (int64_t i = 0; i < y.numel(); ++i) {
+    EXPECT_GE(y.data<float>()[i], 0.0f);
+    EXPECT_LE(y.data<float>()[i], 1.0f);
+  }
+}
+
+TEST_P(ElementwisePropSweep, SubOfSelfIsZero) {
+  Rng rng(53);
+  const Tensor a = Tensor::randn(Shape{GetParam()}, rng);
+  const Tensor z = kernels::sub(a, a);
+  for (int64_t i = 0; i < z.numel(); ++i) EXPECT_EQ(z.data<float>()[i], 0.0f);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, ElementwisePropSweep,
+                         ::testing::Values(1, 17, 256, 1000));
+
+// --- LSTM bounded state property -----------------------------------------------------
+
+TEST(RnnProperty, LstmHiddenStateBounded) {
+  // |h| <= 1 elementwise because h = o * tanh(c), both factors in [-1, 1].
+  Rng rng(60);
+  const Tensor x = Tensor::randn(Shape{2, 10, 8}, rng, 3.0f);
+  const Tensor w_ih = Tensor::randn(Shape{8, 32}, rng, 1.0f);
+  const Tensor w_hh = Tensor::randn(Shape{8, 32}, rng, 1.0f);
+  const Tensor out = kernels::lstm(x, w_ih, w_hh, Tensor::zeros(Shape{32}));
+  for (int64_t i = 0; i < out.numel(); ++i) {
+    EXPECT_LE(std::fabs(out.data<float>()[i]), 1.0f + 1e-6f);
+  }
+}
+
+TEST(RnnProperty, GruHiddenStateBounded) {
+  Rng rng(61);
+  const Tensor x = Tensor::randn(Shape{1, 12, 6}, rng, 3.0f);
+  const Tensor w_ih = Tensor::randn(Shape{6, 18}, rng, 1.0f);
+  const Tensor w_hh = Tensor::randn(Shape{6, 18}, rng, 1.0f);
+  const Tensor out = kernels::gru(x, w_ih, w_hh, Tensor::zeros(Shape{18}));
+  for (int64_t i = 0; i < out.numel(); ++i) {
+    EXPECT_LE(std::fabs(out.data<float>()[i]), 1.0f + 1e-6f);
+  }
+}
+
+}  // namespace
+}  // namespace duet

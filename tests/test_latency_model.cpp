@@ -1,0 +1,171 @@
+// Tests for the latency evaluator (the scheduler's measure_latency): overlap
+// of independent subgraphs, serialization on one device, communication
+// charging, and agreement with the simulated executor.
+
+#include <gtest/gtest.h>
+
+#include "device/calibration.hpp"
+#include "graph/builder.hpp"
+#include "models/model_zoo.hpp"
+#include "profile/profiler.hpp"
+#include "runtime/executor.hpp"
+#include "sched/latency_model.hpp"
+
+namespace duet {
+namespace {
+
+// Fixture: a two-branch model with known, strongly asymmetric costs.
+struct Bench {
+  Graph graph;
+  DevicePair devices;
+  Partition partition;
+  std::vector<SubgraphProfile> profiles;
+
+  explicit Bench(Graph g)
+      : graph(std::move(g)),
+        devices(make_default_device_pair(31)),
+        partition(partition_phased(graph)) {
+    Profiler profiler(devices);
+    ProfileOptions opts;
+    opts.with_noise = false;
+    opts.runs = 1;
+    profiles = profiler.profile_partition(partition, graph, opts);
+  }
+
+  LatencyEvaluator evaluator() {
+    return LatencyEvaluator(partition, graph, profiles, devices.link->params());
+  }
+};
+
+Graph two_branch_model() {
+  // Hidden width 768 puts the per-branch CPU and GPU LSTM costs in the same
+  // ballpark (as in the Siamese workload), so splitting the branches across
+  // devices is profitable.
+  GraphBuilder b("two-branch", 3);
+  const NodeId a_in = b.input(Shape{1, 64, 128}, "a");
+  const NodeId b_in = b.input(Shape{1, 64, 128}, "b");
+  NodeId left = b.lstm(a_in, 768, "left.lstm");
+  left = b.last_timestep(left);
+  NodeId right = b.lstm(b_in, 768, "right.lstm");
+  right = b.last_timestep(right);
+  const NodeId join = b.concat({left, right}, 1);
+  return b.finish({b.dense(join, 8, "", "head")});
+}
+
+TEST(LatencyModel, SingleDeviceSerializesBothBranches) {
+  Bench bench(two_branch_model());
+  LatencyEvaluator eval = bench.evaluator();
+  const size_t n = bench.partition.subgraphs.size();
+
+  const double cpu_only = eval.evaluate(Placement(n, DeviceKind::kCpu));
+  // All on CPU: branches run back to back; makespan >= sum of branch times.
+  double branch_sum = 0.0;
+  for (const auto& prof : bench.profiles) {
+    branch_sum += prof.time_on(DeviceKind::kCpu);
+  }
+  EXPECT_GE(cpu_only, branch_sum);
+}
+
+TEST(LatencyModel, SplitOverlapsBranches) {
+  Bench bench(two_branch_model());
+  LatencyEvaluator eval = bench.evaluator();
+  const size_t n = bench.partition.subgraphs.size();
+  ASSERT_EQ(n, 3u);
+
+  Placement split(n, DeviceKind::kCpu);
+  split.set(1, DeviceKind::kGpu);  // one branch to GPU
+  const double split_latency = eval.evaluate(split);
+  const double cpu_only = eval.evaluate(Placement(n, DeviceKind::kCpu));
+  EXPECT_LT(split_latency, cpu_only);
+}
+
+TEST(LatencyModel, CrossDeviceEdgePaysTransfer) {
+  // With device-equal compute costs (forced by editing the profiles), any
+  // GPU placement must be strictly slower than CPU-only by exactly the extra
+  // PCIe traffic it induces — the communication charging the correction step
+  // relies on.
+  Bench bench(two_branch_model());
+  for (SubgraphProfile& prof : bench.profiles) {
+    const double t = prof.time_on(DeviceKind::kCpu);
+    prof.per_device[static_cast<int>(DeviceKind::kGpu)].mean_s = t;
+  }
+  LatencyEvaluator eval(bench.partition, bench.graph, bench.profiles,
+                        bench.devices.link->params());
+  const size_t n = bench.partition.subgraphs.size();
+
+  const double cpu_only = eval.evaluate(Placement(n, DeviceKind::kCpu));
+  // Head on GPU: pays branch->head transfer plus the output d2h.
+  Placement head_gpu(n, DeviceKind::kCpu);
+  head_gpu.set(2, DeviceKind::kGpu);
+  EXPECT_GT(eval.evaluate(head_gpu), cpu_only);
+  // Everything on GPU: compute identical, but pays h2d for all host inputs
+  // and d2h for the output.
+  const double gpu_only = eval.evaluate(Placement(n, DeviceKind::kGpu));
+  EXPECT_GT(gpu_only, cpu_only);
+}
+
+TEST(LatencyModel, EventsAreConsistent) {
+  Bench bench(two_branch_model());
+  LatencyEvaluator eval = bench.evaluator();
+  const size_t n = bench.partition.subgraphs.size();
+  Placement split(n, DeviceKind::kCpu);
+  split.set(1, DeviceKind::kGpu);
+
+  std::vector<ScheduleEvent> events;
+  const double latency = eval.evaluate(split, &events);
+  ASSERT_EQ(events.size(), n);
+
+  double makespan = 0.0;
+  double device_end[2] = {0.0, 0.0};
+  for (const ScheduleEvent& e : events) {
+    EXPECT_LE(e.ready, e.start);
+    EXPECT_LT(e.start, e.finish);
+    // No overlap on the same device.
+    EXPECT_GE(e.start, device_end[static_cast<int>(e.device)] - 1e-12);
+    device_end[static_cast<int>(e.device)] = e.finish;
+    makespan = std::max(makespan, e.finish);
+  }
+  EXPECT_LE(makespan, latency + 1e-12);
+}
+
+TEST(LatencyModel, EvaluationCounterAdvances) {
+  Bench bench(two_branch_model());
+  LatencyEvaluator eval = bench.evaluator();
+  const size_t n = bench.partition.subgraphs.size();
+  EXPECT_EQ(eval.evaluations(), 0);
+  eval.evaluate(Placement(n));
+  eval.evaluate(Placement(n));
+  EXPECT_EQ(eval.evaluations(), 2);
+}
+
+TEST(LatencyModel, EdgeAndInputByteQueries) {
+  Bench bench(two_branch_model());
+  LatencyEvaluator eval = bench.evaluator();
+  // Branch subgraphs (0, 1) feed the head (2); head consumes no host input.
+  EXPECT_GT(eval.edge_bytes(0, 2), 0u);
+  EXPECT_GT(eval.edge_bytes(1, 2), 0u);
+  EXPECT_EQ(eval.edge_bytes(0, 1), 0u);
+  EXPECT_GT(eval.host_input_bytes(0), 0u);
+  EXPECT_EQ(eval.host_input_bytes(2), 0u);
+}
+
+TEST(LatencyModel, AgreesWithSimExecutor) {
+  // The evaluator and the (noiseless) simulated executor implement the same
+  // semantics, so their latencies for the same plan must match closely.
+  Bench bench(two_branch_model());
+  LatencyEvaluator eval = bench.evaluator();
+  const size_t n = bench.partition.subgraphs.size();
+  Placement split(n, DeviceKind::kCpu);
+  split.set(1, DeviceKind::kGpu);
+
+  const double eval_latency = eval.evaluate(split);
+  ExecutionPlan plan =
+      ExecutionPlan::build(bench.graph, bench.partition, split, bench.devices,
+                           CompileOptions::compiler_defaults());
+  SimExecutor executor(bench.devices);
+  const double exec_latency = executor.run_latency_only(plan, false);
+  EXPECT_NEAR(eval_latency, exec_latency, eval_latency * 0.05);
+}
+
+}  // namespace
+}  // namespace duet

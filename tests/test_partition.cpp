@@ -1,0 +1,286 @@
+// Tests for the coarse-grained multi-phase partitioner (§IV-A) and subgraph
+// extraction: structural expectations per model, invariants, and numeric
+// equivalence of stitched subgraph execution.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "graph/builder.hpp"
+#include "models/model_zoo.hpp"
+#include "partition/partitioner.hpp"
+
+namespace duet {
+namespace {
+
+int multipath_phases(const Partition& p) {
+  int n = 0;
+  for (const Phase& phase : p.phases) n += phase.type == PhaseType::kMultiPath;
+  return n;
+}
+
+const Phase* first_multipath(const Partition& p) {
+  for (const Phase& phase : p.phases) {
+    if (phase.type == PhaseType::kMultiPath) return &phase;
+  }
+  return nullptr;
+}
+
+TEST(Partition, WideDeepHasFourBranchesAndJoin) {
+  Graph g = models::build_wide_deep(models::WideDeepConfig::tiny());
+  Partition p = partition_phased(g);
+  ASSERT_EQ(p.phases.size(), 2u);
+  EXPECT_EQ(p.phases[0].type, PhaseType::kMultiPath);
+  EXPECT_EQ(p.phases[0].subgraphs.size(), 4u);  // wide, ffn, rnn, cnn
+  EXPECT_EQ(p.phases[1].type, PhaseType::kSequential);
+}
+
+TEST(Partition, SiameseHasTwoBranches) {
+  Graph g = models::build_siamese(models::SiameseConfig::tiny());
+  Partition p = partition_phased(g);
+  const Phase* mp = first_multipath(p);
+  ASSERT_NE(mp, nullptr);
+  EXPECT_EQ(mp->subgraphs.size(), 2u);
+}
+
+TEST(Partition, MtdnnHeadsFormMultiPathPhase) {
+  models::MtDnnConfig c = models::MtDnnConfig::tiny();
+  c.num_tasks = 5;
+  Graph g = models::build_mtdnn(c);
+  Partition p = partition_phased(g);
+  // Encoder = sequential phase, heads = one multi-path phase of 5 branches.
+  ASSERT_GE(p.phases.size(), 2u);
+  EXPECT_EQ(p.phases[0].type, PhaseType::kSequential);
+  const Phase* mp = first_multipath(p);
+  ASSERT_NE(mp, nullptr);
+  EXPECT_EQ(mp->subgraphs.size(), 5u);
+}
+
+TEST(Partition, PureChainIsSingleSequentialSubgraph) {
+  GraphBuilder b("chain");
+  NodeId x = b.input(Shape{1, 8});
+  for (int i = 0; i < 5; ++i) x = b.dense(x, 8);
+  Graph g = b.finish({x});
+  Partition p = partition_phased(g);
+  EXPECT_EQ(p.subgraphs.size(), 1u);
+  EXPECT_EQ(p.phases[0].type, PhaseType::kSequential);
+}
+
+TEST(Partition, ResidualDiamondStaysSequential) {
+  // x -> a -> add(a, x-chain) with a single parallel branch: no parallelism
+  // worth exposing, so everything merges into one sequential subgraph.
+  GraphBuilder b("res");
+  const NodeId x = b.input(Shape{1, 8});
+  const NodeId stem = b.dense(x, 8);
+  const NodeId branch = b.dense(stem, 8);
+  const NodeId join = b.add(stem, branch);
+  Graph g = b.finish({join});
+  Partition p = partition_phased(g);
+  EXPECT_EQ(p.subgraphs.size(), 1u);
+}
+
+TEST(Partition, ParallelOutputsDetectedDespiteTopoOrder) {
+  // Two chains that never join (multi-output model). The second chain is
+  // built after the first; the virtual sink must keep them parallel.
+  GraphBuilder b("two-tails");
+  const NodeId x = b.input(Shape{1, 8});
+  const NodeId stem = b.dense(x, 8);
+  NodeId t1 = stem;
+  for (int i = 0; i < 3; ++i) t1 = b.dense(t1, 8);
+  NodeId t2 = stem;
+  for (int i = 0; i < 3; ++i) t2 = b.dense(t2, 8);
+  Graph g = b.finish({t1, t2});
+  Partition p = partition_phased(g);
+  const Phase* mp = first_multipath(p);
+  ASSERT_NE(mp, nullptr);
+  EXPECT_EQ(mp->subgraphs.size(), 2u);
+}
+
+TEST(Partition, SqueezeNetFireModulesAreMultiPath) {
+  Graph g = models::build_squeezenet(models::SqueezeNetConfig::tiny());
+  Partition p = partition_phased(g);
+  EXPECT_GE(multipath_phases(p), 8);  // one per fire module
+}
+
+// --- invariants over the zoo (property test) ---------------------------------------
+
+class PartitionInvariants : public ::testing::TestWithParam<const char*> {
+ protected:
+  Graph build() const {
+    const std::string name = GetParam();
+    if (name == "wide-deep")
+      return models::build_wide_deep(models::WideDeepConfig::tiny());
+    if (name == "siamese")
+      return models::build_siamese(models::SiameseConfig::tiny());
+    if (name == "mtdnn") return models::build_mtdnn(models::MtDnnConfig::tiny());
+    if (name == "resnet")
+      return models::build_resnet(models::ResNetConfig::tiny());
+    if (name == "squeezenet")
+      return models::build_squeezenet(models::SqueezeNetConfig::tiny());
+    return models::build_vgg16(models::VggConfig::tiny());
+  }
+};
+
+TEST_P(PartitionInvariants, EveryComputeNodeCoveredOnce) {
+  Graph g = build();
+  Partition p = partition_phased(g);
+  std::set<NodeId> seen;
+  for (const Subgraph& sub : p.subgraphs) {
+    for (NodeId id : sub.parent_nodes) {
+      EXPECT_TRUE(seen.insert(id).second) << "node " << id << " in two subgraphs";
+    }
+  }
+  size_t compute = 0;
+  for (const Node& n : g.nodes()) {
+    compute += !n.is_input() && !n.is_constant();
+  }
+  EXPECT_EQ(seen.size(), compute);
+}
+
+TEST_P(PartitionInvariants, PhasesRespectDependencies) {
+  Graph g = build();
+  Partition p = partition_phased(g);
+  p.validate(g);  // throws on violation
+  for (const Subgraph& sub : p.subgraphs) {
+    for (const Subgraph::BoundaryInput& bi : sub.boundary_inputs) {
+      const Node& producer = g.node(bi.parent_producer);
+      if (producer.is_input()) continue;
+      const int owner = p.producer_subgraph(bi.parent_producer);
+      EXPECT_LT(p.subgraph(owner).phase, sub.phase);
+    }
+  }
+}
+
+TEST_P(PartitionInvariants, MultiPathBranchesAreIndependent) {
+  Graph g = build();
+  Partition p = partition_phased(g);
+  for (const Phase& phase : p.phases) {
+    if (phase.type != PhaseType::kMultiPath) continue;
+    for (int a : phase.subgraphs) {
+      std::set<NodeId> members_a(p.subgraph(a).parent_nodes.begin(),
+                                 p.subgraph(a).parent_nodes.end());
+      for (int bb : phase.subgraphs) {
+        if (a == bb) continue;
+        // No boundary input of b may be produced inside a.
+        for (const Subgraph::BoundaryInput& bi : p.subgraph(bb).boundary_inputs) {
+          EXPECT_EQ(members_a.count(bi.parent_producer), 0u)
+              << "phase-peer dependency " << a << " -> " << bb;
+        }
+      }
+    }
+  }
+}
+
+TEST_P(PartitionInvariants, StitchedExecutionMatchesWholeGraph) {
+  Graph g = build();
+  Partition p = partition_phased(g);
+  Rng rng(13);
+  const auto feeds = models::make_random_feeds(g, rng);
+  const auto expect = evaluate_graph(g, feeds);
+
+  // Execute subgraph by subgraph in id order, routing boundary tensors.
+  std::map<NodeId, Tensor> values = feeds;
+  for (const Subgraph& sub : p.subgraphs) {
+    std::map<NodeId, Tensor> sub_feeds;
+    for (const Subgraph::BoundaryInput& bi : sub.boundary_inputs) {
+      ASSERT_TRUE(values.count(bi.parent_producer));
+      sub_feeds[bi.placeholder] = values.at(bi.parent_producer);
+    }
+    const auto outs = evaluate_graph(sub.graph, sub_feeds);
+    ASSERT_EQ(outs.size(), sub.boundary_outputs.size());
+    for (size_t i = 0; i < outs.size(); ++i) {
+      values[sub.boundary_outputs[i]] = outs[i];
+    }
+  }
+  for (size_t i = 0; i < g.outputs().size(); ++i) {
+    EXPECT_TRUE(
+        Tensor::allclose(values.at(g.outputs()[i]), expect[i], 1e-4f, 1e-5f));
+  }
+}
+
+TEST_P(PartitionInvariants, FineGranularityAlsoValid) {
+  Graph g = build();
+  PartitionOptions opts;
+  opts.granularity = PartitionOptions::Granularity::kFine;
+  Partition p = partition_phased(g, opts);
+  p.validate(g);
+  size_t compute = 0;
+  for (const Node& n : g.nodes()) compute += !n.is_input() && !n.is_constant();
+  EXPECT_EQ(p.subgraphs.size(), compute);  // one subgraph per op
+}
+
+INSTANTIATE_TEST_SUITE_P(Zoo, PartitionInvariants,
+                         ::testing::Values("wide-deep", "siamese", "mtdnn",
+                                           "resnet", "squeezenet", "vgg"));
+
+// --- extraction details -----------------------------------------------------------
+
+TEST(Extraction, SharedInputGetsReplicatedPlaceholders) {
+  // Two branches consuming the same producer: each extracted branch gets its
+  // own placeholder, both pointing at the same parent node (paper §IV-A).
+  GraphBuilder b("shared");
+  const NodeId x = b.input(Shape{1, 8});
+  const NodeId stem = b.dense(x, 8, "", "stem");
+  NodeId left = b.dense(stem, 8, "", "l1");
+  left = b.dense(left, 8, "", "l2");
+  NodeId right = b.dense(stem, 8, "", "r1");
+  right = b.dense(right, 8, "", "r2");
+  const NodeId join = b.concat({left, right}, 1);
+  Graph g = b.finish({join});
+
+  Partition p = partition_phased(g);
+  const Phase* mp = first_multipath(p);
+  ASSERT_NE(mp, nullptr);
+  ASSERT_EQ(mp->subgraphs.size(), 2u);
+  for (int sid : mp->subgraphs) {
+    const Subgraph& sub = p.subgraph(sid);
+    ASSERT_EQ(sub.boundary_inputs.size(), 1u);
+    EXPECT_EQ(g.node(sub.boundary_inputs[0].parent_producer).name, "stem");
+    // Placeholder lives in the subgraph as a kInput with matching shape.
+    const Node& ph = sub.graph.node(sub.boundary_inputs[0].placeholder);
+    EXPECT_TRUE(ph.is_input());
+    EXPECT_EQ(ph.out_shape, g.node(sub.boundary_inputs[0].parent_producer).out_shape);
+  }
+}
+
+TEST(Extraction, ConstantsCopiedNotBoundary) {
+  GraphBuilder b("w");
+  const NodeId x = b.input(Shape{1, 4});
+  const NodeId d = b.dense(x, 4);
+  Graph g = b.finish({d});
+  Subgraph sub = extract_subgraph(g, {d}, "only");
+  // Only the activation input is a boundary; weights are internal constants.
+  EXPECT_EQ(sub.boundary_inputs.size(), 1u);
+  EXPECT_EQ(sub.graph.constant_ids().size(), 2u);
+}
+
+TEST(Extraction, RejectsTerminals) {
+  GraphBuilder b("w");
+  const NodeId x = b.input(Shape{1, 4});
+  const NodeId d = b.dense(x, 4);
+  Graph g = b.finish({d});
+  EXPECT_THROW(extract_subgraph(g, {x}, "bad"), Error);
+}
+
+TEST(Extraction, IoBytesAccounting) {
+  GraphBuilder b("w");
+  const NodeId x = b.input(Shape{1, 100});
+  const NodeId d = b.dense(x, 50);
+  Graph g = b.finish({d});
+  Subgraph sub = extract_subgraph(g, {d}, "only");
+  EXPECT_EQ(sub.input_bytes(g), 100 * sizeof(float));
+  EXPECT_EQ(sub.output_bytes(g), 50 * sizeof(float));
+}
+
+TEST(Extraction, SummaryMentionsDominantOp) {
+  Graph g = models::build_wide_deep(models::WideDeepConfig::tiny());
+  Partition p = partition_phased(g);
+  bool lstm_seen = false;
+  for (const Subgraph& sub : p.subgraphs) {
+    if (sub.summary(g).find("lstm") != std::string::npos) lstm_seen = true;
+  }
+  EXPECT_TRUE(lstm_seen);
+}
+
+}  // namespace
+}  // namespace duet

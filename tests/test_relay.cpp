@@ -1,0 +1,204 @@
+// Tests for the Relay-like IR (§V): printing, parsing, graph translation in
+// both directions, and structural round-trip fidelity over the model zoo.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "models/model_zoo.hpp"
+#include "partition/partitioner.hpp"
+#include "relay/relay.hpp"
+
+namespace duet {
+namespace {
+
+using relay::Module;
+using relay::parse_module;
+using relay::print_module;
+
+TEST(RelayParse, MinimalFunction) {
+  const std::string text = R"(
+def @main(%x: Tensor[(1, 4), float32]) {
+  %y = relu(%x);
+  (%y)
+}
+)";
+  Module m = parse_module(text);
+  EXPECT_EQ(m.name, "main");
+  ASSERT_EQ(m.params.size(), 1u);
+  EXPECT_EQ(m.params[0].var, "x");
+  EXPECT_EQ(m.params[0].type.shape, Shape({1, 4}));
+  ASSERT_EQ(m.bindings.size(), 1u);
+  EXPECT_EQ(m.bindings[0].call.op, OpType::kReLU);
+  ASSERT_EQ(m.outputs.size(), 1u);
+  EXPECT_EQ(m.outputs[0], "y");
+}
+
+TEST(RelayParse, AttrsAllKinds) {
+  const std::string text = R"(
+def @f(%x: Tensor[(2, 6), float32]) {
+  %r = reshape(%x) {dims=[3 4]};
+  %s = slice_rows(%r) {begin=0, end=2};
+  %d = mul_scalar(%s) {value=1.5};
+  (%d)
+}
+)";
+  Module m = parse_module(text);
+  EXPECT_EQ(m.bindings[0].call.attrs.get_ints("dims"), (std::vector<int64_t>{3, 4}));
+  EXPECT_EQ(m.bindings[1].call.attrs.get_int("end"), 2);
+  EXPECT_DOUBLE_EQ(m.bindings[2].call.attrs.get_float("value"), 1.5);
+}
+
+TEST(RelayParse, ConstantDeclGetsZeros) {
+  const std::string text = R"(
+def @f(%x: Tensor[(1, 3), float32]) {
+  %w = constant Tensor[(3, 2), float32];
+  %y = matmul(%x, %w);
+  (%y)
+}
+)";
+  Module m = parse_module(text);
+  EXPECT_EQ(m.bindings[0].kind, relay::Binding::Kind::kConstant);
+  EXPECT_TRUE(m.bindings[0].constant.value.defined());
+  EXPECT_EQ(m.bindings[0].constant.value.shape(), Shape({3, 2}));
+}
+
+TEST(RelayParse, ConstTableSuppliesValues) {
+  const std::string text = R"(
+def @f(%x: Tensor[(1, 2), float32]) {
+  %w = constant Tensor[(2, 2), float32];
+  %y = matmul(%x, %w);
+  (%y)
+}
+)";
+  std::map<std::string, Tensor> table{{"w", Tensor::full(Shape{2, 2}, 3.0f)}};
+  Module m = parse_module(text, &table);
+  EXPECT_EQ(m.bindings[0].constant.value.data<float>()[0], 3.0f);
+}
+
+TEST(RelayParse, SyntaxErrorsThrow) {
+  EXPECT_THROW(parse_module("def main() {}"), Error);  // missing @
+  EXPECT_THROW(parse_module("def @f(%x: Tensor[(1), float32]) { (%y) }"), Error);
+  EXPECT_THROW(parse_module(R"(
+def @f(%x: Tensor[(1, 4), float32]) {
+  %y = bogus_op(%x);
+  (%y)
+})"),
+               Error);
+}
+
+TEST(RelayToGraph, BuildsAndEvaluates) {
+  const std::string text = R"(
+def @f(%x: Tensor[(1, 4), float32]) {
+  %a = relu(%x);
+  %b = sigmoid(%x);
+  %c = add(%a, %b);
+  (%c)
+}
+)";
+  Graph g = relay::to_graph(parse_module(text));
+  EXPECT_EQ(g.num_nodes(), 4u);
+  std::map<NodeId, Tensor> feeds{
+      {g.input_ids()[0], Tensor::from_vector(Shape{1, 4}, {1, -1, 0, 2})}};
+  const auto out = evaluate_graph(g, feeds);
+  EXPECT_NEAR(out[0].data<float>()[0], 1.0f + 1.0f / (1.0f + std::exp(-1.0f)),
+              1e-5);
+}
+
+TEST(RelayToGraph, UnboundVarThrows) {
+  const std::string text = R"(
+def @f(%x: Tensor[(1, 4), float32]) {
+  %a = relu(%zzz);
+  (%a)
+}
+)";
+  EXPECT_THROW(relay::to_graph(parse_module(text)), Error);
+}
+
+TEST(RelayFromGraph, EmitsParamsBindingsOutputs) {
+  Graph g = models::build_siamese(models::SiameseConfig::tiny());
+  Module m = relay::from_graph(g);
+  EXPECT_EQ(m.params.size(), g.input_ids().size());
+  EXPECT_EQ(m.outputs.size(), g.outputs().size());
+  size_t non_input = 0;
+  for (const Node& n : g.nodes()) non_input += !n.is_input();
+  EXPECT_EQ(m.bindings.size(), non_input);
+}
+
+// Structural + numerical round-trip over the zoo: graph -> text -> graph.
+class RelayRoundTrip : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(RelayRoundTrip, PrintParseTranslatePreservesSemantics) {
+  const std::string name = GetParam();
+  Graph g = [&] {
+    if (name == "wide-deep")
+      return models::build_wide_deep(models::WideDeepConfig::tiny());
+    if (name == "siamese")
+      return models::build_siamese(models::SiameseConfig::tiny());
+    if (name == "mtdnn") return models::build_mtdnn(models::MtDnnConfig::tiny());
+    return models::build_squeezenet(models::SqueezeNetConfig::tiny());
+  }();
+
+  Module m = relay::from_graph(g);
+  const std::string text = print_module(m);
+
+  // Rebuild with the original constant values via a table.
+  std::map<std::string, Tensor> table;
+  for (const relay::Binding& bind : m.bindings) {
+    if (bind.kind == relay::Binding::Kind::kConstant) {
+      table[bind.var] = bind.constant.value;
+    }
+  }
+  Graph g2 = relay::to_graph(parse_module(text, &table));
+
+  ASSERT_EQ(g2.num_nodes(), g.num_nodes());
+  ASSERT_EQ(g2.outputs().size(), g.outputs().size());
+  // to_graph hoists all params to the front, so node ids can shift; compare
+  // the op histogram instead of positions.
+  const auto histogram = [](const Graph& graph) {
+    std::map<std::string, int> h;
+    for (const Node& n : graph.nodes()) h[op_name(n.op)] += 1;
+    return h;
+  };
+  EXPECT_EQ(histogram(g), histogram(g2));
+
+  Rng rng(21);
+  const auto feeds = models::make_random_feeds(g, rng);
+  std::map<NodeId, Tensor> feeds2;
+  const auto in1 = g.input_ids();
+  const auto in2 = g2.input_ids();
+  for (size_t i = 0; i < in1.size(); ++i) feeds2[in2[i]] = feeds.at(in1[i]);
+
+  const auto out1 = evaluate_graph(g, feeds);
+  const auto out2 = evaluate_graph(g2, feeds2);
+  for (size_t i = 0; i < out1.size(); ++i) {
+    EXPECT_TRUE(Tensor::allclose(out1[i], out2[i], 1e-4f, 1e-5f));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Zoo, RelayRoundTrip,
+                         ::testing::Values("wide-deep", "siamese", "mtdnn",
+                                           "squeezenet"));
+
+TEST(RelaySubgraph, PartitionedSubgraphEmitsAsStatements) {
+  // Paper §V: translate subgraphs back to a sequence of Relay statements.
+  Graph g = models::build_wide_deep(models::WideDeepConfig::tiny());
+  Partition p = partition_phased(g);
+  for (const Subgraph& sub : p.subgraphs) {
+    Module m = relay::from_graph(sub.graph);
+    const std::string text = print_module(m);
+    EXPECT_NE(text.find("def @"), std::string::npos);
+    // Parses back cleanly.
+    std::map<std::string, Tensor> table;
+    for (const relay::Binding& bind : m.bindings) {
+      if (bind.kind == relay::Binding::Kind::kConstant) {
+        table[bind.var] = bind.constant.value;
+      }
+    }
+    Graph back = relay::to_graph(parse_module(text, &table));
+    EXPECT_EQ(back.num_nodes(), sub.graph.num_nodes());
+  }
+}
+
+}  // namespace
+}  // namespace duet

@@ -1,0 +1,211 @@
+// Tests for the scheduling algorithms (§IV-C, Algorithm 1): quality ordering
+// (Fig. 13), correction convergence, optimality vs exhaustive search, and
+// the factory.
+
+#include <gtest/gtest.h>
+
+#include "device/calibration.hpp"
+#include "models/model_zoo.hpp"
+#include "sched/scheduler.hpp"
+
+namespace duet {
+namespace {
+
+struct SchedBench {
+  Graph graph;
+  DevicePair devices;
+  Partition partition;
+  std::vector<SubgraphProfile> profiles;
+  std::unique_ptr<LatencyEvaluator> evaluator;
+  Rng rng{77};
+
+  explicit SchedBench(Graph g)
+      : graph(std::move(g)),
+        devices(make_default_device_pair(41)),
+        partition(partition_phased(graph)) {
+    Profiler profiler(devices);
+    ProfileOptions opts;
+    opts.with_noise = false;
+    opts.runs = 1;
+    profiles = profiler.profile_partition(partition, graph, opts);
+    evaluator = std::make_unique<LatencyEvaluator>(partition, graph, profiles,
+                                                   devices.link->params());
+  }
+
+  SchedulingContext ctx() {
+    return SchedulingContext{&partition, &profiles, evaluator.get(), &rng};
+  }
+};
+
+TEST(Schedulers, GreedyCorrectionMatchesExhaustiveOnWideDeep) {
+  SchedBench bench(models::build_wide_deep());
+  auto ctx = bench.ctx();
+  const ScheduleResult greedy = make_scheduler("greedy-correction")->schedule(ctx);
+  const ScheduleResult ideal = make_scheduler("exhaustive")->schedule(ctx);
+  EXPECT_NEAR(greedy.est_latency_s, ideal.est_latency_s,
+              ideal.est_latency_s * 1e-9);
+}
+
+TEST(Schedulers, GreedyCorrectionMatchesExhaustiveOnSiamese) {
+  SchedBench bench(models::build_siamese());
+  auto ctx = bench.ctx();
+  const ScheduleResult greedy = make_scheduler("greedy-correction")->schedule(ctx);
+  const ScheduleResult ideal = make_scheduler("exhaustive")->schedule(ctx);
+  EXPECT_NEAR(greedy.est_latency_s, ideal.est_latency_s,
+              ideal.est_latency_s * 1e-9);
+}
+
+TEST(Schedulers, GreedyCorrectionMatchesExhaustiveOnMtdnn) {
+  SchedBench bench(models::build_mtdnn());
+  auto ctx = bench.ctx();
+  const ScheduleResult greedy = make_scheduler("greedy-correction")->schedule(ctx);
+  const ScheduleResult ideal = make_scheduler("exhaustive")->schedule(ctx);
+  // Greedy may be epsilon off on MT-DNN's 7-subgraph space; allow 2%.
+  EXPECT_LE(greedy.est_latency_s, ideal.est_latency_s * 1.02);
+}
+
+TEST(Schedulers, QualityOrderingMatchesFig13) {
+  SchedBench bench(models::build_wide_deep());
+  auto ctx = bench.ctx();
+  const double ideal = make_scheduler("exhaustive")->schedule(ctx).est_latency_s;
+  const double greedy =
+      make_scheduler("greedy-correction")->schedule(ctx).est_latency_s;
+  const double rr = make_scheduler("round-robin")->schedule(ctx).est_latency_s;
+
+  double random_sum = 0.0;
+  double random_corr_sum = 0.0;
+  for (int s = 0; s < 10; ++s) {
+    random_sum += make_scheduler("random")->schedule(ctx).est_latency_s;
+    random_corr_sum +=
+        make_scheduler("random+correction")->schedule(ctx).est_latency_s;
+  }
+  const double random = random_sum / 10;
+  const double random_corr = random_corr_sum / 10;
+
+  EXPECT_GT(random, greedy * 1.3);   // random clearly worse
+  EXPECT_GT(rr, greedy * 1.3);       // round-robin clearly worse
+  EXPECT_LE(greedy, random_corr * 1.001);
+  EXPECT_NEAR(greedy, ideal, ideal * 1e-9);
+}
+
+TEST(Schedulers, CorrectionNeverHurts) {
+  SchedBench bench(models::build_mtdnn());
+  auto ctx = bench.ctx();
+  for (int s = 0; s < 5; ++s) {
+    const ScheduleResult random = make_scheduler("random")->schedule(ctx);
+    Placement p = random.placement;
+    double latency = random.est_latency_s;
+    correct_placement(ctx, p, latency);
+    EXPECT_LE(latency, random.est_latency_s + 1e-12);
+    // Reported latency matches a fresh evaluation of the placement.
+    EXPECT_NEAR(latency, ctx.evaluator->evaluate(p), 1e-12);
+  }
+}
+
+TEST(Schedulers, GreedyUsesFewerEvaluationsThanRandomCorrection) {
+  // The paper's stated reason for greedy init: fewer correction iterations.
+  SchedBench bench(models::build_wide_deep());
+  auto ctx = bench.ctx();
+  const ScheduleResult greedy = make_scheduler("greedy-correction")->schedule(ctx);
+  int64_t random_evals = 0;
+  for (int s = 0; s < 10; ++s) {
+    random_evals += make_scheduler("random+correction")->schedule(ctx).evaluations;
+  }
+  EXPECT_LE(greedy.evaluations, random_evals / 10 + 2);
+}
+
+TEST(Schedulers, SingleDevicePlacements) {
+  SchedBench bench(models::build_siamese());
+  auto ctx = bench.ctx();
+  const ScheduleResult cpu = make_scheduler("cpu-only")->schedule(ctx);
+  const ScheduleResult gpu = make_scheduler("gpu-only")->schedule(ctx);
+  EXPECT_TRUE(cpu.placement.single_device());
+  EXPECT_TRUE(gpu.placement.single_device());
+  EXPECT_EQ(cpu.placement.of(0), DeviceKind::kCpu);
+  EXPECT_EQ(gpu.placement.of(0), DeviceKind::kGpu);
+}
+
+TEST(Schedulers, ExhaustiveRefusesHugeSpaces) {
+  SchedBench bench(models::build_wide_deep());
+  PartitionOptions fine;
+  fine.granularity = PartitionOptions::Granularity::kFine;
+  Partition big = partition_phased(bench.graph, fine);
+  Profiler profiler(bench.devices);
+  ProfileOptions opts;
+  opts.runs = 1;
+  opts.with_noise = false;
+  auto profiles = profiler.profile_partition(big, bench.graph, opts);
+  LatencyEvaluator evaluator(big, bench.graph, profiles,
+                             bench.devices.link->params());
+  Rng rng(1);
+  SchedulingContext ctx{&big, &profiles, &evaluator, &rng};
+  EXPECT_THROW(make_scheduler("exhaustive")->schedule(ctx), Error);
+}
+
+TEST(Schedulers, RandomIsSeedDependentButValid) {
+  SchedBench bench(models::build_mtdnn());
+  auto ctx = bench.ctx();
+  const ScheduleResult a = make_scheduler("random")->schedule(ctx);
+  const ScheduleResult b = make_scheduler("random")->schedule(ctx);
+  EXPECT_EQ(a.placement.size(), bench.partition.subgraphs.size());
+  EXPECT_EQ(b.placement.size(), bench.partition.subgraphs.size());
+  // With 7 subgraphs two consecutive draws almost surely differ.
+  EXPECT_NE(a.placement, b.placement);
+}
+
+TEST(Schedulers, FactoryRejectsUnknown) {
+  EXPECT_THROW(make_scheduler("quantum-annealing"), Error);
+}
+
+TEST(Schedulers, FactoryNamesRoundTrip) {
+  for (const char* name :
+       {"random", "round-robin", "random+correction", "greedy-correction",
+        "greedy-only", "exhaustive", "analytic-dp", "annealing", "cpu-only",
+        "gpu-only"}) {
+    EXPECT_EQ(make_scheduler(name)->name(), name);
+  }
+}
+
+TEST(Schedulers, AnnealingApproachesGreedyWithMoreEvaluations) {
+  SchedBench bench(models::build_wide_deep());
+  auto ctx = bench.ctx();
+  const ScheduleResult greedy = make_scheduler("greedy-correction")->schedule(ctx);
+  const ScheduleResult sa = make_scheduler("annealing")->schedule(ctx);
+  // Within 15% of greedy-correction's schedule...
+  EXPECT_LE(sa.est_latency_s, greedy.est_latency_s * 1.15);
+  // ...but at a much higher search cost.
+  EXPECT_GT(sa.evaluations, greedy.evaluations * 5);
+}
+
+TEST(Schedulers, DlrmSchedulesHeterogeneously) {
+  SchedBench bench(models::build_dlrm());
+  auto ctx = bench.ctx();
+  const double greedy =
+      make_scheduler("greedy-correction")->schedule(ctx).est_latency_s;
+  const double cpu = make_scheduler("cpu-only")->schedule(ctx).est_latency_s;
+  const double gpu = make_scheduler("gpu-only")->schedule(ctx).est_latency_s;
+  EXPECT_LE(greedy, std::min(cpu, gpu) + 1e-12);
+}
+
+// --- placement --------------------------------------------------------------------
+
+TEST(Placement, BasicOps) {
+  Placement p(4, DeviceKind::kCpu);
+  EXPECT_TRUE(p.single_device());
+  p.set(2, DeviceKind::kGpu);
+  EXPECT_FALSE(p.single_device());
+  EXPECT_EQ(p.of(2), DeviceKind::kGpu);
+  p.flip(2);
+  EXPECT_EQ(p.of(2), DeviceKind::kCpu);
+  EXPECT_THROW(p.of(4), Error);
+  EXPECT_THROW(p.set(-1, DeviceKind::kCpu), Error);
+}
+
+TEST(Placement, ToStringFormat) {
+  Placement p(3, DeviceKind::kCpu);
+  p.set(1, DeviceKind::kGpu);
+  EXPECT_EQ(p.to_string(), "CPU={0,2} GPU={1}");
+}
+
+}  // namespace
+}  // namespace duet

@@ -1,0 +1,47 @@
+// End-to-end smoke test: the full DUET pipeline (partition -> profile ->
+// schedule -> execute) on the default Wide-and-Deep model, checking the
+// paper's headline behaviours hold in the calibrated simulation.
+
+#include <gtest/gtest.h>
+
+#include "duet/baseline.hpp"
+#include "duet/engine.hpp"
+#include "duet/report.hpp"
+#include "models/model_zoo.hpp"
+
+namespace duet {
+namespace {
+
+TEST(Smoke, WideDeepEndToEnd) {
+  Graph model = models::build_wide_deep();
+  DuetEngine engine(std::move(model));
+
+  const DuetReport& report = engine.report();
+  // W&D has parallel branches: DUET must not fall back.
+  EXPECT_FALSE(report.fell_back) << report.to_string(engine.model(),
+                                                     engine.partition());
+
+  // Headline result: faster than both single-device baselines.
+  EXPECT_LT(report.est_hetero_s, report.est_single_gpu_s);
+  EXPECT_LT(report.est_hetero_s, report.est_single_cpu_s);
+
+  // Paper band: 1.5-2.3x over TVM-GPU (we accept a wider shape band).
+  const double speedup_gpu = report.est_single_gpu_s / report.est_hetero_s;
+  EXPECT_GT(speedup_gpu, 1.3);
+  EXPECT_LT(speedup_gpu, 4.0);
+
+  // Numeric execution matches the reference interpreter.
+  Rng rng(7);
+  const auto feeds = models::make_random_feeds(engine.model(), rng);
+  ExecutionResult result = engine.infer(feeds);
+  const std::vector<Tensor> expect = evaluate_graph(engine.model(), feeds);
+  ASSERT_EQ(result.outputs.size(), expect.size());
+  for (size_t i = 0; i < expect.size(); ++i) {
+    EXPECT_TRUE(Tensor::allclose(result.outputs[i], expect[i]))
+        << "output " << i << " diverged";
+  }
+  EXPECT_GT(result.latency_s, 0.0);
+}
+
+}  // namespace
+}  // namespace duet

@@ -1,0 +1,129 @@
+// Unit tests for the tensor substrate: Shape, Tensor storage semantics,
+// factories, and comparison helpers.
+
+#include <gtest/gtest.h>
+
+#include "tensor/tensor.hpp"
+
+namespace duet {
+namespace {
+
+TEST(Shape, BasicProperties) {
+  const Shape s{2, 3, 4};
+  EXPECT_EQ(s.rank(), 3u);
+  EXPECT_EQ(s.numel(), 24);
+  EXPECT_EQ(s.dim(1), 3);
+  EXPECT_EQ(s.to_string(), "[2, 3, 4]");
+}
+
+TEST(Shape, ScalarShape) {
+  const Shape s;
+  EXPECT_EQ(s.rank(), 0u);
+  EXPECT_EQ(s.numel(), 1);
+}
+
+TEST(Shape, Equality) {
+  EXPECT_EQ(Shape({1, 2}), Shape({1, 2}));
+  EXPECT_NE(Shape({1, 2}), Shape({2, 1}));
+}
+
+TEST(Shape, Manipulators) {
+  const Shape s{2, 3};
+  EXPECT_EQ(s.with_dim(0, 7), Shape({7, 3}));
+  EXPECT_EQ(s.append(4), Shape({2, 3, 4}));
+  EXPECT_EQ(s.prepend(1), Shape({1, 2, 3}));
+}
+
+TEST(Shape, NegativeDimThrows) {
+  EXPECT_THROW(Shape({-1, 2}), Error);
+}
+
+TEST(Shape, OutOfRangeDimThrows) {
+  const Shape s{2};
+  EXPECT_THROW(s.dim(1), Error);
+}
+
+TEST(Tensor, AllocationAndAccess) {
+  Tensor t(Shape{2, 3});
+  EXPECT_TRUE(t.defined());
+  EXPECT_EQ(t.numel(), 6);
+  EXPECT_EQ(t.byte_size(), 24u);
+  t.data<float>()[5] = 2.5f;
+  EXPECT_EQ(t.data<float>()[5], 2.5f);
+}
+
+TEST(Tensor, UndefinedAccessThrows) {
+  Tensor t;
+  EXPECT_FALSE(t.defined());
+  EXPECT_THROW(t.data<float>(), Error);
+}
+
+TEST(Tensor, DtypeMismatchThrows) {
+  Tensor t(Shape{2}, DType::kInt32);
+  EXPECT_THROW(t.data<float>(), Error);
+  EXPECT_NO_THROW(t.data<int32_t>());
+}
+
+TEST(Tensor, CopyIsShallowCloneIsDeep) {
+  Tensor a = Tensor::full(Shape{4}, 1.0f);
+  Tensor alias = a;
+  Tensor deep = a.clone();
+  a.data<float>()[0] = 9.0f;
+  EXPECT_EQ(alias.data<float>()[0], 9.0f);
+  EXPECT_EQ(deep.data<float>()[0], 1.0f);
+}
+
+TEST(Tensor, ReshapeAliasesBuffer) {
+  Tensor a = Tensor::arange(6);
+  Tensor r = a.reshaped(Shape{2, 3});
+  r.data<float>()[0] = -1.0f;
+  EXPECT_EQ(a.data<float>()[0], -1.0f);
+  EXPECT_THROW(a.reshaped(Shape{7}), Error);
+}
+
+TEST(Tensor, Factories) {
+  const Tensor z = Tensor::zeros(Shape{3});
+  EXPECT_EQ(z.data<float>()[2], 0.0f);
+  const Tensor f = Tensor::full(Shape{3}, 7.0f);
+  EXPECT_EQ(f.data<float>()[1], 7.0f);
+  const Tensor ar = Tensor::arange(4);
+  EXPECT_EQ(ar.data<float>()[3], 3.0f);
+  const Tensor fv = Tensor::from_vector(Shape{2, 2}, {1, 2, 3, 4});
+  EXPECT_EQ(fv.data<float>()[3], 4.0f);
+  EXPECT_THROW(Tensor::from_vector(Shape{3}, {1, 2}), Error);
+}
+
+TEST(Tensor, RandnIsSeeded) {
+  Rng r1(11);
+  Rng r2(11);
+  const Tensor a = Tensor::randn(Shape{32}, r1);
+  const Tensor b = Tensor::randn(Shape{32}, r2);
+  EXPECT_EQ(Tensor::max_abs_diff(a, b), 0.0f);
+}
+
+TEST(Tensor, AllcloseBehaviour) {
+  const Tensor a = Tensor::full(Shape{4}, 1.0f);
+  Tensor b = a.clone();
+  EXPECT_TRUE(Tensor::allclose(a, b));
+  b.data<float>()[2] += 1e-6f;
+  EXPECT_TRUE(Tensor::allclose(a, b));
+  b.data<float>()[2] += 1.0f;
+  EXPECT_FALSE(Tensor::allclose(a, b));
+  EXPECT_FALSE(Tensor::allclose(a, Tensor::full(Shape{5}, 1.0f)));
+}
+
+TEST(Tensor, MaxAbsDiffShapeMismatchThrows) {
+  EXPECT_THROW(
+      Tensor::max_abs_diff(Tensor::zeros(Shape{2}), Tensor::zeros(Shape{3})),
+      Error);
+}
+
+TEST(Dtype, SizesAndNames) {
+  EXPECT_EQ(dtype_size(DType::kFloat32), 4u);
+  EXPECT_EQ(dtype_size(DType::kInt64), 8u);
+  EXPECT_EQ(dtype_size(DType::kUInt8), 1u);
+  EXPECT_STREQ(dtype_name(DType::kInt32), "int32");
+}
+
+}  // namespace
+}  // namespace duet

@@ -1,0 +1,263 @@
+// Tests for the auto-tuning subsystem: the search space, the synthetic cost
+// surface's intended properties, search-strategy behaviour, database
+// persistence, and the cost-model integration.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <set>
+
+#include "device/calibration.hpp"
+#include "duet/engine.hpp"
+#include "models/model_zoo.hpp"
+#include "tuning/tuner.hpp"
+
+namespace duet {
+namespace {
+
+using namespace tuning;
+
+// --- schedule space -------------------------------------------------------------
+
+TEST(ScheduleSpaceTest, EnumerationCoversSizeWithoutDuplicates) {
+  const ScheduleSpace space = ScheduleSpace::for_device(DeviceKind::kCpu);
+  std::set<std::string> seen;
+  for (uint64_t i = 0; i < space.size(); ++i) {
+    seen.insert(space.at(i).to_string());
+  }
+  EXPECT_EQ(seen.size(), space.size());
+  EXPECT_THROW(space.at(space.size()), Error);
+}
+
+TEST(ScheduleSpaceTest, SampleStaysInSpace) {
+  const ScheduleSpace space = ScheduleSpace::for_device(DeviceKind::kGpu);
+  Rng rng(1);
+  for (int i = 0; i < 200; ++i) {
+    const KernelSchedule s = space.sample(rng);
+    EXPECT_NE(std::find(space.tiles().begin(), space.tiles().end(), s.tile_m),
+              space.tiles().end());
+    EXPECT_NE(std::find(space.vector_widths().begin(), space.vector_widths().end(),
+                        s.vector_width),
+              space.vector_widths().end());
+  }
+}
+
+TEST(ScheduleSpaceTest, NeighborsDifferInOneKnob) {
+  const ScheduleSpace space = ScheduleSpace::for_device(DeviceKind::kCpu);
+  const KernelSchedule s = space.at(42);
+  for (const KernelSchedule& n : space.neighbors(s)) {
+    int diffs = (n.tile_m != s.tile_m) + (n.tile_n != s.tile_n) +
+                (n.tile_k != s.tile_k) + (n.vector_width != s.vector_width) +
+                (n.unroll != s.unroll) + (n.parallel_outer != s.parallel_outer);
+    EXPECT_EQ(diffs, 1);
+  }
+}
+
+// --- cost surface ---------------------------------------------------------------
+
+TEST(CostSurface, OptimumScoresBest) {
+  const std::string task = "dense|[1, 1024]|cpu";
+  const KernelSchedule opt = task_optimum(task, DeviceKind::kCpu);
+  const double best = schedule_efficiency(task, opt, DeviceKind::kCpu);
+  EXPECT_GT(best, 0.9);
+  const ScheduleSpace space = ScheduleSpace::for_device(DeviceKind::kCpu);
+  Rng rng(2);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_LE(schedule_efficiency(task, space.sample(rng), DeviceKind::kCpu),
+              best + 1e-12);
+  }
+}
+
+TEST(CostSurface, DifferentTasksHaveDifferentOptima) {
+  std::set<std::string> optima;
+  for (const char* task : {"dense|[1, 64]|cpu", "dense|[1, 1024]|cpu",
+                           "conv2d|[1, 64, 56, 56]|cpu", "lstm|[1, 100, 256]|cpu",
+                           "matmul|[128, 128]|cpu"}) {
+    optima.insert(task_optimum(task, DeviceKind::kCpu).to_string());
+  }
+  EXPECT_GE(optima.size(), 3u);  // hash collisions allowed, monoculture not
+}
+
+TEST(CostSurface, SerialCpuOuterLoopIsPenalized) {
+  const std::string task = "dense|[1, 512]|cpu";
+  KernelSchedule s = task_optimum(task, DeviceKind::kCpu);
+  const double par = schedule_efficiency(task, s, DeviceKind::kCpu);
+  s.parallel_outer = false;
+  EXPECT_LT(schedule_efficiency(task, s, DeviceKind::kCpu), par * 0.4);
+}
+
+TEST(CostSurface, DeterministicAndBounded) {
+  const std::string task = "conv2d|[1, 128, 28, 28]|gpu";
+  const ScheduleSpace space = ScheduleSpace::for_device(DeviceKind::kGpu);
+  Rng rng(3);
+  for (int i = 0; i < 100; ++i) {
+    const KernelSchedule s = space.sample(rng);
+    const double a = schedule_efficiency(task, s, DeviceKind::kGpu);
+    const double b = schedule_efficiency(task, s, DeviceKind::kGpu);
+    EXPECT_DOUBLE_EQ(a, b);
+    EXPECT_GT(a, 0.0);
+    EXPECT_LE(a, 1.0);
+  }
+}
+
+// --- tuner ----------------------------------------------------------------------
+
+TEST(Tuner, MoreTrialsFindBetterSchedules) {
+  const std::string task = "dense|[1, 2048]|gpu";
+  double eff_small = 0.0;
+  double eff_large = 0.0;
+  // Average over seeds to wash out measurement luck.
+  for (uint64_t seed = 0; seed < 8; ++seed) {
+    TuningOptions small;
+    small.strategy = TuningOptions::Strategy::kRandom;
+    small.trials = 4;
+    small.seed = seed;
+    TuningOptions large = small;
+    large.trials = 256;
+    Rng rng_a(seed);
+    Rng rng_b(seed);
+    eff_small += AutoTuner(small).tune_task(task, DeviceKind::kGpu, rng_a).efficiency;
+    eff_large += AutoTuner(large).tune_task(task, DeviceKind::kGpu, rng_b).efficiency;
+  }
+  EXPECT_GT(eff_large, eff_small);
+}
+
+TEST(Tuner, EvolutionaryBeatsRandomAtEqualBudget) {
+  double random_total = 0.0;
+  double evo_total = 0.0;
+  for (uint64_t seed = 0; seed < 10; ++seed) {
+    const std::string task = "lstm|[1, 100, 256]|cpu";
+    TuningOptions random;
+    random.strategy = TuningOptions::Strategy::kRandom;
+    random.trials = 48;
+    TuningOptions evo = random;
+    evo.strategy = TuningOptions::Strategy::kEvolutionary;
+    Rng rng_a(seed);
+    Rng rng_b(seed);
+    random_total +=
+        AutoTuner(random).tune_task(task, DeviceKind::kCpu, rng_a).efficiency;
+    evo_total += AutoTuner(evo).tune_task(task, DeviceKind::kCpu, rng_b).efficiency;
+  }
+  EXPECT_GE(evo_total, random_total * 0.98);  // at least comparable
+}
+
+TEST(Tuner, TuneGraphCoversAllTasks) {
+  Graph g = models::build_siamese(models::SiameseConfig::tiny());
+  TuningDatabase db;
+  TuningOptions opts;
+  opts.trials = 8;
+  AutoTuner(opts).tune_graph(g, DeviceKind::kCpu, db);
+  std::set<std::string> tasks;
+  for (const Node& n : g.nodes()) {
+    if (!n.is_input() && !n.is_constant()) {
+      tasks.insert(task_key(n, DeviceKind::kCpu));
+    }
+  }
+  EXPECT_EQ(db.size(), tasks.size());
+}
+
+TEST(Tuner, OracleIsUpperBound) {
+  Graph g = models::build_siamese(models::SiameseConfig::tiny());
+  const TuningDatabase oracle = TuningDatabase::oracle(g, DeviceKind::kGpu);
+  TuningDatabase tuned;
+  TuningOptions opts;
+  opts.trials = 32;
+  AutoTuner(opts).tune_graph(g, DeviceKind::kGpu, tuned);
+  for (const auto& [task, rec] : tuned.records()) {
+    const TuningRecord* best = oracle.lookup(task);
+    ASSERT_NE(best, nullptr);
+    EXPECT_LE(rec.efficiency, best->efficiency + 1e-12) << task;
+  }
+}
+
+TEST(Tuner, DatabaseKeepsBetterRecord) {
+  TuningDatabase db;
+  TuningRecord a;
+  a.task = "t";
+  a.efficiency = 0.5;
+  a.trials = 10;
+  db.update(a);
+  TuningRecord b = a;
+  b.efficiency = 0.3;
+  db.update(b);
+  EXPECT_DOUBLE_EQ(db.lookup("t")->efficiency, 0.5);
+  b.efficiency = 0.9;
+  db.update(b);
+  EXPECT_DOUBLE_EQ(db.lookup("t")->efficiency, 0.9);
+}
+
+TEST(Tuner, DatabaseSaveLoadRoundTrip) {
+  Graph g = models::build_mtdnn(models::MtDnnConfig::tiny());
+  TuningDatabase db;
+  TuningOptions opts;
+  opts.trials = 8;
+  AutoTuner(opts).tune_graph(g, DeviceKind::kCpu, db);
+  const std::string path = ::testing::TempDir() + "duet_tuning.db";
+  db.save(path);
+  const TuningDatabase loaded = TuningDatabase::load(path);
+  ASSERT_EQ(loaded.size(), db.size());
+  for (const auto& [task, rec] : db.records()) {
+    const TuningRecord* l = loaded.lookup(task);
+    ASSERT_NE(l, nullptr);
+    EXPECT_DOUBLE_EQ(l->efficiency, rec.efficiency);
+    EXPECT_TRUE(l->schedule == rec.schedule);
+  }
+  std::remove(path.c_str());
+}
+
+// --- cost-model integration ------------------------------------------------------
+
+TEST(TuningIntegration, UntunedCodeIsSlower) {
+  // Full-size model: its cost is compute-bound, where schedule quality
+  // matters (tiny variants are launch/memory-bound and barely react).
+  Graph g = models::build_wide_deep();
+  const DeviceCostParams cpu = xeon_gold_6152();
+  const CompiledSubgraph tuned = compile_for_device(
+      g, DeviceKind::kCpu, CompileOptions::compiler_defaults(), cpu);
+
+  TuningDatabase empty;
+  CompileOptions untuned = CompileOptions::compiler_defaults();
+  untuned.schedule_quality = make_schedule_quality_hook(empty, 0.45);
+  const CompiledSubgraph fallback =
+      compile_for_device(g, DeviceKind::kCpu, untuned, cpu);
+  EXPECT_GT(fallback.est_total_time_s(), tuned.est_total_time_s() * 1.5);
+}
+
+TEST(TuningIntegration, TuningClosesTheGap) {
+  Graph g = models::build_siamese(models::SiameseConfig::tiny());
+  const DeviceCostParams gpu = titan_v();
+  const CompiledSubgraph converged = compile_for_device(
+      g, DeviceKind::kGpu, CompileOptions::compiler_defaults(), gpu);
+
+  const auto latency_with_db = [&](const TuningDatabase& db) {
+    CompileOptions opts = CompileOptions::compiler_defaults();
+    opts.schedule_quality = make_schedule_quality_hook(db, 0.45);
+    return compile_for_device(g, DeviceKind::kGpu, opts, gpu).est_total_time_s();
+  };
+
+  TuningDatabase empty;
+  TuningDatabase small_db;
+  TuningDatabase big_db;
+  TuningOptions small;
+  small.trials = 4;
+  small.seed = 3;
+  TuningOptions big;
+  big.trials = 128;
+  big.seed = 3;
+  // Tune the *optimized* graph — tasks must match what the cost model sees.
+  Graph optimized =
+      PassManager::standard(CompileOptions::compiler_defaults()).run(g);
+  AutoTuner(small).tune_graph(optimized, DeviceKind::kGpu, small_db);
+  AutoTuner(big).tune_graph(optimized, DeviceKind::kGpu, big_db);
+
+  const double none = latency_with_db(empty);
+  const double few = latency_with_db(small_db);
+  const double many = latency_with_db(big_db);
+  EXPECT_LT(few, none);
+  EXPECT_LE(many, few * 1.001);
+  // Converged calibration is the limit.
+  EXPECT_GE(many, converged.est_total_time_s() * (1 - 1e-9));
+}
+
+}  // namespace
+}  // namespace duet

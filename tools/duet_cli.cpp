@@ -1,0 +1,169 @@
+// duet_cli — command-line front door to the engine.
+//
+//   duet_cli --model wide-deep                 # schedule + report
+//   duet_cli --model mtdnn --scheduler random  # pick the scheduler
+//   duet_cli --relay model.relay               # load a textual Relay module
+//   duet_cli --model siamese --runs 2000       # latency distribution
+//   duet_cli --model wide-deep --trace out.json --dot out.dot
+//
+// Options:
+//   --model <name>       zoo model (wide-deep|siamese|mtdnn|resnet18|...)
+//   --relay <file>       parse a Relay-like text file instead (constants
+//                        materialize as zeros)
+//   --scheduler <name>   greedy-correction (default) | random | round-robin |
+//                        random+correction | greedy-only | exhaustive |
+//                        analytic-dp | cpu-only | gpu-only
+//   --no-fallback        keep the heterogeneous plan even if a single device
+//                        would win
+//   --nested <N>         nested partitioning with chunk bound N
+//   --runs <N>           sample N noisy latencies and print the distribution
+//   --trace <file>       write a Chrome trace of one inference
+//   --dot <file>         write the partitioned graph in Graphviz DOT
+//   --dump <file>        save the model as Relay text + .weights sidecar
+//   --breakdown          print the Table II-style subgraph table
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "common/stats.hpp"
+#include "duet/engine.hpp"
+#include "duet/report.hpp"
+#include "graph/dot.hpp"
+#include "models/model_zoo.hpp"
+#include "relay/relay.hpp"
+#include "relay/serialize.hpp"
+
+namespace {
+
+[[noreturn]] void usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--model <name> | --relay <file>] [--scheduler <name>]\n"
+               "          [--no-fallback] [--nested <N>] [--runs <N>]\n"
+               "          [--trace <file>] [--dot <file>] [--breakdown]\n",
+               argv0);
+  std::exit(2);
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.good()) {
+    std::fprintf(stderr, "cannot open %s\n", path.c_str());
+    std::exit(1);
+  }
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace duet;
+
+  std::string model_name = "wide-deep";
+  std::string relay_path;
+  std::string trace_path;
+  std::string dot_path;
+  std::string dump_path;
+  DuetOptions options;
+  int runs = 0;
+  bool breakdown = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> std::string {
+      if (i + 1 >= argc) usage(argv[0]);
+      return argv[++i];
+    };
+    if (arg == "--model") {
+      model_name = next();
+    } else if (arg == "--relay") {
+      relay_path = next();
+    } else if (arg == "--scheduler") {
+      options.scheduler = next();
+    } else if (arg == "--no-fallback") {
+      options.enable_fallback = false;
+    } else if (arg == "--nested") {
+      options.partition.granularity = PartitionOptions::Granularity::kNested;
+      options.partition.nested_max_nodes =
+          static_cast<size_t>(std::stoul(next()));
+    } else if (arg == "--runs") {
+      runs = std::stoi(next());
+    } else if (arg == "--trace") {
+      trace_path = next();
+    } else if (arg == "--dot") {
+      dot_path = next();
+    } else if (arg == "--dump") {
+      dump_path = next();
+    } else if (arg == "--breakdown") {
+      breakdown = true;
+    } else if (arg == "--help" || arg == "-h") {
+      usage(argv[0]);
+    } else {
+      std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
+      usage(argv[0]);
+    }
+  }
+
+  try {
+    Graph model = relay_path.empty()
+                      ? models::build_by_name(model_name)
+                      : relay::to_graph(relay::load_module(relay_path));
+    (void)read_file;  // kept for future text-only inputs
+
+    if (!dump_path.empty()) {
+      relay::save_module(relay::from_graph(model), dump_path);
+      std::printf("wrote %s and %s.weights\n", dump_path.c_str(),
+                  dump_path.c_str());
+    }
+
+    DuetEngine engine(std::move(model), options);
+    std::printf("%s", engine.report()
+                          .to_string(engine.model(), engine.partition())
+                          .c_str());
+    if (breakdown) {
+      std::printf("\n%s", render_subgraph_breakdown(engine).c_str());
+    }
+
+    const auto mem = engine.plan().memory_report();
+    std::printf("memory: cpu %.1f MiB (weights %.1f), gpu %.1f MiB (weights %.1f)\n",
+                mem.total(DeviceKind::kCpu) / 1048576.0,
+                mem.weight_bytes[0] / 1048576.0,
+                mem.total(DeviceKind::kGpu) / 1048576.0,
+                mem.weight_bytes[1] / 1048576.0);
+
+    if (runs > 0) {
+      LatencyRecorder rec;
+      for (int i = 0; i < runs; ++i) rec.add(engine.latency(true));
+      const SummaryStats s = rec.summarize();
+      std::printf(
+          "latency over %d runs: mean %.3f ms  p50 %.3f  p99 %.3f  p99.9 %.3f\n",
+          runs, s.mean * 1e3, s.p50 * 1e3, s.p99 * 1e3, s.p999 * 1e3);
+    }
+
+    if (!trace_path.empty() || !dot_path.empty()) {
+      Rng rng(1);
+      const auto feeds = models::make_random_feeds(engine.model(), rng);
+      ExecutionResult result = engine.infer(feeds);
+      if (!trace_path.empty()) {
+        std::ofstream out(trace_path);
+        out << result.timeline.to_chrome_trace();
+        std::printf("wrote Chrome trace to %s\n", trace_path.c_str());
+      }
+      if (!dot_path.empty()) {
+        DotOptions dopts;
+        const Partition* part = &engine.partition();
+        dopts.cluster = [part](NodeId id) { return part->producer_subgraph(id); };
+        write_dot_file(engine.model(), dot_path, dopts);
+        std::printf("wrote DOT to %s\n", dot_path.c_str());
+      }
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}
