@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig04_timeline.cpp" "bench/CMakeFiles/fig04_timeline.dir/fig04_timeline.cpp.o" "gcc" "bench/CMakeFiles/fig04_timeline.dir/fig04_timeline.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/duet_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/duet_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/duet_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/duet_profile.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/duet_partition.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/duet_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/duet_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/duet_relay.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/duet_tuning.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/duet_compiler.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/duet_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/duet_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/duet_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_timeline.dir/fig04_timeline.cpp.o"
+  "CMakeFiles/fig04_timeline.dir/fig04_timeline.cpp.o.d"
+  "fig04_timeline"
+  "fig04_timeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_timeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

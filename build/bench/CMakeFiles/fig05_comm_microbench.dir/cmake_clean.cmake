@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_comm_microbench.dir/fig05_comm_microbench.cpp.o"
+  "CMakeFiles/fig05_comm_microbench.dir/fig05_comm_microbench.cpp.o.d"
+  "fig05_comm_microbench"
+  "fig05_comm_microbench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_comm_microbench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

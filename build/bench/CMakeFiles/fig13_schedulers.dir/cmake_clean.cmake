@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_schedulers.dir/fig13_schedulers.cpp.o"
+  "CMakeFiles/fig13_schedulers.dir/fig13_schedulers.cpp.o.d"
+  "fig13_schedulers"
+  "fig13_schedulers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_schedulers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

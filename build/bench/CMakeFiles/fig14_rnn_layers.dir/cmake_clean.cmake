@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_rnn_layers.dir/fig14_rnn_layers.cpp.o"
+  "CMakeFiles/fig14_rnn_layers.dir/fig14_rnn_layers.cpp.o.d"
+  "fig14_rnn_layers"
+  "fig14_rnn_layers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_rnn_layers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_cnn_depth.dir/fig15_cnn_depth.cpp.o"
+  "CMakeFiles/fig15_cnn_depth.dir/fig15_cnn_depth.cpp.o.d"
+  "fig15_cnn_depth"
+  "fig15_cnn_depth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_cnn_depth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig16_ffn_depth.dir/fig16_ffn_depth.cpp.o"
+  "CMakeFiles/fig16_ffn_depth.dir/fig16_ffn_depth.cpp.o.d"
+  "fig16_ffn_depth"
+  "fig16_ffn_depth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_ffn_depth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig17_batch_size.dir/fig17_batch_size.cpp.o"
+  "CMakeFiles/fig17_batch_size.dir/fig17_batch_size.cpp.o.d"
+  "fig17_batch_size"
+  "fig17_batch_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig17_batch_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

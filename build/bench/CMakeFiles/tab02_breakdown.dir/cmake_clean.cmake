@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab02_breakdown.dir/tab02_breakdown.cpp.o"
+  "CMakeFiles/tab02_breakdown.dir/tab02_breakdown.cpp.o.d"
+  "tab02_breakdown"
+  "tab02_breakdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab02_breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab03_resnet.dir/tab03_resnet.cpp.o"
+  "CMakeFiles/tab03_resnet.dir/tab03_resnet.cpp.o.d"
+  "tab03_resnet"
+  "tab03_resnet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab03_resnet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/throughput_pipeline.dir/throughput_pipeline.cpp.o"
+  "CMakeFiles/throughput_pipeline.dir/throughput_pipeline.cpp.o.d"
+  "throughput_pipeline"
+  "throughput_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/throughput_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_task_nlu.dir/multi_task_nlu.cpp.o"
+  "CMakeFiles/multi_task_nlu.dir/multi_task_nlu.cpp.o.d"
+  "multi_task_nlu"
+  "multi_task_nlu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_task_nlu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

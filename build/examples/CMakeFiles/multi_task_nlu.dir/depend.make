@@ -1,0 +1,2 @@
+# Empty dependencies file for multi_task_nlu.
+# This may be replaced when dependencies are built.

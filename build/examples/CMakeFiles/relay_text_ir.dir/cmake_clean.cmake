@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/relay_text_ir.dir/relay_text_ir.cpp.o"
+  "CMakeFiles/relay_text_ir.dir/relay_text_ir.cpp.o.d"
+  "relay_text_ir"
+  "relay_text_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/relay_text_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

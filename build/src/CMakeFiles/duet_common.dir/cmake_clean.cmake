@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/duet_common.dir/common/logging.cpp.o"
+  "CMakeFiles/duet_common.dir/common/logging.cpp.o.d"
+  "CMakeFiles/duet_common.dir/common/rng.cpp.o"
+  "CMakeFiles/duet_common.dir/common/rng.cpp.o.d"
+  "CMakeFiles/duet_common.dir/common/stats.cpp.o"
+  "CMakeFiles/duet_common.dir/common/stats.cpp.o.d"
+  "CMakeFiles/duet_common.dir/common/string_util.cpp.o"
+  "CMakeFiles/duet_common.dir/common/string_util.cpp.o.d"
+  "CMakeFiles/duet_common.dir/common/threadpool.cpp.o"
+  "CMakeFiles/duet_common.dir/common/threadpool.cpp.o.d"
+  "libduet_common.a"
+  "libduet_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/duet_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/compiler/constant_fold.cpp" "src/CMakeFiles/duet_compiler.dir/compiler/constant_fold.cpp.o" "gcc" "src/CMakeFiles/duet_compiler.dir/compiler/constant_fold.cpp.o.d"
+  "/root/repo/src/compiler/cost_model.cpp" "src/CMakeFiles/duet_compiler.dir/compiler/cost_model.cpp.o" "gcc" "src/CMakeFiles/duet_compiler.dir/compiler/cost_model.cpp.o.d"
+  "/root/repo/src/compiler/cse.cpp" "src/CMakeFiles/duet_compiler.dir/compiler/cse.cpp.o" "gcc" "src/CMakeFiles/duet_compiler.dir/compiler/cse.cpp.o.d"
+  "/root/repo/src/compiler/dce.cpp" "src/CMakeFiles/duet_compiler.dir/compiler/dce.cpp.o" "gcc" "src/CMakeFiles/duet_compiler.dir/compiler/dce.cpp.o.d"
+  "/root/repo/src/compiler/fold_batchnorm.cpp" "src/CMakeFiles/duet_compiler.dir/compiler/fold_batchnorm.cpp.o" "gcc" "src/CMakeFiles/duet_compiler.dir/compiler/fold_batchnorm.cpp.o.d"
+  "/root/repo/src/compiler/fusion.cpp" "src/CMakeFiles/duet_compiler.dir/compiler/fusion.cpp.o" "gcc" "src/CMakeFiles/duet_compiler.dir/compiler/fusion.cpp.o.d"
+  "/root/repo/src/compiler/layout.cpp" "src/CMakeFiles/duet_compiler.dir/compiler/layout.cpp.o" "gcc" "src/CMakeFiles/duet_compiler.dir/compiler/layout.cpp.o.d"
+  "/root/repo/src/compiler/lowering.cpp" "src/CMakeFiles/duet_compiler.dir/compiler/lowering.cpp.o" "gcc" "src/CMakeFiles/duet_compiler.dir/compiler/lowering.cpp.o.d"
+  "/root/repo/src/compiler/pass_manager.cpp" "src/CMakeFiles/duet_compiler.dir/compiler/pass_manager.cpp.o" "gcc" "src/CMakeFiles/duet_compiler.dir/compiler/pass_manager.cpp.o.d"
+  "/root/repo/src/compiler/simplify.cpp" "src/CMakeFiles/duet_compiler.dir/compiler/simplify.cpp.o" "gcc" "src/CMakeFiles/duet_compiler.dir/compiler/simplify.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/duet_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/duet_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/duet_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

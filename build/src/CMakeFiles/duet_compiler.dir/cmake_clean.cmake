@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/duet_compiler.dir/compiler/constant_fold.cpp.o"
+  "CMakeFiles/duet_compiler.dir/compiler/constant_fold.cpp.o.d"
+  "CMakeFiles/duet_compiler.dir/compiler/cost_model.cpp.o"
+  "CMakeFiles/duet_compiler.dir/compiler/cost_model.cpp.o.d"
+  "CMakeFiles/duet_compiler.dir/compiler/cse.cpp.o"
+  "CMakeFiles/duet_compiler.dir/compiler/cse.cpp.o.d"
+  "CMakeFiles/duet_compiler.dir/compiler/dce.cpp.o"
+  "CMakeFiles/duet_compiler.dir/compiler/dce.cpp.o.d"
+  "CMakeFiles/duet_compiler.dir/compiler/fold_batchnorm.cpp.o"
+  "CMakeFiles/duet_compiler.dir/compiler/fold_batchnorm.cpp.o.d"
+  "CMakeFiles/duet_compiler.dir/compiler/fusion.cpp.o"
+  "CMakeFiles/duet_compiler.dir/compiler/fusion.cpp.o.d"
+  "CMakeFiles/duet_compiler.dir/compiler/layout.cpp.o"
+  "CMakeFiles/duet_compiler.dir/compiler/layout.cpp.o.d"
+  "CMakeFiles/duet_compiler.dir/compiler/lowering.cpp.o"
+  "CMakeFiles/duet_compiler.dir/compiler/lowering.cpp.o.d"
+  "CMakeFiles/duet_compiler.dir/compiler/pass_manager.cpp.o"
+  "CMakeFiles/duet_compiler.dir/compiler/pass_manager.cpp.o.d"
+  "CMakeFiles/duet_compiler.dir/compiler/simplify.cpp.o"
+  "CMakeFiles/duet_compiler.dir/compiler/simplify.cpp.o.d"
+  "libduet_compiler.a"
+  "libduet_compiler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/duet_compiler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/device/calibration.cpp" "src/CMakeFiles/duet_device.dir/device/calibration.cpp.o" "gcc" "src/CMakeFiles/duet_device.dir/device/calibration.cpp.o.d"
+  "/root/repo/src/device/device.cpp" "src/CMakeFiles/duet_device.dir/device/device.cpp.o" "gcc" "src/CMakeFiles/duet_device.dir/device/device.cpp.o.d"
+  "/root/repo/src/device/interconnect.cpp" "src/CMakeFiles/duet_device.dir/device/interconnect.cpp.o" "gcc" "src/CMakeFiles/duet_device.dir/device/interconnect.cpp.o.d"
+  "/root/repo/src/device/sim_clock.cpp" "src/CMakeFiles/duet_device.dir/device/sim_clock.cpp.o" "gcc" "src/CMakeFiles/duet_device.dir/device/sim_clock.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/duet_compiler.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/duet_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/duet_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/duet_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

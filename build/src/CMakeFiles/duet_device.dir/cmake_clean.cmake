@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/duet_device.dir/device/calibration.cpp.o"
+  "CMakeFiles/duet_device.dir/device/calibration.cpp.o.d"
+  "CMakeFiles/duet_device.dir/device/device.cpp.o"
+  "CMakeFiles/duet_device.dir/device/device.cpp.o.d"
+  "CMakeFiles/duet_device.dir/device/interconnect.cpp.o"
+  "CMakeFiles/duet_device.dir/device/interconnect.cpp.o.d"
+  "CMakeFiles/duet_device.dir/device/sim_clock.cpp.o"
+  "CMakeFiles/duet_device.dir/device/sim_clock.cpp.o.d"
+  "libduet_device.a"
+  "libduet_device.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/duet_device.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

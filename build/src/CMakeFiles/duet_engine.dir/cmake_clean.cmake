@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/duet_engine.dir/duet/baseline.cpp.o"
+  "CMakeFiles/duet_engine.dir/duet/baseline.cpp.o.d"
+  "CMakeFiles/duet_engine.dir/duet/engine.cpp.o"
+  "CMakeFiles/duet_engine.dir/duet/engine.cpp.o.d"
+  "CMakeFiles/duet_engine.dir/duet/report.cpp.o"
+  "CMakeFiles/duet_engine.dir/duet/report.cpp.o.d"
+  "libduet_engine.a"
+  "libduet_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/duet_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/builder.cpp" "src/CMakeFiles/duet_graph.dir/graph/builder.cpp.o" "gcc" "src/CMakeFiles/duet_graph.dir/graph/builder.cpp.o.d"
+  "/root/repo/src/graph/dot.cpp" "src/CMakeFiles/duet_graph.dir/graph/dot.cpp.o" "gcc" "src/CMakeFiles/duet_graph.dir/graph/dot.cpp.o.d"
+  "/root/repo/src/graph/graph.cpp" "src/CMakeFiles/duet_graph.dir/graph/graph.cpp.o" "gcc" "src/CMakeFiles/duet_graph.dir/graph/graph.cpp.o.d"
+  "/root/repo/src/graph/op.cpp" "src/CMakeFiles/duet_graph.dir/graph/op.cpp.o" "gcc" "src/CMakeFiles/duet_graph.dir/graph/op.cpp.o.d"
+  "/root/repo/src/graph/shape_inference.cpp" "src/CMakeFiles/duet_graph.dir/graph/shape_inference.cpp.o" "gcc" "src/CMakeFiles/duet_graph.dir/graph/shape_inference.cpp.o.d"
+  "/root/repo/src/graph/traversal.cpp" "src/CMakeFiles/duet_graph.dir/graph/traversal.cpp.o" "gcc" "src/CMakeFiles/duet_graph.dir/graph/traversal.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/duet_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/duet_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

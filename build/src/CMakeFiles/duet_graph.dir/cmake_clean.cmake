@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/duet_graph.dir/graph/builder.cpp.o"
+  "CMakeFiles/duet_graph.dir/graph/builder.cpp.o.d"
+  "CMakeFiles/duet_graph.dir/graph/dot.cpp.o"
+  "CMakeFiles/duet_graph.dir/graph/dot.cpp.o.d"
+  "CMakeFiles/duet_graph.dir/graph/graph.cpp.o"
+  "CMakeFiles/duet_graph.dir/graph/graph.cpp.o.d"
+  "CMakeFiles/duet_graph.dir/graph/op.cpp.o"
+  "CMakeFiles/duet_graph.dir/graph/op.cpp.o.d"
+  "CMakeFiles/duet_graph.dir/graph/shape_inference.cpp.o"
+  "CMakeFiles/duet_graph.dir/graph/shape_inference.cpp.o.d"
+  "CMakeFiles/duet_graph.dir/graph/traversal.cpp.o"
+  "CMakeFiles/duet_graph.dir/graph/traversal.cpp.o.d"
+  "libduet_graph.a"
+  "libduet_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/duet_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

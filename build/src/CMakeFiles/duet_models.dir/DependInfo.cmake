@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/models/dlrm.cpp" "src/CMakeFiles/duet_models.dir/models/dlrm.cpp.o" "gcc" "src/CMakeFiles/duet_models.dir/models/dlrm.cpp.o.d"
+  "/root/repo/src/models/inception.cpp" "src/CMakeFiles/duet_models.dir/models/inception.cpp.o" "gcc" "src/CMakeFiles/duet_models.dir/models/inception.cpp.o.d"
+  "/root/repo/src/models/model_zoo.cpp" "src/CMakeFiles/duet_models.dir/models/model_zoo.cpp.o" "gcc" "src/CMakeFiles/duet_models.dir/models/model_zoo.cpp.o.d"
+  "/root/repo/src/models/mtdnn.cpp" "src/CMakeFiles/duet_models.dir/models/mtdnn.cpp.o" "gcc" "src/CMakeFiles/duet_models.dir/models/mtdnn.cpp.o.d"
+  "/root/repo/src/models/resnet.cpp" "src/CMakeFiles/duet_models.dir/models/resnet.cpp.o" "gcc" "src/CMakeFiles/duet_models.dir/models/resnet.cpp.o.d"
+  "/root/repo/src/models/siamese.cpp" "src/CMakeFiles/duet_models.dir/models/siamese.cpp.o" "gcc" "src/CMakeFiles/duet_models.dir/models/siamese.cpp.o.d"
+  "/root/repo/src/models/squeezenet.cpp" "src/CMakeFiles/duet_models.dir/models/squeezenet.cpp.o" "gcc" "src/CMakeFiles/duet_models.dir/models/squeezenet.cpp.o.d"
+  "/root/repo/src/models/vgg.cpp" "src/CMakeFiles/duet_models.dir/models/vgg.cpp.o" "gcc" "src/CMakeFiles/duet_models.dir/models/vgg.cpp.o.d"
+  "/root/repo/src/models/wide_deep.cpp" "src/CMakeFiles/duet_models.dir/models/wide_deep.cpp.o" "gcc" "src/CMakeFiles/duet_models.dir/models/wide_deep.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/duet_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/duet_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/duet_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

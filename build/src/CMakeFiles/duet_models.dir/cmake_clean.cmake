@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/duet_models.dir/models/dlrm.cpp.o"
+  "CMakeFiles/duet_models.dir/models/dlrm.cpp.o.d"
+  "CMakeFiles/duet_models.dir/models/inception.cpp.o"
+  "CMakeFiles/duet_models.dir/models/inception.cpp.o.d"
+  "CMakeFiles/duet_models.dir/models/model_zoo.cpp.o"
+  "CMakeFiles/duet_models.dir/models/model_zoo.cpp.o.d"
+  "CMakeFiles/duet_models.dir/models/mtdnn.cpp.o"
+  "CMakeFiles/duet_models.dir/models/mtdnn.cpp.o.d"
+  "CMakeFiles/duet_models.dir/models/resnet.cpp.o"
+  "CMakeFiles/duet_models.dir/models/resnet.cpp.o.d"
+  "CMakeFiles/duet_models.dir/models/siamese.cpp.o"
+  "CMakeFiles/duet_models.dir/models/siamese.cpp.o.d"
+  "CMakeFiles/duet_models.dir/models/squeezenet.cpp.o"
+  "CMakeFiles/duet_models.dir/models/squeezenet.cpp.o.d"
+  "CMakeFiles/duet_models.dir/models/vgg.cpp.o"
+  "CMakeFiles/duet_models.dir/models/vgg.cpp.o.d"
+  "CMakeFiles/duet_models.dir/models/wide_deep.cpp.o"
+  "CMakeFiles/duet_models.dir/models/wide_deep.cpp.o.d"
+  "libduet_models.a"
+  "libduet_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/duet_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

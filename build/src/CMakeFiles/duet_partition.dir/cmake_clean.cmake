@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/duet_partition.dir/partition/partitioner.cpp.o"
+  "CMakeFiles/duet_partition.dir/partition/partitioner.cpp.o.d"
+  "CMakeFiles/duet_partition.dir/partition/subgraph.cpp.o"
+  "CMakeFiles/duet_partition.dir/partition/subgraph.cpp.o.d"
+  "libduet_partition.a"
+  "libduet_partition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/duet_partition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

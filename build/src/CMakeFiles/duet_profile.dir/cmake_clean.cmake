@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/duet_profile.dir/profile/profiler.cpp.o"
+  "CMakeFiles/duet_profile.dir/profile/profiler.cpp.o.d"
+  "libduet_profile.a"
+  "libduet_profile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/duet_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

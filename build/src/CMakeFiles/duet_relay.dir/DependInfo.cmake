@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/relay/expr.cpp" "src/CMakeFiles/duet_relay.dir/relay/expr.cpp.o" "gcc" "src/CMakeFiles/duet_relay.dir/relay/expr.cpp.o.d"
+  "/root/repo/src/relay/from_graph.cpp" "src/CMakeFiles/duet_relay.dir/relay/from_graph.cpp.o" "gcc" "src/CMakeFiles/duet_relay.dir/relay/from_graph.cpp.o.d"
+  "/root/repo/src/relay/parser.cpp" "src/CMakeFiles/duet_relay.dir/relay/parser.cpp.o" "gcc" "src/CMakeFiles/duet_relay.dir/relay/parser.cpp.o.d"
+  "/root/repo/src/relay/printer.cpp" "src/CMakeFiles/duet_relay.dir/relay/printer.cpp.o" "gcc" "src/CMakeFiles/duet_relay.dir/relay/printer.cpp.o.d"
+  "/root/repo/src/relay/serialize.cpp" "src/CMakeFiles/duet_relay.dir/relay/serialize.cpp.o" "gcc" "src/CMakeFiles/duet_relay.dir/relay/serialize.cpp.o.d"
+  "/root/repo/src/relay/to_graph.cpp" "src/CMakeFiles/duet_relay.dir/relay/to_graph.cpp.o" "gcc" "src/CMakeFiles/duet_relay.dir/relay/to_graph.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/duet_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/duet_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/duet_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

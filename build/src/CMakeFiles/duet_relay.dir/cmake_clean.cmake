@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/duet_relay.dir/relay/expr.cpp.o"
+  "CMakeFiles/duet_relay.dir/relay/expr.cpp.o.d"
+  "CMakeFiles/duet_relay.dir/relay/from_graph.cpp.o"
+  "CMakeFiles/duet_relay.dir/relay/from_graph.cpp.o.d"
+  "CMakeFiles/duet_relay.dir/relay/parser.cpp.o"
+  "CMakeFiles/duet_relay.dir/relay/parser.cpp.o.d"
+  "CMakeFiles/duet_relay.dir/relay/printer.cpp.o"
+  "CMakeFiles/duet_relay.dir/relay/printer.cpp.o.d"
+  "CMakeFiles/duet_relay.dir/relay/serialize.cpp.o"
+  "CMakeFiles/duet_relay.dir/relay/serialize.cpp.o.d"
+  "CMakeFiles/duet_relay.dir/relay/to_graph.cpp.o"
+  "CMakeFiles/duet_relay.dir/relay/to_graph.cpp.o.d"
+  "libduet_relay.a"
+  "libduet_relay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/duet_relay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

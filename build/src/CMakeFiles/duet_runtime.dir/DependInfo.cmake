@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/runtime/pipeline.cpp" "src/CMakeFiles/duet_runtime.dir/runtime/pipeline.cpp.o" "gcc" "src/CMakeFiles/duet_runtime.dir/runtime/pipeline.cpp.o.d"
+  "/root/repo/src/runtime/plan.cpp" "src/CMakeFiles/duet_runtime.dir/runtime/plan.cpp.o" "gcc" "src/CMakeFiles/duet_runtime.dir/runtime/plan.cpp.o.d"
+  "/root/repo/src/runtime/sim_executor.cpp" "src/CMakeFiles/duet_runtime.dir/runtime/sim_executor.cpp.o" "gcc" "src/CMakeFiles/duet_runtime.dir/runtime/sim_executor.cpp.o.d"
+  "/root/repo/src/runtime/threaded_executor.cpp" "src/CMakeFiles/duet_runtime.dir/runtime/threaded_executor.cpp.o" "gcc" "src/CMakeFiles/duet_runtime.dir/runtime/threaded_executor.cpp.o.d"
+  "/root/repo/src/runtime/timeline.cpp" "src/CMakeFiles/duet_runtime.dir/runtime/timeline.cpp.o" "gcc" "src/CMakeFiles/duet_runtime.dir/runtime/timeline.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/duet_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/duet_profile.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/duet_partition.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/duet_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/duet_compiler.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/duet_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/duet_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/duet_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/duet_runtime.dir/runtime/pipeline.cpp.o"
+  "CMakeFiles/duet_runtime.dir/runtime/pipeline.cpp.o.d"
+  "CMakeFiles/duet_runtime.dir/runtime/plan.cpp.o"
+  "CMakeFiles/duet_runtime.dir/runtime/plan.cpp.o.d"
+  "CMakeFiles/duet_runtime.dir/runtime/sim_executor.cpp.o"
+  "CMakeFiles/duet_runtime.dir/runtime/sim_executor.cpp.o.d"
+  "CMakeFiles/duet_runtime.dir/runtime/threaded_executor.cpp.o"
+  "CMakeFiles/duet_runtime.dir/runtime/threaded_executor.cpp.o.d"
+  "CMakeFiles/duet_runtime.dir/runtime/timeline.cpp.o"
+  "CMakeFiles/duet_runtime.dir/runtime/timeline.cpp.o.d"
+  "libduet_runtime.a"
+  "libduet_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/duet_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sched/analytic_dp.cpp" "src/CMakeFiles/duet_sched.dir/sched/analytic_dp.cpp.o" "gcc" "src/CMakeFiles/duet_sched.dir/sched/analytic_dp.cpp.o.d"
+  "/root/repo/src/sched/annealing.cpp" "src/CMakeFiles/duet_sched.dir/sched/annealing.cpp.o" "gcc" "src/CMakeFiles/duet_sched.dir/sched/annealing.cpp.o.d"
+  "/root/repo/src/sched/correction.cpp" "src/CMakeFiles/duet_sched.dir/sched/correction.cpp.o" "gcc" "src/CMakeFiles/duet_sched.dir/sched/correction.cpp.o.d"
+  "/root/repo/src/sched/exhaustive.cpp" "src/CMakeFiles/duet_sched.dir/sched/exhaustive.cpp.o" "gcc" "src/CMakeFiles/duet_sched.dir/sched/exhaustive.cpp.o.d"
+  "/root/repo/src/sched/greedy_correction.cpp" "src/CMakeFiles/duet_sched.dir/sched/greedy_correction.cpp.o" "gcc" "src/CMakeFiles/duet_sched.dir/sched/greedy_correction.cpp.o.d"
+  "/root/repo/src/sched/latency_model.cpp" "src/CMakeFiles/duet_sched.dir/sched/latency_model.cpp.o" "gcc" "src/CMakeFiles/duet_sched.dir/sched/latency_model.cpp.o.d"
+  "/root/repo/src/sched/placement.cpp" "src/CMakeFiles/duet_sched.dir/sched/placement.cpp.o" "gcc" "src/CMakeFiles/duet_sched.dir/sched/placement.cpp.o.d"
+  "/root/repo/src/sched/random_sched.cpp" "src/CMakeFiles/duet_sched.dir/sched/random_sched.cpp.o" "gcc" "src/CMakeFiles/duet_sched.dir/sched/random_sched.cpp.o.d"
+  "/root/repo/src/sched/round_robin_sched.cpp" "src/CMakeFiles/duet_sched.dir/sched/round_robin_sched.cpp.o" "gcc" "src/CMakeFiles/duet_sched.dir/sched/round_robin_sched.cpp.o.d"
+  "/root/repo/src/sched/scheduler_factory.cpp" "src/CMakeFiles/duet_sched.dir/sched/scheduler_factory.cpp.o" "gcc" "src/CMakeFiles/duet_sched.dir/sched/scheduler_factory.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/duet_profile.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/duet_partition.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/duet_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/duet_compiler.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/duet_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/duet_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/duet_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

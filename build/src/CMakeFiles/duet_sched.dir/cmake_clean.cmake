@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/duet_sched.dir/sched/analytic_dp.cpp.o"
+  "CMakeFiles/duet_sched.dir/sched/analytic_dp.cpp.o.d"
+  "CMakeFiles/duet_sched.dir/sched/annealing.cpp.o"
+  "CMakeFiles/duet_sched.dir/sched/annealing.cpp.o.d"
+  "CMakeFiles/duet_sched.dir/sched/correction.cpp.o"
+  "CMakeFiles/duet_sched.dir/sched/correction.cpp.o.d"
+  "CMakeFiles/duet_sched.dir/sched/exhaustive.cpp.o"
+  "CMakeFiles/duet_sched.dir/sched/exhaustive.cpp.o.d"
+  "CMakeFiles/duet_sched.dir/sched/greedy_correction.cpp.o"
+  "CMakeFiles/duet_sched.dir/sched/greedy_correction.cpp.o.d"
+  "CMakeFiles/duet_sched.dir/sched/latency_model.cpp.o"
+  "CMakeFiles/duet_sched.dir/sched/latency_model.cpp.o.d"
+  "CMakeFiles/duet_sched.dir/sched/placement.cpp.o"
+  "CMakeFiles/duet_sched.dir/sched/placement.cpp.o.d"
+  "CMakeFiles/duet_sched.dir/sched/random_sched.cpp.o"
+  "CMakeFiles/duet_sched.dir/sched/random_sched.cpp.o.d"
+  "CMakeFiles/duet_sched.dir/sched/round_robin_sched.cpp.o"
+  "CMakeFiles/duet_sched.dir/sched/round_robin_sched.cpp.o.d"
+  "CMakeFiles/duet_sched.dir/sched/scheduler_factory.cpp.o"
+  "CMakeFiles/duet_sched.dir/sched/scheduler_factory.cpp.o.d"
+  "libduet_sched.a"
+  "libduet_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/duet_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tensor/dtype.cpp" "src/CMakeFiles/duet_tensor.dir/tensor/dtype.cpp.o" "gcc" "src/CMakeFiles/duet_tensor.dir/tensor/dtype.cpp.o.d"
+  "/root/repo/src/tensor/kernels_attention.cpp" "src/CMakeFiles/duet_tensor.dir/tensor/kernels_attention.cpp.o" "gcc" "src/CMakeFiles/duet_tensor.dir/tensor/kernels_attention.cpp.o.d"
+  "/root/repo/src/tensor/kernels_conv.cpp" "src/CMakeFiles/duet_tensor.dir/tensor/kernels_conv.cpp.o" "gcc" "src/CMakeFiles/duet_tensor.dir/tensor/kernels_conv.cpp.o.d"
+  "/root/repo/src/tensor/kernels_elementwise.cpp" "src/CMakeFiles/duet_tensor.dir/tensor/kernels_elementwise.cpp.o" "gcc" "src/CMakeFiles/duet_tensor.dir/tensor/kernels_elementwise.cpp.o.d"
+  "/root/repo/src/tensor/kernels_matmul.cpp" "src/CMakeFiles/duet_tensor.dir/tensor/kernels_matmul.cpp.o" "gcc" "src/CMakeFiles/duet_tensor.dir/tensor/kernels_matmul.cpp.o.d"
+  "/root/repo/src/tensor/kernels_reduce.cpp" "src/CMakeFiles/duet_tensor.dir/tensor/kernels_reduce.cpp.o" "gcc" "src/CMakeFiles/duet_tensor.dir/tensor/kernels_reduce.cpp.o.d"
+  "/root/repo/src/tensor/kernels_rnn.cpp" "src/CMakeFiles/duet_tensor.dir/tensor/kernels_rnn.cpp.o" "gcc" "src/CMakeFiles/duet_tensor.dir/tensor/kernels_rnn.cpp.o.d"
+  "/root/repo/src/tensor/kernels_transform.cpp" "src/CMakeFiles/duet_tensor.dir/tensor/kernels_transform.cpp.o" "gcc" "src/CMakeFiles/duet_tensor.dir/tensor/kernels_transform.cpp.o.d"
+  "/root/repo/src/tensor/shape.cpp" "src/CMakeFiles/duet_tensor.dir/tensor/shape.cpp.o" "gcc" "src/CMakeFiles/duet_tensor.dir/tensor/shape.cpp.o.d"
+  "/root/repo/src/tensor/tensor.cpp" "src/CMakeFiles/duet_tensor.dir/tensor/tensor.cpp.o" "gcc" "src/CMakeFiles/duet_tensor.dir/tensor/tensor.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/duet_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

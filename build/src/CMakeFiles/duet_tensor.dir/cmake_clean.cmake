@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/duet_tensor.dir/tensor/dtype.cpp.o"
+  "CMakeFiles/duet_tensor.dir/tensor/dtype.cpp.o.d"
+  "CMakeFiles/duet_tensor.dir/tensor/kernels_attention.cpp.o"
+  "CMakeFiles/duet_tensor.dir/tensor/kernels_attention.cpp.o.d"
+  "CMakeFiles/duet_tensor.dir/tensor/kernels_conv.cpp.o"
+  "CMakeFiles/duet_tensor.dir/tensor/kernels_conv.cpp.o.d"
+  "CMakeFiles/duet_tensor.dir/tensor/kernels_elementwise.cpp.o"
+  "CMakeFiles/duet_tensor.dir/tensor/kernels_elementwise.cpp.o.d"
+  "CMakeFiles/duet_tensor.dir/tensor/kernels_matmul.cpp.o"
+  "CMakeFiles/duet_tensor.dir/tensor/kernels_matmul.cpp.o.d"
+  "CMakeFiles/duet_tensor.dir/tensor/kernels_reduce.cpp.o"
+  "CMakeFiles/duet_tensor.dir/tensor/kernels_reduce.cpp.o.d"
+  "CMakeFiles/duet_tensor.dir/tensor/kernels_rnn.cpp.o"
+  "CMakeFiles/duet_tensor.dir/tensor/kernels_rnn.cpp.o.d"
+  "CMakeFiles/duet_tensor.dir/tensor/kernels_transform.cpp.o"
+  "CMakeFiles/duet_tensor.dir/tensor/kernels_transform.cpp.o.d"
+  "CMakeFiles/duet_tensor.dir/tensor/shape.cpp.o"
+  "CMakeFiles/duet_tensor.dir/tensor/shape.cpp.o.d"
+  "CMakeFiles/duet_tensor.dir/tensor/tensor.cpp.o"
+  "CMakeFiles/duet_tensor.dir/tensor/tensor.cpp.o.d"
+  "libduet_tensor.a"
+  "libduet_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/duet_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

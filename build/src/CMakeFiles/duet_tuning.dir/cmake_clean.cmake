@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/duet_tuning.dir/tuning/cost_surface.cpp.o"
+  "CMakeFiles/duet_tuning.dir/tuning/cost_surface.cpp.o.d"
+  "CMakeFiles/duet_tuning.dir/tuning/schedule_space.cpp.o"
+  "CMakeFiles/duet_tuning.dir/tuning/schedule_space.cpp.o.d"
+  "CMakeFiles/duet_tuning.dir/tuning/tuner.cpp.o"
+  "CMakeFiles/duet_tuning.dir/tuning/tuner.cpp.o.d"
+  "libduet_tuning.a"
+  "libduet_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/duet_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

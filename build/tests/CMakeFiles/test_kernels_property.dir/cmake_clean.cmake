@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_kernels_property.dir/test_kernels_property.cpp.o"
+  "CMakeFiles/test_kernels_property.dir/test_kernels_property.cpp.o.d"
+  "test_kernels_property"
+  "test_kernels_property.pdb"
+  "test_kernels_property[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_kernels_property.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/duet_cli.dir/duet_cli.cpp.o"
+  "CMakeFiles/duet_cli.dir/duet_cli.cpp.o.d"
+  "duet_cli"
+  "duet_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/duet_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
