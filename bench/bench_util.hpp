@@ -9,12 +9,21 @@
 #include <string>
 #include <vector>
 
+#include "analysis/diagnostics.hpp"
 #include "common/stats.hpp"
 #include "duet/baseline.hpp"
 #include "duet/engine.hpp"
 #include "duet/report.hpp"
 
 namespace duet::bench {
+
+// Benchmarks measure steady-state performance of pipelines the tests and
+// `duet_cli verify` already check, so the per-pass verifier and plan
+// validation (checked mode, on by default) are switched off here.
+inline const bool kCheckedModeDisabled = [] {
+  set_verification_enabled(false);
+  return true;
+}();
 
 // Mean latency of `runs` noisy modeled executions of the engine's plan.
 inline SummaryStats engine_latency(DuetEngine& engine, int runs) {

@@ -59,7 +59,10 @@ class PassManager {
   void add(std::string name, Pass pass);
   const std::vector<NamedPass>& passes() const { return passes_; }
 
-  // Runs all passes in order; validates the graph after each.
+  // Runs all passes in order. In checked mode (verification_enabled(), the
+  // default) the full GraphVerifier runs on the input and after every pass
+  // and a violation throws VerifyError attributed to the offending pass;
+  // otherwise only the cheap structural Graph::validate() runs.
   Graph run(Graph graph) const;
 
  private:

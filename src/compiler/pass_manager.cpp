@@ -1,5 +1,6 @@
 #include <utility>
 
+#include "analysis/graph_verifier.hpp"
 #include "common/error.hpp"
 #include "common/logging.hpp"
 #include "compiler/pass.hpp"
@@ -51,10 +52,27 @@ void PassManager::add(std::string name, Pass pass) {
 }
 
 Graph PassManager::run(Graph graph) const {
+  // Checked mode: the full GraphVerifier runs on the input and after every
+  // pass, so a rewrite that breaks an IR invariant is reported against the
+  // pass that broke it (rule + node id) instead of surfacing as downstream
+  // garbage. Opted out (set_verification_enabled(false)) it degrades to the
+  // cheap structural Graph::validate().
+  const bool checked = verification_enabled();
+  if (checked) {
+    VerifyResult r = verify_graph(graph);
+    r.attribute("<input>");
+    r.throw_if_failed("graph handed to the pass pipeline is malformed");
+  }
   for (const NamedPass& p : passes_) {
     const size_t before = graph.num_nodes();
     graph = p.run(graph);
-    graph.validate();
+    if (checked) {
+      VerifyResult r = verify_graph(graph);
+      r.attribute("pass " + p.name);
+      r.throw_if_failed("pass " + p.name + " broke IR invariants");
+    } else {
+      graph.validate();
+    }
     DUET_LOG_DEBUG << "pass " << p.name << ": " << before << " -> "
                    << graph.num_nodes() << " nodes";
   }

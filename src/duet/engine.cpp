@@ -2,6 +2,7 @@
 
 #include <sstream>
 
+#include "analysis/plan_validator.hpp"
 #include "common/error.hpp"
 #include "common/logging.hpp"
 #include "common/string_util.hpp"
@@ -40,6 +41,11 @@ DuetEngine::DuetEngine(Graph model, DuetOptions options)
 
   // (1) Coarse-grained phased partitioning.
   partition_ = partition_phased(model_, options_.partition);
+  if (verification_enabled()) {
+    verify_partition(model_, partition_)
+        .throw_if_failed("partitioner produced an invalid partition of \"" +
+                         model_.name() + "\"");
+  }
 
   // (2) Compiler-aware profiling of every subgraph on both devices.
   Profiler profiler(devices_);
@@ -85,9 +91,20 @@ DuetEngine::DuetEngine(Graph model, DuetOptions options)
         devices_);
   }
 
-  // (5) Build the execution plan for the chosen placement.
+  // (5) Build the execution plan for the chosen placement. Checked mode
+  // statically validates the scheduler's placement and the built plan (feeds,
+  // deps, transfer schedule, step order) before anything executes.
+  if (verification_enabled()) {
+    verify_placement(report_.schedule.placement, partition_)
+        .throw_if_failed("scheduler \"" + options_.scheduler +
+                         "\" produced an invalid placement");
+  }
   plan_ = ExecutionPlan::build(model_, partition_, report_.schedule.placement,
                                devices_, options_.compile);
+  if (verification_enabled()) {
+    verify_plan(plan_).throw_if_failed("execution plan for \"" + model_.name() +
+                                       "\" is invalid");
+  }
   executor_ = std::make_unique<SimExecutor>(devices_);
 
   DUET_LOG_INFO << "DUET ready: " << partition_.subgraphs.size() << " subgraphs, "

@@ -20,6 +20,14 @@ Graph build_by_name(const std::string& name, uint64_t seed) {
   DUET_THROW("unknown model: " << name);
 }
 
+const std::vector<std::string>& zoo_model_names() {
+  static const std::vector<std::string> kNames = {
+      "wide-deep", "siamese",  "mtdnn",    "resnet18", "resnet34", "resnet50",
+      "resnet101", "vgg16",    "squeezenet", "inception", "dlrm",
+  };
+  return kNames;
+}
+
 std::map<NodeId, Tensor> make_random_feeds(const Graph& graph, Rng& rng) {
   std::map<NodeId, Tensor> feeds;
   for (NodeId id : graph.input_ids()) {

@@ -8,6 +8,7 @@
 // vary single fields.
 
 #include <string>
+#include <vector>
 
 #include "common/rng.hpp"
 #include "graph/builder.hpp"
@@ -130,6 +131,10 @@ NodeId resnet_trunk(GraphBuilder& b, NodeId x, int depth,
 // Builds by name: "wide-deep", "siamese", "mtdnn", "resnet18/34/50/101",
 // "vgg16", "squeezenet". Uses each model's default config.
 Graph build_by_name(const std::string& name, uint64_t seed = 42);
+
+// Every name build_by_name accepts (one entry per ResNet depth) — the model
+// zoo as `duet_cli verify --all` walks it.
+const std::vector<std::string>& zoo_model_names();
 
 // Random feed tensors for every kInput of `graph` (normal floats; uniform
 // indices for int32 inputs).

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <set>
+#include <tuple>
 
 #include "common/error.hpp"
 #include "graph/shape_inference.hpp"
@@ -83,6 +84,41 @@ ExecutionPlan ExecutionPlan::build(const Graph& parent, Partition partition,
       plan.consumers_[static_cast<size_t>(dep)].push_back(ps.id);
     }
   }
+
+  // Static transfer schedule: one step per cross-device boundary edge.
+  std::set<std::tuple<int, int, NodeId>> seen_edges;
+  for (const PlannedSubgraph& ps : plan.subgraphs_) {
+    for (const PlannedSubgraph::Feed& f : ps.feeds) {
+      const Node& p = parent.node(f.parent_producer);
+      if (p.is_input()) continue;  // host-resident; charged as h2d at launch
+      const int src = plan.partition_.producer_subgraph(f.parent_producer);
+      if (plan.placement_.of(src) == ps.device) continue;
+      if (!seen_edges.insert({src, ps.id, f.parent_producer}).second) continue;
+      plan.transfers_.push_back({src, ps.id, f.parent_producer,
+                                 node_output_bytes(p)});
+    }
+  }
+
+  // Launch order: Kahn over the subgraph dependency DAG, smallest id first.
+  const size_t n = plan.subgraphs_.size();
+  std::vector<int> pending(n, 0);
+  for (size_t i = 0; i < n; ++i) {
+    pending[i] = static_cast<int>(plan.subgraphs_[i].dep_subgraphs.size());
+  }
+  std::set<int> ready;
+  for (size_t i = 0; i < n; ++i) {
+    if (pending[i] == 0) ready.insert(static_cast<int>(i));
+  }
+  while (!ready.empty()) {
+    const int next = *ready.begin();
+    ready.erase(ready.begin());
+    plan.step_order_.push_back(next);
+    for (int consumer : plan.consumers_[static_cast<size_t>(next)]) {
+      if (--pending[static_cast<size_t>(consumer)] == 0) ready.insert(consumer);
+    }
+  }
+  DUET_CHECK_EQ(plan.step_order_.size(), n)
+      << "subgraph dependency cycle while ordering plan steps";
   return plan;
 }
 

@@ -5,6 +5,13 @@
 // routing between subgraph boundaries. Building the plan resolves the
 // placeholder ids of each (optimized) compiled graph back to parent node
 // ids, so executors move tensors purely by parent-node key.
+//
+// The plan also encodes its communication statically: one TransferStep per
+// cross-device boundary edge and a dependency-respecting step order. The
+// executors still pay transfers dynamically (the sim charges them when a
+// dependent fires), but the static schedule is what the plan validator
+// (analysis/plan_validator.hpp) checks — exactly one transfer per
+// cross-device edge, none for same-device edges, no use-before-def.
 
 #include <map>
 #include <vector>
@@ -34,6 +41,15 @@ struct PlannedSubgraph {
   std::vector<int> dep_subgraphs;
 };
 
+// One boundary value crossing the device link: produced by subgraph `src` on
+// one device, consumed by subgraph `dst` on the other.
+struct TransferStep {
+  int src_subgraph = -1;
+  int dst_subgraph = -1;
+  NodeId parent_node = kInvalidNode;  // the value being moved
+  uint64_t bytes = 0;
+};
+
 class ExecutionPlan {
  public:
   ExecutionPlan() = default;
@@ -46,6 +62,14 @@ class ExecutionPlan {
 
   // Consumers of each subgraph (inverse of dep_subgraphs).
   const std::vector<std::vector<int>>& consumers() const { return consumers_; }
+
+  // Static transfer schedule: exactly one entry per cross-device boundary
+  // edge (deduplicated by (src, dst, parent node)).
+  const std::vector<TransferStep>& transfers() const { return transfers_; }
+
+  // A dependency-respecting launch order of subgraph ids (Kahn topological
+  // order, smallest id first among ready subgraphs).
+  const std::vector<int>& step_order() const { return step_order_; }
 
   // Per-device memory footprint of the plan: resident weights plus the
   // boundary tensors the executor holds between subgraphs. Deployment
@@ -73,6 +97,8 @@ class ExecutionPlan {
   Placement placement_;
   std::vector<PlannedSubgraph> subgraphs_;
   std::vector<std::vector<int>> consumers_;
+  std::vector<TransferStep> transfers_;
+  std::vector<int> step_order_;
 };
 
 }  // namespace duet

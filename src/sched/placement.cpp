@@ -8,12 +8,15 @@ namespace duet {
 
 DeviceKind Placement::of(int subgraph_id) const {
   DUET_CHECK(subgraph_id >= 0 && static_cast<size_t>(subgraph_id) < device_.size())
-      << "subgraph id " << subgraph_id << " out of placement range";
+      << "Placement::of: subgraph id " << subgraph_id
+      << " outside placement of size " << device_.size();
   return device_[static_cast<size_t>(subgraph_id)];
 }
 
 void Placement::set(int subgraph_id, DeviceKind kind) {
-  DUET_CHECK(subgraph_id >= 0 && static_cast<size_t>(subgraph_id) < device_.size());
+  DUET_CHECK(subgraph_id >= 0 && static_cast<size_t>(subgraph_id) < device_.size())
+      << "Placement::set: subgraph id " << subgraph_id
+      << " outside placement of size " << device_.size();
   device_[static_cast<size_t>(subgraph_id)] = kind;
 }
 

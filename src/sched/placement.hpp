@@ -18,6 +18,7 @@ class Placement {
       : device_(num_subgraphs, fill) {}
 
   size_t size() const { return device_.size(); }
+  // All three throw duet::Error on a subgraph id outside [0, size()).
   DeviceKind of(int subgraph_id) const;
   void set(int subgraph_id, DeviceKind kind);
   void flip(int subgraph_id);

@@ -1,0 +1,347 @@
+// Tests for the static verification layer (src/analysis): the graph
+// verifier's invariant rules against deliberately corrupted graphs, the
+// checked-mode pass instrumentation (which pass broke which invariant on
+// which node), and the partition/placement/plan validators against corrupted
+// scheduling artifacts.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "analysis/graph_verifier.hpp"
+#include "analysis/plan_validator.hpp"
+#include "compiler/pass.hpp"
+#include "duet/engine.hpp"
+#include "graph/builder.hpp"
+#include "models/model_zoo.hpp"
+#include "partition/partitioner.hpp"
+#include "runtime/plan.hpp"
+
+namespace duet {
+namespace {
+
+// x -> dense -> (relu -> relu | sigmoid -> sigmoid) -> add: one sequential
+// cut, one two-branch multi-path phase, one joining cut — the smallest graph
+// whose partition exercises cross-device plans.
+Graph branchy_graph() {
+  GraphBuilder b("branchy");
+  const NodeId x = b.input(Shape{1, 16}, "x");
+  const NodeId d = b.dense(x, 8);
+  const NodeId a = b.relu(b.relu(d));
+  const NodeId s = b.sigmoid(b.sigmoid(d));
+  return b.finish({b.add(a, s)});
+}
+
+NodeId first_compute_node(const Graph& g) {
+  for (const Node& n : g.nodes()) {
+    if (!n.is_input() && !n.is_constant()) return n.id;
+  }
+  return kInvalidNode;
+}
+
+// --- graph rules ----------------------------------------------------------------
+
+TEST(GraphVerifier, CleanGraphVerifies) {
+  const VerifyResult r = verify_graph(branchy_graph());
+  EXPECT_TRUE(r.ok()) << r.to_string();
+  EXPECT_EQ(r.error_count(), 0u);
+}
+
+TEST(GraphVerifier, ZooModelsVerifyClean) {
+  const Graph g = models::build_wide_deep(models::WideDeepConfig::tiny());
+  const VerifyResult r = verify_graph(g);
+  EXPECT_TRUE(r.ok()) << r.to_string();
+}
+
+TEST(GraphVerifier, CycleIsCaught) {
+  Graph g = branchy_graph();
+  const NodeId victim = first_compute_node(g);
+  // Point an input at a later node: with dense topological ids, a forward
+  // edge is exactly how a cycle manifests.
+  g.mutable_node(victim).inputs[0] = static_cast<NodeId>(g.num_nodes() - 1);
+  const VerifyResult r = verify_graph(g);
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.has_error("acyclicity")) << r.to_string();
+  bool attributed = false;
+  for (const Diagnostic& d : r.diagnostics()) {
+    if (d.rule == "acyclicity" && d.node == victim) attributed = true;
+  }
+  EXPECT_TRUE(attributed) << "diagnostic must name the offending node";
+}
+
+TEST(GraphVerifier, DanglingInputIsCaught) {
+  Graph g = branchy_graph();
+  g.mutable_node(first_compute_node(g)).inputs[0] = 9999;
+  const VerifyResult r = verify_graph(g);
+  EXPECT_TRUE(r.has_error("dangling-input")) << r.to_string();
+}
+
+TEST(GraphVerifier, ShapeMismatchIsCaught) {
+  Graph g = branchy_graph();
+  const NodeId victim = first_compute_node(g);
+  g.mutable_node(victim).out_shape = Shape{3, 3, 3};
+  const VerifyResult r = verify_graph(g);
+  ASSERT_TRUE(r.has_error("type-consistency")) << r.to_string();
+  bool attributed = false;
+  for (const Diagnostic& d : r.diagnostics()) {
+    if (d.rule == "type-consistency" && d.node == victim) attributed = true;
+  }
+  EXPECT_TRUE(attributed);
+}
+
+TEST(GraphVerifier, UnboundConstantIsCaught) {
+  Graph g = branchy_graph();
+  const std::vector<NodeId> consts = g.constant_ids();
+  ASSERT_FALSE(consts.empty());
+  g.mutable_node(consts[0]).value = Tensor();
+  const VerifyResult r = verify_graph(g);
+  EXPECT_TRUE(r.has_error("terminal-value")) << r.to_string();
+}
+
+TEST(GraphVerifier, ArityViolationIsCaught) {
+  Graph g = branchy_graph();
+  Node& add_node = g.mutable_node(static_cast<NodeId>(g.num_nodes() - 1));
+  ASSERT_EQ(add_node.op, OpType::kAdd);
+  add_node.inputs.pop_back();  // add with one operand
+  const VerifyResult r = verify_graph(g);
+  EXPECT_TRUE(r.has_error("arity")) << r.to_string();
+}
+
+TEST(GraphVerifier, StaleConsumerIndexIsCaught) {
+  Graph g = branchy_graph();
+  // Rewire the final add's first operand without updating the adjacency
+  // lists — the kind of surgery bug the consumer-index rule exists for.
+  Node& add_node = g.mutable_node(static_cast<NodeId>(g.num_nodes() - 1));
+  add_node.inputs[0] = g.input_ids()[0];
+  const VerifyResult r = verify_graph(g);
+  EXPECT_TRUE(r.has_error("consumer-index")) << r.to_string();
+}
+
+// --- pass instrumentation -------------------------------------------------------
+
+TEST(PassInstrumentation, BrokenPassIsAttributed) {
+  PassManager pm;
+  pm.add("benign", [](const Graph& g) { return g; });
+  pm.add("break-shape", [](const Graph& g) {
+    Graph out = g;
+    out.mutable_node(first_compute_node(out)).out_shape = Shape{7};
+    return out;
+  });
+  try {
+    ScopedVerification checked(true);
+    pm.run(branchy_graph());
+    FAIL() << "checked mode must reject the broken pass";
+  } catch (const VerifyError& e) {
+    ASSERT_FALSE(e.diagnostics().empty());
+    bool found = false;
+    for (const Diagnostic& d : e.diagnostics()) {
+      if (d.rule == "type-consistency" && d.context == "pass break-shape") {
+        found = true;
+      }
+    }
+    EXPECT_TRUE(found) << e.what();
+  }
+}
+
+TEST(PassInstrumentation, OptOutSkipsTheVerifier) {
+  PassManager pm;
+  pm.add("break-shape", [](const Graph& g) {
+    Graph out = g;
+    out.mutable_node(first_compute_node(out)).out_shape = Shape{7};
+    return out;
+  });
+  // A wrong shape passes the cheap structural validate(); only the full
+  // verifier catches it. Opting out must therefore not throw.
+  ScopedVerification unchecked(false);
+  EXPECT_NO_THROW(pm.run(branchy_graph()));
+}
+
+TEST(PassInstrumentation, StandardPipelinePreservesInvariants) {
+  ScopedVerification checked(true);
+  const PassManager pm = PassManager::standard(CompileOptions::compiler_defaults());
+  const Graph g =
+      pm.run(models::build_wide_deep(models::WideDeepConfig::tiny()));
+  EXPECT_TRUE(verify_graph(g).ok());
+}
+
+// --- placement ------------------------------------------------------------------
+
+TEST(Placement, OutOfRangeAccessThrows) {
+  Placement p(3);
+  EXPECT_THROW(p.of(3), Error);
+  EXPECT_THROW(p.of(-1), Error);
+  EXPECT_THROW(p.set(3, DeviceKind::kGpu), Error);
+  EXPECT_THROW(p.flip(17), Error);
+  try {
+    p.set(5, DeviceKind::kCpu);
+    FAIL();
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("outside placement of size 3"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(PlacementValidator, SizeMismatchIsCaught) {
+  const Graph g = branchy_graph();
+  const Partition part = partition_phased(g);
+  const VerifyResult r = verify_placement(Placement(part.subgraphs.size() + 1), part);
+  EXPECT_TRUE(r.has_error("placement-size")) << r.to_string();
+  EXPECT_TRUE(verify_placement(Placement(part.subgraphs.size()), part).ok());
+}
+
+// --- partition ------------------------------------------------------------------
+
+TEST(PartitionValidator, CleanPartitionVerifies) {
+  const Graph g = branchy_graph();
+  const VerifyResult r = verify_partition(g, partition_phased(g));
+  EXPECT_TRUE(r.ok()) << r.to_string();
+}
+
+TEST(PartitionValidator, DoublePlacementIsCaught) {
+  const Graph g = branchy_graph();
+  Partition part = partition_phased(g);
+  ASSERT_GE(part.subgraphs.size(), 2u);
+  // Claim a node of subgraph 0 in subgraph 1 as well.
+  part.subgraphs[1].parent_nodes.push_back(part.subgraphs[0].parent_nodes[0]);
+  const VerifyResult r = verify_partition(g, part);
+  EXPECT_TRUE(r.has_error("partition-overlap")) << r.to_string();
+}
+
+TEST(PartitionValidator, UnplacedNodeIsCaught) {
+  const Graph g = branchy_graph();
+  Partition part = partition_phased(g);
+  part.subgraphs[0].parent_nodes.clear();
+  const VerifyResult r = verify_partition(g, part);
+  EXPECT_TRUE(r.has_error("partition-coverage")) << r.to_string();
+}
+
+// --- plan -----------------------------------------------------------------------
+
+struct PlanFixture {
+  Graph graph = branchy_graph();
+  Partition partition;
+  Placement placement;
+  DevicePair devices = make_default_device_pair();
+  ExecutionPlan plan;
+
+  PlanFixture() {
+    partition = partition_phased(graph);
+    placement = Placement(partition.subgraphs.size(), DeviceKind::kCpu);
+    // Put one multi-path branch on the GPU so the plan has cross-device
+    // edges (in: from the sequential producer; out: into the join).
+    for (const Phase& phase : partition.phases) {
+      if (phase.type == PhaseType::kMultiPath) {
+        placement.set(phase.subgraphs.back(), DeviceKind::kGpu);
+        break;
+      }
+    }
+    plan = ExecutionPlan::build(graph, partition, placement, devices,
+                                CompileOptions::compiler_defaults());
+  }
+
+  // PlanView holds const references, so a corrupted view is built by
+  // substituting one copied-and-mutated vector while borrowing the rest.
+  PlanView view_with_transfers(const std::vector<TransferStep>& transfers) const {
+    return PlanView{plan.parent(),    plan.partition(), plan.placement(),
+                    plan.subgraphs(), plan.consumers(), transfers,
+                    plan.step_order()};
+  }
+  PlanView view_with_subgraphs(const std::vector<PlannedSubgraph>& subgraphs) const {
+    return PlanView{plan.parent(), plan.partition(),  plan.placement(),
+                    subgraphs,     plan.consumers(),  plan.transfers(),
+                    plan.step_order()};
+  }
+  PlanView view_with_order(const std::vector<int>& order) const {
+    return PlanView{plan.parent(),    plan.partition(), plan.placement(),
+                    plan.subgraphs(), plan.consumers(), plan.transfers(),
+                    order};
+  }
+};
+
+TEST(PlanValidator, CleanPlanVerifies) {
+  PlanFixture f;
+  const VerifyResult r = verify_plan(f.plan);
+  EXPECT_TRUE(r.ok()) << r.to_string();
+  // The GPU branch reads one boundary value and feeds one: exactly two
+  // cross-device edges, each with exactly one transfer step.
+  EXPECT_EQ(f.plan.transfers().size(), 2u);
+  EXPECT_EQ(f.plan.step_order().size(), f.plan.subgraphs().size());
+}
+
+TEST(PlanValidator, MissingTransferIsCaught) {
+  PlanFixture f;
+  std::vector<TransferStep> transfers = f.plan.transfers();
+  ASSERT_FALSE(transfers.empty());
+  const TransferStep dropped = transfers.back();
+  transfers.pop_back();
+  const VerifyResult r = verify_plan(f.view_with_transfers(transfers));
+  ASSERT_TRUE(r.has_error("missing-transfer")) << r.to_string();
+  bool attributed = false;
+  for (const Diagnostic& d : r.diagnostics()) {
+    if (d.rule == "missing-transfer" && d.subgraph == dropped.dst_subgraph) {
+      attributed = true;
+    }
+  }
+  EXPECT_TRUE(attributed) << "diagnostic must name the consuming subgraph";
+}
+
+TEST(PlanValidator, DuplicateTransferIsCaught) {
+  PlanFixture f;
+  std::vector<TransferStep> transfers = f.plan.transfers();
+  transfers.push_back(transfers.front());
+  EXPECT_TRUE(
+      verify_plan(f.view_with_transfers(transfers)).has_error("duplicate-transfer"));
+}
+
+TEST(PlanValidator, SameDeviceTransferIsCaught) {
+  PlanFixture f;
+  // Fabricate a transfer along a real dependency edge that stays on one
+  // device: the CPU branch into the (CPU) join subgraph.
+  int cpu_branch = -1;
+  for (const Phase& phase : f.partition.phases) {
+    if (phase.type == PhaseType::kMultiPath) {
+      cpu_branch = phase.subgraphs.front();
+      break;
+    }
+  }
+  ASSERT_GE(cpu_branch, 0);
+  ASSERT_EQ(f.placement.of(cpu_branch), DeviceKind::kCpu);
+  const Subgraph& sub = f.partition.subgraph(cpu_branch);
+  std::vector<TransferStep> transfers = f.plan.transfers();
+  transfers.push_back({cpu_branch,
+                       static_cast<int>(f.partition.subgraphs.size()) - 1,
+                       sub.boundary_outputs[0], 0});
+  EXPECT_TRUE(verify_plan(f.view_with_transfers(transfers))
+                  .has_error("same-device-transfer"));
+}
+
+TEST(PlanValidator, UseBeforeDefIsCaught) {
+  PlanFixture f;
+  std::vector<PlannedSubgraph> subgraphs = f.plan.subgraphs();
+  // Drop the declared dependencies of the final (join) subgraph while its
+  // feeds still consume the branches' values.
+  ASSERT_FALSE(subgraphs.back().dep_subgraphs.empty());
+  subgraphs.back().dep_subgraphs.clear();
+  EXPECT_TRUE(
+      verify_plan(f.view_with_subgraphs(subgraphs)).has_error("use-before-def"));
+}
+
+TEST(PlanValidator, StepOrderViolationIsCaught) {
+  PlanFixture f;
+  std::vector<int> order = f.plan.step_order();
+  std::reverse(order.begin(), order.end());
+  EXPECT_TRUE(verify_plan(f.view_with_order(order)).has_error("step-order"));
+}
+
+// --- end to end -----------------------------------------------------------------
+
+TEST(CheckedMode, EngineValidatesItsOwnArtifacts) {
+  ScopedVerification checked(true);
+  DuetEngine engine(models::build_wide_deep(models::WideDeepConfig::tiny()));
+  EXPECT_TRUE(verify_partition(engine.model(), engine.partition()).ok());
+  EXPECT_TRUE(verify_plan(engine.plan()).ok());
+}
+
+}  // namespace
+}  // namespace duet

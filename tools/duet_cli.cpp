@@ -5,6 +5,12 @@
 //   duet_cli --relay model.relay               # load a textual Relay module
 //   duet_cli --model siamese --runs 2000       # latency distribution
 //   duet_cli --model wide-deep --trace out.json --dot out.dot
+//   duet_cli verify wide-deep                  # lint one model end to end
+//   duet_cli verify --all                      # lint the whole model zoo
+//
+// `verify` runs the static verification layer (src/analysis) over the full
+// pipeline — raw graph, every compiler pass, partition, placement, plan —
+// and exits nonzero with pass/rule/node diagnostics on any violation.
 //
 // Options:
 //   --model <name>       zoo model (wide-deep|siamese|mtdnn|resnet18|...)
@@ -27,7 +33,10 @@
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <vector>
 
+#include "analysis/graph_verifier.hpp"
+#include "analysis/plan_validator.hpp"
 #include "common/stats.hpp"
 #include "duet/engine.hpp"
 #include "duet/report.hpp"
@@ -42,9 +51,60 @@ namespace {
   std::fprintf(stderr,
                "usage: %s [--model <name> | --relay <file>] [--scheduler <name>]\n"
                "          [--no-fallback] [--nested <N>] [--runs <N>]\n"
-               "          [--trace <file>] [--dot <file>] [--breakdown]\n",
-               argv0);
+               "          [--trace <file>] [--dot <file>] [--breakdown]\n"
+               "       %s verify <model> | --all [--relay <file>]\n"
+               "          [--scheduler <name>]\n",
+               argv0, argv0);
   std::exit(2);
+}
+
+// Lints one model through the whole pipeline. Returns true when every stage
+// verifies clean; prints structured diagnostics otherwise.
+bool verify_one(const std::string& label, duet::Graph model,
+                const duet::DuetOptions& options) {
+  using namespace duet;
+  std::printf("verify %-12s ", label.c_str());
+  std::fflush(stdout);
+
+  // Stage 1: raw graph well-formedness.
+  VerifyResult graph_result = verify_graph(model);
+  if (!graph_result.ok()) {
+    std::printf("FAIL (graph: %zu violations)\n%s", graph_result.error_count(),
+                graph_result.to_string().c_str());
+    return false;
+  }
+
+  // Stage 2: the whole-model pass pipeline in checked mode (the verifier
+  // runs after every pass inside PassManager::run). DuetEngine then compiles
+  // per-subgraph with the same checked pipeline, partitions, schedules, and
+  // validates placement + plan internally; we re-run the validators here to
+  // report stage-by-stage counts.
+  try {
+    ScopedVerification checked(true);
+    PassManager::standard(options.compile).run(model);
+    DuetEngine engine(std::move(model), options);
+    VerifyResult partition_result =
+        verify_partition(engine.model(), engine.partition());
+    VerifyResult placement_result =
+        verify_placement(engine.plan().placement(), engine.partition());
+    VerifyResult plan_result = verify_plan(engine.plan());
+    if (!partition_result.ok() || !placement_result.ok() || !plan_result.ok()) {
+      std::printf("FAIL\n%s%s%s", partition_result.to_string().c_str(),
+                  placement_result.to_string().c_str(),
+                  plan_result.to_string().c_str());
+      return false;
+    }
+    std::printf(
+        "OK  graph %zu nodes | %zu subgraphs | %s | %zu transfers | %zu warnings\n",
+        engine.model().num_nodes(), engine.partition().subgraphs.size(),
+        engine.report().fell_back ? "single-device" : "heterogeneous",
+        engine.plan().transfers().size(),
+        graph_result.warning_count() + plan_result.warning_count());
+    return true;
+  } catch (const VerifyError& e) {
+    std::printf("FAIL\n%s\n", e.what());
+    return false;
+  }
 }
 
 std::string read_file(const std::string& path) {
@@ -62,6 +122,47 @@ std::string read_file(const std::string& path) {
 
 int main(int argc, char** argv) {
   using namespace duet;
+
+  if (argc > 1 && std::strcmp(argv[1], "verify") == 0) {
+    std::vector<std::string> names;
+    std::vector<std::string> relay_files;
+    DuetOptions options;
+    for (int i = 2; i < argc; ++i) {
+      const std::string arg = argv[i];
+      const auto next = [&]() -> std::string {
+        if (i + 1 >= argc) usage(argv[0]);
+        return argv[++i];
+      };
+      if (arg == "--all") {
+        for (const std::string& name : models::zoo_model_names()) {
+          names.push_back(name);
+        }
+      } else if (arg == "--relay") {
+        relay_files.push_back(next());
+      } else if (arg == "--scheduler") {
+        options.scheduler = next();
+      } else if (arg == "--help" || arg == "-h" || arg.rfind("--", 0) == 0) {
+        usage(argv[0]);
+      } else {
+        names.push_back(arg);
+      }
+    }
+    if (names.empty() && relay_files.empty()) usage(argv[0]);
+    bool all_ok = true;
+    try {
+      for (const std::string& name : names) {
+        all_ok &= verify_one(name, models::build_by_name(name), options);
+      }
+      for (const std::string& file : relay_files) {
+        all_ok &= verify_one(file, relay::to_graph(relay::load_module(file)),
+                             options);
+      }
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "error: %s\n", e.what());
+      return 1;
+    }
+    return all_ok ? 0 : 1;
+  }
 
   std::string model_name = "wide-deep";
   std::string relay_path;
