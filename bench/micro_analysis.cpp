@@ -1,0 +1,75 @@
+// Google-benchmark micro-benchmarks of the dataflow analysis suite:
+// liveness, arena planning, and the happens-before race check over real
+// zoo plans. The suite runs at every plan build (and the race check in
+// every checked-mode engine construction), so its cost must stay a small
+// fraction of a plan build; these benchmarks document and guard that.
+
+#include <benchmark/benchmark.h>
+
+#include "analysis/liveness.hpp"
+#include "analysis/memory_planner.hpp"
+#include "analysis/race_checker.hpp"
+#include "device/calibration.hpp"
+#include "models/model_zoo.hpp"
+#include "partition/partitioner.hpp"
+#include "runtime/plan.hpp"
+
+namespace {
+
+using namespace duet;
+
+// One mixed-placement plan per benchmark run; building it (compilation
+// included) stays outside the timed loop.
+ExecutionPlan make_plan(Graph graph) {
+  static DevicePair devices = make_default_device_pair(7);
+  const Partition partition = partition_phased(graph);
+  Placement placement(partition.subgraphs.size(), DeviceKind::kCpu);
+  for (size_t i = 0; i < partition.subgraphs.size(); i += 2) {
+    placement.set(static_cast<int>(i), DeviceKind::kGpu);
+  }
+  return ExecutionPlan::build(graph, partition, placement, devices,
+                              CompileOptions::compiler_defaults());
+}
+
+void BM_Liveness(benchmark::State& state) {
+  const ExecutionPlan plan =
+      make_plan(models::build_inception(models::InceptionConfig::tiny()));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(analyze_liveness(plan));
+  }
+}
+BENCHMARK(BM_Liveness);
+
+void BM_MemoryPlanner(benchmark::State& state) {
+  const ExecutionPlan plan =
+      make_plan(models::build_inception(models::InceptionConfig::tiny()));
+  const LivenessInfo live = analyze_liveness(plan);
+  const HappensBefore hb(plan.subgraphs());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(plan_memory(live, hb));
+  }
+}
+BENCHMARK(BM_MemoryPlanner);
+
+void BM_RaceChecker(benchmark::State& state) {
+  const ExecutionPlan plan =
+      make_plan(models::build_inception(models::InceptionConfig::tiny()));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(verify_races(plan));
+  }
+}
+BENCHMARK(BM_RaceChecker);
+
+void BM_FullSuiteAtPlanBuild(benchmark::State& state) {
+  // What ExecutionPlan::build pays for the attached MemoryPlan.
+  const ExecutionPlan plan =
+      make_plan(models::build_wide_deep(models::WideDeepConfig::tiny()));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(plan_memory(plan));
+  }
+}
+BENCHMARK(BM_FullSuiteAtPlanBuild);
+
+}  // namespace
+
+BENCHMARK_MAIN();

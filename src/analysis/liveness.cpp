@@ -1,0 +1,248 @@
+#include "analysis/liveness.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <sstream>
+#include <tuple>
+
+#include "common/string_util.hpp"
+#include "graph/shape_inference.hpp"
+
+namespace duet {
+
+HappensBefore::HappensBefore(const std::vector<PlannedSubgraph>& subgraphs) {
+  const size_t n = subgraphs.size();
+  // Trigger edges: dep -> consumer. Ids outside [0, n) (corrupted plans)
+  // contribute no edges.
+  std::vector<std::vector<int>> out(n);
+  for (const PlannedSubgraph& ps : subgraphs) {
+    if (ps.id < 0 || static_cast<size_t>(ps.id) >= n) continue;
+    for (int dep : ps.dep_subgraphs) {
+      if (dep < 0 || static_cast<size_t>(dep) >= n) continue;
+      out[static_cast<size_t>(dep)].push_back(ps.id);
+    }
+  }
+  reach_.assign(n, std::vector<bool>(n, false));
+  std::vector<int> stack;
+  for (size_t s = 0; s < n; ++s) {
+    stack.assign(out[s].begin(), out[s].end());
+    while (!stack.empty()) {
+      const int t = stack.back();
+      stack.pop_back();
+      if (reach_[s][static_cast<size_t>(t)]) continue;
+      reach_[s][static_cast<size_t>(t)] = true;
+      for (int u : out[static_cast<size_t>(t)]) stack.push_back(u);
+    }
+  }
+}
+
+bool HappensBefore::ordered(int before, int after) const {
+  if (before < 0 || static_cast<size_t>(before) >= reach_.size()) return false;
+  if (after < 0 || static_cast<size_t>(after) >= reach_.size()) return false;
+  return reach_[static_cast<size_t>(before)][static_cast<size_t>(after)];
+}
+
+std::vector<int> interval_accesses(int def_subgraph,
+                                   const std::vector<int>& uses) {
+  std::vector<int> acc = uses;
+  if (def_subgraph >= 0) acc.push_back(def_subgraph);
+  std::sort(acc.begin(), acc.end());
+  acc.erase(std::unique(acc.begin(), acc.end()), acc.end());
+  return acc;
+}
+
+bool accesses_precede(const std::vector<int>& a, const std::vector<int>& b,
+                      const HappensBefore& hb) {
+  for (int x : a) {
+    for (int y : b) {
+      if (!hb.ordered(x, y)) return false;
+    }
+  }
+  return true;
+}
+
+namespace {
+
+uint64_t safe_value_bytes(const Graph& parent, NodeId value) {
+  if (value < 0 || static_cast<size_t>(value) >= parent.num_nodes()) return 0;
+  return node_output_bytes(parent.node(value));
+}
+
+}  // namespace
+
+LivenessInfo analyze_liveness(const Graph& parent,
+                              const std::vector<PlannedSubgraph>& subgraphs,
+                              const std::vector<int>& step_order) {
+  LivenessInfo info;
+  info.num_steps = step_order.size();
+  const size_t n = subgraphs.size();
+
+  // Position of each subgraph in the launch order (0 fallback for ids a
+  // corrupted order dropped — the race checker reports those).
+  std::vector<int> pos(n, 0);
+  for (size_t i = 0; i < step_order.size(); ++i) {
+    const int sid = step_order[i];
+    if (sid >= 0 && static_cast<size_t>(sid) < n) {
+      pos[static_cast<size_t>(sid)] = static_cast<int>(i);
+    }
+  }
+  const auto pos_of = [&](int sid) {
+    return sid >= 0 && static_cast<size_t>(sid) < n
+               ? pos[static_cast<size_t>(sid)]
+               : 0;
+  };
+
+  const std::set<NodeId> outputs(parent.outputs().begin(),
+                                 parent.outputs().end());
+
+  // Consumers of each boundary value / host input, grouped per device.
+  struct DeviceUses {
+    std::vector<int> subgraphs[kNumDeviceKinds];
+  };
+  std::map<NodeId, DeviceUses> consumers;
+  for (const PlannedSubgraph& ps : subgraphs) {
+    for (const PlannedSubgraph::Feed& f : ps.feeds) {
+      consumers[f.parent_producer].subgraphs[static_cast<int>(ps.device)]
+          .push_back(ps.id);
+    }
+  }
+
+  // Producer-side intervals (one per boundary value) plus staged remote
+  // copies (one per consuming device other than the producer's).
+  for (const PlannedSubgraph& ps : subgraphs) {
+    for (NodeId value : ps.produces) {
+      ValueInterval home;
+      home.value = value;
+      home.device = ps.device;
+      home.bytes = safe_value_bytes(parent, value);
+      home.def_subgraph = ps.id;
+      home.def_step = pos_of(ps.id);
+      home.last_use_step = home.def_step;
+      home.held_to_end = outputs.count(value) > 0;
+
+      const auto it = consumers.find(value);
+      for (int d = 0; d < kNumDeviceKinds; ++d) {
+        if (it == consumers.end()) break;
+        const std::vector<int>& readers = it->second.subgraphs[d];
+        if (readers.empty()) continue;
+        // Every consumer — local or remote — reads the producer's copy (a
+        // remote one reads it while staging its transfer).
+        for (int c : readers) {
+          home.uses.push_back(c);
+          home.last_use_step = std::max(home.last_use_step, pos_of(c));
+        }
+        if (static_cast<DeviceKind>(d) == ps.device) continue;
+        ValueInterval remote;
+        remote.value = value;
+        remote.device = static_cast<DeviceKind>(d);
+        remote.bytes = home.bytes;
+        remote.def_subgraph = readers.front();
+        remote.uses = readers;
+        remote.def_step = pos_of(readers.front());
+        remote.last_use_step = remote.def_step;
+        for (int c : readers) {
+          remote.def_step = std::min(remote.def_step, pos_of(c));
+          remote.last_use_step = std::max(remote.last_use_step, pos_of(c));
+          if (pos_of(c) == remote.def_step) remote.def_subgraph = c;
+        }
+        info.intervals.push_back(std::move(remote));
+      }
+      info.intervals.push_back(std::move(home));
+    }
+  }
+
+  // Host inputs consumed on the GPU get a staged device copy (the h2d
+  // transfer at plan entry). CPU-side reads hit host memory directly, so
+  // host inputs need no CPU interval.
+  for (const auto& [value, uses] : consumers) {
+    if (value < 0 || static_cast<size_t>(value) >= parent.num_nodes()) continue;
+    if (!parent.node(value).is_input()) continue;
+    const std::vector<int>& gpu_readers =
+        uses.subgraphs[static_cast<int>(DeviceKind::kGpu)];
+    if (gpu_readers.empty()) continue;
+    ValueInterval staged;
+    staged.value = value;
+    staged.device = DeviceKind::kGpu;
+    staged.bytes = safe_value_bytes(parent, value);
+    staged.def_subgraph = -1;  // staged at entry, not written by a subgraph
+    staged.uses = gpu_readers;
+    staged.def_step = pos_of(gpu_readers.front());
+    staged.last_use_step = staged.def_step;
+    for (int c : gpu_readers) {
+      staged.def_step = std::min(staged.def_step, pos_of(c));
+      staged.last_use_step = std::max(staged.last_use_step, pos_of(c));
+    }
+    info.intervals.push_back(std::move(staged));
+  }
+
+  std::sort(info.intervals.begin(), info.intervals.end(),
+            [](const ValueInterval& a, const ValueInterval& b) {
+              return std::tie(a.device, a.def_step, a.value) <
+                     std::tie(b.device, b.def_step, b.value);
+            });
+
+  // Naive footprint and step-order peak per device (sweep with a diff
+  // array; held-to-end intervals never release).
+  for (int d = 0; d < kNumDeviceKinds; ++d) {
+    std::vector<int64_t> delta(info.num_steps + 2, 0);
+    for (const ValueInterval& iv : info.intervals) {
+      if (static_cast<int>(iv.device) != d) continue;
+      info.naive_bytes[d] += iv.bytes;
+      const auto def = static_cast<size_t>(std::max(iv.def_step, 0));
+      delta[std::min(def, info.num_steps)] += static_cast<int64_t>(iv.bytes);
+      if (!iv.held_to_end) {
+        const auto last = static_cast<size_t>(std::max(iv.last_use_step, 0));
+        delta[std::min(last + 1, info.num_steps + 1)] -=
+            static_cast<int64_t>(iv.bytes);
+      }
+    }
+    int64_t live = 0;
+    for (size_t t = 0; t < delta.size(); ++t) {
+      live += delta[t];
+      info.peak_bytes[d] =
+          std::max(info.peak_bytes[d], static_cast<uint64_t>(std::max<int64_t>(live, 0)));
+    }
+  }
+  return info;
+}
+
+LivenessInfo analyze_liveness(const ExecutionPlan& plan) {
+  return analyze_liveness(plan.parent(), plan.subgraphs(), plan.step_order());
+}
+
+std::string LivenessInfo::to_string(const Graph& parent) const {
+  std::ostringstream os;
+  for (int d = 0; d < kNumDeviceKinds; ++d) {
+    const auto kind = static_cast<DeviceKind>(d);
+    size_t count = 0;
+    for (const ValueInterval& iv : intervals) {
+      if (iv.device == kind) ++count;
+    }
+    os << "  " << device_kind_name(kind) << ": " << count << " values, naive "
+       << human_bytes(naive_bytes[d]) << ", step-order peak "
+       << human_bytes(peak_bytes[d]) << "\n";
+  }
+  for (const ValueInterval& iv : intervals) {
+    os << "    %" << iv.value;
+    if (iv.value >= 0 && static_cast<size_t>(iv.value) < parent.num_nodes()) {
+      os << " \"" << parent.node(iv.value).name << "\"";
+    }
+    os << " on " << device_kind_name(iv.device) << " "
+       << human_bytes(iv.bytes) << " [" << iv.def_step << ", "
+       << (iv.held_to_end ? "end" : std::to_string(iv.last_use_step)) << "]";
+    if (iv.def_subgraph < 0) {
+      os << " staged at entry";
+    } else {
+      os << " def #" << iv.def_subgraph;
+    }
+    os << ", uses {";
+    for (size_t i = 0; i < iv.uses.size(); ++i) {
+      os << (i != 0U ? " #" : "#") << iv.uses[i];
+    }
+    os << "}\n";
+  }
+  return os.str();
+}
+
+}  // namespace duet

@@ -1,0 +1,96 @@
+#pragma once
+
+// Liveness analysis over an ExecutionPlan (ISSUE 2 tentpole, part 1): for
+// every boundary value, on every device it touches, compute the def /
+// last-use interval along the plan's launch order. A value produced on one
+// device and consumed on the other has two intervals — the source copy (the
+// remote consumer's transfer counts as a *use* of it) and the staged remote
+// copy (def at the transfer). Graph outputs are live to end-of-plan.
+//
+// The step intervals drive the memory planner's packing order and the
+// per-device peak report, but step positions alone cannot prove reuse safe:
+// the threaded executor runs subgraphs concurrently, constrained only by the
+// dependency (queue-trigger) edges. HappensBefore materializes that partial
+// order; the planner and the race checker both reason over it.
+
+#include <string>
+#include <vector>
+
+#include "runtime/plan.hpp"
+
+namespace duet {
+
+// The partial order the executors actually guarantee: s happens-before t iff
+// there is a chain of dependency (queue-trigger) edges from s to t. Workers
+// serialize same-device subgraphs, but in no statically known order, so two
+// subgraphs without a chain are concurrent for every analysis here — even on
+// one device.
+class HappensBefore {
+ public:
+  explicit HappensBefore(const std::vector<PlannedSubgraph>& subgraphs);
+
+  size_t size() const { return reach_.size(); }
+  // Strict: a chain of one or more trigger edges leads from `before` to
+  // `after`. Never true for before == after.
+  bool ordered(int before, int after) const;
+
+ private:
+  std::vector<std::vector<bool>> reach_;
+};
+
+// One value's lifetime on one device.
+struct ValueInterval {
+  NodeId value = kInvalidNode;
+  DeviceKind device = DeviceKind::kCpu;
+  uint64_t bytes = 0;
+
+  // Producing subgraph; -1 when the copy is staged from a host input at plan
+  // entry (h2d of a model input consumed on the GPU).
+  int def_subgraph = -1;
+  // Subgraphs whose execution touches this copy: local consumers read it,
+  // remote consumers read it while staging theirs (the transfer), and for a
+  // staged copy the stager itself writes it.
+  std::vector<int> uses;
+
+  // Positions in step_order. def_step is the producer's position (or the
+  // earliest consumer's for an entry-staged copy); last_use_step the latest
+  // consumer's (def_step when the value is only ever written).
+  int def_step = 0;
+  int last_use_step = 0;
+  // Graph outputs stay live past the last step (returned to the caller).
+  bool held_to_end = false;
+};
+
+// Accesses of one value copy: its producing subgraph (if any) plus every
+// use, deduplicated — the executions that touch the copy's memory.
+std::vector<int> interval_accesses(int def_subgraph, const std::vector<int>& uses);
+
+// True when every access in `a` is strictly happens-before every access in
+// `b` — the condition under which b may safely reuse a's arena space. Shared
+// by the memory planner (to pack) and the race checker (to re-prove the
+// packing).
+bool accesses_precede(const std::vector<int>& a, const std::vector<int>& b,
+                      const HappensBefore& hb);
+
+struct LivenessInfo {
+  std::vector<ValueInterval> intervals;
+  size_t num_steps = 0;
+
+  // Sum of interval bytes per device (what per-tensor maps hold live).
+  uint64_t naive_bytes[kNumDeviceKinds] = {0, 0};
+  // Peak of simultaneously live bytes per device along the step order — the
+  // lower bound any packing can hope for under that linearization.
+  uint64_t peak_bytes[kNumDeviceKinds] = {0, 0};
+
+  std::string to_string(const Graph& parent) const;
+};
+
+// Core analysis over plan components (tests corrupt individual pieces).
+// `step_order` must be a permutation of the subgraph ids; positions of
+// values outside it (never the case for a valid plan) fall back to 0.
+LivenessInfo analyze_liveness(const Graph& parent,
+                              const std::vector<PlannedSubgraph>& subgraphs,
+                              const std::vector<int>& step_order);
+LivenessInfo analyze_liveness(const ExecutionPlan& plan);
+
+}  // namespace duet

@@ -1,0 +1,95 @@
+#include "analysis/memory_planner.hpp"
+
+#include <algorithm>
+#include <tuple>
+
+namespace duet {
+namespace {
+
+uint64_t align_up(uint64_t offset) {
+  return (offset + kArenaAlignment - 1) / kArenaAlignment * kArenaAlignment;
+}
+
+// May `next` reuse arena space of `prior` (or vice versa)? Anything else
+// means the two copies can be live concurrently and must not overlap.
+bool may_share(const ValueInterval& a, const std::vector<int>& a_acc,
+               const ValueInterval& b, const std::vector<int>& b_acc,
+               const HappensBefore& hb) {
+  const bool a_first =
+      !a.held_to_end && accesses_precede(a_acc, b_acc, hb);
+  const bool b_first =
+      !b.held_to_end && accesses_precede(b_acc, a_acc, hb);
+  return a_first || b_first;
+}
+
+}  // namespace
+
+MemoryPlan plan_memory(const LivenessInfo& liveness, const HappensBefore& hb) {
+  MemoryPlan plan;
+
+  std::vector<size_t> order(liveness.intervals.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  // First-fit packs intervals in launch order; among same-step intervals the
+  // larger one goes first (the classic size tiebreak keeps fragmentation
+  // down).
+  std::sort(order.begin(), order.end(), [&](size_t x, size_t y) {
+    const ValueInterval& a = liveness.intervals[x];
+    const ValueInterval& b = liveness.intervals[y];
+    return std::make_tuple(a.device, a.def_step, b.bytes, a.value) <
+           std::make_tuple(b.device, b.def_step, a.bytes, b.value);
+  });
+
+  std::vector<std::vector<int>> accesses(liveness.intervals.size());
+  for (size_t i = 0; i < liveness.intervals.size(); ++i) {
+    accesses[i] = interval_accesses(liveness.intervals[i].def_subgraph,
+                                    liveness.intervals[i].uses);
+  }
+
+  std::vector<size_t> placed[kNumDeviceKinds];  // interval indices
+  std::vector<uint64_t> offsets(liveness.intervals.size(), 0);
+  for (size_t idx : order) {
+    const ValueInterval& iv = liveness.intervals[idx];
+    const int d = static_cast<int>(iv.device);
+    // A corrupted plan can define one value twice (the validator reports
+    // it); keep the first copy so the planner stays total.
+    if (plan.find(iv.device, iv.value) != nullptr) continue;
+    uint64_t offset = 0;
+    if (iv.bytes > 0) {
+      // Busy ranges: every already-placed interval this one may be live
+      // concurrently with.
+      std::vector<std::pair<uint64_t, uint64_t>> busy;
+      for (size_t other : placed[d]) {
+        const ValueInterval& ov = liveness.intervals[other];
+        if (ov.bytes == 0) continue;
+        if (may_share(iv, accesses[idx], ov, accesses[other], hb)) continue;
+        busy.emplace_back(offsets[other], offsets[other] + ov.bytes);
+      }
+      std::sort(busy.begin(), busy.end());
+      for (const auto& [begin, end] : busy) {
+        if (offset + iv.bytes <= begin) break;  // fits in the gap
+        offset = std::max(offset, align_up(end));
+      }
+    }
+    offsets[idx] = offset;
+    placed[d].push_back(idx);
+
+    ArenaSlot slot;
+    slot.value = iv.value;
+    slot.device = iv.device;
+    slot.offset = offset;
+    slot.bytes = iv.bytes;
+    slot.def_subgraph = iv.def_subgraph;
+    slot.uses = iv.uses;
+    slot.def_step = iv.def_step;
+    slot.last_use_step = iv.last_use_step;
+    slot.held_to_end = iv.held_to_end;
+    plan.add_slot(std::move(slot));
+  }
+  return plan;
+}
+
+MemoryPlan plan_memory(const ExecutionPlan& plan) {
+  return plan_memory(analyze_liveness(plan), HappensBefore(plan.subgraphs()));
+}
+
+}  // namespace duet

@@ -1,0 +1,21 @@
+#pragma once
+
+// Static memory planner (ISSUE 2 tentpole, part 2): packs the liveness
+// intervals of each device into arena offsets with first-fit over the
+// intervals sorted by definition step. Two values may overlap in the arena
+// only when one's every access happens-before the other's every access —
+// the step intervals alone would falsely allow reuse between subgraphs the
+// concurrent executor may run in either order (two unordered same-device
+// subgraphs are serialized by the single worker, but in a dynamic order).
+// The race checker (analysis/race_checker.hpp) independently re-proves the
+// packing against the same partial order in checked mode.
+
+#include "analysis/liveness.hpp"
+#include "runtime/memory_plan.hpp"
+
+namespace duet {
+
+MemoryPlan plan_memory(const LivenessInfo& liveness, const HappensBefore& hb);
+MemoryPlan plan_memory(const ExecutionPlan& plan);
+
+}  // namespace duet

@@ -3,6 +3,7 @@
 #include <sstream>
 
 #include "analysis/plan_validator.hpp"
+#include "analysis/race_checker.hpp"
 #include "common/error.hpp"
 #include "common/logging.hpp"
 #include "common/string_util.hpp"
@@ -104,6 +105,9 @@ DuetEngine::DuetEngine(Graph model, DuetOptions options)
   if (verification_enabled()) {
     verify_plan(plan_).throw_if_failed("execution plan for \"" + model_.name() +
                                        "\" is invalid");
+    verify_races(plan_).throw_if_failed(
+        "execution plan for \"" + model_.name() +
+        "\" has conflicting accesses not ordered by happens-before");
   }
   executor_ = std::make_unique<SimExecutor>(devices_);
 

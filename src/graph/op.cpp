@@ -137,9 +137,9 @@ std::string AttrMap::to_string() const {
       os << '"' << *s << '"';
     } else if (const auto* l = std::get_if<std::vector<int64_t>>(&value)) {
       os << "[";
-      for (size_t i = 0; i < l->size(); ++i) {
-        if (i) os << " ";
-        os << (*l)[i];
+      for (size_t j = 0; j < l->size(); ++j) {
+        if (j) os << " ";
+        os << (*l)[j];
       }
       os << "]";
     }

@@ -33,8 +33,8 @@ std::string Subgraph::summary(const Graph& parent) const {
   // Histogram of op kinds, most frequent first — a readable fingerprint like
   // "lstm x1, dense x2".
   std::map<std::string, int> histogram;
-  for (NodeId id : parent_nodes) {
-    histogram[op_name(parent.node(id).op)] += 1;
+  for (NodeId member : parent_nodes) {
+    histogram[op_name(parent.node(member).op)] += 1;
   }
   std::vector<std::pair<int, std::string>> ranked;
   for (const auto& [name, count] : histogram) ranked.emplace_back(count, name);

@@ -1,0 +1,59 @@
+#include "runtime/memory_plan.hpp"
+
+#include <sstream>
+
+#include "common/error.hpp"
+#include "common/string_util.hpp"
+
+namespace duet {
+
+void MemoryPlan::add_slot(ArenaSlot slot) {
+  const int d = static_cast<int>(slot.device);
+  DUET_CHECK(d >= 0 && d < kNumDeviceKinds);
+  const auto key = std::make_pair(d, slot.value);
+  DUET_CHECK(index_.find(key) == index_.end())
+      << "value %" << slot.value << " already has a slot on "
+      << device_kind_name(slot.device);
+  index_[key] = slots_.size();
+  arena_bytes_[d] = std::max(arena_bytes_[d], slot.offset + slot.bytes);
+  // Naive baseline: one aligned buffer per value. Counting the aligned
+  // footprint keeps arena <= naive provable — first-fit stacking at aligned
+  // offsets costs at most align_up(bytes) per slot even with zero sharing.
+  naive_bytes_[d] += (slot.bytes + kArenaAlignment - 1) / kArenaAlignment *
+                     kArenaAlignment;
+  slots_.push_back(std::move(slot));
+}
+
+const ArenaSlot* MemoryPlan::find(DeviceKind device, NodeId value) const {
+  const auto it = index_.find({static_cast<int>(device), value});
+  return it == index_.end() ? nullptr : &slots_[it->second];
+}
+
+std::string MemoryPlan::to_string(const Graph* parent) const {
+  std::ostringstream os;
+  for (int d = 0; d < kNumDeviceKinds; ++d) {
+    const auto kind = static_cast<DeviceKind>(d);
+    os << "  " << device_kind_name(kind) << " arena "
+       << human_bytes(arena_bytes(kind)) << " (naive "
+       << human_bytes(naive_bytes(kind)) << ")\n";
+  }
+  for (const ArenaSlot& s : slots_) {
+    os << "    [" << device_kind_name(s.device) << " +" << s.offset << ", "
+       << human_bytes(s.bytes) << "] %" << s.value;
+    if (parent != nullptr && s.value >= 0 &&
+        static_cast<size_t>(s.value) < parent->num_nodes()) {
+      os << " \"" << parent->node(s.value).name << "\"";
+    }
+    if (s.def_subgraph < 0) {
+      os << "  staged at entry";
+    } else {
+      os << "  def #" << s.def_subgraph << " @step " << s.def_step;
+    }
+    os << ", last use @step " << s.last_use_step;
+    if (s.held_to_end) os << " (output, held to end)";
+    os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace duet

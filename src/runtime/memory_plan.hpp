@@ -1,0 +1,85 @@
+#pragma once
+
+// Static memory plan for an ExecutionPlan (ISSUE 2 tentpole, part 2): every
+// boundary value (a tensor that crosses a subgraph boundary, plus the GPU
+// staging copies of host inputs) is assigned a byte range inside a per-device
+// arena. Executors allocate one arena per device and run every boundary
+// tensor out of it instead of per-tensor heap allocations; the arena size is
+// the packed peak, which liveness-driven reuse keeps well under the naive
+// sum of all boundary tensors (TVM-style static buffer planning).
+//
+// The plan is pure data: the liveness analysis and the first-fit packer that
+// produce it live in src/analysis (analysis/liveness.hpp,
+// analysis/memory_planner.hpp); the happens-before race checker
+// (analysis/race_checker.hpp) proves slot reuse safe for the concurrent
+// executor before anything runs from it.
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "compiler/cost_model.hpp"
+#include "graph/graph.hpp"
+
+namespace duet {
+
+// Arena offsets are aligned so any kernel's vectorized loads stay aligned no
+// matter which value lands at the slot.
+inline constexpr uint64_t kArenaAlignment = 64;
+
+// One value's residence in one device arena. A value produced on one device
+// and consumed on another has a slot per device (the transfer's source and
+// destination). `def_subgraph == -1` marks a copy staged from a host input
+// at plan entry rather than written by a subgraph.
+struct ArenaSlot {
+  NodeId value = kInvalidNode;
+  DeviceKind device = DeviceKind::kCpu;
+  uint64_t offset = 0;
+  uint64_t bytes = 0;
+
+  int def_subgraph = -1;
+  // Subgraphs whose execution touches this slot: local consumers read it,
+  // and remote consumers read it while staging their own copy.
+  std::vector<int> uses;
+
+  // Positions in the plan's step order (reporting / packing heuristics; the
+  // safety argument for reuse is the happens-before order, not these).
+  int def_step = 0;
+  int last_use_step = 0;
+  // Graph outputs survive to end-of-plan; their slots are never reused.
+  bool held_to_end = false;
+};
+
+class MemoryPlan {
+ public:
+  void add_slot(ArenaSlot slot);
+
+  const std::vector<ArenaSlot>& slots() const { return slots_; }
+  // The packed arena size for one device (max offset + bytes, aligned).
+  uint64_t arena_bytes(DeviceKind device) const {
+    return arena_bytes_[static_cast<int>(device)];
+  }
+  // Sum of all slot bytes on one device — what per-tensor allocation would
+  // hold live for the whole run.
+  uint64_t naive_bytes(DeviceKind device) const {
+    return naive_bytes_[static_cast<int>(device)];
+  }
+
+  // Slot of `value` on `device`; nullptr when the value never lives there.
+  const ArenaSlot* find(DeviceKind device, NodeId value) const;
+
+  bool empty() const { return slots_.empty(); }
+
+  // Per-device summary plus the slot table, e.g. for `duet_cli analyze`.
+  std::string to_string(const Graph* parent = nullptr) const;
+
+ private:
+  std::vector<ArenaSlot> slots_;
+  std::map<std::pair<int, NodeId>, size_t> index_;  // (device, value) -> slot
+  uint64_t arena_bytes_[kNumDeviceKinds] = {0, 0};
+  uint64_t naive_bytes_[kNumDeviceKinds] = {0, 0};
+};
+
+}  // namespace duet

@@ -4,6 +4,7 @@
 #include <set>
 #include <tuple>
 
+#include "analysis/memory_planner.hpp"
 #include "common/error.hpp"
 #include "graph/shape_inference.hpp"
 
@@ -119,6 +120,11 @@ ExecutionPlan ExecutionPlan::build(const Graph& parent, Partition partition,
   }
   DUET_CHECK_EQ(plan.step_order_.size(), n)
       << "subgraph dependency cycle while ordering plan steps";
+
+  // Liveness-driven arena layout: every boundary value gets a per-device
+  // offset, so the executors allocate one arena per device instead of
+  // per-tensor buffers.
+  plan.memory_plan_ = plan_memory(plan);
   return plan;
 }
 

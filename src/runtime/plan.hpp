@@ -14,10 +14,12 @@
 // cross-device edge, none for same-device edges, no use-before-def.
 
 #include <map>
+#include <optional>
 #include <vector>
 
 #include "device/device.hpp"
 #include "partition/partitioner.hpp"
+#include "runtime/memory_plan.hpp"
 #include "sched/placement.hpp"
 
 namespace duet {
@@ -86,6 +88,18 @@ class ExecutionPlan {
   };
   MemoryReport memory_report() const;
 
+  // Liveness-packed arena layout for the boundary values (one arena per
+  // device; analysis/memory_planner.hpp). build() attaches it; executors run
+  // boundary tensors out of the arenas whenever it is present. Null only for
+  // a default-constructed plan or after clear_memory_plan().
+  const MemoryPlan* memory_plan() const {
+    return memory_plan_.has_value() ? &*memory_plan_ : nullptr;
+  }
+  // Test hooks: corruption tests re-plan from corrupted components, and the
+  // executor tests exercise the arena-free fallback path.
+  void set_memory_plan(MemoryPlan plan) { memory_plan_ = std::move(plan); }
+  void clear_memory_plan() { memory_plan_.reset(); }
+
   // Builds a plan by compiling every subgraph for its placed device.
   static ExecutionPlan build(const Graph& parent, Partition partition,
                              Placement placement, const DevicePair& devices,
@@ -99,6 +113,7 @@ class ExecutionPlan {
   std::vector<std::vector<int>> consumers_;
   std::vector<TransferStep> transfers_;
   std::vector<int> step_order_;
+  std::optional<MemoryPlan> memory_plan_;
 };
 
 }  // namespace duet

@@ -16,6 +16,13 @@ namespace duet {
 template <typename T>
 class SyncQueue {
  public:
+  // Outcome of try_pop. A busy-poll loop needs "empty" and "closed and
+  // empty" to be distinguishable in the same atomic observation — checking
+  // closed() in a separate call leaves a window where a concurrent push +
+  // close between the two calls makes the poller either drop an item or
+  // spin forever on a queue that will never produce one.
+  enum class TryPop { kItem, kEmpty, kClosed };
+
   void push(T item) {
     {
       std::lock_guard<std::mutex> lock(mutex_);
@@ -36,12 +43,16 @@ class SyncQueue {
   }
 
   // Non-blocking variant for the busy-poll loop of the paper's executor.
-  std::optional<T> try_pop() {
+  // kItem: `out` holds the popped item. kEmpty: nothing yet, poll again.
+  // kClosed: closed and drained — the poller must exit its loop.
+  TryPop try_pop(T& out) {
     std::lock_guard<std::mutex> lock(mutex_);
-    if (items_.empty()) return std::nullopt;
-    T item = std::move(items_.front());
-    items_.pop_front();
-    return item;
+    if (!items_.empty()) {
+      out = std::move(items_.front());
+      items_.pop_front();
+      return TryPop::kItem;
+    }
+    return closed_ ? TryPop::kClosed : TryPop::kEmpty;
   }
 
   void close() {

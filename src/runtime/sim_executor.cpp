@@ -4,6 +4,7 @@
 #include "common/error.hpp"
 #include "device/calibration.hpp"
 #include "device/interconnect.hpp"
+#include "runtime/arena.hpp"
 #include "runtime/executor.hpp"
 
 namespace duet {
@@ -33,8 +34,11 @@ ExecutionResult SimExecutor::run_impl(const ExecutionPlan& plan,
     return best_lane;
   };
 
-  // Values keyed by parent node id. Feeds seed the store.
+  // Values keyed by parent node id. Feeds seed the store. When the plan
+  // carries a MemoryPlan, boundary values are staged into per-device arena
+  // slots instead of staying in their own heap buffers.
   std::map<NodeId, Tensor> values;
+  ExecutionArenas arenas(kNumeric ? plan.memory_plan() : nullptr);
   if constexpr (kNumeric) values = feeds;
 
   // Host-input transfer for GPU subgraphs (inputs are host-resident).
@@ -90,12 +94,12 @@ ExecutionResult SimExecutor::run_impl(const ExecutionPlan& plan,
         auto it = values.find(f.parent_producer);
         DUET_CHECK(it != values.end())
             << "missing value for parent node " << f.parent_producer;
-        sub_feeds[f.input_node] = it->second;
+        sub_feeds[f.input_node] = arenas.stage(ps.device, f.parent_producer, it->second);
       }
       Device::RunResult rr = dev.execute(ps.compiled, sub_feeds, with_noise);
       exec_time = rr.modeled_time_s;
       for (size_t o = 0; o < ps.produces.size(); ++o) {
-        values[ps.produces[o]] = rr.outputs[o];
+        values[ps.produces[o]] = arenas.stage(ps.device, ps.produces[o], rr.outputs[o]);
       }
     } else {
       exec_time = dev.modeled_time(ps.compiled, with_noise);

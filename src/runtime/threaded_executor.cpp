@@ -14,6 +14,7 @@
 #include "common/error.hpp"
 #include "common/timer.hpp"
 #include "device/interconnect.hpp"
+#include "runtime/arena.hpp"
 #include "runtime/executor.hpp"
 #include "runtime/queue.hpp"
 
@@ -24,8 +25,13 @@ ExecutionResult ThreadedExecutor::run(const ExecutionPlan& plan,
   const size_t n = plan.subgraphs().size();
   ExecutionResult result;
 
-  std::mutex state_mutex;  // guards values, pending, timeline
+  std::mutex state_mutex;  // guards values, pending, timeline, arena staging
   std::map<NodeId, Tensor> values = feeds;
+  // With a MemoryPlan attached, boundary values live in one arena per device.
+  // All stage() copies happen under state_mutex; the plan's happens-before
+  // interference rule guarantees a slot is only reused after every access of
+  // its previous tenant's subgraphs completed (queue triggers synchronize).
+  ExecutionArenas arenas(plan.memory_plan());
   std::vector<int> pending(n, 0);
   std::atomic<size_t> remaining{n};
   std::exception_ptr first_error;
@@ -59,13 +65,18 @@ ExecutionResult ThreadedExecutor::run(const ExecutionPlan& plan,
             auto it = values.find(f.parent_producer);
             DUET_CHECK(it != values.end())
                 << "missing dependency value for subgraph " << ps.id;
-            // Cross-device feed: "DMA" the payload (deep copy) like the
-            // interconnect would.
-            const Node& p = plan.parent().node(f.parent_producer);
-            const bool host_input = p.is_input();
-            const bool crossed = host_input ? kind == DeviceKind::kGpu : false;
-            sub_feeds[f.input_node] =
-                crossed ? it->second.clone() : it->second;
+            // Cross-device feed: "DMA" the payload like the interconnect
+            // would — into the consumer device's arena slot when planned,
+            // else a deep copy (arena-free fallback).
+            if (arenas.enabled()) {
+              sub_feeds[f.input_node] =
+                  arenas.stage(kind, f.parent_producer, it->second);
+            } else {
+              const Node& p = plan.parent().node(f.parent_producer);
+              const bool crossed = p.is_input() && kind == DeviceKind::kGpu;
+              sub_feeds[f.input_node] =
+                  crossed ? it->second.clone() : it->second;
+            }
           }
         }
         const double t0 = timer.elapsed();
@@ -74,7 +85,8 @@ ExecutionResult ThreadedExecutor::run(const ExecutionPlan& plan,
         {
           std::lock_guard<std::mutex> lock(state_mutex);
           for (size_t o = 0; o < ps.produces.size(); ++o) {
-            values[ps.produces[o]] = rr.outputs[o];
+            values[ps.produces[o]] =
+                arenas.stage(kind, ps.produces[o], rr.outputs[o]);
           }
           result.timeline.add({TimelineEvent::Kind::kExec, ps.id, kind,
                                plan.partition().subgraphs[static_cast<size_t>(ps.id)].label,

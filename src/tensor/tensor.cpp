@@ -11,10 +11,24 @@ Tensor::Tensor(Shape shape, DType dtype)
       buffer_(std::make_shared<std::vector<uint8_t>>(
           static_cast<size_t>(shape_.numel()) * dtype_size(dtype))) {}
 
+Tensor Tensor::view(std::shared_ptr<std::vector<uint8_t>> buffer,
+                    size_t offset, Shape shape, DType dtype) {
+  DUET_CHECK(buffer != nullptr) << "view of a null buffer";
+  Tensor out;
+  out.shape_ = std::move(shape);
+  out.dtype_ = dtype;
+  DUET_CHECK(offset + out.byte_size() <= buffer->size())
+      << "view of " << out.byte_size() << " bytes at offset " << offset
+      << " exceeds buffer of " << buffer->size();
+  out.buffer_ = std::move(buffer);
+  out.offset_ = offset;
+  return out;
+}
+
 Tensor Tensor::clone() const {
   DUET_CHECK(defined());
   Tensor out(shape_, dtype_);
-  std::memcpy(out.buffer_->data(), buffer_->data(), byte_size());
+  if (byte_size() > 0) std::memcpy(out.buffer_->data(), raw_data(), byte_size());
   return out;
 }
 
@@ -25,12 +39,13 @@ Tensor Tensor::reshaped(Shape new_shape) const {
   out.shape_ = std::move(new_shape);
   out.dtype_ = dtype_;
   out.buffer_ = buffer_;
+  out.offset_ = offset_;
   return out;
 }
 
 Tensor Tensor::zeros(Shape shape, DType dtype) {
   Tensor t(std::move(shape), dtype);
-  std::memset(t.raw_data(), 0, t.byte_size());
+  if (t.byte_size() > 0) std::memset(t.raw_data(), 0, t.byte_size());
   return t;
 }
 
@@ -60,7 +75,9 @@ Tensor Tensor::arange(int64_t n) {
 Tensor Tensor::from_vector(Shape shape, const std::vector<float>& values) {
   DUET_CHECK_EQ(shape.numel(), static_cast<int64_t>(values.size()));
   Tensor t(std::move(shape), DType::kFloat32);
-  std::memcpy(t.raw_data(), values.data(), values.size() * sizeof(float));
+  if (!values.empty()) {
+    std::memcpy(t.raw_data(), values.data(), values.size() * sizeof(float));
+  }
   return t;
 }
 

@@ -24,6 +24,13 @@ class Tensor {
   // Allocates an uninitialized buffer of shape/dtype.
   explicit Tensor(Shape shape, DType dtype = DType::kFloat32);
 
+  // Aliases `byte_size(shape, dtype)` bytes of an existing buffer at
+  // `offset` — how the executors back boundary tensors with a slot of a
+  // per-device arena (runtime/memory_plan.hpp). Shares ownership: the view
+  // keeps the arena alive.
+  static Tensor view(std::shared_ptr<std::vector<uint8_t>> buffer,
+                     size_t offset, Shape shape, DType dtype);
+
   bool defined() const { return buffer_ != nullptr; }
   const Shape& shape() const { return shape_; }
   DType dtype() const { return dtype_; }
@@ -33,17 +40,19 @@ class Tensor {
   template <typename T>
   T* data() {
     check_access<T>();
-    return reinterpret_cast<T*>(buffer_->data());
+    return reinterpret_cast<T*>(buffer_->data() + offset_);
   }
 
   template <typename T>
   const T* data() const {
     check_access<T>();
-    return reinterpret_cast<const T*>(buffer_->data());
+    return reinterpret_cast<const T*>(buffer_->data() + offset_);
   }
 
-  void* raw_data() { return buffer_ ? buffer_->data() : nullptr; }
-  const void* raw_data() const { return buffer_ ? buffer_->data() : nullptr; }
+  void* raw_data() { return buffer_ ? buffer_->data() + offset_ : nullptr; }
+  const void* raw_data() const {
+    return buffer_ ? buffer_->data() + offset_ : nullptr;
+  }
 
   // Deep copy.
   Tensor clone() const;
@@ -75,6 +84,7 @@ class Tensor {
   Shape shape_;
   DType dtype_ = DType::kFloat32;
   std::shared_ptr<std::vector<uint8_t>> buffer_;
+  size_t offset_ = 0;  // byte offset into buffer_ (nonzero only for views)
 };
 
 }  // namespace duet

@@ -1,0 +1,503 @@
+// Tests for the dataflow analysis suite: happens-before over the plan's
+// trigger edges, per-value liveness intervals, the static memory planner's
+// arena packing (including its soundness under the threaded executor's
+// concurrency), the arena-backed executors, and the race checker against
+// deliberately corrupted plans.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstring>
+
+#include "analysis/liveness.hpp"
+#include "analysis/memory_planner.hpp"
+#include "analysis/race_checker.hpp"
+#include "device/calibration.hpp"
+#include "graph/builder.hpp"
+#include "models/model_zoo.hpp"
+#include "partition/partitioner.hpp"
+#include "runtime/executor.hpp"
+
+namespace duet {
+namespace {
+
+// Same shape as the verifier tests: one sequential cut, a two-branch
+// multi-path phase, one joining cut — the smallest graph whose partition
+// exercises cross-device plans.
+Graph branchy_graph() {
+  GraphBuilder b("branchy");
+  const NodeId x = b.input(Shape{1, 16}, "x");
+  const NodeId d = b.dense(x, 8);
+  const NodeId a = b.relu(b.relu(d));
+  const NodeId s = b.sigmoid(b.sigmoid(d));
+  return b.finish({b.add(a, s)});
+}
+
+struct PlanFixture {
+  Graph graph = branchy_graph();
+  Partition partition;
+  Placement placement;
+  DevicePair devices = make_default_device_pair();
+  ExecutionPlan plan;
+
+  PlanFixture() {
+    partition = partition_phased(graph);
+    placement = Placement(partition.subgraphs.size(), DeviceKind::kCpu);
+    for (const Phase& phase : partition.phases) {
+      if (phase.type == PhaseType::kMultiPath) {
+        placement.set(phase.subgraphs.back(), DeviceKind::kGpu);
+        break;
+      }
+    }
+    plan = ExecutionPlan::build(graph, partition, placement, devices,
+                                CompileOptions::compiler_defaults());
+  }
+
+  PlanView view_with_subgraphs(const std::vector<PlannedSubgraph>& subgraphs) const {
+    return PlanView{plan.parent(), plan.partition(),  plan.placement(),
+                    subgraphs,     plan.consumers(),  plan.transfers(),
+                    plan.step_order()};
+  }
+  PlanView view_with_order(const std::vector<int>& order) const {
+    return PlanView{plan.parent(),    plan.partition(), plan.placement(),
+                    plan.subgraphs(), plan.consumers(), plan.transfers(),
+                    order};
+  }
+  PlanView full_view() const {
+    return PlanView{plan.parent(),    plan.partition(), plan.placement(),
+                    plan.subgraphs(), plan.consumers(), plan.transfers(),
+                    plan.step_order()};
+  }
+};
+
+// Synthetic subgraphs carrying only the trigger edges — all HappensBefore
+// and the planner need.
+std::vector<PlannedSubgraph> subgraphs_with_deps(
+    const std::vector<std::vector<int>>& deps) {
+  std::vector<PlannedSubgraph> subs(deps.size());
+  for (size_t i = 0; i < deps.size(); ++i) {
+    subs[i].id = static_cast<int>(i);
+    subs[i].dep_subgraphs = deps[i];
+  }
+  return subs;
+}
+
+ValueInterval make_interval(NodeId value, DeviceKind device, uint64_t bytes,
+                            int def_subgraph, std::vector<int> uses,
+                            int def_step, int last_use_step,
+                            bool held_to_end = false) {
+  ValueInterval iv;
+  iv.value = value;
+  iv.device = device;
+  iv.bytes = bytes;
+  iv.def_subgraph = def_subgraph;
+  iv.uses = std::move(uses);
+  iv.def_step = def_step;
+  iv.last_use_step = last_use_step;
+  iv.held_to_end = held_to_end;
+  return iv;
+}
+
+// --- happens-before -------------------------------------------------------------
+
+TEST(HappensBeforeTest, ChainsAreTransitiveSiblingsConcurrent) {
+  // Diamond: 0 -> {1, 2} -> 3.
+  const auto subs = subgraphs_with_deps({{}, {0}, {0}, {1, 2}});
+  const HappensBefore hb(subs);
+  EXPECT_TRUE(hb.ordered(0, 1));
+  EXPECT_TRUE(hb.ordered(0, 3));  // transitive
+  EXPECT_TRUE(hb.ordered(2, 3));
+  EXPECT_FALSE(hb.ordered(1, 2));  // siblings race
+  EXPECT_FALSE(hb.ordered(2, 1));
+  EXPECT_FALSE(hb.ordered(1, 1));  // strict, not reflexive
+  EXPECT_FALSE(hb.ordered(3, 0));
+}
+
+TEST(HappensBeforeTest, AccessesPrecedeRequiresEveryPair) {
+  const auto subs = subgraphs_with_deps({{}, {0}, {1}});
+  const HappensBefore hb(subs);
+  EXPECT_TRUE(accesses_precede({0, 1}, {2}, hb));
+  EXPECT_FALSE(accesses_precede({0, 2}, {1}, hb));  // 2 after 1
+  EXPECT_FALSE(accesses_precede({1}, {1}, hb));     // strictness
+}
+
+// --- liveness -------------------------------------------------------------------
+
+TEST(LivenessTest, OutputsAreHeldToEnd) {
+  PlanFixture f;
+  const LivenessInfo live = analyze_liveness(f.plan);
+  const NodeId out = f.graph.outputs()[0];
+  bool found = false;
+  for (const ValueInterval& iv : live.intervals) {
+    if (iv.value != out) continue;
+    found = true;
+    EXPECT_TRUE(iv.held_to_end) << "graph output must stay live to end-of-plan";
+  }
+  EXPECT_TRUE(found);
+  EXPECT_EQ(live.num_steps, f.plan.subgraphs().size());
+}
+
+TEST(LivenessTest, TransferOnlyConsumerCountsAsRemoteUse) {
+  PlanFixture f;
+  // The GPU branch's output is consumed only across the link (by the CPU
+  // join): its home GPU interval must record the remote reader as a use,
+  // and a staged CPU copy must exist, defined by that reader.
+  const LivenessInfo live = analyze_liveness(f.plan);
+  int gpu_producer = -1;
+  NodeId crossing = kInvalidNode;
+  for (const TransferStep& t : f.plan.transfers()) {
+    if (f.plan.subgraph(t.src_subgraph).device == DeviceKind::kGpu) {
+      gpu_producer = t.src_subgraph;
+      crossing = t.parent_node;
+    }
+  }
+  ASSERT_NE(gpu_producer, -1) << "fixture must have a GPU-to-CPU edge";
+
+  const ValueInterval* home = nullptr;
+  const ValueInterval* staged = nullptr;
+  for (const ValueInterval& iv : live.intervals) {
+    if (iv.value != crossing) continue;
+    (iv.device == DeviceKind::kGpu ? home : staged) = &iv;
+  }
+  ASSERT_NE(home, nullptr);
+  ASSERT_NE(staged, nullptr) << "remote consumption must stage a copy";
+  EXPECT_EQ(home->def_subgraph, gpu_producer);
+  ASSERT_FALSE(home->uses.empty()) << "the transfer read must count as a use";
+  EXPECT_GT(home->last_use_step, home->def_step);
+  EXPECT_EQ(staged->def_subgraph, home->uses.front());
+}
+
+TEST(LivenessTest, HostInputStagedOnGpuOnly) {
+  PlanFixture f;
+  // Re-place the input-reading subgraph onto the GPU: the host input then
+  // needs a staged GPU copy (def at plan entry) and still no CPU interval
+  // (CPU reads host memory directly).
+  const NodeId x = f.graph.input_ids()[0];
+  Placement placement(f.partition.subgraphs.size(), DeviceKind::kCpu);
+  for (const PlannedSubgraph& ps : f.plan.subgraphs()) {
+    for (const PlannedSubgraph::Feed& feed : ps.feeds) {
+      if (feed.parent_producer == x) placement.set(ps.id, DeviceKind::kGpu);
+    }
+  }
+  const ExecutionPlan plan = ExecutionPlan::build(
+      f.graph, f.partition, placement, f.devices,
+      CompileOptions::compiler_defaults());
+  const LivenessInfo live = analyze_liveness(plan);
+  bool gpu_staged = false;
+  for (const ValueInterval& iv : live.intervals) {
+    if (iv.value != x) continue;
+    EXPECT_EQ(iv.device, DeviceKind::kGpu) << "host inputs have no CPU interval";
+    EXPECT_EQ(iv.def_subgraph, -1) << "staged at entry, not written by a subgraph";
+    gpu_staged = true;
+  }
+  EXPECT_TRUE(gpu_staged);
+}
+
+TEST(LivenessTest, SingleSubgraphGraph) {
+  GraphBuilder b("single");
+  const NodeId x = b.input(Shape{1, 6}, "x");
+  Graph g = b.finish({b.dense(x, 4)});
+  const Partition part = partition_phased(g);
+  ASSERT_EQ(part.subgraphs.size(), 1u);
+  const DevicePair devices = make_default_device_pair();
+  const ExecutionPlan plan =
+      ExecutionPlan::build(g, part, Placement(1, DeviceKind::kCpu), devices,
+                           CompileOptions::compiler_defaults());
+  const LivenessInfo live = analyze_liveness(plan);
+  ASSERT_EQ(live.intervals.size(), 1u);  // one boundary value, CPU input is free
+  EXPECT_TRUE(live.intervals[0].held_to_end);
+  EXPECT_EQ(live.num_steps, 1u);
+  EXPECT_TRUE(verify_races(plan).ok());
+  ASSERT_NE(plan.memory_plan(), nullptr);
+  EXPECT_LE(plan.memory_plan()->arena_bytes(DeviceKind::kCpu),
+            plan.memory_plan()->naive_bytes(DeviceKind::kCpu));
+}
+
+// --- memory planner -------------------------------------------------------------
+
+TEST(MemoryPlannerTest, UnorderedSameDeviceIntervalsNeverShare) {
+  // Two root subgraphs with no trigger chain: step intervals are disjoint
+  // ([0,0] and [1,1]) but the threaded executor may run them in either
+  // order, so packing by step intervals alone would corrupt one of them.
+  const auto subs = subgraphs_with_deps({{}, {}});
+  const HappensBefore hb(subs);
+  LivenessInfo live;
+  live.num_steps = 2;
+  live.intervals.push_back(
+      make_interval(10, DeviceKind::kCpu, 256, 0, {}, 0, 0));
+  live.intervals.push_back(
+      make_interval(11, DeviceKind::kCpu, 256, 1, {}, 1, 1));
+  const MemoryPlan mp = plan_memory(live, hb);
+  const ArenaSlot* a = mp.find(DeviceKind::kCpu, 10);
+  const ArenaSlot* b = mp.find(DeviceKind::kCpu, 11);
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  EXPECT_TRUE(a->offset + a->bytes <= b->offset ||
+              b->offset + b->bytes <= a->offset)
+      << "concurrent intervals must not overlap";
+}
+
+TEST(MemoryPlannerTest, TriggerOrderedIntervalsShare) {
+  // 0 -> 1 -> 2: value A (def 0, read by 1) is dead before 2 runs, so B
+  // (def 2) reuses its space.
+  const auto subs = subgraphs_with_deps({{}, {0}, {1}});
+  const HappensBefore hb(subs);
+  LivenessInfo live;
+  live.num_steps = 3;
+  live.intervals.push_back(
+      make_interval(20, DeviceKind::kCpu, 256, 0, {1}, 0, 1));
+  live.intervals.push_back(
+      make_interval(21, DeviceKind::kCpu, 128, 2, {}, 2, 2));
+  const MemoryPlan mp = plan_memory(live, hb);
+  const ArenaSlot* b = mp.find(DeviceKind::kCpu, 21);
+  ASSERT_NE(b, nullptr);
+  EXPECT_EQ(b->offset, 0u) << "ordered successor should reuse the dead slot";
+  EXPECT_EQ(mp.arena_bytes(DeviceKind::kCpu), 256u);
+}
+
+TEST(MemoryPlannerTest, HeldToEndSlotIsNeverReused) {
+  // Same chain, but A is a graph output: it must survive to end-of-plan,
+  // so B cannot take its space even though every access is ordered.
+  const auto subs = subgraphs_with_deps({{}, {0}, {1}});
+  const HappensBefore hb(subs);
+  LivenessInfo live;
+  live.num_steps = 3;
+  live.intervals.push_back(make_interval(20, DeviceKind::kCpu, 256, 0, {1}, 0,
+                                         1, /*held_to_end=*/true));
+  live.intervals.push_back(
+      make_interval(21, DeviceKind::kCpu, 128, 2, {}, 2, 2));
+  const MemoryPlan mp = plan_memory(live, hb);
+  const ArenaSlot* a = mp.find(DeviceKind::kCpu, 20);
+  const ArenaSlot* b = mp.find(DeviceKind::kCpu, 21);
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  EXPECT_TRUE(a->offset + a->bytes <= b->offset ||
+              b->offset + b->bytes <= a->offset);
+}
+
+TEST(MemoryPlannerTest, ZeroSizeValuesTakeNoSpace) {
+  const auto subs = subgraphs_with_deps({{}});
+  const HappensBefore hb(subs);
+  LivenessInfo live;
+  live.num_steps = 1;
+  live.intervals.push_back(make_interval(30, DeviceKind::kCpu, 0, 0, {}, 0, 0));
+  live.intervals.push_back(make_interval(31, DeviceKind::kCpu, 64, 0, {}, 0, 0));
+  const MemoryPlan mp = plan_memory(live, hb);
+  const ArenaSlot* z = mp.find(DeviceKind::kCpu, 30);
+  ASSERT_NE(z, nullptr);
+  EXPECT_EQ(z->bytes, 0u);
+  EXPECT_EQ(mp.arena_bytes(DeviceKind::kCpu), 64u);
+}
+
+TEST(MemoryPlannerTest, DuplicateSlotIsRejected) {
+  MemoryPlan mp;
+  ArenaSlot s;
+  s.value = 1;
+  s.device = DeviceKind::kCpu;
+  s.bytes = 4;
+  mp.add_slot(s);
+  EXPECT_THROW(mp.add_slot(s), Error);
+}
+
+TEST(MemoryPlannerTest, ArenaNeverExceedsNaiveAcrossPlacements) {
+  PlanFixture f;
+  for (const int mask : {0, 1, 5, 7, 15}) {
+    Placement placement(f.partition.subgraphs.size(), DeviceKind::kCpu);
+    for (size_t i = 0; i < f.partition.subgraphs.size(); ++i) {
+      if ((mask >> i) & 1) placement.set(static_cast<int>(i), DeviceKind::kGpu);
+    }
+    const ExecutionPlan plan =
+        ExecutionPlan::build(f.graph, f.partition, placement, f.devices,
+                             CompileOptions::compiler_defaults());
+    ASSERT_NE(plan.memory_plan(), nullptr);
+    for (int d = 0; d < kNumDeviceKinds; ++d) {
+      const auto kind = static_cast<DeviceKind>(d);
+      EXPECT_LE(plan.memory_plan()->arena_bytes(kind),
+                plan.memory_plan()->naive_bytes(kind))
+          << "placement mask " << mask << " on " << device_kind_name(kind);
+    }
+    EXPECT_TRUE(verify_races(plan).ok()) << "placement mask " << mask;
+  }
+}
+
+// --- race checker ---------------------------------------------------------------
+
+TEST(RaceCheckerTest, CleanPlanVerifies) {
+  PlanFixture f;
+  const VerifyResult r = verify_races(f.plan);
+  EXPECT_TRUE(r.ok()) << r.to_string();
+}
+
+TEST(RaceCheckerTest, ShuffledStepOrderIsCaught) {
+  PlanFixture f;
+  std::vector<int> order = f.plan.step_order();
+  std::reverse(order.begin(), order.end());
+  const VerifyResult r = verify_races(f.view_with_order(order), nullptr);
+  ASSERT_TRUE(r.has_error("race-step-order")) << r.to_string();
+  bool attributed = false;
+  for (const Diagnostic& d : r.diagnostics()) {
+    if (d.rule == "race-step-order" && d.subgraph >= 0 &&
+        d.node != kInvalidNode) {
+      attributed = true;
+    }
+  }
+  EXPECT_TRUE(attributed) << "diagnostic must name the value and the reader";
+}
+
+TEST(RaceCheckerTest, ClearedDependenciesAreCaught) {
+  PlanFixture f;
+  std::vector<PlannedSubgraph> subgraphs = f.plan.subgraphs();
+  // Strip the join's trigger edges: its reads now race with the writes.
+  int victim = -1;
+  for (PlannedSubgraph& ps : subgraphs) {
+    if (ps.dep_subgraphs.size() >= 2) {
+      victim = ps.id;
+      ps.dep_subgraphs.clear();
+    }
+  }
+  ASSERT_NE(victim, -1);
+  const VerifyResult r = verify_races(f.view_with_subgraphs(subgraphs), nullptr);
+  ASSERT_TRUE(r.has_error("race-read-write")) << r.to_string();
+  bool attributed = false;
+  for (const Diagnostic& d : r.diagnostics()) {
+    if (d.rule == "race-read-write" && d.subgraph == victim) attributed = true;
+  }
+  EXPECT_TRUE(attributed) << "diagnostic must blame the un-synchronized reader";
+  // The cross-device edge into the join lost its ordering too.
+  EXPECT_TRUE(r.has_error("race-transfer-order")) << r.to_string();
+}
+
+TEST(RaceCheckerTest, UnorderedDoubleWriteIsCaught) {
+  PlanFixture f;
+  std::vector<PlannedSubgraph> subgraphs = f.plan.subgraphs();
+  const HappensBefore hb(subgraphs);
+  // Find two concurrent subgraphs (the two branches) and make them both
+  // claim the same produced value.
+  int a = -1;
+  int b = -1;
+  for (size_t i = 0; i < subgraphs.size() && a < 0; ++i) {
+    for (size_t j = i + 1; j < subgraphs.size(); ++j) {
+      const int x = static_cast<int>(i);
+      const int y = static_cast<int>(j);
+      if (!hb.ordered(x, y) && !hb.ordered(y, x)) {
+        a = x;
+        b = y;
+        break;
+      }
+    }
+  }
+  ASSERT_GE(a, 0) << "fixture must have concurrent subgraphs";
+  ASSERT_FALSE(subgraphs[static_cast<size_t>(a)].produces.empty());
+  subgraphs[static_cast<size_t>(b)].produces.push_back(
+      subgraphs[static_cast<size_t>(a)].produces[0]);
+  const VerifyResult r = verify_races(f.view_with_subgraphs(subgraphs), nullptr);
+  EXPECT_TRUE(r.has_error("race-write-write")) << r.to_string();
+}
+
+TEST(RaceCheckerTest, MissingSlotsAreCaught) {
+  PlanFixture f;
+  const MemoryPlan empty;
+  const VerifyResult r = verify_races(f.full_view(), &empty);
+  EXPECT_TRUE(r.has_error("slot-missing")) << r.to_string();
+}
+
+TEST(RaceCheckerTest, MisSizedSlotIsCaught) {
+  PlanFixture f;
+  ASSERT_NE(f.plan.memory_plan(), nullptr);
+  MemoryPlan corrupted;
+  bool shrunk = false;
+  for (ArenaSlot slot : f.plan.memory_plan()->slots()) {
+    if (!shrunk && slot.bytes > 0) {
+      slot.bytes -= 1;
+      shrunk = true;
+    }
+    corrupted.add_slot(std::move(slot));
+  }
+  ASSERT_TRUE(shrunk);
+  const VerifyResult r = verify_races(f.full_view(), &corrupted);
+  EXPECT_TRUE(r.has_error("slot-size")) << r.to_string();
+}
+
+TEST(RaceCheckerTest, OverlappingUnorderedSlotsAreCaught) {
+  PlanFixture f;
+  ASSERT_NE(f.plan.memory_plan(), nullptr);
+  // Collapse every offset to zero: values with concurrent accesses now
+  // overlap, which the alias rule must refuse to certify.
+  MemoryPlan corrupted;
+  for (ArenaSlot slot : f.plan.memory_plan()->slots()) {
+    slot.offset = 0;
+    corrupted.add_slot(std::move(slot));
+  }
+  const VerifyResult r = verify_races(f.full_view(), &corrupted);
+  EXPECT_TRUE(r.has_error("race-slot-alias")) << r.to_string();
+}
+
+// --- arena-backed execution -----------------------------------------------------
+
+TEST(ArenaExecutionTest, ExecutorsAreBitIdenticalFromTheArena) {
+  Graph graph = models::build_wide_deep(models::WideDeepConfig::tiny());
+  DevicePair devices = make_default_device_pair(51);
+  const Partition partition = partition_phased(graph);
+  Placement placement(partition.subgraphs.size(), DeviceKind::kCpu);
+  placement.set(2, DeviceKind::kGpu);
+  placement.set(3, DeviceKind::kGpu);
+  const ExecutionPlan plan =
+      ExecutionPlan::build(graph, partition, placement, devices,
+                           CompileOptions::compiler_defaults());
+  ASSERT_NE(plan.memory_plan(), nullptr);
+
+  Rng rng(12);
+  const auto feeds = models::make_random_feeds(graph, rng);
+  SimExecutor sim(devices);
+  ThreadedExecutor threaded(devices);
+  const ExecutionResult sim_result = sim.run(plan, feeds, false);
+  const ExecutionResult thr_result = threaded.run(plan, feeds);
+  ASSERT_EQ(sim_result.outputs.size(), thr_result.outputs.size());
+  for (size_t i = 0; i < sim_result.outputs.size(); ++i) {
+    const Tensor& a = sim_result.outputs[i];
+    const Tensor& b = thr_result.outputs[i];
+    ASSERT_EQ(a.byte_size(), b.byte_size());
+    EXPECT_EQ(std::memcmp(a.raw_data(), b.raw_data(), a.byte_size()), 0)
+        << "executors must agree bit-for-bit when running from the arena";
+  }
+}
+
+TEST(ArenaExecutionTest, ArenaFreeFallbackMatchesBitForBit) {
+  PlanFixture f;
+  ExecutionPlan stripped = f.plan;
+  stripped.clear_memory_plan();
+  ASSERT_EQ(stripped.memory_plan(), nullptr);
+
+  Rng rng(7);
+  const auto feeds = models::make_random_feeds(f.graph, rng);
+  SimExecutor sim(f.devices);
+  ThreadedExecutor threaded(f.devices);
+  const ExecutionResult arena_result = sim.run(f.plan, feeds, false);
+  const ExecutionResult plain_sim = sim.run(stripped, feeds, false);
+  const ExecutionResult plain_thr = threaded.run(stripped, feeds);
+  ASSERT_EQ(arena_result.outputs.size(), 1u);
+  for (const ExecutionResult* other : {&plain_sim, &plain_thr}) {
+    ASSERT_EQ(other->outputs.size(), 1u);
+    const Tensor& a = arena_result.outputs[0];
+    const Tensor& b = other->outputs[0];
+    ASSERT_EQ(a.byte_size(), b.byte_size());
+    EXPECT_EQ(std::memcmp(a.raw_data(), b.raw_data(), a.byte_size()), 0)
+        << "per-tensor fallback must compute the same bits as the arena path";
+  }
+}
+
+TEST(ArenaExecutionTest, RepeatedArenaRunsStayCorrect) {
+  PlanFixture f;
+  Rng rng(3);
+  const auto feeds = models::make_random_feeds(f.graph, rng);
+  const auto expect = evaluate_graph(f.graph, feeds);
+  ThreadedExecutor threaded(f.devices);
+  for (int run = 0; run < 5; ++run) {
+    const ExecutionResult r = threaded.run(f.plan, feeds);
+    ASSERT_EQ(r.outputs.size(), expect.size());
+    EXPECT_TRUE(Tensor::allclose(r.outputs[0], expect[0], 1e-3f, 1e-4f));
+  }
+}
+
+}  // namespace
+}  // namespace duet

@@ -184,8 +184,51 @@ TEST(SyncQueue, FifoOrder) {
   q.push(3);
   EXPECT_EQ(q.pop(), 1);
   EXPECT_EQ(q.pop(), 2);
-  EXPECT_EQ(q.try_pop(), 3);
-  EXPECT_EQ(q.try_pop(), std::nullopt);
+  int item = 0;
+  EXPECT_EQ(q.try_pop(item), SyncQueue<int>::TryPop::kItem);
+  EXPECT_EQ(item, 3);
+  EXPECT_EQ(q.try_pop(item), SyncQueue<int>::TryPop::kEmpty);
+}
+
+TEST(SyncQueue, TryPopDistinguishesEmptyFromClosed) {
+  SyncQueue<int> q;
+  int item = 0;
+  EXPECT_EQ(q.try_pop(item), SyncQueue<int>::TryPop::kEmpty);
+  q.push(5);
+  q.close();
+  // Closed queues still drain their backlog before reporting kClosed.
+  EXPECT_EQ(q.try_pop(item), SyncQueue<int>::TryPop::kItem);
+  EXPECT_EQ(item, 5);
+  EXPECT_EQ(q.try_pop(item), SyncQueue<int>::TryPop::kClosed);
+  EXPECT_EQ(q.try_pop(item), SyncQueue<int>::TryPop::kClosed);
+}
+
+// Regression: a busy-poll consumer must terminate once the queue is closed
+// and drained. With the old optional<T> try_pop, "empty" and "closed and
+// empty" were indistinguishable in one atomic observation, so this loop
+// could spin forever after close().
+TEST(SyncQueue, BusyPollLoopTerminatesAfterClose) {
+  SyncQueue<int> q;
+  int sum = 0;
+  std::thread poller([&] {
+    for (;;) {
+      int item = 0;
+      switch (q.try_pop(item)) {
+        case SyncQueue<int>::TryPop::kItem:
+          sum += item;
+          break;
+        case SyncQueue<int>::TryPop::kEmpty:
+          std::this_thread::yield();
+          break;
+        case SyncQueue<int>::TryPop::kClosed:
+          return;
+      }
+    }
+  });
+  for (int i = 1; i <= 100; ++i) q.push(i);
+  q.close();
+  poller.join();  // hangs here if close() is not observed by the poller
+  EXPECT_EQ(sum, 5050);
 }
 
 TEST(SyncQueue, CloseDrainsThenNullopt) {

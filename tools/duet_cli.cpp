@@ -7,10 +7,18 @@
 //   duet_cli --model wide-deep --trace out.json --dot out.dot
 //   duet_cli verify wide-deep                  # lint one model end to end
 //   duet_cli verify --all                      # lint the whole model zoo
+//   duet_cli analyze wide-deep                 # liveness + memory + race report
+//   duet_cli analyze --all                     # analyze the whole model zoo
 //
 // `verify` runs the static verification layer (src/analysis) over the full
 // pipeline — raw graph, every compiler pass, partition, placement, plan —
 // and exits nonzero with pass/rule/node diagnostics on any violation.
+//
+// `analyze` runs the dataflow suite over the built plan: per-value liveness
+// intervals, the packed arena layout versus the naive per-tensor footprint,
+// and the happens-before race check. Single-model runs print the full
+// interval and slot tables; exits nonzero when a device's arena exceeds its
+// naive footprint or any race diagnostic fires.
 //
 // Options:
 //   --model <name>       zoo model (wide-deep|siamese|mtdnn|resnet18|...)
@@ -36,8 +44,11 @@
 #include <vector>
 
 #include "analysis/graph_verifier.hpp"
+#include "analysis/liveness.hpp"
 #include "analysis/plan_validator.hpp"
+#include "analysis/race_checker.hpp"
 #include "common/stats.hpp"
+#include "common/string_util.hpp"
 #include "duet/engine.hpp"
 #include "duet/report.hpp"
 #include "graph/dot.hpp"
@@ -53,8 +64,10 @@ namespace {
                "          [--no-fallback] [--nested <N>] [--runs <N>]\n"
                "          [--trace <file>] [--dot <file>] [--breakdown]\n"
                "       %s verify <model> | --all [--relay <file>]\n"
+               "          [--scheduler <name>]\n"
+               "       %s analyze <model> | --all [--relay <file>]\n"
                "          [--scheduler <name>]\n",
-               argv0, argv0);
+               argv0, argv0, argv0);
   std::exit(2);
 }
 
@@ -107,6 +120,61 @@ bool verify_one(const std::string& label, duet::Graph model,
   }
 }
 
+// Runs the dataflow analysis suite over one model's built plan. Returns true
+// when the arena beats (or ties) the naive footprint on every device and the
+// happens-before race check is clean. `detail` additionally prints the full
+// interval and slot tables.
+bool analyze_one(const std::string& label, duet::Graph model,
+                 const duet::DuetOptions& options, bool detail) {
+  using namespace duet;
+  std::printf("analyze %-12s ", label.c_str());
+  std::fflush(stdout);
+  try {
+    ScopedVerification checked(true);
+    DuetEngine engine(std::move(model), options);
+    const ExecutionPlan& plan = engine.plan();
+    const MemoryPlan* memory = plan.memory_plan();
+    if (memory == nullptr) {
+      std::printf("FAIL (plan carries no memory plan)\n");
+      return false;
+    }
+
+    bool ok = true;
+    uint64_t arena_total = 0;
+    uint64_t naive_total = 0;
+    for (int d = 0; d < kNumDeviceKinds; ++d) {
+      const DeviceKind dev = static_cast<DeviceKind>(d);
+      arena_total += memory->arena_bytes(dev);
+      naive_total += memory->naive_bytes(dev);
+      // Acceptance bound: packing must never regress past one-buffer-per-
+      // tensor on any device.
+      if (memory->arena_bytes(dev) > memory->naive_bytes(dev)) ok = false;
+    }
+    const VerifyResult races = verify_races(plan);
+    ok &= races.ok();
+
+    const double reduction =
+        naive_total > 0
+            ? 100.0 * (1.0 - static_cast<double>(arena_total) /
+                                 static_cast<double>(naive_total))
+            : 0.0;
+    std::printf("%s  arena %s vs naive %s (%.1f%% saved) | %zu slots | races: %zu\n",
+                ok ? "OK " : "FAIL", human_bytes(arena_total).c_str(),
+                human_bytes(naive_total).c_str(), reduction,
+                memory->slots().size(), races.error_count());
+    if (!races.ok()) std::printf("%s", races.to_string().c_str());
+    if (detail) {
+      const LivenessInfo live = analyze_liveness(plan);
+      std::printf("%s", live.to_string(plan.parent()).c_str());
+      std::printf("%s", memory->to_string(&plan.parent()).c_str());
+    }
+    return ok;
+  } catch (const VerifyError& e) {
+    std::printf("FAIL\n%s\n", e.what());
+    return false;
+  }
+}
+
 std::string read_file(const std::string& path) {
   std::ifstream in(path);
   if (!in.good()) {
@@ -123,7 +191,9 @@ std::string read_file(const std::string& path) {
 int main(int argc, char** argv) {
   using namespace duet;
 
-  if (argc > 1 && std::strcmp(argv[1], "verify") == 0) {
+  if (argc > 1 && (std::strcmp(argv[1], "verify") == 0 ||
+                   std::strcmp(argv[1], "analyze") == 0)) {
+    const bool analyzing = std::strcmp(argv[1], "analyze") == 0;
     std::vector<std::string> names;
     std::vector<std::string> relay_files;
     DuetOptions options;
@@ -148,14 +218,20 @@ int main(int argc, char** argv) {
       }
     }
     if (names.empty() && relay_files.empty()) usage(argv[0]);
+    // Full interval/slot tables only when analyzing a single model; --all
+    // keeps one summary line per model.
+    const bool detail = names.size() + relay_files.size() == 1;
+    const auto run_one = [&](const std::string& label, Graph model) {
+      return analyzing ? analyze_one(label, std::move(model), options, detail)
+                       : verify_one(label, std::move(model), options);
+    };
     bool all_ok = true;
     try {
       for (const std::string& name : names) {
-        all_ok &= verify_one(name, models::build_by_name(name), options);
+        all_ok &= run_one(name, models::build_by_name(name));
       }
       for (const std::string& file : relay_files) {
-        all_ok &= verify_one(file, relay::to_graph(relay::load_module(file)),
-                             options);
+        all_ok &= run_one(file, relay::to_graph(relay::load_module(file)));
       }
     } catch (const std::exception& e) {
       std::fprintf(stderr, "error: %s\n", e.what());
