@@ -7,9 +7,21 @@
 
 #include "analysis/liveness.hpp"
 #include "graph/shape_inference.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace duet {
 namespace {
+
+// Every race-checker diagnostic (error or warning) feeds the global
+// "analysis.race_findings" counter so `duet_cli stats` surfaces them.
+VerifyResult record_findings(VerifyResult result) {
+  if (telemetry::enabled() && !result.diagnostics().empty()) {
+    telemetry::counter("analysis.race_findings")
+        .add(result.diagnostics().size());
+  }
+  return result;
+}
 
 Diagnostic race(std::string rule, NodeId value, int subgraph,
                 std::string message) {
@@ -113,7 +125,7 @@ VerifyResult verify_races(const PlanView& view, const MemoryPlan* memory) {
     }
   }
 
-  if (memory == nullptr) return result;
+  if (memory == nullptr) return record_findings(std::move(result));
 
   // Slot coverage: the executors route every boundary value through its
   // arena slot, so a missing or mis-sized one is a correctness bug.
@@ -178,7 +190,7 @@ VerifyResult verify_races(const PlanView& view, const MemoryPlan* memory) {
                           "their accesses"));
     }
   }
-  return result;
+  return record_findings(std::move(result));
 }
 
 VerifyResult verify_races(const ExecutionPlan& plan) {

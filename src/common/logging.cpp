@@ -1,20 +1,55 @@
 #include "common/logging.hpp"
 
 #include <atomic>
+#include <cctype>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
+
+#include "telemetry/metrics.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace duet {
 namespace {
 
-std::atomic<int> g_level{static_cast<int>(LogLevel::kWarn)};
+int initial_level() {
+  const char* env = std::getenv("DUET_LOG_LEVEL");
+  const LogLevel fallback = LogLevel::kWarn;
+  if (env == nullptr) return static_cast<int>(fallback);
+  return static_cast<int>(parse_log_level(env, fallback));
+}
+
+std::atomic<int>& level_atom() {
+  static std::atomic<int> g_level{initial_level()};
+  return g_level;
+}
+
 std::mutex g_write_mutex;
 
 }  // namespace
 
-void Logger::set_level(LogLevel level) { g_level.store(static_cast<int>(level)); }
+LogLevel parse_log_level(const std::string& spec, LogLevel fallback) {
+  std::string s;
+  s.reserve(spec.size());
+  for (char c : spec) {
+    s.push_back(static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+  }
+  if (s == "debug") return LogLevel::kDebug;
+  if (s == "info") return LogLevel::kInfo;
+  if (s == "warn" || s == "warning") return LogLevel::kWarn;
+  if (s == "error") return LogLevel::kError;
+  if (s == "off" || s == "none" || s == "silent") return LogLevel::kOff;
+  if (s.size() == 1 && s[0] >= '0' && s[0] <= '4') {
+    return static_cast<LogLevel>(s[0] - '0');
+  }
+  return fallback;
+}
 
-LogLevel Logger::level() { return static_cast<LogLevel>(g_level.load()); }
+void Logger::set_level(LogLevel level) {
+  level_atom().store(static_cast<int>(level));
+}
+
+LogLevel Logger::level() { return static_cast<LogLevel>(level_atom().load()); }
 
 const char* Logger::level_name(LogLevel level) {
   switch (level) {
@@ -33,7 +68,18 @@ const char* Logger::level_name(LogLevel level) {
 }
 
 void Logger::write(LogLevel level, const std::string& message) {
-  if (static_cast<int>(level) < g_level.load()) return;
+  // Telemetry sees every warn/error, even those the print threshold drops —
+  // the counters answer "did anything go wrong", not "what got printed".
+  if (telemetry::enabled()) {
+    if (level == LogLevel::kWarn) {
+      static telemetry::Counter& warnings = telemetry::counter("log.warnings");
+      warnings.add(1);
+    } else if (level == LogLevel::kError) {
+      static telemetry::Counter& errors = telemetry::counter("log.errors");
+      errors.add(1);
+    }
+  }
+  if (static_cast<int>(level) < level_atom().load()) return;
   using Clock = std::chrono::steady_clock;
   static const Clock::time_point start = Clock::now();
   const double t =

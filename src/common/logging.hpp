@@ -17,10 +17,18 @@ class Logger {
   static LogLevel level();
 
   // Emits one formatted line (timestamped, tagged) if `level` is enabled.
+  // Warn/error messages also feed the telemetry counters "log.warnings" /
+  // "log.errors" (when telemetry is on), regardless of the print threshold.
   static void write(LogLevel level, const std::string& message);
 
   static const char* level_name(LogLevel level);
 };
+
+// Parses a DUET_LOG_LEVEL-style spec: a name ("debug", "info", "warn",
+// "error", "off", case-insensitive) or a numeric level 0-4. Returns
+// `fallback` for anything unrecognized. The process default comes from the
+// DUET_LOG_LEVEL environment variable, read once at first logger use.
+LogLevel parse_log_level(const std::string& spec, LogLevel fallback);
 
 namespace detail {
 

@@ -5,6 +5,8 @@
 #include "common/logging.hpp"
 #include "compiler/pass.hpp"
 #include "compiler/rewrite.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace duet {
 
@@ -63,9 +65,17 @@ Graph PassManager::run(Graph graph) const {
     r.attribute("<input>");
     r.throw_if_failed("graph handed to the pass pipeline is malformed");
   }
+  static telemetry::Counter& pass_runs = telemetry::counter("compiler.pass_runs");
   for (const NamedPass& p : passes_) {
     const size_t before = graph.num_nodes();
-    graph = p.run(graph);
+    {
+      // Pass-attributed span: where compile time actually goes, per rewrite.
+      telemetry::ScopedSpan span(
+          telemetry::enabled() ? "pass:" + p.name : std::string(), "compiler",
+          telemetry::enabled() ? graph.name() : std::string());
+      graph = p.run(graph);
+      pass_runs.add(1);
+    }
     if (checked) {
       VerifyResult r = verify_graph(graph);
       r.attribute("pass " + p.name);

@@ -9,6 +9,8 @@
 #include "common/string_util.hpp"
 #include "device/interconnect.hpp"
 #include "duet/baseline.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace duet {
 
@@ -40,8 +42,18 @@ DuetEngine::DuetEngine(Graph model, DuetOptions options)
   // the plan will run: one compile configuration end to end.
   options_.profile.compile = options_.compile;
 
+  // Engine-level pipeline spans: one per DUET step, nesting the finer spans
+  // emitted inside the partitioner/profiler/scheduler/plan themselves.
+  const bool telemetry_on = telemetry::enabled();
+  telemetry::ScopedSpan pipeline_span(
+      telemetry_on ? "duet-pipeline" : std::string(), "engine", model_.name());
+
   // (1) Coarse-grained phased partitioning.
-  partition_ = partition_phased(model_, options_.partition);
+  {
+    telemetry::ScopedSpan span(telemetry_on ? "partition" : std::string(),
+                               "engine", model_.name());
+    partition_ = partition_phased(model_, options_.partition);
+  }
   if (verification_enabled()) {
     verify_partition(model_, partition_)
         .throw_if_failed("partitioner produced an invalid partition of \"" +
@@ -49,8 +61,13 @@ DuetEngine::DuetEngine(Graph model, DuetOptions options)
   }
 
   // (2) Compiler-aware profiling of every subgraph on both devices.
-  Profiler profiler(devices_);
-  report_.profiles = profiler.profile_partition(partition_, model_, options_.profile);
+  {
+    telemetry::ScopedSpan span(telemetry_on ? "profile" : std::string(),
+                               "engine", model_.name());
+    Profiler profiler(devices_);
+    report_.profiles =
+        profiler.profile_partition(partition_, model_, options_.profile);
+  }
 
   // (3) Subgraph scheduling.
   LatencyEvaluator evaluator(partition_, model_, report_.profiles,
@@ -61,12 +78,18 @@ DuetEngine::DuetEngine(Graph model, DuetOptions options)
   ctx.profiles = &report_.profiles;
   ctx.evaluator = &evaluator;
   ctx.rng = &sched_rng;
-  std::unique_ptr<Scheduler> scheduler = make_scheduler(options_.scheduler);
-  report_.schedule = scheduler->schedule(ctx);
+  {
+    telemetry::ScopedSpan span(telemetry_on ? "schedule" : std::string(),
+                               "engine", model_.name());
+    std::unique_ptr<Scheduler> scheduler = make_scheduler(options_.scheduler);
+    report_.schedule = scheduler->schedule(ctx);
+  }
   report_.est_hetero_s = report_.schedule.est_latency_s;
 
   // (4) Fallback decision against the single-device baselines.
   {
+    telemetry::ScopedSpan span(telemetry_on ? "baseline-estimate" : std::string(),
+                               "engine", model_.name());
     Baseline cpu(model_, BaselineKind::kTvmCpu, devices_);
     Baseline gpu(model_, BaselineKind::kTvmGpu, devices_);
     report_.est_single_cpu_s = cpu.latency(false);
@@ -80,6 +103,7 @@ DuetEngine::DuetEngine(Graph model, DuetOptions options)
   if (options_.enable_fallback &&
       report_.est_hetero_s >= best_single * (1.0 - options_.fallback_margin)) {
     report_.fell_back = true;
+    telemetry::counter("engine.fallbacks").add(1);
     report_.schedule.placement =
         Placement(partition_.subgraphs.size(), report_.fallback_device);
     report_.schedule.est_latency_s = best_single;

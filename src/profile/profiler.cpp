@@ -3,11 +3,16 @@
 #include "common/error.hpp"
 #include "device/calibration.hpp"
 #include "device/interconnect.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace duet {
 
 DeviceProfile Profiler::profile_graph(const Graph& graph, DeviceKind kind,
                                       const ProfileOptions& options) const {
+  telemetry::ScopedSpan span(
+      telemetry::enabled() ? "profile:" + graph.name() : std::string(),
+      "profile", device_kind_name(kind));
   Device& dev = devices_.device(kind);
   DeviceProfile prof;
   prof.compiled = compile_for_device(graph, kind, options.compile, dev.params());
@@ -18,12 +23,17 @@ DeviceProfile Profiler::profile_graph(const Graph& graph, DeviceKind kind,
   }
   prof.stats = recorder.summarize();
   prof.mean_s = prof.stats.mean;
+  static telemetry::Counter& runs = telemetry::counter("profile.runs");
+  static telemetry::Counter& graphs = telemetry::counter("profile.graphs");
+  runs.add(static_cast<uint64_t>(options.runs));
+  graphs.add(1);
   return prof;
 }
 
 std::vector<SubgraphProfile> Profiler::profile_partition(
     const Partition& partition, const Graph& parent,
     const ProfileOptions& options) const {
+  telemetry::ScopedSpan span("profile-partition", "profile", parent.name());
   std::vector<SubgraphProfile> out;
   out.reserve(partition.subgraphs.size());
   for (const Subgraph& sub : partition.subgraphs) {

@@ -7,6 +7,8 @@
 #include "analysis/memory_planner.hpp"
 #include "common/error.hpp"
 #include "graph/shape_inference.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace duet {
 
@@ -37,6 +39,7 @@ ExecutionPlan ExecutionPlan::build(const Graph& parent, Partition partition,
                                    Placement placement, const DevicePair& devices,
                                    const CompileOptions& options) {
   DUET_CHECK_EQ(placement.size(), partition.subgraphs.size());
+  telemetry::ScopedSpan span("plan-build", "plan", parent.name());
   ExecutionPlan plan;
   plan.parent_ = parent;
   plan.partition_ = std::move(partition);
@@ -125,6 +128,16 @@ ExecutionPlan ExecutionPlan::build(const Graph& parent, Partition partition,
   // offset, so the executors allocate one arena per device instead of
   // per-tensor buffers.
   plan.memory_plan_ = plan_memory(plan);
+  if (telemetry::enabled()) {
+    telemetry::counter("plan.builds").add(1);
+    telemetry::counter("plan.transfers").add(plan.transfers_.size());
+    telemetry::gauge("plan.arena_cpu_peak_bytes")
+        .record_max(
+            static_cast<double>(plan.memory_plan_->arena_bytes(DeviceKind::kCpu)));
+    telemetry::gauge("plan.arena_gpu_peak_bytes")
+        .record_max(
+            static_cast<double>(plan.memory_plan_->arena_bytes(DeviceKind::kGpu)));
+  }
   return plan;
 }
 

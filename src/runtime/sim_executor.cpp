@@ -6,8 +6,29 @@
 #include "device/interconnect.hpp"
 #include "runtime/arena.hpp"
 #include "runtime/executor.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace duet {
+namespace {
+
+// Cached registry handles: with telemetry disabled each record costs one
+// relaxed atomic load, keeping the 5000-run latency path unperturbed.
+struct SimMetrics {
+  telemetry::Counter& launches = telemetry::counter("executor.sim.launches");
+  telemetry::Counter& transfer_bytes =
+      telemetry::counter("executor.sim.transfer_bytes");
+  telemetry::Counter& transfers = telemetry::counter("executor.sim.transfers");
+  telemetry::Histogram& subgraph_us =
+      telemetry::histogram("executor.sim.subgraph_us");
+
+  static SimMetrics& get() {
+    static SimMetrics m;
+    return m;
+  }
+};
+
+}  // namespace
 
 template <bool kNumeric>
 ExecutionResult SimExecutor::run_impl(const ExecutionPlan& plan,
@@ -56,6 +77,8 @@ ExecutionResult SimExecutor::run_impl(const ExecutionPlan& plan,
     }
     if (host_bytes > 0) {
       const double dt = devices_.link->transfer_time(host_bytes, with_noise);
+      SimMetrics::get().transfer_bytes.add(host_bytes);
+      SimMetrics::get().transfers.add(1);
       ready[static_cast<size_t>(ps.id)] = dt;
       if (record_timeline) {
         result.timeline.add({TimelineEvent::Kind::kTransfer, ps.id,
@@ -106,6 +129,8 @@ ExecutionResult SimExecutor::run_impl(const ExecutionPlan& plan,
     }
     // Queue pop + worker wake + dependency triggering (paper §IV-D).
     exec_time += executor_dispatch_overhead();
+    SimMetrics::get().launches.add(1);
+    SimMetrics::get().subgraph_us.observe(exec_time * 1e6);
 
     const double end = best_start + exec_time;
     finish[i] = end;
@@ -133,6 +158,8 @@ ExecutionResult SimExecutor::run_impl(const ExecutionPlan& plan,
           }
         }
         const double dt = devices_.link->transfer_time(bytes, with_noise);
+        SimMetrics::get().transfer_bytes.add(bytes);
+        SimMetrics::get().transfers.add(1);
         avail += dt;
         if (record_timeline) {
           result.timeline.add({TimelineEvent::Kind::kTransfer, ps.id, cs.device,
@@ -160,6 +187,8 @@ ExecutionResult SimExecutor::run_impl(const ExecutionPlan& plan,
       const uint64_t bytes =
           static_cast<uint64_t>(node.out_shape.numel()) * dtype_size(node.out_dtype);
       const double dt = devices_.link->transfer_time(bytes, with_noise);
+      SimMetrics::get().transfer_bytes.add(bytes);
+      SimMetrics::get().transfers.add(1);
       if (record_timeline) {
         result.timeline.add({TimelineEvent::Kind::kTransfer, owner,
                              DeviceKind::kCpu, "d2h-output", t, t + dt});
@@ -188,6 +217,9 @@ ExecutionResult SimExecutor::run_impl(const ExecutionPlan& plan,
 ExecutionResult SimExecutor::run(const ExecutionPlan& plan,
                                  const std::map<NodeId, Tensor>& feeds,
                                  bool with_noise) {
+  // Wall-clock span for the whole numeric run; the per-subgraph virtual-time
+  // spans land in the result's Timeline.
+  telemetry::ScopedSpan span("sim-exec", "exec", plan.parent().name());
   return run_impl<true>(plan, feeds, with_noise, /*record_timeline=*/true);
 }
 

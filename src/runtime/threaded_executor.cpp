@@ -9,6 +9,7 @@
 #include <atomic>
 #include <exception>
 #include <mutex>
+#include <optional>
 #include <thread>
 
 #include "common/error.hpp"
@@ -17,8 +18,33 @@
 #include "runtime/arena.hpp"
 #include "runtime/executor.hpp"
 #include "runtime/queue.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace duet {
+namespace {
+
+struct ThreadedMetrics {
+  telemetry::Histogram& queue_wait_us =
+      telemetry::histogram("executor.threaded.queue_wait_us");
+  telemetry::Counter& queue_pops =
+      telemetry::counter("executor.threaded.queue_pops");
+  telemetry::Counter& launches =
+      telemetry::counter("executor.threaded.launches");
+  telemetry::Counter& transfer_bytes =
+      telemetry::counter("executor.threaded.transfer_bytes");
+  telemetry::Counter& transfers =
+      telemetry::counter("executor.threaded.transfers");
+  telemetry::Histogram& subgraph_us =
+      telemetry::histogram("executor.threaded.subgraph_us");
+
+  static ThreadedMetrics& get() {
+    static ThreadedMetrics m;
+    return m;
+  }
+};
+
+}  // namespace
 
 ExecutionResult ThreadedExecutor::run(const ExecutionPlan& plan,
                                       const std::map<NodeId, Tensor>& feeds) {
@@ -53,8 +79,21 @@ ExecutionResult ThreadedExecutor::run(const ExecutionPlan& plan,
 
   const auto worker = [&](DeviceKind kind) {
     Device& dev = devices_.device(kind);
+    telemetry::ScopedSpan worker_span(
+        telemetry::enabled() ? std::string("worker:") + device_kind_name(kind)
+                             : std::string(),
+        "exec");
     for (;;) {
+      // Time spent blocked on the synchronization queue — the executor's
+      // idle/starvation signal (paper §IV-D busy-poll analogue).
+      const bool telemetry_on = telemetry::enabled();
+      const double wait_start = telemetry_on ? telemetry::now_us() : 0.0;
       std::optional<int> next = queues[static_cast<int>(kind)].pop();
+      if (telemetry_on) {
+        ThreadedMetrics::get().queue_wait_us.observe(telemetry::now_us() -
+                                                     wait_start);
+        ThreadedMetrics::get().queue_pops.add(1);
+      }
       if (!next.has_value()) return;  // closed and drained
       const PlannedSubgraph& ps = plan.subgraph(*next);
       try {
@@ -65,6 +104,21 @@ ExecutionResult ThreadedExecutor::run(const ExecutionPlan& plan,
             auto it = values.find(f.parent_producer);
             DUET_CHECK(it != values.end())
                 << "missing dependency value for subgraph " << ps.id;
+            const Node& p = plan.parent().node(f.parent_producer);
+            // A feed whose producer ran on the other device (or a host input
+            // consumed on the GPU) crosses the link when staged.
+            const int producer =
+                plan.partition().producer_subgraph(f.parent_producer);
+            const bool crossed =
+                producer >= 0 ? plan.subgraph(producer).device != kind
+                              : p.is_input() && kind == DeviceKind::kGpu;
+            std::optional<telemetry::ScopedSpan> xfer_span;
+            if (telemetry_on && crossed) {
+              xfer_span.emplace("xfer:" + p.name, "transfer",
+                                device_kind_name(kind));
+              ThreadedMetrics::get().transfers.add(1);
+              ThreadedMetrics::get().transfer_bytes.add(it->second.byte_size());
+            }
             // Cross-device feed: "DMA" the payload like the interconnect
             // would — into the consumer device's arena slot when planned,
             // else a deep copy (arena-free fallback).
@@ -72,16 +126,25 @@ ExecutionResult ThreadedExecutor::run(const ExecutionPlan& plan,
               sub_feeds[f.input_node] =
                   arenas.stage(kind, f.parent_producer, it->second);
             } else {
-              const Node& p = plan.parent().node(f.parent_producer);
-              const bool crossed = p.is_input() && kind == DeviceKind::kGpu;
               sub_feeds[f.input_node] =
-                  crossed ? it->second.clone() : it->second;
+                  crossed && p.is_input() ? it->second.clone() : it->second;
             }
           }
+        }
+        std::optional<telemetry::ScopedSpan> exec_span;
+        if (telemetry_on) {
+          exec_span.emplace(
+              plan.partition().subgraphs[static_cast<size_t>(ps.id)].label,
+              "exec", device_kind_name(kind));
         }
         const double t0 = timer.elapsed();
         Device::RunResult rr = dev.execute(ps.compiled, sub_feeds, false);
         const double t1 = timer.elapsed();
+        exec_span.reset();
+        if (telemetry_on) {
+          ThreadedMetrics::get().launches.add(1);
+          ThreadedMetrics::get().subgraph_us.observe((t1 - t0) * 1e6);
+        }
         {
           std::lock_guard<std::mutex> lock(state_mutex);
           for (size_t o = 0; o < ps.produces.size(); ++o) {

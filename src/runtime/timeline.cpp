@@ -5,6 +5,8 @@
 #include <sstream>
 
 #include "common/string_util.hpp"
+#include "telemetry/chrome_trace.hpp"
+#include "telemetry/trace_export.hpp"
 
 namespace duet {
 
@@ -65,23 +67,12 @@ std::string Timeline::render_ascii(int width) const {
 }
 
 std::string Timeline::to_chrome_trace() const {
-  std::ostringstream os;
-  os << "{\"traceEvents\":[";
-  bool first = true;
-  for (const TimelineEvent& e : events_) {
-    if (!first) os << ",";
-    first = false;
-    const bool exec = e.kind == TimelineEvent::Kind::kExec;
-    // pids: 0 = CPU, 1 = GPU, 2 = PCIe link.
-    const int pid = exec ? static_cast<int>(e.device) : 2;
-    os << "{\"name\":\"" << (e.label.empty() ? "span" : e.label)
-       << "\",\"cat\":\"" << (exec ? "exec" : "transfer")
-       << "\",\"ph\":\"X\",\"pid\":" << pid << ",\"tid\":0"
-       << ",\"ts\":" << e.start * 1e6 << ",\"dur\":" << e.duration() * 1e6
-       << ",\"args\":{\"subgraph\":" << e.subgraph << "}}";
-  }
-  os << "],\"displayTimeUnit\":\"ms\"}";
-  return os.str();
+  // One shared emission path for all trace-event JSON (telemetry's writer
+  // escapes labels; the historical pid layout is preserved).
+  telemetry::ChromeTraceWriter writer;
+  telemetry::detail::set_virtual_process_names(writer);
+  telemetry::detail::append_timeline_events(writer, *this);
+  return writer.to_json();
 }
 
 std::string Timeline::to_csv() const {

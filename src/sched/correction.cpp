@@ -7,6 +7,7 @@
 
 #include "common/error.hpp"
 #include "sched/scheduler.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace duet {
 namespace {
@@ -61,6 +62,14 @@ int correct_placement(const SchedulingContext& ctx, Placement& placement,
   for (const Phase& phase : ctx.partition->phases) {
     if (phase.type != PhaseType::kMultiPath) continue;
     for (;;) {
+      // One span per correction round: how long each refinement sweep of
+      // this phase took and how many rounds ran before convergence.
+      telemetry::ScopedSpan round_span(
+          telemetry::enabled() ? "correction-round:" + std::to_string(rounds)
+                               : std::string(),
+          "sched",
+          telemetry::enabled() ? "phase " + std::to_string(phase.index)
+                               : std::string());
       const double gain = best_phase_move(ctx, phase, placement, latency);
       ++rounds;
       if (gain <= 0.0) break;

@@ -7,6 +7,7 @@
 #include "common/error.hpp"
 #include "device/calibration.hpp"
 #include "graph/shape_inference.hpp"
+#include "telemetry/metrics.hpp"
 
 namespace duet {
 
@@ -69,6 +70,10 @@ uint64_t LatencyEvaluator::host_input_bytes(int to) const {
 double LatencyEvaluator::evaluate(const Placement& placement,
                                   std::vector<ScheduleEvent>* events) const {
   ++evaluations_;
+  // Global candidate-evaluation count across every scheduler instance (the
+  // per-instance evaluations_ feeds the scheduling-cost ablation).
+  static telemetry::Counter& evals = telemetry::counter("sched.evaluations");
+  evals.add(1);
   const size_t n = partition_.subgraphs.size();
   DUET_CHECK_EQ(placement.size(), n);
 

@@ -1,9 +1,44 @@
+#include <algorithm>
+
 #include "common/error.hpp"
 #include "sched/scheduler.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace duet {
+namespace {
 
-std::unique_ptr<Scheduler> make_scheduler(const std::string& name) {
+// Every scheduler handed out by the factory reports through telemetry: one
+// span per schedule() call (named after the algorithm) plus global counters
+// for candidate evaluations, correction rounds, and runs. The wrapper keeps
+// name() transparent so callers and reports see the inner algorithm.
+class InstrumentedScheduler : public Scheduler {
+ public:
+  explicit InstrumentedScheduler(std::unique_ptr<Scheduler> inner)
+      : inner_(std::move(inner)) {}
+
+  std::string name() const override { return inner_->name(); }
+
+  ScheduleResult schedule(const SchedulingContext& ctx) override {
+    telemetry::ScopedSpan span(
+        telemetry::enabled() ? "schedule:" + inner_->name() : std::string(),
+        "sched");
+    ScheduleResult result = inner_->schedule(ctx);
+    if (telemetry::enabled()) {
+      telemetry::counter("sched.runs").add(1);
+      telemetry::counter("sched.candidate_evaluations")
+          .add(static_cast<uint64_t>(std::max<int64_t>(0, result.evaluations)));
+      telemetry::counter("sched.correction_rounds")
+          .add(static_cast<uint64_t>(std::max(0, result.correction_rounds)));
+    }
+    return result;
+  }
+
+ private:
+  std::unique_ptr<Scheduler> inner_;
+};
+
+std::unique_ptr<Scheduler> make_inner(const std::string& name) {
   if (name == "random") return std::make_unique<RandomScheduler>();
   if (name == "round-robin") return std::make_unique<RoundRobinScheduler>();
   if (name == "random+correction") {
@@ -25,6 +60,12 @@ std::unique_ptr<Scheduler> make_scheduler(const std::string& name) {
     return std::make_unique<SingleDeviceScheduler>(DeviceKind::kGpu);
   }
   DUET_THROW("unknown scheduler: " << name);
+}
+
+}  // namespace
+
+std::unique_ptr<Scheduler> make_scheduler(const std::string& name) {
+  return std::make_unique<InstrumentedScheduler>(make_inner(name));
 }
 
 }  // namespace duet

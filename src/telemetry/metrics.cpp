@@ -1,0 +1,299 @@
+#include "telemetry/metrics.hpp"
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <sstream>
+#include <stdexcept>
+
+#include "telemetry/chrome_trace.hpp"
+
+namespace duet::telemetry {
+namespace {
+
+// CAS-loop fetch_add / fetch_max for pre-C++20-style atomic doubles.
+void atomic_add(std::atomic<double>& target, double v) {
+  double cur = target.load(std::memory_order_relaxed);
+  while (!target.compare_exchange_weak(cur, cur + v, std::memory_order_relaxed)) {
+  }
+}
+
+void atomic_max(std::atomic<double>& target, double v) {
+  double cur = target.load(std::memory_order_relaxed);
+  while (cur < v &&
+         !target.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+void atomic_min(std::atomic<double>& target, double v) {
+  double cur = target.load(std::memory_order_relaxed);
+  while (cur > v &&
+         !target.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+void Gauge::set(double v) {
+  if (!enabled()) return;
+  value_.store(v, std::memory_order_relaxed);
+}
+
+void Gauge::record_max(double v) {
+  if (!enabled()) return;
+  atomic_max(value_, v);
+}
+
+double Gauge::value() const { return value_.load(std::memory_order_relaxed); }
+
+void Gauge::reset() { value_.store(0.0, std::memory_order_relaxed); }
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(bounds.empty() ? default_time_bounds() : std::move(bounds)),
+      buckets_(bounds_.size() + 1) {
+  for (size_t i = 1; i < bounds_.size(); ++i) {
+    if (bounds_[i] <= bounds_[i - 1]) {
+      throw std::runtime_error("histogram bounds must be strictly ascending");
+    }
+  }
+}
+
+void Histogram::observe(double v) {
+  if (!enabled()) return;
+  const size_t bucket =
+      static_cast<size_t>(std::lower_bound(bounds_.begin(), bounds_.end(), v) -
+                          bounds_.begin());
+  buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+  const uint64_t before = count_.fetch_add(1, std::memory_order_relaxed);
+  atomic_add(sum_, v);
+  if (before == 0) {
+    // First observation seeds min/max; races with concurrent observers are
+    // resolved by the CAS loops below.
+    min_.store(v, std::memory_order_relaxed);
+    max_.store(v, std::memory_order_relaxed);
+  }
+  atomic_min(min_, v);
+  atomic_max(max_, v);
+}
+
+double Histogram::sum() const { return sum_.load(std::memory_order_relaxed); }
+double Histogram::observed_min() const {
+  return count() == 0 ? 0.0 : min_.load(std::memory_order_relaxed);
+}
+double Histogram::observed_max() const {
+  return count() == 0 ? 0.0 : max_.load(std::memory_order_relaxed);
+}
+double Histogram::mean() const {
+  const uint64_t n = count();
+  return n == 0 ? 0.0 : sum() / static_cast<double>(n);
+}
+
+double Histogram::percentile(double q) const {
+  const uint64_t n = count();
+  if (n == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double rank = q * static_cast<double>(n);
+  double cumulative = 0.0;
+  for (size_t b = 0; b < buckets_.size(); ++b) {
+    const double in_bucket =
+        static_cast<double>(buckets_[b].load(std::memory_order_relaxed));
+    if (in_bucket == 0.0) continue;
+    if (cumulative + in_bucket >= rank) {
+      // Linear interpolation inside [lo, hi), clamped to the observed range
+      // so the first and last buckets do not over-report.
+      double lo = b == 0 ? observed_min() : bounds_[b - 1];
+      double hi = b < bounds_.size() ? bounds_[b] : observed_max();
+      lo = std::max(lo, observed_min());
+      hi = std::min(hi, observed_max());
+      if (hi <= lo) return lo;
+      const double frac = (rank - cumulative) / in_bucket;
+      return lo + (hi - lo) * frac;
+    }
+    cumulative += in_bucket;
+  }
+  return observed_max();
+}
+
+void Histogram::reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+  min_.store(0.0, std::memory_order_relaxed);
+  max_.store(0.0, std::memory_order_relaxed);
+}
+
+std::vector<double> Histogram::default_time_bounds() {
+  // 1us .. ~100s, four buckets per decade.
+  std::vector<double> bounds;
+  double decade = 1.0;  // microseconds
+  for (int d = 0; d < 8; ++d) {
+    for (double step : {1.0, 1.8, 3.2, 5.6}) bounds.push_back(decade * step);
+    decade *= 10.0;
+  }
+  return bounds;
+}
+
+namespace {
+
+struct RegistryState {
+  mutable std::mutex mutex;
+  std::map<std::string, std::unique_ptr<Counter>> counters;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms;
+};
+
+RegistryState& state() {
+  static RegistryState* s = new RegistryState();  // leaked: see telemetry.cpp
+  return *s;
+}
+
+HistogramStats summarize(const Histogram& h) {
+  HistogramStats s;
+  s.count = h.count();
+  s.sum = h.sum();
+  s.min = h.observed_min();
+  s.max = h.observed_max();
+  s.mean = h.mean();
+  s.p50 = h.percentile(0.50);
+  s.p95 = h.percentile(0.95);
+  s.p99 = h.percentile(0.99);
+  return s;
+}
+
+void check_unique(const RegistryState& s, const std::string& name,
+                  const char* kind) {
+  const bool clash =
+      (s.counters.count(name) != 0 && std::string(kind) != "counter") ||
+      (s.gauges.count(name) != 0 && std::string(kind) != "gauge") ||
+      (s.histograms.count(name) != 0 && std::string(kind) != "histogram");
+  if (clash) {
+    throw std::runtime_error("metric \"" + name +
+                             "\" already registered as a different kind");
+  }
+}
+
+}  // namespace
+
+MetricsRegistry& MetricsRegistry::instance() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  RegistryState& s = state();
+  std::lock_guard<std::mutex> lock(s.mutex);
+  check_unique(s, name, "counter");
+  auto& slot = s.counters[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  RegistryState& s = state();
+  std::lock_guard<std::mutex> lock(s.mutex);
+  check_unique(s, name, "gauge");
+  auto& slot = s.gauges[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name,
+                                      std::vector<double> bounds) {
+  RegistryState& s = state();
+  std::lock_guard<std::mutex> lock(s.mutex);
+  check_unique(s, name, "histogram");
+  auto it = s.histograms.find(name);
+  if (it == s.histograms.end()) {
+    // Construct before inserting: a throwing constructor (bad bounds) must
+    // not leave a null entry behind for reset()/to_json() to trip over.
+    auto made = std::make_unique<Histogram>(std::move(bounds));
+    it = s.histograms.emplace(name, std::move(made)).first;
+  }
+  return *it->second;
+}
+
+void MetricsRegistry::reset() {
+  RegistryState& s = state();
+  std::lock_guard<std::mutex> lock(s.mutex);
+  for (auto& [name, c] : s.counters) c->reset();
+  for (auto& [name, g] : s.gauges) g->reset();
+  for (auto& [name, h] : s.histograms) h->reset();
+}
+
+std::vector<std::pair<std::string, uint64_t>> MetricsRegistry::counters() const {
+  RegistryState& s = state();
+  std::lock_guard<std::mutex> lock(s.mutex);
+  std::vector<std::pair<std::string, uint64_t>> out;
+  out.reserve(s.counters.size());
+  for (const auto& [name, c] : s.counters) out.emplace_back(name, c->value());
+  return out;
+}
+
+std::vector<std::pair<std::string, double>> MetricsRegistry::gauges() const {
+  RegistryState& s = state();
+  std::lock_guard<std::mutex> lock(s.mutex);
+  std::vector<std::pair<std::string, double>> out;
+  out.reserve(s.gauges.size());
+  for (const auto& [name, g] : s.gauges) out.emplace_back(name, g->value());
+  return out;
+}
+
+std::vector<std::pair<std::string, HistogramStats>> MetricsRegistry::histograms()
+    const {
+  RegistryState& s = state();
+  std::lock_guard<std::mutex> lock(s.mutex);
+  std::vector<std::pair<std::string, HistogramStats>> out;
+  out.reserve(s.histograms.size());
+  for (const auto& [name, h] : s.histograms) {
+    out.emplace_back(name, summarize(*h));
+  }
+  return out;
+}
+
+std::string MetricsRegistry::to_json() const {
+  std::ostringstream os;
+  os << "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, value] : counters()) {
+    if (!first) os << ",";
+    first = false;
+    os << "\"" << json_escape(name) << "\":" << value;
+  }
+  os << "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, value] : gauges()) {
+    if (!first) os << ",";
+    first = false;
+    os << "\"" << json_escape(name) << "\":" << json_number(value);
+  }
+  os << "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : histograms()) {
+    if (!first) os << ",";
+    first = false;
+    os << "\"" << json_escape(name) << "\":{\"count\":" << h.count
+       << ",\"sum\":" << json_number(h.sum) << ",\"min\":" << json_number(h.min)
+       << ",\"max\":" << json_number(h.max)
+       << ",\"mean\":" << json_number(h.mean)
+       << ",\"p50\":" << json_number(h.p50)
+       << ",\"p95\":" << json_number(h.p95)
+       << ",\"p99\":" << json_number(h.p99) << "}";
+  }
+  os << "}}";
+  return os.str();
+}
+
+Counter& counter(const std::string& name) {
+  return MetricsRegistry::instance().counter(name);
+}
+
+Gauge& gauge(const std::string& name) {
+  return MetricsRegistry::instance().gauge(name);
+}
+
+Histogram& histogram(const std::string& name, std::vector<double> bounds) {
+  return MetricsRegistry::instance().histogram(name, std::move(bounds));
+}
+
+}  // namespace duet::telemetry

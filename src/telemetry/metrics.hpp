@@ -1,0 +1,127 @@
+#pragma once
+
+// Metrics registry — the second pillar of the observability layer: named
+// counters, gauges, and fixed-bucket histograms, all safe for concurrent
+// recording. Like the span tracer, every record path is guarded by the
+// single relaxed `telemetry::enabled()` check so disabled-mode overhead is
+// one atomic load.
+//
+// Metrics are registered on first use and live for the process; `reset()`
+// zeroes values but never invalidates references, so call sites may cache
+//   static telemetry::Counter& c = telemetry::counter("executor.launches");
+// Hot paths should additionally pre-check `enabled()` to skip the registry
+// lookup entirely.
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "telemetry/telemetry.hpp"
+
+namespace duet::telemetry {
+
+// Monotonic event count (kernel launches, transfer bytes, fallbacks, ...).
+class Counter {
+ public:
+  void add(uint64_t n = 1) {
+    if (!enabled()) return;
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+// Last-write or high-watermark value (arena peaks, plan sizes, ...).
+class Gauge {
+ public:
+  void set(double v);
+  // Keeps the maximum of all observations since the last reset.
+  void record_max(double v);
+  double value() const;
+  void reset();
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+// Fixed-bucket histogram with atomic bucket counts. Percentiles are linearly
+// interpolated within the containing bucket (and clamped to the observed
+// min/max), which is exact enough for p50/p95/p99 reporting at our scale.
+class Histogram {
+ public:
+  // `bounds` are ascending bucket upper limits; an overflow bucket catches
+  // everything above the last bound. Empty bounds = default_time_bounds().
+  explicit Histogram(std::vector<double> bounds);
+
+  void observe(double v);
+
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double sum() const;
+  double observed_min() const;
+  double observed_max() const;
+  double mean() const;
+  // q in [0, 1]; 0 with no observations.
+  double percentile(double q) const;
+
+  const std::vector<double>& bounds() const { return bounds_; }
+  void reset();
+
+  // Log-spaced bounds from 1us to ~100s — the default for duration metrics
+  // recorded in microseconds.
+  static std::vector<double> default_time_bounds();
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<std::atomic<uint64_t>> buckets_;  // bounds_.size() + 1
+  std::atomic<uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+  std::atomic<double> min_{0.0};
+  std::atomic<double> max_{0.0};
+};
+
+// Point-in-time histogram summary for reports.
+struct HistogramStats {
+  uint64_t count = 0;
+  double sum = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+};
+
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& instance();
+
+  // Register-on-first-use. Returned references are valid for the process
+  // lifetime. Requesting an existing name with a different metric kind
+  // throws duet-style std::runtime_error.
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  Histogram& histogram(const std::string& name,
+                       std::vector<double> bounds = {});
+
+  // Zeroes every metric value; registrations (and references) survive.
+  void reset();
+
+  // Sorted name -> value views for reports.
+  std::vector<std::pair<std::string, uint64_t>> counters() const;
+  std::vector<std::pair<std::string, double>> gauges() const;
+  std::vector<std::pair<std::string, HistogramStats>> histograms() const;
+
+  // One JSON object: {"counters":{...},"gauges":{...},"histograms":{...}}.
+  std::string to_json() const;
+};
+
+// Convenience accessors onto the global registry.
+Counter& counter(const std::string& name);
+Gauge& gauge(const std::string& name);
+Histogram& histogram(const std::string& name, std::vector<double> bounds = {});
+
+}  // namespace duet::telemetry

@@ -1,0 +1,133 @@
+#include "telemetry/telemetry.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <memory>
+#include <mutex>
+
+namespace duet::telemetry {
+namespace {
+
+std::atomic<bool> g_enabled{false};
+
+using Clock = std::chrono::steady_clock;
+
+Clock::time_point process_start() {
+  static const Clock::time_point start = Clock::now();
+  return start;
+}
+
+// Per-thread span buffer. Registered globally so the collector can drain
+// buffers of threads that have since exited; the shared_ptr keeps a buffer
+// alive past its thread. The buffer's mutex is only contended while a drain
+// is in flight, so the record path is an uncontended lock + push_back.
+struct ThreadBuffer {
+  std::mutex mutex;
+  std::vector<Span> spans;
+};
+
+struct Registry {
+  std::mutex mutex;
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+  std::atomic<uint32_t> next_thread_id{0};
+};
+
+Registry& registry() {
+  static Registry* r = new Registry();  // leaked: threads may outlive main
+  return *r;
+}
+
+ThreadBuffer& local_buffer() {
+  thread_local std::shared_ptr<ThreadBuffer> buffer = [] {
+    auto b = std::make_shared<ThreadBuffer>();
+    std::lock_guard<std::mutex> lock(registry().mutex);
+    registry().buffers.push_back(b);
+    return b;
+  }();
+  return *buffer;
+}
+
+thread_local int tl_depth = 0;
+
+}  // namespace
+
+bool enabled() { return g_enabled.load(std::memory_order_relaxed); }
+
+void set_enabled(bool on) { g_enabled.store(on, std::memory_order_relaxed); }
+
+double now_us() {
+  return std::chrono::duration<double, std::micro>(Clock::now() -
+                                                   process_start())
+      .count();
+}
+
+uint32_t thread_id() {
+  thread_local const uint32_t id =
+      registry().next_thread_id.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+SpanCollector& SpanCollector::instance() {
+  static SpanCollector* collector = new SpanCollector();
+  return *collector;
+}
+
+void SpanCollector::record(Span span) {
+  ThreadBuffer& buffer = local_buffer();
+  std::lock_guard<std::mutex> lock(buffer.mutex);
+  buffer.spans.push_back(std::move(span));
+}
+
+std::vector<Span> SpanCollector::drain() {
+  std::vector<Span> out;
+  std::lock_guard<std::mutex> lock(registry().mutex);
+  for (const auto& buffer : registry().buffers) {
+    std::lock_guard<std::mutex> buffer_lock(buffer->mutex);
+    out.insert(out.end(), std::make_move_iterator(buffer->spans.begin()),
+               std::make_move_iterator(buffer->spans.end()));
+    buffer->spans.clear();
+  }
+  std::sort(out.begin(), out.end(), [](const Span& a, const Span& b) {
+    return a.start_us < b.start_us;
+  });
+  return out;
+}
+
+void SpanCollector::clear() {
+  std::lock_guard<std::mutex> lock(registry().mutex);
+  for (const auto& buffer : registry().buffers) {
+    std::lock_guard<std::mutex> buffer_lock(buffer->mutex);
+    buffer->spans.clear();
+  }
+}
+
+size_t SpanCollector::pending() const {
+  size_t total = 0;
+  std::lock_guard<std::mutex> lock(registry().mutex);
+  for (const auto& buffer : registry().buffers) {
+    std::lock_guard<std::mutex> buffer_lock(buffer->mutex);
+    total += buffer->spans.size();
+  }
+  return total;
+}
+
+ScopedSpan::ScopedSpan(std::string name, std::string category,
+                       std::string detail) {
+  if (!enabled()) return;
+  active_ = true;
+  span_.name = std::move(name);
+  span_.category = std::move(category);
+  span_.detail = std::move(detail);
+  span_.tid = thread_id();
+  span_.depth = tl_depth++;
+  span_.start_us = now_us();
+}
+
+ScopedSpan::~ScopedSpan() {
+  if (!active_) return;
+  --tl_depth;
+  span_.dur_us = now_us() - span_.start_us;
+  SpanCollector::instance().record(std::move(span_));
+}
+
+}  // namespace duet::telemetry

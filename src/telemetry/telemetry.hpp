@@ -1,0 +1,100 @@
+#pragma once
+
+// Wall-clock span tracer — the first pillar of the observability layer.
+//
+// Telemetry is compiled in everywhere but runtime-toggleable: every record
+// path starts with a single relaxed atomic load (`telemetry::enabled()`), so
+// the disabled mode costs one predictable branch and the benchmark numbers
+// are unaffected. When enabled, RAII `ScopedSpan`s append to a per-thread
+// buffer (each buffer has its own mutex, contended only while the collector
+// drains), carrying a small sequential thread id and the nesting depth of
+// the span on its thread. `SpanCollector::drain()` moves everything recorded
+// so far out, ready for `telemetry::export_chrome_trace` (trace_export.hpp).
+//
+// The tracer deliberately knows nothing about the rest of the library; the
+// metrics registry (metrics.hpp) and the Chrome-trace writer
+// (chrome_trace.hpp) complete the layer, and sit below duet_common so even
+// the logger can feed them.
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace duet::telemetry {
+
+// Process-global toggle. Off by default so library users (and bench/) never
+// pay for instrumentation they did not ask for.
+bool enabled();
+void set_enabled(bool on);
+
+// RAII toggle for tests and CLI entry points.
+class ScopedTelemetry {
+ public:
+  explicit ScopedTelemetry(bool on) : previous_(enabled()) { set_enabled(on); }
+  ~ScopedTelemetry() { set_enabled(previous_); }
+  ScopedTelemetry(const ScopedTelemetry&) = delete;
+  ScopedTelemetry& operator=(const ScopedTelemetry&) = delete;
+
+ private:
+  bool previous_;
+};
+
+// Microseconds of wall clock since process start (steady, monotonic).
+double now_us();
+
+// Small sequential id of the calling thread (assigned on first use).
+uint32_t thread_id();
+
+// One completed wall-clock span.
+struct Span {
+  std::string name;
+  std::string category;  // "compiler", "profile", "sched", "plan", "exec", ...
+  std::string detail;    // free-form annotation (device, pass, model, ...)
+  uint32_t tid = 0;
+  int depth = 0;  // nesting depth on its thread at record time
+  double start_us = 0.0;
+  double dur_us = 0.0;
+};
+
+// Global sink for completed spans. Thread-safe; spans arrive in per-thread
+// order (cross-thread order is by timestamp only).
+class SpanCollector {
+ public:
+  static SpanCollector& instance();
+
+  // Appends to the calling thread's buffer. Called by ~ScopedSpan.
+  void record(Span span);
+
+  // Moves out everything recorded so far, across all threads, sorted by
+  // start time.
+  std::vector<Span> drain();
+
+  // Drops everything recorded so far.
+  void clear();
+
+  // Total spans currently buffered (for tests).
+  size_t pending() const;
+
+ private:
+  SpanCollector() = default;
+};
+
+// RAII scoped span: captures the start time at construction and records the
+// completed span at destruction. A span constructed while telemetry is
+// disabled records nothing (and skips the clock reads).
+class ScopedSpan {
+ public:
+  ScopedSpan(std::string name, std::string category, std::string detail = "");
+  ~ScopedSpan();
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  bool active() const { return active_; }
+
+ private:
+  bool active_ = false;
+  Span span_;
+};
+
+}  // namespace duet::telemetry

@@ -9,6 +9,10 @@
 //   duet_cli verify --all                      # lint the whole model zoo
 //   duet_cli analyze wide-deep                 # liveness + memory + race report
 //   duet_cli analyze --all                     # analyze the whole model zoo
+//   duet_cli trace wide-deep --out traces/     # telemetry trace + stats JSON
+//   duet_cli trace --all --out traces/         # ... for the whole zoo
+//   duet_cli stats mtdnn                       # drift tables + metric counters
+//   duet_cli stats --all --json                # machine-readable, whole zoo
 //
 // `verify` runs the static verification layer (src/analysis) over the full
 // pipeline — raw graph, every compiler pass, partition, placement, plan —
@@ -20,13 +24,25 @@
 // interval and slot tables; exits nonzero when a device's arena exceeds its
 // naive footprint or any race diagnostic fires.
 //
+// `trace` enables the telemetry layer, runs the full pipeline plus one
+// numeric inference on each executor (SimExecutor and ThreadedExecutor), and
+// writes <model>.trace.json (merged Chrome trace: wall-clock spans from
+// compiler/profiler/scheduler/plan/executors next to the modeled virtual
+// timeline) and <model>.stats.json (metrics registry + predicted-vs-observed
+// drift for both executors). Both documents are JSON-validated before they
+// are written. Fallback is disabled so the heterogeneous plan (and its
+// transfers) is what gets traced.
+//
+// `stats` runs the same pipeline and prints the per-subgraph drift tables
+// and headline counters to stdout (--json for one JSON document per model).
+//
 // Options:
 //   --model <name>       zoo model (wide-deep|siamese|mtdnn|resnet18|...)
 //   --relay <file>       parse a Relay-like text file instead (constants
 //                        materialize as zeros)
 //   --scheduler <name>   greedy-correction (default) | random | round-robin |
 //                        random+correction | greedy-only | exhaustive |
-//                        analytic-dp | cpu-only | gpu-only
+//                        analytic-dp | annealing | cpu-only | gpu-only
 //   --no-fallback        keep the heterogeneous plan even if a single device
 //                        would win
 //   --nested <N>         nested partitioning with chunk bound N
@@ -35,9 +51,12 @@
 //   --dot <file>         write the partitioned graph in Graphviz DOT
 //   --dump <file>        save the model as Relay text + .weights sidecar
 //   --breakdown          print the Table II-style subgraph table
+//   --json               emit the schedule report as JSON (default command)
+//   --out <dir>          output directory for `trace` (default ".")
 
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <string>
@@ -49,12 +68,18 @@
 #include "analysis/race_checker.hpp"
 #include "common/stats.hpp"
 #include "common/string_util.hpp"
+#include "compiler/cost_model.hpp"
 #include "duet/engine.hpp"
 #include "duet/report.hpp"
 #include "graph/dot.hpp"
 #include "models/model_zoo.hpp"
 #include "relay/relay.hpp"
 #include "relay/serialize.hpp"
+#include "telemetry/chrome_trace.hpp"
+#include "telemetry/drift.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/telemetry.hpp"
+#include "telemetry/trace_export.hpp"
 
 namespace {
 
@@ -62,12 +87,17 @@ namespace {
   std::fprintf(stderr,
                "usage: %s [--model <name> | --relay <file>] [--scheduler <name>]\n"
                "          [--no-fallback] [--nested <N>] [--runs <N>]\n"
-               "          [--trace <file>] [--dot <file>] [--breakdown]\n"
-               "       %s verify <model> | --all [--relay <file>]\n"
+               "          [--trace <file>] [--dot <file>] [--dump <file>]\n"
+               "          [--breakdown] [--json]\n"
+               "       %s verify <model>... | --all [--relay <file>]\n"
                "          [--scheduler <name>]\n"
-               "       %s analyze <model> | --all [--relay <file>]\n"
+               "       %s analyze <model>... | --all [--relay <file>]\n"
+               "          [--scheduler <name>]\n"
+               "       %s trace <model>... | --all [--out <dir>]\n"
+               "          [--scheduler <name>]\n"
+               "       %s stats <model>... | --all [--json]\n"
                "          [--scheduler <name>]\n",
-               argv0, argv0, argv0);
+               argv0, argv0, argv0, argv0, argv0);
   std::exit(2);
 }
 
@@ -175,6 +205,129 @@ bool analyze_one(const std::string& label, duet::Graph model,
   }
 }
 
+// One full telemetry capture: enables the layer, runs the whole pipeline
+// (partition, profile, schedule, plan), then one numeric inference per
+// executor — SimExecutor (modeled virtual time) and ThreadedExecutor (real
+// threads, wall clock) — and snapshots spans, metrics, and drift.
+struct TelemetryCapture {
+  duet::DriftReport sim_drift;
+  duet::DriftReport threaded_drift;
+  std::string trace_json;    // merged Chrome trace (spans + modeled timeline)
+  std::string metrics_json;  // registry snapshot
+};
+
+TelemetryCapture capture_telemetry(const std::string& label, duet::Graph model,
+                                   duet::DuetOptions options) {
+  using namespace duet;
+  // Fallback would execute the unpartitioned single-device code, leaving no
+  // per-subgraph exec events to join the estimates against.
+  options.enable_fallback = false;
+  telemetry::ScopedTelemetry on(true);
+  telemetry::MetricsRegistry::instance().reset();
+  telemetry::SpanCollector::instance().clear();
+
+  DuetEngine engine(std::move(model), options);
+  Rng rng(1);
+  const auto feeds = models::make_random_feeds(engine.model(), rng);
+  ExecutionResult sim = engine.infer(feeds);
+  ExecutionResult threaded = engine.infer_threaded(feeds);
+
+  TelemetryCapture cap;
+  cap.sim_drift = compute_drift(
+      label, "sim", engine.partition(), engine.plan().placement(),
+      engine.report().profiles, sim.timeline,
+      engine.report().schedule.est_latency_s, sim.latency_s);
+  cap.threaded_drift = compute_drift(
+      label, "threaded", engine.partition(), engine.plan().placement(),
+      engine.report().profiles, threaded.timeline,
+      engine.report().schedule.est_latency_s, threaded.latency_s);
+  const std::vector<telemetry::Span> spans =
+      telemetry::SpanCollector::instance().drain();
+  cap.trace_json = telemetry::export_chrome_trace(spans, &sim.timeline);
+  cap.metrics_json = telemetry::MetricsRegistry::instance().to_json();
+  return cap;
+}
+
+// {"model":...,"metrics":{...},"drift":{"sim":{...},"threaded":{...}}}
+std::string stats_document(const TelemetryCapture& cap, const std::string& label) {
+  using duet::telemetry::json_escape;
+  std::string out = "{\"model\":\"" + json_escape(label) + "\",";
+  out += "\"metrics\":" + cap.metrics_json + ",";
+  out += "\"drift\":{\"sim\":" + cap.sim_drift.to_json() +
+         ",\"threaded\":" + cap.threaded_drift.to_json() + "}}";
+  return out;
+}
+
+// Captures one model and writes <out>/<label>.trace.json plus
+// <out>/<label>.stats.json, JSON-validating both before touching the disk.
+bool trace_one(const std::string& label, duet::Graph model,
+               const duet::DuetOptions& options, const std::string& out_dir) {
+  using namespace duet;
+  std::printf("trace %-12s ", label.c_str());
+  std::fflush(stdout);
+  const TelemetryCapture cap = capture_telemetry(label, std::move(model), options);
+  const std::string stats = stats_document(cap, label);
+
+  std::string err;
+  if (!telemetry::validate_json(cap.trace_json, &err) ||
+      !telemetry::validate_json(stats, &err)) {
+    std::printf("FAIL (invalid JSON: %s)\n", err.c_str());
+    return false;
+  }
+  const std::filesystem::path dir(out_dir.empty() ? "." : out_dir);
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  const auto write = [](const std::filesystem::path& p, const std::string& text) {
+    std::ofstream out(p);
+    out << text;
+    return out.good();
+  };
+  const std::filesystem::path trace_path = dir / (label + ".trace.json");
+  const std::filesystem::path stats_path = dir / (label + ".stats.json");
+  if (!write(trace_path, cap.trace_json) || !write(stats_path, stats)) {
+    std::printf("FAIL (cannot write under %s)\n", dir.string().c_str());
+    return false;
+  }
+  std::printf("OK  %s (%zu KiB) + %s | drift sim %+.1f%% threaded %+.1f%%\n",
+              trace_path.string().c_str(), cap.trace_json.size() / 1024,
+              stats_path.filename().string().c_str(),
+              100.0 * cap.sim_drift.total_rel_err(),
+              100.0 * cap.threaded_drift.total_rel_err());
+  return true;
+}
+
+// Captures one model and prints drift tables + headline metrics (text) or
+// one combined JSON document per model.
+bool stats_one(const std::string& label, duet::Graph model,
+               const duet::DuetOptions& options, bool json) {
+  using namespace duet;
+  const TelemetryCapture cap = capture_telemetry(label, std::move(model), options);
+  if (json) {
+    std::printf("%s\n", stats_document(cap, label).c_str());
+    return true;
+  }
+  std::printf("%s%s", cap.sim_drift.to_string().c_str(),
+              cap.threaded_drift.to_string().c_str());
+  const auto& reg = telemetry::MetricsRegistry::instance();
+  std::printf("metrics:\n");
+  for (const auto& [name, value] : reg.counters()) {
+    if (value == 0) continue;
+    std::printf("  %-38s %llu\n", name.c_str(),
+                static_cast<unsigned long long>(value));
+  }
+  for (const auto& [name, value] : reg.gauges()) {
+    if (value == 0.0) continue;
+    std::printf("  %-38s %.0f\n", name.c_str(), value);
+  }
+  for (const auto& [name, h] : reg.histograms()) {
+    if (h.count == 0) continue;
+    std::printf("  %-38s n=%llu mean=%.1f p50=%.1f p95=%.1f p99=%.1f\n",
+                name.c_str(), static_cast<unsigned long long>(h.count), h.mean,
+                h.p50, h.p95, h.p99);
+  }
+  return true;
+}
+
 std::string read_file(const std::string& path) {
   std::ifstream in(path);
   if (!in.good()) {
@@ -191,12 +344,13 @@ std::string read_file(const std::string& path) {
 int main(int argc, char** argv) {
   using namespace duet;
 
-  if (argc > 1 && (std::strcmp(argv[1], "verify") == 0 ||
-                   std::strcmp(argv[1], "analyze") == 0)) {
-    const bool analyzing = std::strcmp(argv[1], "analyze") == 0;
+  const std::string cmd = argc > 1 ? argv[1] : "";
+  if (cmd == "verify" || cmd == "analyze" || cmd == "trace" || cmd == "stats") {
     std::vector<std::string> names;
     std::vector<std::string> relay_files;
     DuetOptions options;
+    std::string out_dir;
+    bool json = false;
     for (int i = 2; i < argc; ++i) {
       const std::string arg = argv[i];
       const auto next = [&]() -> std::string {
@@ -207,10 +361,14 @@ int main(int argc, char** argv) {
         for (const std::string& name : models::zoo_model_names()) {
           names.push_back(name);
         }
-      } else if (arg == "--relay") {
+      } else if (arg == "--relay" && (cmd == "verify" || cmd == "analyze")) {
         relay_files.push_back(next());
       } else if (arg == "--scheduler") {
         options.scheduler = next();
+      } else if (arg == "--out" && cmd == "trace") {
+        out_dir = next();
+      } else if (arg == "--json" && cmd == "stats") {
+        json = true;
       } else if (arg == "--help" || arg == "-h" || arg.rfind("--", 0) == 0) {
         usage(argv[0]);
       } else {
@@ -222,8 +380,16 @@ int main(int argc, char** argv) {
     // keeps one summary line per model.
     const bool detail = names.size() + relay_files.size() == 1;
     const auto run_one = [&](const std::string& label, Graph model) {
-      return analyzing ? analyze_one(label, std::move(model), options, detail)
-                       : verify_one(label, std::move(model), options);
+      if (cmd == "analyze") {
+        return analyze_one(label, std::move(model), options, detail);
+      }
+      if (cmd == "trace") {
+        return trace_one(label, std::move(model), options, out_dir);
+      }
+      if (cmd == "stats") {
+        return stats_one(label, std::move(model), options, json);
+      }
+      return verify_one(label, std::move(model), options);
     };
     bool all_ok = true;
     try {
@@ -248,6 +414,7 @@ int main(int argc, char** argv) {
   DuetOptions options;
   int runs = 0;
   bool breakdown = false;
+  bool report_json = false;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -277,6 +444,8 @@ int main(int argc, char** argv) {
       dump_path = next();
     } else if (arg == "--breakdown") {
       breakdown = true;
+    } else if (arg == "--json") {
+      report_json = true;
     } else if (arg == "--help" || arg == "-h") {
       usage(argv[0]);
     } else {
@@ -298,27 +467,64 @@ int main(int argc, char** argv) {
     }
 
     DuetEngine engine(std::move(model), options);
-    std::printf("%s", engine.report()
-                          .to_string(engine.model(), engine.partition())
-                          .c_str());
-    if (breakdown) {
-      std::printf("\n%s", render_subgraph_breakdown(engine).c_str());
-    }
-
     const auto mem = engine.plan().memory_report();
-    std::printf("memory: cpu %.1f MiB (weights %.1f), gpu %.1f MiB (weights %.1f)\n",
-                mem.total(DeviceKind::kCpu) / 1048576.0,
-                mem.weight_bytes[0] / 1048576.0,
-                mem.total(DeviceKind::kGpu) / 1048576.0,
-                mem.weight_bytes[1] / 1048576.0);
 
-    if (runs > 0) {
-      LatencyRecorder rec;
-      for (int i = 0; i < runs; ++i) rec.add(engine.latency(true));
-      const SummaryStats s = rec.summarize();
+    if (report_json) {
+      // Machine-readable schedule report: everything the text report says,
+      // as one JSON object (validated through the shared writer helpers).
+      using telemetry::json_escape;
+      using telemetry::json_number;
+      const DuetReport& r = engine.report();
+      std::string doc = "{";
+      doc += "\"model\":\"" + json_escape(engine.model().name()) + "\",";
+      doc += "\"scheduler\":\"" + json_escape(options.scheduler) + "\",";
+      doc += "\"subgraphs\":" + std::to_string(engine.partition().subgraphs.size()) + ",";
+      doc += "\"transfers\":" + std::to_string(engine.plan().transfers().size()) + ",";
+      doc += "\"placement\":\"" + json_escape(r.schedule.placement.to_string()) + "\",";
+      doc += "\"est_hetero_s\":" + json_number(r.est_hetero_s) + ",";
+      doc += "\"est_single_cpu_s\":" + json_number(r.est_single_cpu_s) + ",";
+      doc += "\"est_single_gpu_s\":" + json_number(r.est_single_gpu_s) + ",";
+      doc += std::string("\"fell_back\":") + (r.fell_back ? "true" : "false") + ",";
+      doc += "\"fallback_device\":\"" +
+             json_escape(device_kind_name(r.fallback_device)) + "\",";
+      doc += "\"memory\":{\"cpu_bytes\":" +
+             std::to_string(mem.total(DeviceKind::kCpu)) +
+             ",\"gpu_bytes\":" + std::to_string(mem.total(DeviceKind::kGpu)) + "}";
+      if (runs > 0) {
+        LatencyRecorder rec;
+        for (int i = 0; i < runs; ++i) rec.add(engine.latency(true));
+        const SummaryStats s = rec.summarize();
+        doc += ",\"latency\":{\"runs\":" + std::to_string(runs) +
+               ",\"mean_s\":" + json_number(s.mean) +
+               ",\"p50_s\":" + json_number(s.p50) +
+               ",\"p99_s\":" + json_number(s.p99) +
+               ",\"p999_s\":" + json_number(s.p999) + "}";
+      }
+      doc += "}";
+      std::printf("%s\n", doc.c_str());
+    } else {
+      std::printf("%s", engine.report()
+                            .to_string(engine.model(), engine.partition())
+                            .c_str());
+      if (breakdown) {
+        std::printf("\n%s", render_subgraph_breakdown(engine).c_str());
+      }
+
       std::printf(
-          "latency over %d runs: mean %.3f ms  p50 %.3f  p99 %.3f  p99.9 %.3f\n",
-          runs, s.mean * 1e3, s.p50 * 1e3, s.p99 * 1e3, s.p999 * 1e3);
+          "memory: cpu %.1f MiB (weights %.1f), gpu %.1f MiB (weights %.1f)\n",
+          mem.total(DeviceKind::kCpu) / 1048576.0,
+          mem.weight_bytes[0] / 1048576.0,
+          mem.total(DeviceKind::kGpu) / 1048576.0,
+          mem.weight_bytes[1] / 1048576.0);
+
+      if (runs > 0) {
+        LatencyRecorder rec;
+        for (int i = 0; i < runs; ++i) rec.add(engine.latency(true));
+        const SummaryStats s = rec.summarize();
+        std::printf(
+            "latency over %d runs: mean %.3f ms  p50 %.3f  p99 %.3f  p99.9 %.3f\n",
+            runs, s.mean * 1e3, s.p50 * 1e3, s.p99 * 1e3, s.p999 * 1e3);
+      }
     }
 
     if (!trace_path.empty() || !dot_path.empty()) {
