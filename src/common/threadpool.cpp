@@ -5,6 +5,13 @@
 #include "common/error.hpp"
 
 namespace duet {
+namespace {
+
+// Set while a worker thread of some pool executes a task; parallel_for from
+// inside that pool must not block the worker on queued sub-tasks.
+thread_local const ThreadPool* current_pool = nullptr;
+
+}  // namespace
 
 ThreadPool::ThreadPool(size_t num_threads) {
   if (num_threads == 0) {
@@ -38,7 +45,9 @@ void ThreadPool::worker_loop() {
       tasks_.pop();
       ++in_flight_;
     }
+    current_pool = this;
     task();
+    current_pool = nullptr;
     {
       std::lock_guard<std::mutex> lock(mutex_);
       --in_flight_;
@@ -59,12 +68,13 @@ std::future<void> ThreadPool::submit(std::function<void()> task) {
   return fut;
 }
 
-void ThreadPool::parallel_for(size_t n, const std::function<void(size_t)>& fn) {
+void ThreadPool::parallel_for(size_t n, const std::function<void(size_t)>& fn,
+                              size_t inline_below) {
   if (n == 0) return;
   const size_t workers = workers_.size();
-  // Below this grain, task dispatch overhead exceeds the work itself.
-  constexpr size_t kInlineThreshold = 256;
-  if (workers <= 1 || n < kInlineThreshold) {
+  // Below the grain, task dispatch overhead exceeds the work itself. Nested
+  // calls from this pool's own workers always run inline (deadlock safety).
+  if (workers <= 1 || n < inline_below || current_pool == this) {
     for (size_t i = 0; i < n; ++i) fn(i);
     return;
   }

@@ -30,11 +30,20 @@ class ThreadPool {
   // Enqueues a task; returns a future for its completion.
   std::future<void> submit(std::function<void()> task);
 
+  // Default `inline_below` for parallel_for: per-element work is assumed
+  // tiny (a GEMM row), so small n runs inline rather than paying dispatch.
+  static constexpr size_t kDefaultInlineThreshold = 256;
+
   // Runs fn(i) for i in [0, n) across the pool and blocks until all complete.
   // Work is divided into contiguous chunks (one per worker) to keep
   // cache-friendly iteration order; falls back to inline execution for n
-  // smaller than a chunking threshold or for a single-thread pool.
-  void parallel_for(size_t n, const std::function<void(size_t)>& fn);
+  // smaller than `inline_below` or for a single-thread pool. Callers whose
+  // per-element work is coarse (a whole batched GEMM, a subgraph compile)
+  // pass a small `inline_below` so even a handful of elements fans out.
+  // Re-entrant calls from a worker of this same pool run inline: blocking a
+  // worker on sub-tasks that sit behind queued work could deadlock the pool.
+  void parallel_for(size_t n, const std::function<void(size_t)>& fn,
+                    size_t inline_below = kDefaultInlineThreshold);
 
   // Blocks until the queue is empty and all in-flight tasks finished.
   void wait_idle();

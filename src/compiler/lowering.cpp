@@ -1,9 +1,35 @@
 #include "compiler/lowering.hpp"
 
 #include "common/error.hpp"
+#include "compiler/compile_cache.hpp"
+#include "graph/fingerprint.hpp"
 #include "graph/shape_inference.hpp"
 
 namespace duet {
+namespace {
+
+CompiledSubgraph compile_uncached(const Graph& graph, DeviceKind device,
+                                  const CompileOptions& options,
+                                  const DeviceCostParams& params) {
+  Graph optimized = PassManager::standard(options).run(graph);
+  std::vector<CompiledKernel> kernels;
+  kernels.reserve(optimized.num_nodes());
+  for (const Node& node : optimized.nodes()) {
+    if (node.is_input() || node.is_constant()) continue;
+    CompiledKernel k;
+    k.node = node.id;
+    k.flops = node_flops(optimized, node);
+    const NodeBytes b = node_bytes(optimized, node);
+    k.bytes_read = b.read;
+    k.bytes_written = b.written;
+    k.launches = node_kernel_launches(optimized, node);
+    k.est_time_s = node_time_seconds(optimized, node, params, options);
+    kernels.push_back(k);
+  }
+  return CompiledSubgraph(std::move(optimized), device, options, std::move(kernels));
+}
+
+}  // namespace
 
 CompiledSubgraph::CompiledSubgraph(Graph graph, DeviceKind device,
                                    CompileOptions options,
@@ -39,22 +65,27 @@ CompiledSubgraph compile_for_device(const Graph& graph, DeviceKind device,
                                     const CompileOptions& options,
                                     const DeviceCostParams& params) {
   DUET_CHECK(params.kind == device) << "cost params are for the wrong device";
-  Graph optimized = PassManager::standard(options).run(graph);
-  std::vector<CompiledKernel> kernels;
-  kernels.reserve(optimized.num_nodes());
-  for (const Node& node : optimized.nodes()) {
-    if (node.is_input() || node.is_constant()) continue;
-    CompiledKernel k;
-    k.node = node.id;
-    k.flops = node_flops(optimized, node);
-    const NodeBytes b = node_bytes(optimized, node);
-    k.bytes_read = b.read;
-    k.bytes_written = b.written;
-    k.launches = node_kernel_launches(optimized, node);
-    k.est_time_s = node_time_seconds(optimized, node, params, options);
-    kernels.push_back(k);
+  CompileCache& cache = CompileCache::instance();
+  const uint64_t options_key = compile_options_key(options);
+  if (!cache.enabled() || options_key == kUncacheableOptionsKey) {
+    cache.count_bypass();
+    return compile_uncached(graph, device, options, params);
   }
-  return CompiledSubgraph(std::move(optimized), device, options, std::move(kernels));
+  // Keyed by the value-inclusive fingerprint: the artifact embeds constant
+  // tensors, so structure alone is not a safe identity for numeric reuse.
+  // Node names fold in on top — the artifact embeds those too, and the plan
+  // matches feeds against the compiled graph's input names.
+  const GraphFingerprint fp = fingerprint_graph(graph);
+  const uint64_t key = hash_mix(
+      CompileCache::make_key(fp, device, options_key, device_params_key(params)),
+      fingerprint_names(graph));
+  if (std::shared_ptr<const CompiledSubgraph> hit = cache.lookup(key)) {
+    return *hit;
+  }
+  auto compiled = std::make_shared<const CompiledSubgraph>(
+      compile_uncached(graph, device, options, params));
+  cache.insert(key, compiled);
+  return *compiled;
 }
 
 }  // namespace duet

@@ -9,6 +9,7 @@
 #include "common/string_util.hpp"
 #include "device/interconnect.hpp"
 #include "duet/baseline.hpp"
+#include "profile/profile_cache.hpp"
 #include "telemetry/metrics.hpp"
 #include "telemetry/telemetry.hpp"
 
@@ -60,14 +61,29 @@ DuetEngine::DuetEngine(Graph model, DuetOptions options)
                          model_.name() + "\"");
   }
 
-  // (2) Compiler-aware profiling of every subgraph on both devices.
+  // (2) Compiler-aware profiling of every subgraph on both devices, served
+  // through the content-addressed ProfileCache (optionally disk-backed).
   {
     telemetry::ScopedSpan span(telemetry_on ? "profile" : std::string(),
                                "engine", model_.name());
+    if (!options_.profile_cache_dir.empty()) {
+      ProfileCache::instance().open_disk(
+          options_.profile_cache_dir + "/profile_cache.v1.txt",
+          calibration_fingerprint(devices_));
+    }
     Profiler profiler(devices_);
     report_.profiles =
         profiler.profile_partition(partition_, model_, options_.profile);
+    if (!options_.profile_cache_dir.empty()) {
+      ProfileCache::instance().flush();
+    }
   }
+  // Profiling consumes a data-dependent number of device noise draws — zero
+  // when the ProfileCache is warm. Re-derive the devices (same calibration,
+  // fresh seed-determined rng streams) so execution noise is identical
+  // whether profiling ran or was served from the cache. The xor keeps the
+  // execution stream distinct from the one profiling just sampled.
+  devices_ = make_default_device_pair(options_.seed ^ 0x5EEDFACEull);
 
   // (3) Subgraph scheduling.
   LatencyEvaluator evaluator(partition_, model_, report_.profiles,

@@ -33,6 +33,11 @@ struct DuetOptions {
   double fallback_margin = 0.02;
   bool enable_fallback = true;
   uint64_t seed = 42;
+  // When non-empty, profiling statistics persist to
+  // <dir>/profile_cache.v1.txt, keyed by the calibration fingerprint of the
+  // device pair: a warm file makes repeated runs skip profiling entirely,
+  // and recalibration invalidates it. Empty keeps the cache in-memory only.
+  std::string profile_cache_dir;
 };
 
 struct DuetReport {

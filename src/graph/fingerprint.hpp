@@ -1,0 +1,55 @@
+#pragma once
+
+// Canonical content-addressed fingerprints for graphs. Two fingerprints are
+// computed in one traversal:
+//
+//  * `structural` — topology, op types, attributes, shapes and dtypes. Node
+//    names and node ids do NOT participate, so isomorphic relabelings of the
+//    same computation hash identically. This keys everything whose result
+//    depends only on the *shape* of the computation: modeled per-kernel
+//    costs, and therefore profiling statistics.
+//  * `values` — `structural` plus the payload bytes of every constant.
+//    This keys numerically-executable artifacts (CompiledSubgraph embeds the
+//    weight tensors), where two structurally identical subgraphs with
+//    different weights must not share a cache entry.
+//
+// Hashing walks nodes in stored order (topological by construction: inputs
+// must pre-exist) and memoizes a hash per node; a node's hash mixes its op,
+// attrs, output shape/dtype and the hashes of its inputs *positionally*, so
+// add(a, a) and add(a, b) differ. kInput nodes mix in their ordinal in
+// input_ids() order — the graph's signature — instead of their name.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "graph/graph.hpp"
+
+namespace duet {
+
+struct GraphFingerprint {
+  uint64_t structural = 0;
+  uint64_t values = 0;
+
+  bool operator==(const GraphFingerprint& o) const {
+    return structural == o.structural && values == o.values;
+  }
+};
+
+GraphFingerprint fingerprint_graph(const Graph& graph);
+
+// Positional hash of every node name (in stored order) plus the output list.
+// Names are deliberately excluded from the two fingerprints above, but a
+// CompiledSubgraph embeds them (the plan matches feeds by input name), so the
+// compile cache folds this in on top of `values`: renamed twins miss the
+// compile cache yet still share profiling stats.
+uint64_t fingerprint_names(const Graph& graph);
+
+// 64-bit combine / bytes hash shared by the cache-key builders.
+uint64_t hash_mix(uint64_t h, uint64_t v);
+uint64_t hash_bytes(const void* data, size_t n, uint64_t seed = 0);
+
+// 16-hex-digit rendering (disk-cache keys, diagnostics).
+std::string fingerprint_hex(uint64_t fp);
+
+}  // namespace duet

@@ -7,17 +7,27 @@
 // "compiler-aware"), then timed for a configurable number of runs. The
 // records keep latency statistics and boundary I/O sizes, which the
 // scheduler uses for placement and communication analysis. Profiling is an
-// offline, one-time cost.
+// offline, one-time cost — and a cached one: statistics are content-
+// addressed by the subgraph's *structural* fingerprint (modeled time never
+// depends on constant payloads), so each structural equivalence class
+// compiles and profiles once, and a warm ProfileCache (optionally persisted
+// to disk) skips the measurement loop entirely.
 
 #include <vector>
 
 #include "common/stats.hpp"
 #include "device/device.hpp"
+#include "graph/fingerprint.hpp"
 #include "partition/partitioner.hpp"
 
 namespace duet {
 
 struct DeviceProfile {
+  // The artifact the timing loop ran. Only populated when this run actually
+  // compiled (a ProfileCache stats hit skips compilation), and for a
+  // duplicate structural class member it aliases the class representative's
+  // compile — so it is valid for modeled timing, never for numerics. The
+  // ExecutionPlan compiles its own artifacts (through the CompileCache).
   CompiledSubgraph compiled;
   SummaryStats stats;   // modeled latency over `runs` noisy executions
   double mean_s = 0.0;  // convenience alias of stats.mean
@@ -61,6 +71,13 @@ class Profiler {
                               const ProfileOptions& options = {}) const;
 
  private:
+  // Shared measurement path: one ProfileCache lookup, then (on miss) one
+  // compile — `precompiled` short-circuits it when the partition fan-out
+  // already built the artifact — and the serial timing loop.
+  DeviceProfile profile_one(const Graph& graph, const GraphFingerprint& fp,
+                            DeviceKind kind, const ProfileOptions& options,
+                            const CompiledSubgraph* precompiled) const;
+
   DevicePair& devices_;
 };
 

@@ -50,6 +50,9 @@ ExecutionPlan ExecutionPlan::build(const Graph& parent, Partition partition,
     ps.id = sub.id;
     ps.device = plan.placement_.of(sub.id);
     const Device& dev = devices.device(ps.device);
+    // compile_for_device is content-addressed: when the profiler already
+    // compiled this subgraph for this device, this is a CompileCache hit and
+    // the plan reuses that artifact instead of recompiling.
     ps.compiled =
         compile_for_device(sub.graph, ps.device, options, dev.params());
 

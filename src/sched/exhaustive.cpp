@@ -9,8 +9,12 @@ namespace duet {
 
 ScheduleResult ExhaustiveScheduler::schedule(const SchedulingContext& ctx) {
   const size_t n = ctx.partition->subgraphs.size();
-  DUET_CHECK_LE(static_cast<int>(n), kMaxSubgraphs)
-      << "exhaustive search over 2^" << n << " placements is not feasible";
+  if (static_cast<int>(n) > kMaxSubgraphs) {
+    DUET_THROW("exhaustive scheduler: " << n << " subgraphs would enumerate 2^"
+               << n << " placements (cap is " << kMaxSubgraphs
+               << "); use --scheduler greedy-correction or annealing, or "
+                  "coarsen the partition (e.g. --nested with a larger bound)");
+  }
   const int64_t evals_before = ctx.evaluator->evaluations();
 
   ScheduleResult r;

@@ -5,8 +5,16 @@
 // subgraphs one at a time (paper footnote 2); a subgraph becomes ready when
 // all producer subgraphs have finished plus, for cross-device edges and for
 // host inputs consumed on the GPU, the PCIe transfer delay. This is the
-// `measure_latency` the correction step of Algorithm 1 iterates against.
+// `measure_latency` the correction step of Algorithm 1 iterates against —
+// schedulers call it thousands of times per search, so evaluate() is the
+// optimized fast path (precomputed consumer adjacency, per-device ready
+// heaps, a placement-keyed memo) and evaluate_reference() keeps the original
+// O(n^2) scan as the executable specification the fast path is tested
+// against: both produce bit-identical makespans and event sequences.
 
+#include <cstdint>
+#include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "profile/profiler.hpp"
@@ -48,11 +56,23 @@ class LatencyEvaluator {
   // Makespan of the placement using mean profiled subgraph times. If
   // `events` is non-null the per-subgraph schedule is written there (sorted
   // by start time) — this is also how Fig. 4-style timelines are produced.
+  // Revisited placements (annealing, correction sweeps) are served from the
+  // memo when no events are requested.
   double evaluate(const Placement& placement,
                   std::vector<ScheduleEvent>* events = nullptr) const;
 
-  // Number of evaluate() calls so far (scheduling-cost ablation).
+  // The pre-optimization implementation: per-step linear scan over all
+  // subgraphs, no memo. Kept public so the equivalence tests and the
+  // micro-benchmark can pit the two against each other.
+  double evaluate_reference(const Placement& placement,
+                            std::vector<ScheduleEvent>* events = nullptr) const;
+
+  // Number of evaluate() calls so far (scheduling-cost ablation). Memo hits
+  // count: a served evaluation is still an evaluation.
   int64_t evaluations() const { return evaluations_; }
+  // How many of those were answered from the placement memo.
+  int64_t memo_hits() const { return memo_hits_; }
+  void set_memo_enabled(bool on) { memo_enabled_ = on; }
 
   const Partition& partition() const { return partition_; }
   const std::vector<SubgraphProfile>& profiles() const { return profiles_; }
@@ -64,6 +84,11 @@ class LatencyEvaluator {
   uint64_t host_input_bytes(int to) const;
 
  private:
+  // The heap-based list scheduler behind evaluate(); identical event order
+  // and arithmetic to evaluate_reference().
+  double simulate(const Placement& placement,
+                  std::vector<ScheduleEvent>* events) const;
+
   const Partition& partition_;
   std::vector<SubgraphProfile> profiles_;
   TransferParams link_;
@@ -75,10 +100,24 @@ class LatencyEvaluator {
     int producer = -1;
     uint64_t bytes = 0;
   };
-  std::vector<std::vector<Dep>> deps_;        // per subgraph
-  std::vector<uint64_t> input_bytes_;         // host inputs per subgraph
-  std::vector<uint64_t> user_output_bytes_;   // user-facing outputs per subgraph
+  struct ConsumerEdge {
+    int consumer = -1;
+    uint64_t bytes = 0;
+  };
+  std::vector<std::vector<Dep>> deps_;            // per consumer
+  std::vector<std::vector<ConsumerEdge>> consumers_;  // per producer, ascending
+  std::vector<int> phase_;                        // tie-break key per subgraph
+  std::vector<uint64_t> input_bytes_;             // host inputs per subgraph
+  std::vector<uint64_t> user_output_bytes_;       // user-facing outputs per subgraph
+
+  // Placement-keyed makespan memo: a bitset key when every subgraph index
+  // fits one uint64 bit, a byte-string key otherwise.
+  mutable std::unordered_map<uint64_t, double> memo_small_;
+  mutable std::unordered_map<std::string, double> memo_large_;
+  bool memo_enabled_ = true;
+
   mutable int64_t evaluations_ = 0;
+  mutable int64_t memo_hits_ = 0;
 };
 
 }  // namespace duet

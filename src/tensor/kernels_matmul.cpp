@@ -10,6 +10,10 @@ namespace {
 // Blocked GEMM: C[M,N] += A[M,K] * B[K,N]. i-k-j loop order keeps the B row
 // streaming through cache and lets the compiler vectorize the j loop.
 // Blocking over K and N bounds the working set to L1/L2-friendly tiles.
+// A gemm below this many multiply-accumulates keeps its row loop serial;
+// batch_matmul instead parallelizes across batch elements.
+constexpr int64_t kParallelFlopThreshold = 64LL << 10;
+
 void gemm(const float* a, const float* b, float* c, int64_t m, int64_t k,
           int64_t n) {
   constexpr int64_t kBlockK = 256;
@@ -31,7 +35,7 @@ void gemm(const float* a, const float* b, float* c, int64_t m, int64_t k,
     }
   };
   // Rows are independent; parallelize when the matrix is worth it.
-  if (m * k * n >= (64LL << 10)) {
+  if (m * k * n >= kParallelFlopThreshold) {
     global_thread_pool().parallel_for(static_cast<size_t>(m), row_job);
   } else {
     for (int64_t i = 0; i < m; ++i) row_job(static_cast<size_t>(i));
@@ -73,9 +77,22 @@ Tensor batch_matmul(const Tensor& a, const Tensor& b) {
   const float* pa = a.data<float>();
   const float* pb = b.data<float>();
   float* po = out.data<float>();
-  for (int64_t bi = 0; bi < batch; ++bi) {
+  const auto batch_job = [&](size_t bi_sz) {
+    const int64_t bi = static_cast<int64_t>(bi_sz);
     const float* bptr = shared_rhs ? pb : pb + bi * k * n;
     gemm(pa + bi * m * k, bptr, po + bi * m * n, m, k, n);
+  };
+  // The RNN-shaped case: many small per-step GEMMs, each below gemm's own
+  // row-parallelism threshold. The batch slices are disjoint, so fan the
+  // outer loop out instead (grain 2: even a handful of batches is worth a
+  // dispatch when the whole op clears the flop threshold). When a per-batch
+  // gemm is large enough to parallelize its rows itself, the outer loop
+  // stays serial — nesting would just shred the row chunks.
+  const bool inner_parallel = m * k * n >= kParallelFlopThreshold;
+  if (!inner_parallel && batch > 1 && batch * m * k * n >= kParallelFlopThreshold) {
+    global_thread_pool().parallel_for(static_cast<size_t>(batch), batch_job, 2);
+  } else {
+    for (int64_t bi = 0; bi < batch; ++bi) batch_job(static_cast<size_t>(bi));
   }
   return out;
 }

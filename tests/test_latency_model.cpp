@@ -149,6 +149,92 @@ TEST(LatencyModel, EdgeAndInputByteQueries) {
   EXPECT_EQ(eval.host_input_bytes(2), 0u);
 }
 
+// --- fast path vs reference ----------------------------------------------------
+
+void expect_identical(const LatencyEvaluator& eval, const Placement& placement) {
+  std::vector<ScheduleEvent> fast_events;
+  std::vector<ScheduleEvent> ref_events;
+  const double fast = eval.evaluate(placement, &fast_events);
+  const double ref = eval.evaluate_reference(placement, &ref_events);
+  // Bit-identical, not approximately equal: the fast path must perform the
+  // same floating-point operations in the same order.
+  EXPECT_EQ(fast, ref);
+  ASSERT_EQ(fast_events.size(), ref_events.size());
+  for (size_t i = 0; i < fast_events.size(); ++i) {
+    EXPECT_EQ(fast_events[i].subgraph, ref_events[i].subgraph);
+    EXPECT_EQ(fast_events[i].device, ref_events[i].device);
+    EXPECT_EQ(fast_events[i].ready, ref_events[i].ready);
+    EXPECT_EQ(fast_events[i].start, ref_events[i].start);
+    EXPECT_EQ(fast_events[i].finish, ref_events[i].finish);
+  }
+}
+
+void expect_identical_everywhere(const LatencyEvaluator& eval, size_t n,
+                                 Rng& rng, int random_placements) {
+  expect_identical(eval, Placement(n, DeviceKind::kCpu));
+  expect_identical(eval, Placement(n, DeviceKind::kGpu));
+  for (int trial = 0; trial < random_placements; ++trial) {
+    Placement p(n, DeviceKind::kCpu);
+    for (size_t i = 0; i < n; ++i) {
+      if (rng.coin()) p.set(static_cast<int>(i), DeviceKind::kGpu);
+    }
+    expect_identical(eval, p);
+  }
+}
+
+TEST(LatencyModel, FastPathMatchesReferenceOnFixture) {
+  Bench bench(two_branch_model());
+  LatencyEvaluator eval = bench.evaluator();
+  Rng rng(7);
+  expect_identical_everywhere(eval, bench.partition.subgraphs.size(), rng, 20);
+}
+
+TEST(LatencyModel, FastPathMatchesReferenceAcrossZoo) {
+  Rng rng(11);
+  for (const std::string& name : models::zoo_model_names()) {
+    SCOPED_TRACE(name);
+    Bench bench(models::build_by_name(name));
+    LatencyEvaluator eval = bench.evaluator();
+    expect_identical_everywhere(eval, bench.partition.subgraphs.size(), rng, 20);
+  }
+}
+
+TEST(LatencyModel, FastPathMatchesReferenceWithLanes) {
+  // Intra-device concurrency exercises the multi-lane heap paths.
+  Bench bench(models::build_by_name("inception"));
+  LatencyEvaluator eval(bench.partition, bench.graph, bench.profiles,
+                        bench.devices.link->params(),
+                        LaneConfig::gpu_streams(3));
+  Rng rng(13);
+  expect_identical_everywhere(eval, bench.partition.subgraphs.size(), rng, 20);
+}
+
+TEST(LatencyModel, MemoServesRevisitedPlacements) {
+  Bench bench(two_branch_model());
+  LatencyEvaluator eval = bench.evaluator();
+  const size_t n = bench.partition.subgraphs.size();
+  Placement p(n, DeviceKind::kCpu);
+  p.set(1, DeviceKind::kGpu);
+
+  const double first = eval.evaluate(p);
+  EXPECT_EQ(eval.memo_hits(), 0);
+  const double again = eval.evaluate(p);
+  EXPECT_EQ(again, first);
+  EXPECT_EQ(eval.memo_hits(), 1);
+  // Served evaluations still count as evaluations (ablation counters).
+  EXPECT_EQ(eval.evaluations(), 2);
+
+  // Requesting events bypasses the memo but must agree with it.
+  std::vector<ScheduleEvent> events;
+  EXPECT_EQ(eval.evaluate(p, &events), first);
+  EXPECT_EQ(eval.memo_hits(), 1);
+  ASSERT_EQ(events.size(), n);
+
+  eval.set_memo_enabled(false);
+  EXPECT_EQ(eval.evaluate(p), first);
+  EXPECT_EQ(eval.memo_hits(), 1);
+}
+
 TEST(LatencyModel, AgreesWithSimExecutor) {
   // The evaluator and the (noiseless) simulated executor implement the same
   // semantics, so their latencies for the same plan must match closely.

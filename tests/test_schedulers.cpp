@@ -139,7 +139,16 @@ TEST(Schedulers, ExhaustiveRefusesHugeSpaces) {
                              bench.devices.link->params());
   Rng rng(1);
   SchedulingContext ctx{&big, &profiles, &evaluator, &rng};
-  EXPECT_THROW(make_scheduler("exhaustive")->schedule(ctx), Error);
+  try {
+    make_scheduler("exhaustive")->schedule(ctx);
+    FAIL() << "expected the exhaustive cap to throw";
+  } catch (const Error& e) {
+    // The refusal must tell the user the cap and what to do instead.
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("exhaustive scheduler"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("cap is 20"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("greedy-correction"), std::string::npos) << msg;
+  }
 }
 
 TEST(Schedulers, RandomIsSeedDependentButValid) {

@@ -13,6 +13,10 @@
 //   duet_cli trace --all --out traces/         # ... for the whole zoo
 //   duet_cli stats mtdnn                       # drift tables + metric counters
 //   duet_cli stats --all --json                # machine-readable, whole zoo
+//   duet_cli schedule wide-deep                # disk-cached schedule
+//   duet_cli schedule --all                    # whole zoo; prints cache hit rate
+//   duet_cli cache stats                       # inspect the on-disk profile cache
+//   duet_cli cache clear                       # drop it
 //
 // `verify` runs the static verification layer (src/analysis) over the full
 // pipeline — raw graph, every compiler pass, partition, placement, plan —
@@ -36,6 +40,14 @@
 // `stats` runs the same pipeline and prints the per-subgraph drift tables
 // and headline counters to stdout (--json for one JSON document per model).
 //
+// `schedule` runs the pipeline with the persistent profile cache enabled
+// (default directory: $DUET_CACHE_DIR or .duet-cache) and reports the cache
+// traffic: the first run profiles each structural equivalence class once and
+// writes the cache; a second run over the same calibration hits 100% and
+// skips profiling entirely. `cache stats` / `cache clear` inspect and delete
+// that on-disk file; `--no-cache` disables both the compile and profile
+// caches for the run (A/B baseline).
+//
 // Options:
 //   --model <name>       zoo model (wide-deep|siamese|mtdnn|resnet18|...)
 //   --relay <file>       parse a Relay-like text file instead (constants
@@ -53,8 +65,14 @@
 //   --breakdown          print the Table II-style subgraph table
 //   --json               emit the schedule report as JSON (default command)
 //   --out <dir>          output directory for `trace` (default ".")
+//   --cache-dir <dir>    profile-cache directory for `schedule` / `cache`
+//                        (default: $DUET_CACHE_DIR, else .duet-cache)
+//   --no-cache           disable the compile and profile caches
 
+#include <cctype>
+#include <cinttypes>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
@@ -68,8 +86,10 @@
 #include "analysis/race_checker.hpp"
 #include "common/stats.hpp"
 #include "common/string_util.hpp"
+#include "compiler/compile_cache.hpp"
 #include "compiler/cost_model.hpp"
 #include "duet/engine.hpp"
+#include "profile/profile_cache.hpp"
 #include "duet/report.hpp"
 #include "graph/dot.hpp"
 #include "models/model_zoo.hpp"
@@ -88,7 +108,7 @@ namespace {
                "usage: %s [--model <name> | --relay <file>] [--scheduler <name>]\n"
                "          [--no-fallback] [--nested <N>] [--runs <N>]\n"
                "          [--trace <file>] [--dot <file>] [--dump <file>]\n"
-               "          [--breakdown] [--json]\n"
+               "          [--breakdown] [--json] [--no-cache]\n"
                "       %s verify <model>... | --all [--relay <file>]\n"
                "          [--scheduler <name>]\n"
                "       %s analyze <model>... | --all [--relay <file>]\n"
@@ -96,8 +116,11 @@ namespace {
                "       %s trace <model>... | --all [--out <dir>]\n"
                "          [--scheduler <name>]\n"
                "       %s stats <model>... | --all [--json]\n"
-               "          [--scheduler <name>]\n",
-               argv0, argv0, argv0, argv0, argv0);
+               "          [--scheduler <name>]\n"
+               "       %s schedule <model>... | --all [--cache-dir <dir>]\n"
+               "          [--no-cache] [--scheduler <name>]\n"
+               "       %s cache stats | clear [--cache-dir <dir>]\n",
+               argv0, argv0, argv0, argv0, argv0, argv0, argv0);
   std::exit(2);
 }
 
@@ -328,6 +351,99 @@ bool stats_one(const std::string& label, duet::Graph model,
   return true;
 }
 
+std::string default_cache_dir() {
+  const char* env = std::getenv("DUET_CACHE_DIR");
+  return (env != nullptr && env[0] != '\0') ? env : ".duet-cache";
+}
+
+std::string profile_cache_file(const std::string& dir) {
+  return dir + "/profile_cache.v1.txt";
+}
+
+// Runs the full pipeline for one model (the engine itself opens/flushes the
+// disk cache when options.profile_cache_dir is set) and prints the schedule
+// headline plus the profile-cache traffic this model caused.
+bool schedule_one(const std::string& label, duet::Graph model,
+                  const duet::DuetOptions& options) {
+  using namespace duet;
+  std::printf("schedule %-12s ", label.c_str());
+  std::fflush(stdout);
+  const ProfileCache::Stats before = ProfileCache::instance().stats();
+  DuetEngine engine(std::move(model), options);
+  const ProfileCache::Stats after = ProfileCache::instance().stats();
+  const DuetReport& r = engine.report();
+  std::printf(
+      "OK  %zu subgraphs | %s | est %s | profile cache +%llu hit +%llu miss\n",
+      engine.partition().subgraphs.size(),
+      r.fell_back ? "single-device" : "heterogeneous",
+      human_time(r.schedule.est_latency_s).c_str(),
+      static_cast<unsigned long long>(after.hits - before.hits),
+      static_cast<unsigned long long>(after.misses - before.misses));
+  return true;
+}
+
+// Prints the on-disk profile cache header + entry count and whether its
+// calibration fingerprint still matches the current default testbed.
+int cache_stats_cmd(const std::string& dir) {
+  using namespace duet;
+  const std::string path = profile_cache_file(dir);
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  if (f == nullptr) {
+    std::printf("profile cache %s: absent\n", path.c_str());
+    return 0;
+  }
+  char magic[32] = {0};
+  int version = 0;
+  uint64_t calib = 0;
+  if (std::fscanf(f, "%31s v%d calib %" SCNx64, magic, &version, &calib) != 3) {
+    std::fclose(f);
+    std::printf("profile cache %s: unreadable header (next run rewrites it)\n",
+                path.c_str());
+    return 0;
+  }
+  size_t entries = 0;
+  int c = 0;
+  bool line_pending = false;
+  while ((c = std::fgetc(f)) != EOF) {
+    if (c == '\n') {
+      if (line_pending) ++entries;
+      line_pending = false;
+    } else if (!std::isspace(c)) {
+      line_pending = true;
+    }
+  }
+  if (line_pending) ++entries;
+  std::fclose(f);
+  const uint64_t current =
+      calibration_fingerprint(make_default_device_pair(DuetOptions{}.seed));
+  std::printf("profile cache %s\n  %s v%d | %zu entries | calibration %016" PRIx64
+              " (%s the current testbed)\n",
+              path.c_str(), magic, version, entries, calib,
+              calib == current ? "matches" : "STALE against");
+  return 0;
+}
+
+// Deletes the on-disk profile cache and drops both in-memory caches.
+int cache_clear_cmd(const std::string& dir) {
+  using namespace duet;
+  ProfileCache::instance().clear();
+  CompileCache::instance().clear();
+  const std::string path = profile_cache_file(dir);
+  std::error_code ec;
+  const bool removed = std::filesystem::remove(path, ec);
+  if (ec) {
+    std::fprintf(stderr, "cannot remove %s: %s\n", path.c_str(),
+                 ec.message().c_str());
+    return 1;
+  }
+  if (removed) {
+    std::printf("removed %s\n", path.c_str());
+  } else {
+    std::printf("profile cache %s: already absent\n", path.c_str());
+  }
+  return 0;
+}
+
 std::string read_file(const std::string& path) {
   std::ifstream in(path);
   if (!in.good()) {
@@ -345,12 +461,34 @@ int main(int argc, char** argv) {
   using namespace duet;
 
   const std::string cmd = argc > 1 ? argv[1] : "";
-  if (cmd == "verify" || cmd == "analyze" || cmd == "trace" || cmd == "stats") {
+  if (cmd == "cache") {
+    std::string action;
+    std::string cache_dir = default_cache_dir();
+    for (int i = 2; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (arg == "--cache-dir") {
+        if (i + 1 >= argc) usage(argv[0]);
+        cache_dir = argv[++i];
+      } else if ((arg == "stats" || arg == "clear") && action.empty()) {
+        action = arg;
+      } else {
+        usage(argv[0]);
+      }
+    }
+    if (action.empty()) usage(argv[0]);
+    return action == "stats" ? cache_stats_cmd(cache_dir)
+                             : cache_clear_cmd(cache_dir);
+  }
+
+  if (cmd == "verify" || cmd == "analyze" || cmd == "trace" || cmd == "stats" ||
+      cmd == "schedule") {
     std::vector<std::string> names;
     std::vector<std::string> relay_files;
     DuetOptions options;
     std::string out_dir;
+    std::string cache_dir = default_cache_dir();
     bool json = false;
+    bool no_cache = false;
     for (int i = 2; i < argc; ++i) {
       const std::string arg = argv[i];
       const auto next = [&]() -> std::string {
@@ -369,6 +507,10 @@ int main(int argc, char** argv) {
         out_dir = next();
       } else if (arg == "--json" && cmd == "stats") {
         json = true;
+      } else if (arg == "--cache-dir" && cmd == "schedule") {
+        cache_dir = next();
+      } else if (arg == "--no-cache" && cmd == "schedule") {
+        no_cache = true;
       } else if (arg == "--help" || arg == "-h" || arg.rfind("--", 0) == 0) {
         usage(argv[0]);
       } else {
@@ -376,6 +518,16 @@ int main(int argc, char** argv) {
       }
     }
     if (names.empty() && relay_files.empty()) usage(argv[0]);
+    if (cmd == "schedule") {
+      if (no_cache) {
+        // A/B baseline: every subgraph profiles and compiles from scratch,
+        // exactly the pre-cache pipeline.
+        ProfileCache::instance().set_enabled(false);
+        CompileCache::instance().set_enabled(false);
+      } else {
+        options.profile_cache_dir = cache_dir;
+      }
+    }
     // Full interval/slot tables only when analyzing a single model; --all
     // keeps one summary line per model.
     const bool detail = names.size() + relay_files.size() == 1;
@@ -388,6 +540,9 @@ int main(int argc, char** argv) {
       }
       if (cmd == "stats") {
         return stats_one(label, std::move(model), options, json);
+      }
+      if (cmd == "schedule") {
+        return schedule_one(label, std::move(model), options);
       }
       return verify_one(label, std::move(model), options);
     };
@@ -402,6 +557,18 @@ int main(int argc, char** argv) {
     } catch (const std::exception& e) {
       std::fprintf(stderr, "error: %s\n", e.what());
       return 1;
+    }
+    if (cmd == "schedule") {
+      const ProfileCache::Stats s = ProfileCache::instance().stats();
+      const uint64_t total = s.hits + s.misses;
+      std::printf(
+          "profile cache: %llu hits, %llu misses (%.1f%% hit rate)%s\n",
+          static_cast<unsigned long long>(s.hits),
+          static_cast<unsigned long long>(s.misses),
+          total > 0 ? 100.0 * static_cast<double>(s.hits) /
+                          static_cast<double>(total)
+                    : 0.0,
+          no_cache ? " [caches disabled]" : "");
     }
     return all_ok ? 0 : 1;
   }
@@ -446,6 +613,9 @@ int main(int argc, char** argv) {
       breakdown = true;
     } else if (arg == "--json") {
       report_json = true;
+    } else if (arg == "--no-cache") {
+      ProfileCache::instance().set_enabled(false);
+      CompileCache::instance().set_enabled(false);
     } else if (arg == "--help" || arg == "-h") {
       usage(argv[0]);
     } else {
