@@ -35,6 +35,7 @@ SummaryStats LatencyRecorder::summarize() const {
   s.max = sorted.back();
   s.p50 = percentile_sorted(sorted, 0.50);
   s.p90 = percentile_sorted(sorted, 0.90);
+  s.p95 = percentile_sorted(sorted, 0.95);
   s.p99 = percentile_sorted(sorted, 0.99);
   s.p999 = percentile_sorted(sorted, 0.999);
   return s;

@@ -17,6 +17,7 @@ struct SummaryStats {
   double max = 0.0;
   double p50 = 0.0;
   double p90 = 0.0;
+  double p95 = 0.0;
   double p99 = 0.0;
   double p999 = 0.0;
 

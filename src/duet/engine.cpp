@@ -181,4 +181,22 @@ ExecutionResult DuetEngine::infer_threaded(const std::map<NodeId, Tensor>& feeds
   return threaded.run(plan_, feeds);
 }
 
+ExecutionPlan DuetEngine::build_plan_for(const Placement& placement) const {
+  if (verification_enabled()) {
+    verify_placement(placement, partition_)
+        .throw_if_failed("recalibrated placement for \"" + model_.name() +
+                         "\" is invalid");
+  }
+  ExecutionPlan plan = ExecutionPlan::build(model_, partition_, placement,
+                                            devices_, options_.compile);
+  if (verification_enabled()) {
+    verify_plan(plan).throw_if_failed("recalibrated plan for \"" +
+                                      model_.name() + "\" is invalid");
+    verify_races(plan).throw_if_failed(
+        "recalibrated plan for \"" + model_.name() +
+        "\" has conflicting accesses not ordered by happens-before");
+  }
+  return plan;
+}
+
 }  // namespace duet

@@ -73,6 +73,11 @@ class DuetEngine {
   // Same plan, real threads, wall-clock latency (correctness validation).
   ExecutionResult infer_threaded(const std::map<NodeId, Tensor>& feeds);
 
+  // Builds (and, in checked mode, verifies) a plan for an alternative
+  // placement of the same partition — how the serving runtime materializes
+  // an online-recalibrated placement before atomically swapping it in.
+  ExecutionPlan build_plan_for(const Placement& placement) const;
+
  private:
   Graph model_;
   DuetOptions options_;

@@ -1,0 +1,25 @@
+#include "serve/admission.hpp"
+
+namespace duet::serve {
+
+AdmissionCounters::Snapshot AdmissionCounters::snapshot() const {
+  Snapshot s;
+  s.offered = offered.load(std::memory_order_relaxed);
+  s.accepted = accepted.load(std::memory_order_relaxed);
+  s.rejected = rejected.load(std::memory_order_relaxed);
+  s.shed = shed.load(std::memory_order_relaxed);
+  s.completed = completed.load(std::memory_order_relaxed);
+  s.completed_late = completed_late.load(std::memory_order_relaxed);
+  return s;
+}
+
+void AdmissionCounters::reset() {
+  offered.store(0, std::memory_order_relaxed);
+  accepted.store(0, std::memory_order_relaxed);
+  rejected.store(0, std::memory_order_relaxed);
+  shed.store(0, std::memory_order_relaxed);
+  completed.store(0, std::memory_order_relaxed);
+  completed_late.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace duet::serve

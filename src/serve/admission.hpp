@@ -1,0 +1,91 @@
+#pragma once
+
+// Admission control and load shedding for the serving runtime. Two cheap,
+// deterministic policies shared verbatim by the real-threaded server and
+// the virtual-time simulator (so the simulator's shed/reject accounting is
+// the ground truth the real server is tested against):
+//
+//   * reject-on-full      — an arrival finding the bounded queue at
+//     capacity is refused immediately. Open-loop traffic cannot be made to
+//     wait; an unbounded backlog just converts overload into unbounded
+//     latency for everyone (the classic serving-system failure mode).
+//   * shed-on-deadline-miss — a request whose deadline has already expired
+//     when a worker picks it up is dropped without executing. The work
+//     would be wasted: the client has timed out, and executing it only
+//     delays the requests behind it.
+//
+// Completed-but-late requests (started before the deadline, finished after)
+// are delivered and counted separately: the expensive part is already paid
+// by then, and the tail accounting in ServeStats makes the lateness
+// visible.
+
+#include <atomic>
+#include <cstdint>
+
+namespace duet::serve {
+
+enum class Verdict { kAdmit, kReject, kShed };
+
+// Tally of every admission decision. Safe for concurrent recording;
+// snapshot() gives a consistent-enough view for reports (counters are
+// monotonic and read after the traffic they describe has drained).
+struct AdmissionCounters {
+  std::atomic<uint64_t> offered{0};
+  std::atomic<uint64_t> accepted{0};
+  std::atomic<uint64_t> rejected{0};
+  std::atomic<uint64_t> shed{0};
+  std::atomic<uint64_t> completed{0};
+  std::atomic<uint64_t> completed_late{0};
+
+  struct Snapshot {
+    uint64_t offered = 0;
+    uint64_t accepted = 0;
+    uint64_t rejected = 0;
+    uint64_t shed = 0;
+    uint64_t completed = 0;
+    uint64_t completed_late = 0;
+
+    double shed_rate() const {
+      return offered > 0
+                 ? static_cast<double>(shed) / static_cast<double>(offered)
+                 : 0.0;
+    }
+    double reject_rate() const {
+      return offered > 0
+                 ? static_cast<double>(rejected) / static_cast<double>(offered)
+                 : 0.0;
+    }
+  };
+  Snapshot snapshot() const;
+  void reset();
+};
+
+class AdmissionController {
+ public:
+  // `queue_capacity` bounds the number of waiting (not yet started)
+  // requests a new arrival may find.
+  explicit AdmissionController(size_t queue_capacity)
+      : queue_capacity_(queue_capacity) {}
+
+  size_t queue_capacity() const { return queue_capacity_; }
+
+  // Arrival-time decision: admit unless the queue is already full.
+  Verdict on_arrival(size_t queue_length) const {
+    return queue_length >= queue_capacity_ ? Verdict::kReject : Verdict::kAdmit;
+  }
+
+  // Start-of-service decision: shed when the deadline expired before the
+  // request could start. `deadline_s` <= 0 means no deadline.
+  bool should_shed(double now_s, double arrival_s, double deadline_s) const {
+    return deadline_s > 0.0 && now_s > arrival_s + deadline_s;
+  }
+
+  AdmissionCounters& counters() { return counters_; }
+  const AdmissionCounters& counters() const { return counters_; }
+
+ private:
+  const size_t queue_capacity_;
+  AdmissionCounters counters_;
+};
+
+}  // namespace duet::serve

@@ -1,0 +1,101 @@
+#include "serve/recalibration.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "device/calibration.hpp"
+
+namespace duet::serve {
+
+void DriftAccumulator::record(const Timeline& timeline) {
+  for (const TimelineEvent& e : timeline.events()) {
+    if (e.kind != TimelineEvent::Kind::kExec) continue;
+    record(e.subgraph, e.device, e.duration());
+  }
+}
+
+void DriftAccumulator::record(int subgraph, DeviceKind device, double seconds) {
+  DUET_CHECK(subgraph >= 0 && static_cast<size_t>(subgraph) < cells_.size())
+      << "subgraph " << subgraph << " out of range";
+  Cell& c = cells_[static_cast<size_t>(subgraph)][static_cast<int>(device)];
+  c.sum_s += seconds;
+  c.count += 1;
+}
+
+uint64_t DriftAccumulator::samples(int subgraph, DeviceKind device) const {
+  return cells_[static_cast<size_t>(subgraph)][static_cast<int>(device)].count;
+}
+
+double DriftAccumulator::mean_s(int subgraph, DeviceKind device) const {
+  const Cell& c = cells_[static_cast<size_t>(subgraph)][static_cast<int>(device)];
+  return c.count == 0 ? 0.0 : c.sum_s / static_cast<double>(c.count);
+}
+
+uint64_t DriftAccumulator::total_samples() const {
+  uint64_t total = 0;
+  for (const auto& row : cells_)
+    for (const Cell& c : row) total += c.count;
+  return total;
+}
+
+void DriftAccumulator::reset() {
+  for (auto& row : cells_)
+    for (Cell& c : row) c = Cell{};
+}
+
+RecalibrationResult recalibrate(const Graph& model, const Partition& partition,
+                                const std::vector<SubgraphProfile>& base,
+                                const DriftAccumulator& observed,
+                                const Placement& current,
+                                const TransferParams& link,
+                                const RecalibrationOptions& options) {
+  DUET_CHECK_EQ(observed.num_subgraphs(), base.size());
+  DUET_CHECK_EQ(current.size(), base.size());
+
+  // Observed exec spans include the per-dispatch overhead the evaluator adds
+  // on top of profile means; subtract it so the override slots into the same
+  // place the offline mean occupied.
+  const double dispatch = executor_dispatch_overhead();
+  std::vector<SubgraphProfile> adjusted = base;
+  size_t overridden = 0;
+  for (size_t i = 0; i < adjusted.size(); ++i) {
+    for (int d = 0; d < kNumDeviceKinds; ++d) {
+      const DeviceKind kind = static_cast<DeviceKind>(d);
+      if (observed.samples(static_cast<int>(i), kind) < options.min_samples)
+        continue;
+      const double mean =
+          std::max(observed.mean_s(static_cast<int>(i), kind) - dispatch, 1e-9);
+      adjusted[i].per_device[d].mean_s = mean;
+      adjusted[i].per_device[d].stats.mean = mean;
+      ++overridden;
+    }
+  }
+
+  LatencyEvaluator evaluator(partition, model, adjusted, link);
+  RecalibrationResult result;
+  result.overridden_cells = overridden;
+  result.predicted_current_s = evaluator.evaluate(current);
+
+  Rng rng(options.seed);
+  SchedulingContext ctx;
+  ctx.partition = &partition;
+  ctx.profiles = &adjusted;
+  ctx.evaluator = &evaluator;
+  ctx.rng = &rng;
+  ScheduleResult proposal = make_scheduler(options.scheduler)->schedule(ctx);
+  result.predicted_new_s = proposal.est_latency_s;
+  result.correction_rounds = proposal.correction_rounds;
+
+  const bool improves =
+      result.predicted_new_s <
+      result.predicted_current_s * (1.0 - options.swap_threshold);
+  if (improves && proposal.placement != current) {
+    result.swapped = true;
+    result.placement = std::move(proposal.placement);
+  } else {
+    result.placement = current;
+  }
+  return result;
+}
+
+}  // namespace duet::serve

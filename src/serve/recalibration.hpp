@@ -1,0 +1,85 @@
+#pragma once
+
+// Online recalibration — the compiler-runtime coupling of the paper, run
+// continuously under load. The scheduler placed subgraphs using offline
+// profiled latencies; the learned-cost-model literature (PAPERS.md: Kaufman
+// et al., Singh et al.) and our own telemetry DriftReport both show those
+// estimates drift from observed behaviour. The serving runtime therefore
+// accumulates the per-subgraph execution times its workers actually record,
+// substitutes them into the profiles once enough samples exist, re-runs the
+// greedy-correction scheduler against the corrected costs, and — when the
+// predicted makespan improves by more than a threshold — hands the new
+// placement back to the server for an atomic plan swap. Placement never
+// changes results (every device computes identical numerics; the
+// equivalence is tested), so swapping is safe mid-traffic.
+
+#include <array>
+#include <vector>
+
+#include "device/interconnect.hpp"
+#include "profile/profiler.hpp"
+#include "runtime/timeline.hpp"
+#include "sched/scheduler.hpp"
+
+namespace duet::serve {
+
+// Per-(subgraph, device) running mean of observed execution time. Callers
+// serialize access (the server records under its stats mutex); the
+// accumulator itself is plain data.
+class DriftAccumulator {
+ public:
+  explicit DriftAccumulator(size_t num_subgraphs) : cells_(num_subgraphs) {}
+
+  size_t num_subgraphs() const { return cells_.size(); }
+
+  // Sums every kExec event of an executor timeline into the matching cell.
+  void record(const Timeline& timeline);
+  // Direct injection: one observed execution of `subgraph` on `device`.
+  // (Tests use it to model drift scenarios without running traffic.)
+  void record(int subgraph, DeviceKind device, double seconds);
+
+  uint64_t samples(int subgraph, DeviceKind device) const;
+  double mean_s(int subgraph, DeviceKind device) const;  // 0 with no samples
+  uint64_t total_samples() const;
+  void reset();
+
+ private:
+  struct Cell {
+    double sum_s = 0.0;
+    uint64_t count = 0;
+  };
+  std::vector<std::array<Cell, kNumDeviceKinds>> cells_;
+};
+
+struct RecalibrationOptions {
+  // Required relative improvement of the predicted makespan before a swap
+  // is worth paying (plan rebuild + the risk of thrashing on noise).
+  double swap_threshold = 0.03;
+  // Observations a (subgraph, device) cell needs before its profile entry
+  // is overridden; under-sampled cells keep the offline profile.
+  uint64_t min_samples = 8;
+  std::string scheduler = "greedy-correction";
+  uint64_t seed = 42;
+};
+
+struct RecalibrationResult {
+  bool swapped = false;
+  Placement placement;  // proposed placement (== current when !swapped)
+  double predicted_current_s = 0.0;  // current placement under observed costs
+  double predicted_new_s = 0.0;      // proposed placement under observed costs
+  int correction_rounds = 0;
+  size_t overridden_cells = 0;  // profile entries replaced by observations
+};
+
+// Copies `base` profiles, overrides sufficiently-sampled means with
+// observed ones (minus the dispatch overhead the evaluator re-adds), and
+// re-runs the scheduler. Pure: no global state, deterministic for a fixed
+// accumulator.
+RecalibrationResult recalibrate(const Graph& model, const Partition& partition,
+                                const std::vector<SubgraphProfile>& base,
+                                const DriftAccumulator& observed,
+                                const Placement& current,
+                                const TransferParams& link,
+                                const RecalibrationOptions& options = {});
+
+}  // namespace duet::serve

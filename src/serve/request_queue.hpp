@@ -1,0 +1,85 @@
+#pragma once
+
+// Bounded MPMC request queue — the admission boundary of the serving
+// runtime. Unlike the executor's SyncQueue (runtime/queue.hpp), which is
+// unbounded because the plan's dependency structure already bounds it, a
+// serving queue faces an open-loop arrival process: when producers outrun
+// the workers the queue must push back. try_push never blocks — a full
+// queue is an admission decision (reject), not a stall — while pop blocks
+// workers until work arrives or the queue closes.
+//
+// close() is the graceful-drain half of shutdown: producers are refused
+// from that point on, but everything already accepted stays poppable, so
+// workers drain the backlog and then observe the closed+empty state.
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+
+namespace duet::serve {
+
+template <typename T>
+class BoundedQueue {
+ public:
+  enum class Push { kAccepted, kFull, kClosed };
+
+  explicit BoundedQueue(size_t capacity) : capacity_(capacity) {}
+
+  // Non-blocking admission: kAccepted when the item was enqueued, kFull
+  // when the queue is at capacity (the caller sheds or rejects), kClosed
+  // after close() (the server is draining or shut down). `item` is moved
+  // from only on kAccepted — a refused caller still owns it, so it can
+  // answer the request with the rejection.
+  Push try_push(T&& item) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (closed_) return Push::kClosed;
+      if (items_.size() >= capacity_) return Push::kFull;
+      items_.push_back(std::move(item));
+    }
+    cv_.notify_one();
+    return Push::kAccepted;
+  }
+
+  // Blocks until an item arrives or the queue is closed and drained;
+  // nullopt means closed+empty — the consumer must exit its loop.
+  std::optional<T> pop() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_.wait(lock, [this] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return std::nullopt;
+    T item = std::move(items_.front());
+    items_.pop_front();
+    return item;
+  }
+
+  // Refuses new pushes; already-accepted items remain poppable.
+  void close() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      closed_ = true;
+    }
+    cv_.notify_all();
+  }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return closed_;
+  }
+
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return items_.size();
+  }
+
+  size_t capacity() const { return capacity_; }
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace duet::serve

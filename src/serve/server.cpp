@@ -1,0 +1,266 @@
+#include "serve/server.hpp"
+
+#include <utility>
+
+#include "common/error.hpp"
+#include "common/logging.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/telemetry.hpp"
+
+namespace duet::serve {
+
+DuetServer::DuetServer(Graph model, ServeOptions options)
+    : options_(std::move(options)),
+      engine_(std::make_unique<DuetEngine>(std::move(model), options_.engine)),
+      queue_(options_.queue_capacity),
+      admission_(options_.queue_capacity),
+      paused_(options_.start_paused),
+      plan_(std::make_shared<const ExecutionPlan>(engine_->plan())),
+      placement_(engine_->report().schedule.placement),
+      drift_(engine_->partition().subgraphs.size()) {
+  DUET_CHECK_GT(options_.workers, 0);
+  DUET_CHECK_GT(options_.queue_capacity, 0u);
+  workers_.reserve(static_cast<size_t>(options_.workers));
+  for (int w = 0; w < options_.workers; ++w) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+  DUET_LOG_INFO << "DuetServer up: " << options_.workers << " workers, queue "
+                << options_.queue_capacity << ", model \""
+                << engine_->model().name() << "\"";
+}
+
+DuetServer::~DuetServer() { shutdown(); }
+
+std::future<Response> DuetServer::submit(std::map<NodeId, Tensor> feeds,
+                                         double deadline_s) {
+  Request request;
+  request.id = next_id_.fetch_add(1, std::memory_order_relaxed);
+  request.feeds = std::move(feeds);
+  request.deadline_s =
+      deadline_s < 0.0 ? options_.default_deadline_s : deadline_s;
+  request.arrival_s = clock_.elapsed();
+  std::future<Response> future = request.promise.get_future();
+
+  admission_.counters().offered.fetch_add(1, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(pending_mutex_);
+    ++pending_;
+  }
+  if (queue_.try_push(std::move(request)) ==
+      BoundedQueue<Request>::Push::kAccepted) {
+    admission_.counters().accepted.fetch_add(1, std::memory_order_relaxed);
+    return future;
+  }
+
+  // Refused (full or draining): try_push left `request` untouched, so the
+  // rejection resolves the caller's future immediately.
+  {
+    std::lock_guard<std::mutex> lock(pending_mutex_);
+    --pending_;
+  }
+  pending_cv_.notify_all();
+  admission_.counters().rejected.fetch_add(1, std::memory_order_relaxed);
+  telemetry::counter("serve.rejected").add(1);
+  Response response;
+  response.status = RequestStatus::kRejected;
+  response.wall_latency_s = clock_.elapsed() - request.arrival_s;
+  request.promise.set_value(std::move(response));
+  return future;
+}
+
+void DuetServer::resume() {
+  {
+    std::lock_guard<std::mutex> lock(pause_mutex_);
+    paused_ = false;
+  }
+  pause_cv_.notify_all();
+}
+
+void DuetServer::drain() {
+  {
+    std::lock_guard<std::mutex> lock(pending_mutex_);
+    draining_ = true;
+  }
+  resume();  // a paused server can never drain its backlog
+  queue_.close();
+  std::unique_lock<std::mutex> lock(pending_mutex_);
+  pending_cv_.wait(lock, [this] { return pending_ == 0; });
+}
+
+void DuetServer::shutdown() {
+  if (shut_down_.exchange(true)) return;
+  drain();
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+}
+
+void DuetServer::worker_loop() {
+  // Each worker is a full engine replica: its own device pair (same seed
+  // derivation as the engine's post-profiling devices, so modeled times
+  // match DuetEngine::latency) and per-run arenas inside SimExecutor::run.
+  DevicePair devices =
+      make_default_device_pair(options_.engine.seed ^ 0x5EEDFACEull);
+  SimExecutor executor(devices);
+
+  {
+    std::unique_lock<std::mutex> lock(pause_mutex_);
+    pause_cv_.wait(lock, [this] { return !paused_; });
+  }
+
+  while (std::optional<Request> item = queue_.pop()) {
+    Request request = std::move(*item);
+    const double pickup_s = clock_.elapsed();
+    Response response;
+    response.wall_wait_s = pickup_s - request.arrival_s;
+
+    if (admission_.should_shed(pickup_s, request.arrival_s,
+                               request.deadline_s)) {
+      admission_.counters().shed.fetch_add(1, std::memory_order_relaxed);
+      telemetry::counter("serve.shed").add(1);
+      response.status = RequestStatus::kShed;
+      resolve(request, std::move(response));
+      continue;
+    }
+
+    std::shared_ptr<const ExecutionPlan> plan;
+    uint64_t version = 0;
+    {
+      std::lock_guard<std::mutex> lock(plan_mutex_);
+      plan = plan_;
+      version = plan_version_;
+    }
+
+    ExecutionResult result;
+    {
+      const bool telemetry_on = telemetry::enabled();
+      telemetry::ScopedSpan span(
+          telemetry_on ? "request:" + std::to_string(request.id)
+                       : std::string(),
+          "serve", engine_->model().name());
+      result = executor.run(*plan, request.feeds, options_.with_noise);
+    }
+
+    response.status = RequestStatus::kOk;
+    response.outputs = std::move(result.outputs);
+    response.modeled_latency_s = result.latency_s;
+    response.plan_version = version;
+
+    {
+      std::lock_guard<std::mutex> lock(stats_mutex_);
+      drift_.record(result.timeline);
+      modeled_latency_.add(result.latency_s);
+      wall_wait_.add(response.wall_wait_s);
+    }
+    admission_.counters().completed.fetch_add(1, std::memory_order_relaxed);
+    if (request.deadline_s > 0.0 &&
+        clock_.elapsed() > request.arrival_s + request.deadline_s) {
+      admission_.counters().completed_late.fetch_add(1,
+                                                     std::memory_order_relaxed);
+    }
+    telemetry::counter("serve.completed").add(1);
+    resolve(request, std::move(response));
+
+    if (options_.recalibrate_every > 0) {
+      const uint64_t done =
+          completed_since_recalibration_.fetch_add(1,
+                                                   std::memory_order_relaxed) +
+          1;
+      if (done % options_.recalibrate_every == 0) recalibrate_now();
+    }
+  }
+}
+
+void DuetServer::resolve(Request& request, Response&& response) {
+  response.wall_latency_s = clock_.elapsed() - request.arrival_s;
+  request.promise.set_value(std::move(response));
+  {
+    std::lock_guard<std::mutex> lock(pending_mutex_);
+    DUET_CHECK_GT(pending_, 0u);
+    --pending_;
+  }
+  pending_cv_.notify_all();
+}
+
+RecalibrationResult DuetServer::recalibrate_now() {
+  std::lock_guard<std::mutex> serialize(recalibrate_mutex_);
+  DriftAccumulator observed(0);
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    observed = drift_;
+    ++recalibrations_;
+  }
+  RecalibrationResult result =
+      recalibrate(engine_->model(), engine_->partition(),
+                  engine_->report().profiles, observed, current_placement(),
+                  engine_->devices().link->params(), options_.recalibration);
+  telemetry::counter("serve.recalibrations").add(1);
+  if (result.swapped) {
+    DUET_LOG_INFO << "recalibration swap: predicted "
+                  << result.predicted_current_s << "s -> "
+                  << result.predicted_new_s << "s";
+    swap_plan(result.placement);
+  }
+  return result;
+}
+
+void DuetServer::apply_placement(const Placement& placement) {
+  std::lock_guard<std::mutex> serialize(recalibrate_mutex_);
+  swap_plan(placement);
+}
+
+void DuetServer::swap_plan(const Placement& placement) {
+  // Build outside the plan lock: in-flight requests keep their snapshot and
+  // new pickups keep the old plan until the swap below.
+  std::shared_ptr<const ExecutionPlan> next =
+      std::make_shared<const ExecutionPlan>(
+          engine_->build_plan_for(placement));
+  {
+    std::lock_guard<std::mutex> lock(plan_mutex_);
+    plan_ = std::move(next);
+    placement_ = placement;
+    ++plan_version_;
+    ++swap_count_;
+  }
+  telemetry::counter("serve.plan_swaps").add(1);
+}
+
+std::shared_ptr<const ExecutionPlan> DuetServer::plan_snapshot() const {
+  std::lock_guard<std::mutex> lock(plan_mutex_);
+  return plan_;
+}
+
+Placement DuetServer::current_placement() const {
+  std::lock_guard<std::mutex> lock(plan_mutex_);
+  return placement_;
+}
+
+uint64_t DuetServer::swap_count() const {
+  std::lock_guard<std::mutex> lock(plan_mutex_);
+  return swap_count_;
+}
+
+uint64_t DuetServer::plan_version() const {
+  std::lock_guard<std::mutex> lock(plan_mutex_);
+  return plan_version_;
+}
+
+ServerStats DuetServer::stats() const {
+  ServerStats s;
+  s.admission = admission_.counters().snapshot();
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    s.modeled_latency = modeled_latency_.summarize();
+    s.wall_wait = wall_wait_.summarize();
+    s.recalibrations = recalibrations_;
+    s.drift_samples = drift_.total_samples();
+  }
+  {
+    std::lock_guard<std::mutex> lock(plan_mutex_);
+    s.swap_count = swap_count_;
+    s.plan_version = plan_version_;
+  }
+  return s;
+}
+
+}  // namespace duet::serve

@@ -1,0 +1,176 @@
+#pragma once
+
+// DuetServer — the concurrent serving runtime over a DUET-scheduled plan.
+//
+// One DuetEngine builds the placement and plan (warm PR-4 caches make this
+// cheap); the plan is then shared, immutable, behind a shared_ptr that
+// workers snapshot per request and recalibration swaps atomically. N worker
+// threads pop a bounded MPMC queue (request_queue.hpp); each owns a full
+// device-pair replica, so numeric execution never contends and — with noise
+// off — outputs are bit-identical no matter how many workers raced for the
+// request (tested). Admission follows admission.hpp: arrivals finding the
+// queue full are rejected immediately, requests whose deadline expired
+// before a worker reached them are shed unexecuted, and late completions
+// are delivered but counted.
+//
+// Recalibration closes the compiler-runtime loop online: worker timelines
+// feed a DriftAccumulator, and every `recalibrate_every` completions (or on
+// demand) the server re-runs greedy correction against the observed costs,
+// rebuilding and swapping the plan when the predicted makespan improves by
+// the threshold. In-flight requests keep their snapshot; the swap is
+// invisible except in `plan_version` — placement never changes numerics.
+//
+// Lifecycle: construct (optionally start_paused for deterministic tests) →
+// submit() from any thread → drain() to stop accepting and wait for every
+// accepted request to resolve → shutdown() (idempotent, run by the
+// destructor) to join the workers.
+
+#include <future>
+#include <map>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "common/timer.hpp"
+#include "duet/engine.hpp"
+#include "serve/admission.hpp"
+#include "serve/recalibration.hpp"
+#include "serve/request_queue.hpp"
+
+namespace duet::serve {
+
+struct ServeOptions {
+  int workers = 2;
+  size_t queue_capacity = 64;
+  // Wall-clock deadline applied to requests submitted without one;
+  // <= 0 disables shedding for them.
+  double default_deadline_s = 0.0;
+  // Noise on modeled execution times (numerics are unaffected either way).
+  bool with_noise = false;
+  // Recalibrate after this many completions; 0 leaves it manual
+  // (recalibrate_now()).
+  uint64_t recalibrate_every = 0;
+  RecalibrationOptions recalibration;
+  // Workers start blocked before their first pop until resume() — lets
+  // tests fill the queue (deterministic rejects) or let deadlines expire
+  // (deterministic sheds) without racing the workers.
+  bool start_paused = false;
+  DuetOptions engine;
+};
+
+enum class RequestStatus { kOk, kRejected, kShed };
+
+struct Response {
+  RequestStatus status = RequestStatus::kRejected;
+  std::vector<Tensor> outputs;       // parent graph output order; kOk only
+  double modeled_latency_s = 0.0;    // virtual-time makespan of the run
+  double wall_wait_s = 0.0;          // arrival -> worker pickup
+  double wall_latency_s = 0.0;       // arrival -> response resolved
+  uint64_t plan_version = 0;         // plan generation that served it
+};
+
+struct ServerStats {
+  AdmissionCounters::Snapshot admission;
+  SummaryStats modeled_latency;  // completed requests only
+  SummaryStats wall_wait;
+  uint64_t swap_count = 0;
+  uint64_t plan_version = 0;
+  uint64_t recalibrations = 0;
+  uint64_t drift_samples = 0;
+};
+
+class DuetServer {
+ public:
+  explicit DuetServer(Graph model, ServeOptions options = {});
+  ~DuetServer();
+
+  DuetServer(const DuetServer&) = delete;
+  DuetServer& operator=(const DuetServer&) = delete;
+
+  const DuetEngine& engine() const { return *engine_; }
+  const ServeOptions& options() const { return options_; }
+
+  // Thread-safe. `deadline_s` < 0 applies options().default_deadline_s.
+  // The future resolves with kRejected immediately when the queue is full
+  // or the server is draining; otherwise when a worker finishes (kOk) or
+  // sheds (kShed) the request.
+  std::future<Response> submit(std::map<NodeId, Tensor> feeds,
+                               double deadline_s = -1.0);
+
+  // Releases start_paused workers. No-op otherwise.
+  void resume();
+  // Stops accepting, then blocks until every accepted request has resolved;
+  // workers exit once the backlog is empty. Stats remain readable after.
+  void drain();
+  // drain() + join workers. Idempotent; the destructor calls it.
+  void shutdown();
+
+  // Re-runs the scheduler against accumulated drift and swaps the plan when
+  // the predicted improvement clears the threshold. Serialized internally;
+  // safe to call while traffic flows.
+  RecalibrationResult recalibrate_now();
+  // Force a specific placement (tests): rebuilds the plan and swaps.
+  void apply_placement(const Placement& placement);
+
+  std::shared_ptr<const ExecutionPlan> plan_snapshot() const;
+  Placement current_placement() const;
+  uint64_t swap_count() const;
+  uint64_t plan_version() const;
+  ServerStats stats() const;
+
+ private:
+  struct Request {
+    uint64_t id = 0;
+    std::map<NodeId, Tensor> feeds;
+    double deadline_s = 0.0;
+    double arrival_s = 0.0;  // server clock
+    std::promise<Response> promise;
+  };
+
+  void worker_loop();
+  void resolve(Request& request, Response&& response);
+  void swap_plan(const Placement& placement);
+
+  ServeOptions options_;
+  std::unique_ptr<DuetEngine> engine_;
+  WallTimer clock_;
+
+  BoundedQueue<Request> queue_;
+  AdmissionController admission_;
+  std::vector<std::thread> workers_;
+
+  // Pause gate (start_paused).
+  std::mutex pause_mutex_;
+  std::condition_variable pause_cv_;
+  bool paused_ = false;
+
+  // Accepted-but-unresolved count; drain() waits for it to hit zero.
+  std::mutex pending_mutex_;
+  std::condition_variable pending_cv_;
+  uint64_t pending_ = 0;
+  bool draining_ = false;
+
+  // Shared immutable plan + its placement, swapped under plan_mutex_.
+  mutable std::mutex plan_mutex_;
+  std::shared_ptr<const ExecutionPlan> plan_;
+  Placement placement_;
+  uint64_t plan_version_ = 1;
+  uint64_t swap_count_ = 0;
+
+  // Observed latencies + request stats, recorded under stats_mutex_.
+  mutable std::mutex stats_mutex_;
+  DriftAccumulator drift_;
+  LatencyRecorder modeled_latency_;
+  LatencyRecorder wall_wait_;
+  uint64_t recalibrations_ = 0;
+
+  // Serializes recalibration itself (scheduler run + plan rebuild).
+  std::mutex recalibrate_mutex_;
+
+  std::atomic<uint64_t> next_id_{1};
+  std::atomic<uint64_t> completed_since_recalibration_{0};
+  std::atomic<bool> shut_down_{false};
+};
+
+}  // namespace duet::serve

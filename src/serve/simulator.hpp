@@ -1,0 +1,47 @@
+#pragma once
+
+// Virtual-time serving simulator: a deterministic FIFO multi-worker queue
+// over the sim device pair. Each worker is an independent engine replica
+// (its own CPU-GPU pair), service time is the plan's modeled makespan, and
+// arrivals come from an open-loop trace (workload.hpp) — so throughput,
+// tail sojourn, shed rate, and reject rate under any offered load are exact,
+// reproducible numbers, the same way every benchmark in this repo reports
+// modeled time rather than wall clock of the build machine. The admission
+// and shedding decisions are the ones in admission.hpp, shared with the
+// real-threaded DuetServer (server.hpp), which is what the serving tests
+// validate against.
+
+#include <functional>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "serve/admission.hpp"
+
+namespace duet::serve {
+
+struct ServeSimConfig {
+  int workers = 1;
+  size_t queue_capacity = 128;
+  // Per-request deadline measured from arrival; <= 0 disables shedding.
+  double deadline_s = 0.0;
+};
+
+struct ServeStats {
+  AdmissionCounters::Snapshot admission;
+  double makespan_s = 0.0;        // first arrival to last completion
+  double throughput_qps = 0.0;    // completed / makespan
+  SummaryStats sojourn;           // arrival -> completion, completed only
+  SummaryStats queue_wait;        // arrival -> start of service
+  double worker_busy_frac = 0.0;  // busy time / (workers * makespan)
+  size_t max_queue_depth = 0;
+};
+
+// Replays `arrivals` (ascending seconds) against `workers` modeled engine
+// replicas. `service_s(i)` returns the service time of request i — a
+// constant for deterministic runs, or a per-request noisy draw (callers
+// seed it; the simulator itself is RNG-free).
+ServeStats simulate_serving(const std::vector<double>& arrivals,
+                            const std::function<double(size_t)>& service_s,
+                            const ServeSimConfig& config);
+
+}  // namespace duet::serve

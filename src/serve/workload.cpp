@@ -1,0 +1,62 @@
+#include "serve/workload.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace duet::serve {
+
+namespace {
+
+// One exponential inter-arrival gap at `qps`. uniform() is in [0, 1); guard
+// the log away from -inf.
+double exp_gap(double qps, Rng& rng) {
+  const double u = std::max(rng.uniform(), 1e-12);
+  return -std::log(u) / qps;
+}
+
+}  // namespace
+
+std::vector<double> poisson_trace(double qps, int n, Rng& rng) {
+  DUET_CHECK_GT(qps, 0.0);
+  DUET_CHECK_GE(n, 0);
+  std::vector<double> arrivals;
+  arrivals.reserve(static_cast<size_t>(n));
+  double t = 0.0;
+  for (int i = 0; i < n; ++i) {
+    t += exp_gap(qps, rng);
+    arrivals.push_back(t);
+  }
+  return arrivals;
+}
+
+std::vector<double> bursty_trace(double base_qps, double burst_qps,
+                                 double period_s, double duty, int n, Rng& rng) {
+  DUET_CHECK_GT(base_qps, 0.0);
+  DUET_CHECK_GE(burst_qps, base_qps);
+  DUET_CHECK_GT(period_s, 0.0);
+  DUET_CHECK(duty > 0.0 && duty < 1.0) << "duty must be in (0, 1)";
+  DUET_CHECK_GE(n, 0);
+  std::vector<double> arrivals;
+  arrivals.reserve(static_cast<size_t>(n));
+  double t = 0.0;
+  for (int i = 0; i < n; ++i) {
+    // Rate of the window `t` currently sits in: the burst occupies the
+    // first `duty` fraction of every period.
+    const double phase = t - std::floor(t / period_s) * period_s;
+    const double rate = phase < duty * period_s ? burst_qps : base_qps;
+    t += exp_gap(rate, rng);
+    arrivals.push_back(t);
+  }
+  return arrivals;
+}
+
+double offered_qps(const std::vector<double>& arrivals) {
+  if (arrivals.size() < 2) return 0.0;
+  const double span = arrivals.back() - arrivals.front();
+  if (span <= 0.0) return 0.0;
+  return static_cast<double>(arrivals.size()) / span;
+}
+
+}  // namespace duet::serve

@@ -1,0 +1,33 @@
+#pragma once
+
+// Open-loop arrival generators for the serving runtime: requests arrive on
+// their own schedule whether or not the server keeps up (the regime behind
+// the paper's Fig. 12 tail-latency study — a closed back-to-back loop can
+// never expose queueing delay). Traces are plain ascending timestamps in
+// seconds from a seeded Rng, so every consumer — the virtual-time serving
+// simulator, the real-threaded server, the bench sweeps — replays the exact
+// same arrival process.
+
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace duet::serve {
+
+// `n` Poisson arrivals at `qps` (i.i.d. exponential gaps), starting at the
+// first gap after t=0.
+std::vector<double> poisson_trace(double qps, int n, Rng& rng);
+
+// On/off-modulated Poisson: alternating bursts of `burst_qps` and quiet
+// periods of `base_qps`, switching every `period_s` seconds with the burst
+// occupying `duty` of each period. Models the flash-crowd traffic a shed
+// policy exists for.
+std::vector<double> bursty_trace(double base_qps, double burst_qps,
+                                 double period_s, double duty, int n, Rng& rng);
+
+// Offered rate of a trace: n / span of arrivals (0 for traces shorter than
+// two requests).
+double offered_qps(const std::vector<double>& arrivals);
+
+}  // namespace duet::serve

@@ -1,0 +1,476 @@
+// Tests for the serving runtime: bounded-queue semantics, workload
+// generators, the virtual-time queueing simulator, online recalibration,
+// and the real-threaded DuetServer (determinism under concurrency, deadline
+// shedding, reject-on-full, graceful drain, plan-swap equivalence), plus
+// PipelinedRunner determinism the serving stack leans on.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstring>
+#include <future>
+#include <thread>
+
+#include "device/calibration.hpp"
+#include "duet/engine.hpp"
+#include "models/model_zoo.hpp"
+#include "runtime/pipeline.hpp"
+#include "serve/recalibration.hpp"
+#include "serve/request_queue.hpp"
+#include "serve/server.hpp"
+#include "serve/simulator.hpp"
+#include "serve/workload.hpp"
+
+namespace duet {
+namespace {
+
+using serve::BoundedQueue;
+
+// ---------------------------------------------------------------------------
+// BoundedQueue
+
+TEST(ServeQueue, FifoOrder) {
+  BoundedQueue<int> q(8);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(q.try_push(int(i)), BoundedQueue<int>::Push::kAccepted);
+  }
+  EXPECT_EQ(q.size(), 5u);
+  for (int i = 0; i < 5; ++i) {
+    const auto item = q.pop();
+    ASSERT_TRUE(item.has_value());
+    EXPECT_EQ(*item, i);
+  }
+}
+
+TEST(ServeQueue, RefusesWhenFullWithoutConsuming) {
+  BoundedQueue<int> q(2);
+  EXPECT_EQ(q.try_push(1), BoundedQueue<int>::Push::kAccepted);
+  EXPECT_EQ(q.try_push(2), BoundedQueue<int>::Push::kAccepted);
+  int extra = 3;
+  EXPECT_EQ(q.try_push(std::move(extra)), BoundedQueue<int>::Push::kFull);
+  EXPECT_EQ(extra, 3) << "a refused push must leave the item with the caller";
+  EXPECT_EQ(q.size(), 2u);
+}
+
+TEST(ServeQueue, CloseRefusesPushesButDrains) {
+  BoundedQueue<int> q(4);
+  ASSERT_EQ(q.try_push(1), BoundedQueue<int>::Push::kAccepted);
+  ASSERT_EQ(q.try_push(2), BoundedQueue<int>::Push::kAccepted);
+  q.close();
+  EXPECT_EQ(q.try_push(3), BoundedQueue<int>::Push::kClosed);
+  EXPECT_TRUE(q.pop().has_value());
+  EXPECT_TRUE(q.pop().has_value());
+  EXPECT_FALSE(q.pop().has_value()) << "closed + empty must return nullopt";
+}
+
+TEST(ServeQueue, PopBlocksUntilPush) {
+  BoundedQueue<int> q(4);
+  std::thread consumer([&q] {
+    const auto item = q.pop();
+    ASSERT_TRUE(item.has_value());
+    EXPECT_EQ(*item, 42);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_EQ(q.try_push(42), BoundedQueue<int>::Push::kAccepted);
+  consumer.join();
+}
+
+// ---------------------------------------------------------------------------
+// Workload generators
+
+TEST(ServeWorkload, PoissonIsDeterministicAscendingAtRate) {
+  Rng a(7);
+  Rng b(7);
+  const auto t1 = serve::poisson_trace(500.0, 2000, a);
+  const auto t2 = serve::poisson_trace(500.0, 2000, b);
+  EXPECT_EQ(t1, t2) << "same seed must replay the same arrival process";
+  ASSERT_EQ(t1.size(), 2000u);
+  EXPECT_GT(t1.front(), 0.0);
+  for (size_t i = 1; i < t1.size(); ++i) EXPECT_GE(t1[i], t1[i - 1]);
+  EXPECT_NEAR(serve::offered_qps(t1), 500.0, 500.0 * 0.15);
+}
+
+TEST(ServeWorkload, BurstyRateSitsBetweenBaseAndBurst) {
+  Rng rng(11);
+  const auto trace = serve::bursty_trace(100.0, 1000.0, 0.1, 0.4, 2000, rng);
+  ASSERT_EQ(trace.size(), 2000u);
+  for (size_t i = 1; i < trace.size(); ++i) EXPECT_GE(trace[i], trace[i - 1]);
+  const double rate = serve::offered_qps(trace);
+  EXPECT_GT(rate, 100.0);
+  EXPECT_LT(rate, 1000.0);
+}
+
+// ---------------------------------------------------------------------------
+// Virtual-time queueing simulator
+
+TEST(ServeSim, DeterministicReplay) {
+  Rng rng(3);
+  const auto arrivals = serve::poisson_trace(800.0, 500, rng);
+  const auto service = [](size_t) { return 1e-3; };
+  serve::ServeSimConfig cfg;
+  cfg.workers = 2;
+  const serve::ServeStats a = serve::simulate_serving(arrivals, service, cfg);
+  const serve::ServeStats b = serve::simulate_serving(arrivals, service, cfg);
+  EXPECT_EQ(a.throughput_qps, b.throughput_qps);
+  EXPECT_EQ(a.sojourn.p99, b.sojourn.p99);
+  EXPECT_EQ(a.admission.completed, b.admission.completed);
+}
+
+TEST(ServeSim, WorkersScaleSaturatedThroughput) {
+  // 2x the 4-worker saturation rate, no deadline, queue big enough to
+  // absorb everything: completion-bound throughput must scale with workers.
+  Rng rng(5);
+  const auto arrivals = serve::poisson_trace(8000.0, 800, rng);
+  const auto service = [](size_t) { return 1e-3; };
+  serve::ServeSimConfig cfg;
+  cfg.queue_capacity = 1u << 20;
+  cfg.workers = 1;
+  const serve::ServeStats one = serve::simulate_serving(arrivals, service, cfg);
+  cfg.workers = 4;
+  const serve::ServeStats four = serve::simulate_serving(arrivals, service, cfg);
+  EXPECT_EQ(one.admission.completed, 800u);
+  EXPECT_EQ(four.admission.completed, 800u);
+  EXPECT_NEAR(one.throughput_qps, 1000.0, 30.0);
+  EXPECT_GT(four.throughput_qps, 3.8 * one.throughput_qps);
+  EXPECT_LT(four.throughput_qps, 4.2 * one.throughput_qps);
+}
+
+TEST(ServeSim, AdmissionAccountingConserves) {
+  Rng rng(9);
+  const auto arrivals = serve::poisson_trace(4000.0, 1000, rng);
+  const auto service = [](size_t) { return 1e-3; };
+  serve::ServeSimConfig cfg;
+  cfg.workers = 1;
+  cfg.queue_capacity = 16;
+  cfg.deadline_s = 5e-3;
+  const serve::ServeStats s = serve::simulate_serving(arrivals, service, cfg);
+  EXPECT_EQ(s.admission.offered, 1000u);
+  EXPECT_EQ(s.admission.offered,
+            s.admission.completed + s.admission.shed + s.admission.rejected);
+  EXPECT_GT(s.admission.rejected, 0u) << "4x overload on a 16-deep queue";
+  EXPECT_GT(s.admission.shed, 0u) << "5 ms deadline at 4x overload";
+  EXPECT_LE(s.admission.completed_late, s.admission.completed);
+}
+
+TEST(ServeSim, NoDeadlineNeverSheds) {
+  Rng rng(13);
+  const auto arrivals = serve::poisson_trace(3000.0, 500, rng);
+  serve::ServeSimConfig cfg;
+  cfg.workers = 2;
+  cfg.queue_capacity = 1u << 20;
+  const serve::ServeStats s =
+      serve::simulate_serving(arrivals, [](size_t) { return 1e-3; }, cfg);
+  EXPECT_EQ(s.admission.shed, 0u);
+  EXPECT_EQ(s.admission.completed, 500u);
+  EXPECT_GT(s.max_queue_depth, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Online recalibration
+
+struct RecalFixture {
+  Graph model;
+  DuetOptions options;
+  DuetEngine engine;
+
+  RecalFixture()
+      : model(models::build_wide_deep(models::WideDeepConfig::tiny())),
+        options([] {
+          DuetOptions o;
+          o.enable_fallback = false;  // keep the heterogeneous plan
+          return o;
+        }()),
+        engine(models::build_wide_deep(models::WideDeepConfig::tiny()),
+               options) {}
+
+  // Observed times that exactly reproduce the profiles (plus the dispatch
+  // overhead SimExecutor folds into every exec span).
+  serve::DriftAccumulator faithful_observations(uint64_t samples) const {
+    const auto& profiles = engine.report().profiles;
+    serve::DriftAccumulator obs(profiles.size());
+    const double dispatch = executor_dispatch_overhead();
+    for (size_t i = 0; i < profiles.size(); ++i) {
+      for (int d = 0; d < kNumDeviceKinds; ++d) {
+        const DeviceKind kind = static_cast<DeviceKind>(d);
+        for (uint64_t s = 0; s < samples; ++s) {
+          obs.record(static_cast<int>(i), kind,
+                     profiles[i].time_on(kind) + dispatch);
+        }
+      }
+    }
+    return obs;
+  }
+};
+
+TEST(ServeRecal, FaithfulObservationsDoNotSwap) {
+  RecalFixture f;
+  const serve::DriftAccumulator obs = f.faithful_observations(8);
+  serve::RecalibrationOptions opts;
+  const serve::RecalibrationResult r = serve::recalibrate(
+      f.engine.model(), f.engine.partition(), f.engine.report().profiles, obs,
+      f.engine.report().schedule.placement,
+      f.engine.devices().link->params(), opts);
+  EXPECT_FALSE(r.swapped);
+  EXPECT_EQ(r.placement, f.engine.report().schedule.placement);
+  EXPECT_GT(r.overridden_cells, 0u);
+  // Observed costs equal profiled costs, so the prediction for the current
+  // placement must match the scheduler's original estimate.
+  EXPECT_NEAR(r.predicted_current_s, f.engine.report().schedule.est_latency_s,
+              f.engine.report().schedule.est_latency_s * 1e-6);
+}
+
+TEST(ServeRecal, UnderSampledCellsKeepOfflineProfile) {
+  RecalFixture f;
+  const serve::DriftAccumulator obs = f.faithful_observations(2);
+  serve::RecalibrationOptions opts;
+  opts.min_samples = 8;
+  const serve::RecalibrationResult r = serve::recalibrate(
+      f.engine.model(), f.engine.partition(), f.engine.report().profiles, obs,
+      f.engine.report().schedule.placement,
+      f.engine.devices().link->params(), opts);
+  EXPECT_EQ(r.overridden_cells, 0u);
+  EXPECT_FALSE(r.swapped);
+}
+
+TEST(ServeRecal, DriftedDeviceTriggersSwap) {
+  RecalFixture f;
+  const Placement& current = f.engine.report().schedule.placement;
+  const auto& profiles = f.engine.report().profiles;
+  serve::DriftAccumulator obs = f.faithful_observations(8);
+  // The runtime now observes every subgraph running 25x slower than profiled
+  // on its currently-assigned device: the corrected schedule must abandon
+  // the stale placement.
+  const double dispatch = executor_dispatch_overhead();
+  for (size_t i = 0; i < profiles.size(); ++i) {
+    const DeviceKind assigned = current.of(static_cast<int>(i));
+    for (uint64_t s = 0; s < 16; ++s) {
+      obs.record(static_cast<int>(i), assigned,
+                 25.0 * profiles[i].time_on(assigned) + dispatch);
+    }
+  }
+  serve::RecalibrationOptions opts;
+  const serve::RecalibrationResult r = serve::recalibrate(
+      f.engine.model(), f.engine.partition(), profiles, obs, current,
+      f.engine.devices().link->params(), opts);
+  EXPECT_TRUE(r.swapped);
+  EXPECT_NE(r.placement, current);
+  EXPECT_LT(r.predicted_new_s,
+            r.predicted_current_s * (1.0 - opts.swap_threshold));
+}
+
+TEST(ServeRecal, DriftAccumulatorRecordsTimelines) {
+  RecalFixture f;
+  Rng rng(2);
+  const auto feeds = models::make_random_feeds(f.engine.model(), rng);
+  const ExecutionResult result = f.engine.infer(feeds);
+  serve::DriftAccumulator obs(f.engine.partition().subgraphs.size());
+  obs.record(result.timeline);
+  EXPECT_GT(obs.total_samples(), 0u);
+  obs.reset();
+  EXPECT_EQ(obs.total_samples(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// DuetServer
+
+Graph tiny_model() {
+  return models::build_wide_deep(models::WideDeepConfig::tiny());
+}
+
+serve::ServeOptions hetero_options() {
+  serve::ServeOptions o;
+  o.engine.enable_fallback = false;
+  return o;
+}
+
+TEST(ServeServer, OutputsBitIdenticalForOneAndManyWorkers) {
+  DuetOptions eopts;
+  eopts.enable_fallback = false;
+  DuetEngine reference(tiny_model(), eopts);
+  Rng rng(4);
+  const auto feeds = models::make_random_feeds(reference.model(), rng);
+  const ExecutionResult expect = reference.infer(feeds);
+
+  for (int workers : {1, 4}) {
+    serve::ServeOptions opts = hetero_options();
+    opts.workers = workers;
+    serve::DuetServer server(tiny_model(), opts);
+    std::vector<std::future<serve::Response>> futures;
+    for (int i = 0; i < 6; ++i) futures.push_back(server.submit(feeds));
+    for (auto& f : futures) {
+      const serve::Response r = f.get();
+      ASSERT_EQ(r.status, serve::RequestStatus::kOk);
+      ASSERT_EQ(r.outputs.size(), expect.outputs.size());
+      for (size_t i = 0; i < r.outputs.size(); ++i) {
+        ASSERT_EQ(r.outputs[i].byte_size(), expect.outputs[i].byte_size());
+        EXPECT_EQ(std::memcmp(r.outputs[i].raw_data(),
+                              expect.outputs[i].raw_data(),
+                              r.outputs[i].byte_size()),
+                  0)
+            << workers << " workers must serve bit-identical outputs";
+      }
+      EXPECT_DOUBLE_EQ(r.modeled_latency_s, expect.latency_s)
+          << "modeled service time is a property of the plan, not the worker";
+    }
+    server.shutdown();
+  }
+}
+
+TEST(ServeServer, ExpiredDeadlinesAreShedNotExecuted) {
+  serve::ServeOptions opts = hetero_options();
+  opts.workers = 2;
+  opts.start_paused = true;
+  opts.default_deadline_s = 1e-4;
+  serve::DuetServer server(tiny_model(), opts);
+  Rng rng(6);
+  const auto feeds = models::make_random_feeds(server.engine().model(), rng);
+  std::vector<std::future<serve::Response>> futures;
+  for (int i = 0; i < 4; ++i) futures.push_back(server.submit(feeds));
+  // Workers are paused; every deadline expires before service can start.
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  server.resume();
+  server.drain();
+  for (auto& f : futures) {
+    EXPECT_EQ(f.get().status, serve::RequestStatus::kShed);
+  }
+  const serve::ServerStats s = server.stats();
+  EXPECT_EQ(s.admission.offered, 4u);
+  EXPECT_EQ(s.admission.accepted, 4u);
+  EXPECT_EQ(s.admission.shed, 4u);
+  EXPECT_EQ(s.admission.completed, 0u);
+}
+
+TEST(ServeServer, FullQueueRejectsImmediately) {
+  serve::ServeOptions opts = hetero_options();
+  opts.workers = 1;
+  opts.queue_capacity = 3;
+  opts.start_paused = true;
+  serve::DuetServer server(tiny_model(), opts);
+  Rng rng(8);
+  const auto feeds = models::make_random_feeds(server.engine().model(), rng);
+  std::vector<std::future<serve::Response>> futures;
+  for (int i = 0; i < 5; ++i) futures.push_back(server.submit(feeds));
+  // Paused workers: arrivals 4 and 5 found the 3-deep queue full and must
+  // already be resolved as rejected.
+  for (int i = 3; i < 5; ++i) {
+    ASSERT_EQ(futures[static_cast<size_t>(i)].wait_for(std::chrono::seconds(0)),
+              std::future_status::ready);
+    EXPECT_EQ(futures[static_cast<size_t>(i)].get().status,
+              serve::RequestStatus::kRejected);
+  }
+  server.resume();
+  server.drain();
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(futures[static_cast<size_t>(i)].get().status,
+              serve::RequestStatus::kOk);
+  }
+  const serve::ServerStats s = server.stats();
+  EXPECT_EQ(s.admission.offered, 5u);
+  EXPECT_EQ(s.admission.accepted, 3u);
+  EXPECT_EQ(s.admission.rejected, 2u);
+  EXPECT_EQ(s.admission.completed, 3u);
+}
+
+TEST(ServeServer, DrainResolvesEveryInFlightRequest) {
+  serve::ServeOptions opts = hetero_options();
+  opts.workers = 2;
+  serve::DuetServer server(tiny_model(), opts);
+  Rng rng(10);
+  const auto feeds = models::make_random_feeds(server.engine().model(), rng);
+  std::vector<std::future<serve::Response>> futures;
+  for (int i = 0; i < 8; ++i) futures.push_back(server.submit(feeds));
+  server.drain();
+  for (auto& f : futures) {
+    ASSERT_EQ(f.wait_for(std::chrono::seconds(0)), std::future_status::ready)
+        << "drain must not return while a request is unresolved";
+    EXPECT_EQ(f.get().status, serve::RequestStatus::kOk);
+  }
+  EXPECT_EQ(server.stats().admission.completed, 8u);
+  // A drained server is closed for business.
+  EXPECT_EQ(server.submit(feeds).get().status, serve::RequestStatus::kRejected);
+}
+
+TEST(ServeServer, PlacementSwapPreservesNumericsExactly) {
+  serve::ServeOptions opts = hetero_options();
+  opts.workers = 1;
+  serve::DuetServer server(tiny_model(), opts);
+  Rng rng(12);
+  const auto feeds = models::make_random_feeds(server.engine().model(), rng);
+  const serve::Response before = server.submit(feeds).get();
+  ASSERT_EQ(before.status, serve::RequestStatus::kOk);
+
+  Placement flipped = server.current_placement();
+  flipped.flip(0);
+  server.apply_placement(flipped);
+  EXPECT_EQ(server.swap_count(), 1u);
+  EXPECT_EQ(server.current_placement(), flipped);
+
+  const serve::Response after = server.submit(feeds).get();
+  ASSERT_EQ(after.status, serve::RequestStatus::kOk);
+  EXPECT_GT(after.plan_version, before.plan_version);
+  ASSERT_EQ(after.outputs.size(), before.outputs.size());
+  for (size_t i = 0; i < after.outputs.size(); ++i) {
+    ASSERT_EQ(after.outputs[i].byte_size(), before.outputs[i].byte_size());
+    EXPECT_EQ(std::memcmp(after.outputs[i].raw_data(),
+                          before.outputs[i].raw_data(),
+                          after.outputs[i].byte_size()),
+              0)
+        << "a placement swap must never change what the model computes";
+  }
+}
+
+TEST(ServeServer, RecalibrateNowUsesObservedDrift) {
+  serve::ServeOptions opts = hetero_options();
+  opts.workers = 2;
+  opts.recalibration.min_samples = 1;
+  serve::DuetServer server(tiny_model(), opts);
+  Rng rng(14);
+  const auto feeds = models::make_random_feeds(server.engine().model(), rng);
+  std::vector<std::future<serve::Response>> futures;
+  for (int i = 0; i < 4; ++i) futures.push_back(server.submit(feeds));
+  for (auto& f : futures) ASSERT_EQ(f.get().status, serve::RequestStatus::kOk);
+  server.drain();
+
+  const serve::ServerStats stats = server.stats();
+  EXPECT_GT(stats.drift_samples, 0u);
+  const serve::RecalibrationResult r = server.recalibrate_now();
+  EXPECT_GT(r.overridden_cells, 0u);
+  EXPECT_GT(r.predicted_current_s, 0.0);
+  // Noise-free serving observes exactly the profiled costs, so recalibration
+  // must see no win worth a swap.
+  EXPECT_FALSE(r.swapped);
+  EXPECT_EQ(server.swap_count(), 0u);
+  EXPECT_EQ(server.stats().recalibrations, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// PipelinedRunner properties the serving stack relies on
+
+TEST(ServePipeline, NoiseFreeRunsAreIdentical) {
+  DuetOptions eopts;
+  eopts.enable_fallback = false;
+  DuetEngine engine(tiny_model(), eopts);
+  PipelinedRunner runner(engine.devices());
+  const auto a = runner.run(engine.plan(), 16, false);
+  const auto b = runner.run(engine.plan(), 16, false);
+  EXPECT_DOUBLE_EQ(a.makespan_s, b.makespan_s);
+  EXPECT_DOUBLE_EQ(a.throughput_qps, b.throughput_qps);
+  ASSERT_EQ(a.query_latency_s.size(), 16u);
+  EXPECT_EQ(a.query_latency_s, b.query_latency_s);
+}
+
+TEST(ServePipeline, ThroughputBoundedByBottleneckDevice) {
+  DuetOptions eopts;
+  eopts.enable_fallback = false;
+  DuetEngine engine(tiny_model(), eopts);
+  PipelinedRunner runner(engine.devices());
+  const auto r = runner.run(engine.plan(), 32, false);
+  ASSERT_GT(r.bottleneck_busy_s, 0.0);
+  // Steady state: at most one query per bottleneck-busy interval (small
+  // slack for the pipeline fill/drain ramps).
+  EXPECT_LE(r.throughput_qps, 1.0 / r.bottleneck_busy_s * 1.05);
+  EXPECT_GE(r.mean_latency_s, 0.0);
+}
+
+}  // namespace
+}  // namespace duet

@@ -17,6 +17,8 @@
 //   duet_cli schedule --all                    # whole zoo; prints cache hit rate
 //   duet_cli cache stats                       # inspect the on-disk profile cache
 //   duet_cli cache clear                       # drop it
+//   duet_cli serve-bench wide-deep --workers 4 # serving throughput + tails
+//   duet_cli serve-bench --all --json          # machine-readable, whole zoo
 //
 // `verify` runs the static verification layer (src/analysis) over the full
 // pipeline — raw graph, every compiler pass, partition, placement, plan —
@@ -39,6 +41,15 @@
 //
 // `stats` runs the same pipeline and prints the per-subgraph drift tables
 // and headline counters to stdout (--json for one JSON document per model).
+//
+// `serve-bench` drives the concurrent serving runtime (src/serve): it runs
+// real traffic through a DuetServer (N worker threads over the shared plan,
+// bounded-queue admission, one online recalibration pass), then replays
+// deterministic open-loop Poisson traces through the virtual-time queueing
+// simulator at a nominal (50% utilization) and a peak (2x capacity) offered
+// load. Reports per-leg throughput, p50/p95/p99 sojourn, shed and reject
+// rates, and the placement-swap count; --json emits one document per model
+// and --out writes a Chrome trace with one span per served request.
 //
 // `schedule` runs the pipeline with the persistent profile cache enabled
 // (default directory: $DUET_CACHE_DIR or .duet-cache) and reports the cache
@@ -64,10 +75,16 @@
 //   --dump <file>        save the model as Relay text + .weights sidecar
 //   --breakdown          print the Table II-style subgraph table
 //   --json               emit the schedule report as JSON (default command)
-//   --out <dir>          output directory for `trace` (default ".")
+//   --out <dir>          output directory for `trace` / `serve-bench`
 //   --cache-dir <dir>    profile-cache directory for `schedule` / `cache`
 //                        (default: $DUET_CACHE_DIR, else .duet-cache)
 //   --no-cache           disable the compile and profile caches
+//   --qps <Q>            serve-bench: nominal offered load (default: half of
+//                        the worker pool's saturation rate)
+//   --workers <N>        serve-bench: worker replicas (default 4)
+//   --deadline-ms <D>    serve-bench: per-request deadline (default: 10x the
+//                        modeled service time)
+//   --requests <N>       serve-bench: trace length per simulated leg
 
 #include <cctype>
 #include <cinttypes>
@@ -95,6 +112,9 @@
 #include "models/model_zoo.hpp"
 #include "relay/relay.hpp"
 #include "relay/serialize.hpp"
+#include "serve/server.hpp"
+#include "serve/simulator.hpp"
+#include "serve/workload.hpp"
 #include "telemetry/chrome_trace.hpp"
 #include "telemetry/drift.hpp"
 #include "telemetry/metrics.hpp"
@@ -103,8 +123,10 @@
 
 namespace {
 
-[[noreturn]] void usage(const char* argv0) {
-  std::fprintf(stderr,
+// Help requested explicitly (--help/-h) exits 0; a usage error exits 2, so
+// scripts and CI can tell "misuse" from "asked for the manual".
+[[noreturn]] void usage_exit(const char* argv0, int code) {
+  std::fprintf(code == 0 ? stdout : stderr,
                "usage: %s [--model <name> | --relay <file>] [--scheduler <name>]\n"
                "          [--no-fallback] [--nested <N>] [--runs <N>]\n"
                "          [--trace <file>] [--dot <file>] [--dump <file>]\n"
@@ -119,9 +141,42 @@ namespace {
                "          [--scheduler <name>]\n"
                "       %s schedule <model>... | --all [--cache-dir <dir>]\n"
                "          [--no-cache] [--scheduler <name>]\n"
-               "       %s cache stats | clear [--cache-dir <dir>]\n",
-               argv0, argv0, argv0, argv0, argv0, argv0, argv0);
-  std::exit(2);
+               "       %s cache stats | clear [--cache-dir <dir>]\n"
+               "       %s serve-bench <model>... | --all [--qps <Q>]\n"
+               "          [--workers <N>] [--deadline-ms <D>] [--requests <N>]\n"
+               "          [--json] [--out <dir>] [--scheduler <name>]\n",
+               argv0, argv0, argv0, argv0, argv0, argv0, argv0, argv0);
+  std::exit(code);
+}
+
+[[noreturn]] void usage(const char* argv0) { usage_exit(argv0, 2); }
+
+// Strict numeric flag parsing: the whole token must parse, and failures are
+// a usage error (exit 2), never an uncaught std::stoi abort.
+int parse_int(const char* argv0, const std::string& flag,
+              const std::string& text) {
+  try {
+    size_t pos = 0;
+    const int value = std::stoi(text, &pos);
+    if (pos == text.size()) return value;
+  } catch (const std::exception&) {
+  }
+  std::fprintf(stderr, "invalid integer for %s: \"%s\"\n", flag.c_str(),
+               text.c_str());
+  usage(argv0);
+}
+
+double parse_double(const char* argv0, const std::string& flag,
+                    const std::string& text) {
+  try {
+    size_t pos = 0;
+    const double value = std::stod(text, &pos);
+    if (pos == text.size()) return value;
+  } catch (const std::exception&) {
+  }
+  std::fprintf(stderr, "invalid number for %s: \"%s\"\n", flag.c_str(),
+               text.c_str());
+  usage(argv0);
 }
 
 // Lints one model through the whole pipeline. Returns true when every stage
@@ -444,6 +499,186 @@ int cache_clear_cmd(const std::string& dir) {
   return 0;
 }
 
+struct ServeBenchConfig {
+  int workers = 4;
+  double qps = 0.0;          // nominal offered load; 0 = half of saturation
+  double deadline_ms = 0.0;  // 0 = 10x the modeled service time
+  int requests = 512;        // per simulated leg
+  int server_requests = 48;  // real-threaded leg
+  uint64_t seed = 42;
+  bool json = false;
+  std::string out_dir;  // Chrome trace destination; empty = skip
+  std::string scheduler = "greedy-correction";
+};
+
+// {"offered_qps":...,"throughput_qps":...,"p50_s":...,...}
+std::string serve_leg_json(double offered, const duet::serve::ServeStats& s) {
+  using duet::telemetry::json_number;
+  std::string out = "{";
+  out += "\"offered_qps\":" + json_number(offered) + ",";
+  out += "\"throughput_qps\":" + json_number(s.throughput_qps) + ",";
+  out += "\"p50_s\":" + json_number(s.sojourn.p50) + ",";
+  out += "\"p95_s\":" + json_number(s.sojourn.p95) + ",";
+  out += "\"p99_s\":" + json_number(s.sojourn.p99) + ",";
+  out += "\"mean_s\":" + json_number(s.sojourn.mean) + ",";
+  out += "\"shed_rate\":" + json_number(s.admission.shed_rate()) + ",";
+  out += "\"reject_rate\":" + json_number(s.admission.reject_rate()) + ",";
+  out += "\"completed\":" + std::to_string(s.admission.completed) + ",";
+  out += "\"completed_late\":" + std::to_string(s.admission.completed_late) + ",";
+  out += "\"worker_busy_frac\":" + json_number(s.worker_busy_frac) + ",";
+  out += "\"max_queue_depth\":" + std::to_string(s.max_queue_depth) + "}";
+  return out;
+}
+
+// One model through the serving bench: a real-threaded DuetServer leg (with
+// one recalibration pass), then deterministic virtual-time legs at nominal
+// and peak offered load, plus the single-worker saturation baseline every
+// throughput claim is measured against.
+bool serve_bench_one(const std::string& label, duet::Graph model,
+                     const ServeBenchConfig& cfg) {
+  using namespace duet;
+  if (!cfg.json) {
+    std::printf("serve-bench %-12s ", label.c_str());
+    std::fflush(stdout);
+  }
+
+  const bool want_trace = !cfg.out_dir.empty();
+  telemetry::ScopedTelemetry telemetry_on(want_trace);
+  if (want_trace) telemetry::SpanCollector::instance().clear();
+
+  serve::ServeOptions sopts;
+  sopts.workers = cfg.workers;
+  sopts.queue_capacity = static_cast<size_t>(std::max(cfg.server_requests, 16));
+  sopts.engine.scheduler = cfg.scheduler;
+  sopts.engine.seed = cfg.seed;
+  serve::DuetServer server(std::move(model), sopts);
+
+  // Real-threaded leg: submit a burst, drain it, then one recalibration
+  // pass against the drift the workers just recorded.
+  Rng feed_rng(1);
+  const auto feeds = models::make_random_feeds(server.engine().model(), feed_rng);
+  std::vector<std::future<serve::Response>> futures;
+  futures.reserve(static_cast<size_t>(cfg.server_requests));
+  for (int i = 0; i < cfg.server_requests; ++i) {
+    futures.push_back(server.submit(feeds));
+  }
+  size_t server_ok = 0;
+  double service_s = 0.0;  // modeled service time (noise off: constant)
+  for (auto& f : futures) {
+    const serve::Response r = f.get();
+    if (r.status == serve::RequestStatus::kOk) {
+      ++server_ok;
+      service_s = r.modeled_latency_s;
+    }
+  }
+  server.drain();
+  const serve::RecalibrationResult recal = server.recalibrate_now();
+  const serve::ServerStats sstats = server.stats();
+  if (service_s <= 0.0) {
+    std::printf("FAIL (no request completed)\n");
+    return false;
+  }
+
+  // Virtual-time legs. Saturation rate of the pool is workers/service; the
+  // single-worker run at peak load is the sequential single-engine loop
+  // baseline (it admits work back to back, exactly one in service).
+  const double saturation_qps = static_cast<double>(cfg.workers) / service_s;
+  const double nominal_qps = cfg.qps > 0.0 ? cfg.qps : 0.5 * saturation_qps;
+  const double peak_qps = 2.0 * saturation_qps;
+  const double deadline_s =
+      cfg.deadline_ms > 0.0 ? cfg.deadline_ms / 1e3 : 10.0 * service_s;
+  const auto service = [service_s](size_t) { return service_s; };
+
+  serve::ServeSimConfig sim;
+  sim.queue_capacity = 128;
+  sim.deadline_s = deadline_s;
+
+  Rng trace_rng(cfg.seed + 7);
+  sim.workers = 1;
+  const serve::ServeStats sequential = serve::simulate_serving(
+      serve::poisson_trace(peak_qps, cfg.requests, trace_rng), service, sim);
+
+  Rng nominal_rng(cfg.seed + 7);
+  sim.workers = cfg.workers;
+  const std::vector<double> nominal_arrivals =
+      serve::poisson_trace(nominal_qps, cfg.requests, nominal_rng);
+  const serve::ServeStats nominal =
+      serve::simulate_serving(nominal_arrivals, service, sim);
+
+  Rng peak_rng(cfg.seed + 7);
+  const serve::ServeStats peak = serve::simulate_serving(
+      serve::poisson_trace(peak_qps, cfg.requests, peak_rng), service, sim);
+
+  const double speedup = sequential.throughput_qps > 0.0
+                             ? peak.throughput_qps / sequential.throughput_qps
+                             : 0.0;
+
+  bool trace_ok = true;
+  if (want_trace) {
+    const std::vector<telemetry::Span> spans =
+        telemetry::SpanCollector::instance().drain();
+    const std::string trace = telemetry::export_chrome_trace(spans, nullptr);
+    std::string err;
+    std::filesystem::path dir(cfg.out_dir);
+    std::error_code ec;
+    std::filesystem::create_directories(dir, ec);
+    const std::filesystem::path path = dir / (label + ".serve.trace.json");
+    std::ofstream out(path);
+    out << trace;
+    trace_ok = telemetry::validate_json(trace, &err) && out.good();
+    if (!cfg.json && trace_ok) {
+      std::printf("[trace %s] ", path.string().c_str());
+    }
+  }
+
+  if (cfg.json) {
+    using telemetry::json_escape;
+    using telemetry::json_number;
+    std::string doc = "{";
+    doc += "\"model\":\"" + json_escape(label) + "\",";
+    doc += "\"workers\":" + std::to_string(cfg.workers) + ",";
+    doc += "\"service_s\":" + json_number(service_s) + ",";
+    doc += "\"deadline_s\":" + json_number(deadline_s) + ",";
+    doc += "\"sequential_qps\":" + json_number(sequential.throughput_qps) + ",";
+    doc += "\"speedup_vs_sequential\":" + json_number(speedup) + ",";
+    doc += "\"nominal\":" + serve_leg_json(nominal_qps, nominal) + ",";
+    doc += "\"peak\":" + serve_leg_json(peak_qps, peak) + ",";
+    doc += "\"server\":{";
+    doc += "\"requests\":" + std::to_string(cfg.server_requests) + ",";
+    doc += "\"completed\":" + std::to_string(sstats.admission.completed) + ",";
+    doc += "\"rejected\":" + std::to_string(sstats.admission.rejected) + ",";
+    doc += "\"shed\":" + std::to_string(sstats.admission.shed) + ",";
+    doc += "\"wall_wait_p95_s\":" + json_number(sstats.wall_wait.p95) + ",";
+    doc += "\"modeled_mean_s\":" + json_number(sstats.modeled_latency.mean) + ",";
+    doc += "\"drift_samples\":" + std::to_string(sstats.drift_samples) + ",";
+    doc += "\"recalibrations\":" + std::to_string(sstats.recalibrations) + ",";
+    doc += "\"recal_predicted_current_s\":" +
+           json_number(recal.predicted_current_s) + ",";
+    doc += "\"recal_predicted_new_s\":" + json_number(recal.predicted_new_s) + ",";
+    doc += "\"swaps\":" + std::to_string(sstats.swap_count) + "}";
+    doc += "}";
+    std::string err;
+    if (!telemetry::validate_json(doc, &err)) {
+      std::fprintf(stderr, "serve-bench %s: invalid JSON: %s\n", label.c_str(),
+                   err.c_str());
+      return false;
+    }
+    std::printf("%s\n", doc.c_str());
+  } else {
+    std::printf(
+        "seq %.1f qps | %d workers peak %.1f qps (%.2fx) | nominal p50 %.3f ms "
+        "p95 %.3f ms p99 %.3f ms shed %.2f%% | server %zu/%d ok, %llu recal, "
+        "%llu swaps\n",
+        sequential.throughput_qps, cfg.workers, peak.throughput_qps, speedup,
+        nominal.sojourn.p50 * 1e3, nominal.sojourn.p95 * 1e3,
+        nominal.sojourn.p99 * 1e3, 100.0 * nominal.admission.shed_rate(),
+        server_ok, cfg.server_requests,
+        static_cast<unsigned long long>(sstats.recalibrations),
+        static_cast<unsigned long long>(sstats.swap_count));
+  }
+  return server_ok > 0 && trace_ok;
+}
+
 std::string read_file(const std::string& path) {
   std::ifstream in(path);
   if (!in.good()) {
@@ -461,6 +696,73 @@ int main(int argc, char** argv) {
   using namespace duet;
 
   const std::string cmd = argc > 1 ? argv[1] : "";
+  if (cmd == "--help" || cmd == "-h") usage_exit(argv[0], 0);
+
+  // Anything that is not a flag must be a known subcommand; everything else
+  // is a usage error (exit 2), not a silent fall-through into the default
+  // schedule-report path.
+  if (!cmd.empty() && cmd[0] != '-' && cmd != "cache" && cmd != "verify" &&
+      cmd != "analyze" && cmd != "trace" && cmd != "stats" &&
+      cmd != "schedule" && cmd != "serve-bench") {
+    std::fprintf(stderr, "unknown subcommand: %s\n", cmd.c_str());
+    usage(argv[0]);
+  }
+
+  if (cmd == "serve-bench") {
+    std::vector<std::string> names;
+    ServeBenchConfig cfg;
+    for (int i = 2; i < argc; ++i) {
+      const std::string arg = argv[i];
+      const auto next = [&]() -> std::string {
+        if (i + 1 >= argc) usage(argv[0]);
+        return argv[++i];
+      };
+      if (arg == "--all") {
+        for (const std::string& name : models::zoo_model_names()) {
+          names.push_back(name);
+        }
+      } else if (arg == "--qps") {
+        cfg.qps = parse_double(argv[0], arg, next());
+      } else if (arg == "--workers") {
+        cfg.workers = parse_int(argv[0], arg, next());
+      } else if (arg == "--deadline-ms") {
+        cfg.deadline_ms = parse_double(argv[0], arg, next());
+      } else if (arg == "--requests") {
+        cfg.requests = parse_int(argv[0], arg, next());
+      } else if (arg == "--seed") {
+        cfg.seed = static_cast<uint64_t>(parse_int(argv[0], arg, next()));
+      } else if (arg == "--json") {
+        cfg.json = true;
+      } else if (arg == "--out") {
+        cfg.out_dir = next();
+      } else if (arg == "--scheduler") {
+        cfg.scheduler = next();
+      } else if (arg == "--help" || arg == "-h") {
+        usage_exit(argv[0], 0);
+      } else if (arg.rfind("-", 0) == 0) {
+        std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
+        usage(argv[0]);
+      } else {
+        names.push_back(arg);
+      }
+    }
+    if (names.empty()) usage(argv[0]);
+    if (cfg.workers <= 0 || cfg.requests <= 0) {
+      std::fprintf(stderr, "--workers and --requests must be positive\n");
+      usage(argv[0]);
+    }
+    bool all_ok = true;
+    try {
+      for (const std::string& name : names) {
+        all_ok &= serve_bench_one(name, models::build_by_name(name), cfg);
+      }
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "error: %s\n", e.what());
+      return 1;
+    }
+    return all_ok ? 0 : 1;
+  }
+
   if (cmd == "cache") {
     std::string action;
     std::string cache_dir = default_cache_dir();
@@ -511,7 +813,10 @@ int main(int argc, char** argv) {
         cache_dir = next();
       } else if (arg == "--no-cache" && cmd == "schedule") {
         no_cache = true;
-      } else if (arg == "--help" || arg == "-h" || arg.rfind("--", 0) == 0) {
+      } else if (arg == "--help" || arg == "-h") {
+        usage_exit(argv[0], 0);
+      } else if (arg.rfind("--", 0) == 0) {
+        std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
         usage(argv[0]);
       } else {
         names.push_back(arg);
@@ -600,9 +905,9 @@ int main(int argc, char** argv) {
     } else if (arg == "--nested") {
       options.partition.granularity = PartitionOptions::Granularity::kNested;
       options.partition.nested_max_nodes =
-          static_cast<size_t>(std::stoul(next()));
+          static_cast<size_t>(parse_int(argv[0], arg, next()));
     } else if (arg == "--runs") {
-      runs = std::stoi(next());
+      runs = parse_int(argv[0], arg, next());
     } else if (arg == "--trace") {
       trace_path = next();
     } else if (arg == "--dot") {
@@ -617,7 +922,7 @@ int main(int argc, char** argv) {
       ProfileCache::instance().set_enabled(false);
       CompileCache::instance().set_enabled(false);
     } else if (arg == "--help" || arg == "-h") {
-      usage(argv[0]);
+      usage_exit(argv[0], 0);
     } else {
       std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
       usage(argv[0]);
