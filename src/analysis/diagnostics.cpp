@@ -1,7 +1,9 @@
 #include "analysis/diagnostics.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <sstream>
+#include <tuple>
 
 namespace duet {
 
@@ -17,12 +19,18 @@ void set_verification_enabled(bool enabled) {
   g_verification_enabled.store(enabled, std::memory_order_relaxed);
 }
 
+const char* severity_name(Diagnostic::Severity severity) {
+  return severity == Diagnostic::Severity::kError ? "error" : "warning";
+}
+
 std::string Diagnostic::to_string() const {
   std::ostringstream os;
-  os << (severity == Severity::kError ? "error" : "warning") << "[" << rule << "]";
+  os << severity_name(severity) << "[" << rule << "]";
   if (node != kInvalidNode) os << " node %" << node;
   if (subgraph >= 0) os << " subgraph #" << subgraph;
+  if (location.step >= 0) os << " step " << location.step;
   if (!context.empty()) os << " (" << context << ")";
+  if (!location.artifact.empty()) os << " [" << location.artifact << "]";
   os << ": " << message;
   return os.str();
 }
@@ -50,6 +58,24 @@ void VerifyResult::attribute(const std::string& context) {
   for (Diagnostic& d : diagnostics_) {
     if (d.context.empty()) d.context = context;
   }
+}
+
+void VerifyResult::set_artifact(const std::string& artifact) {
+  for (Diagnostic& d : diagnostics_) {
+    if (d.location.artifact.empty()) d.location.artifact = artifact;
+  }
+}
+
+void VerifyResult::sort() {
+  const auto key = [](const Diagnostic& d) {
+    return std::make_tuple(d.severity != Diagnostic::Severity::kError, d.rule,
+                           d.location.artifact, d.subgraph, d.node,
+                           d.location.step, d.message);
+  };
+  std::stable_sort(diagnostics_.begin(), diagnostics_.end(),
+                   [&](const Diagnostic& a, const Diagnostic& b) {
+                     return key(a) < key(b);
+                   });
 }
 
 size_t VerifyResult::error_count() const {

@@ -16,19 +16,34 @@
 
 namespace duet {
 
+// Where a finding anchors. Every checker names the artifact it inspected
+// (usually the model/graph name); the repo file + line are optional — when a
+// diagnostic leaves them empty, the SARIF exporter falls back to the rule
+// catalogue's per-rule anchor file (analysis/lint/rules.hpp).
+struct SourceLocation {
+  std::string artifact;  // inspected artifact, e.g. the model name
+  std::string file;      // repo-relative file, when the finding has one
+  int line = 0;          // 1-based; 0 = unknown
+  int step = -1;         // position in a plan's launch order, when applicable
+};
+
 struct Diagnostic {
   enum class Severity { kError, kWarning };
 
   Severity severity = Severity::kError;
-  std::string rule;              // invariant slug, e.g. "arity", "use-before-def"
+  std::string rule;              // stable rule id, e.g. "arity", "sync-elision"
   NodeId node = kInvalidNode;    // offending graph node, when applicable
   int subgraph = -1;             // offending subgraph id, when applicable
   std::string context;           // producing component, e.g. a pass name
   std::string message;
+  SourceLocation location;
 
-  // "error[arity] node %3 (pass fusion): dense expects 2..3 inputs, got 1"
+  // "error[arity] node %3 (pass fusion) [wide-deep]: dense expects 2..3
+  // inputs, got 1"
   std::string to_string() const;
 };
+
+const char* severity_name(Diagnostic::Severity severity);
 
 class VerifyResult {
  public:
@@ -41,6 +56,14 @@ class VerifyResult {
   // Stamps `context` (typically the pass name) on every diagnostic that does
   // not carry one yet.
   void attribute(const std::string& context);
+
+  // Stamps `location.artifact` (typically the model name) on every
+  // diagnostic that does not carry one yet.
+  void set_artifact(const std::string& artifact);
+
+  // Deterministic order for reports: severity (errors first), then rule,
+  // artifact, subgraph, node, step, message.
+  void sort();
 
   bool ok() const { return error_count() == 0; }
   size_t error_count() const;

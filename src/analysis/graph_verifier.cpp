@@ -206,6 +206,7 @@ VerifyResult GraphVerifier::verify(const Graph& graph) const {
     }
   }
 
+  result.set_artifact(graph.name());
   return result;
 }
 

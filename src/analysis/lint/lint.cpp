@@ -1,0 +1,38 @@
+#include "analysis/lint/lint.hpp"
+
+namespace duet::lint {
+
+LintInput make_input(const ExecutionPlan& plan) {
+  return LintInput{PlanView{plan.parent(), plan.partition(), plan.placement(),
+                            plan.subgraphs(), plan.consumers(),
+                            plan.transfers(), plan.step_order()},
+                   plan.memory_plan(), nullptr, nullptr};
+}
+
+LintSuite LintSuite::standard() {
+  LintSuite suite;
+  suite.add(make_boundary_type_pass());
+  suite.add(make_sync_elision_pass());
+  suite.add(make_redundant_transfer_pass());
+  suite.add(make_dead_subgraph_pass());
+  suite.add(make_plan_swap_alias_pass());
+  return suite;
+}
+
+void LintSuite::add(std::unique_ptr<LintPass> pass) {
+  passes_.push_back(std::move(pass));
+}
+
+VerifyResult LintSuite::run(const LintInput& input) const {
+  VerifyResult merged;
+  for (const auto& pass : passes_) {
+    VerifyResult result = pass->run(input);
+    result.attribute(pass->id());
+    merged.merge(std::move(result));
+  }
+  merged.set_artifact(input.view.parent.name());
+  merged.sort();
+  return merged;
+}
+
+}  // namespace duet::lint

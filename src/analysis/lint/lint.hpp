@@ -1,0 +1,77 @@
+#pragma once
+
+// Descriptor-driven lint framework (ISSUE 6 tentpole). A LintPass is one
+// named analysis over a plan (and optionally the plan it replaced): it
+// declares a stable primary rule id plus default severity, and reports
+// structured Diagnostics. LintSuite::standard() bundles the shipped passes;
+// DuetEngine runs it in checked mode after the plan validator and race
+// checker, and `duet_cli lint` surfaces it (text / JSON / SARIF).
+//
+// Passes reuse PlanView (analysis/plan_validator.hpp) so corruption tests can
+// substitute individual plan components, exactly like test_verifier.cpp does
+// for the validators.
+
+#include <memory>
+#include <vector>
+
+#include "analysis/diagnostics.hpp"
+#include "analysis/plan_validator.hpp"
+#include "runtime/memory_plan.hpp"
+
+namespace duet::lint {
+
+// What a pass inspects. `previous` / `previous_memory` describe the plan an
+// in-flight recalibration swap retires (nullable; only the swap-audit pass
+// reads them — a worker holding the old snapshot may still touch its
+// held-to-end slots during the grace window).
+struct LintInput {
+  PlanView view;
+  const MemoryPlan* memory = nullptr;
+  const PlanView* previous = nullptr;
+  const MemoryPlan* previous_memory = nullptr;
+};
+
+// Borrows everything from `plan`; the plan must outlive the input.
+LintInput make_input(const ExecutionPlan& plan);
+
+class LintPass {
+ public:
+  virtual ~LintPass() = default;
+
+  // Primary rule id this pass reports under (== an entry in
+  // lint/rules.hpp; a pass may report secondary rules too).
+  virtual const char* id() const = 0;
+  virtual Diagnostic::Severity severity() const = 0;
+  virtual VerifyResult run(const LintInput& input) const = 0;
+};
+
+// The shipped passes (analysis/lint/passes.cpp).
+std::unique_ptr<LintPass> make_boundary_type_pass();
+std::unique_ptr<LintPass> make_redundant_transfer_pass();
+std::unique_ptr<LintPass> make_sync_elision_pass();
+std::unique_ptr<LintPass> make_dead_subgraph_pass();
+std::unique_ptr<LintPass> make_plan_swap_alias_pass();
+
+class LintSuite {
+ public:
+  // All shipped passes, registration order == catalogue order.
+  static LintSuite standard();
+
+  void add(std::unique_ptr<LintPass> pass);
+  const std::vector<std::unique_ptr<LintPass>>& passes() const {
+    return passes_;
+  }
+
+  // Runs every pass, stamps each diagnostic's context with the producing
+  // pass id and its artifact with the parent graph's name, and returns the
+  // merged result in deterministic order (VerifyResult::sort).
+  VerifyResult run(const LintInput& input) const;
+  VerifyResult run(const ExecutionPlan& plan) const {
+    return run(make_input(plan));
+  }
+
+ private:
+  std::vector<std::unique_ptr<LintPass>> passes_;
+};
+
+}  // namespace duet::lint

@@ -1,0 +1,365 @@
+// The shipped lint passes (ISSUE 6 tentpole). Each pass assumes the plan
+// validator's structural rules already ran — ids that fail its checks are
+// skipped here rather than re-reported, so one corruption yields one
+// diagnostic from the checker that owns the rule.
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "analysis/lint/lint.hpp"
+#include "analysis/liveness.hpp"
+#include "device/device.hpp"
+#include "graph/shape_inference.hpp"
+
+namespace duet::lint {
+namespace {
+
+bool valid_node(NodeId id, const Graph& graph) {
+  return id >= 0 && static_cast<size_t>(id) < graph.num_nodes();
+}
+
+// id -> index into view.subgraphs (identity for a valid plan; corrupted views
+// may break the alignment, so passes always go through this map).
+std::map<int, size_t> subgraph_index(const PlanView& view) {
+  std::map<int, size_t> index;
+  for (size_t i = 0; i < view.subgraphs.size(); ++i) {
+    index.emplace(view.subgraphs[i].id, i);
+  }
+  return index;
+}
+
+Diagnostic finding(Diagnostic::Severity severity, std::string rule, NodeId node,
+                   int subgraph, std::string message) {
+  Diagnostic d;
+  d.severity = severity;
+  d.rule = std::move(rule);
+  d.node = node;
+  d.subgraph = subgraph;
+  d.message = std::move(message);
+  return d;
+}
+
+// --- boundary-type -----------------------------------------------------------
+// The plan builder resolves compiled placeholder ids back to parent node ids;
+// this pass re-proves that the types survived extraction + optimization: every
+// placeholder a feed routes into, and every compiled output a `produces`
+// entry maps out of, must carry the parent node's shape and dtype. A mismatch
+// means the executor will hand a kernel a differently-shaped buffer than the
+// code was compiled for.
+class BoundaryTypePass final : public LintPass {
+ public:
+  const char* id() const override { return "boundary-type"; }
+  Diagnostic::Severity severity() const override {
+    return Diagnostic::Severity::kError;
+  }
+
+  VerifyResult run(const LintInput& input) const override {
+    VerifyResult result;
+    const Graph& parent = input.view.parent;
+    for (const PlannedSubgraph& ps : input.view.subgraphs) {
+      const Graph& cg = ps.compiled.graph();
+      for (const PlannedSubgraph::Feed& f : ps.feeds) {
+        if (!valid_node(f.parent_producer, parent)) continue;  // feed-def
+        if (!valid_node(f.input_node, cg)) continue;           // feed-def
+        check(result, severity(), parent.node(f.parent_producer),
+              cg.node(f.input_node), ps.id, "placeholder");
+      }
+      const std::vector<NodeId>& outs = cg.outputs();
+      if (outs.size() != ps.produces.size()) {
+        result.add(finding(
+            severity(), id(), kInvalidNode, ps.id,
+            "produces lists " + std::to_string(ps.produces.size()) +
+                " parent values but the compiled graph has " +
+                std::to_string(outs.size()) + " outputs"));
+        continue;
+      }
+      for (size_t i = 0; i < outs.size(); ++i) {
+        if (!valid_node(ps.produces[i], parent)) continue;  // outputs-produced
+        if (!valid_node(outs[i], cg)) continue;             // graph verifier
+        check(result, severity(), parent.node(ps.produces[i]), cg.node(outs[i]),
+              ps.id, "output");
+      }
+    }
+    return result;
+  }
+
+ private:
+  static void check(VerifyResult& result, Diagnostic::Severity severity,
+                    const Node& parent_node, const Node& compiled_node, int sid,
+                    const char* role) {
+    if (compiled_node.out_shape == parent_node.out_shape &&
+        compiled_node.out_dtype == parent_node.out_dtype) {
+      return;
+    }
+    result.add(finding(
+        severity, "boundary-type", parent_node.id, sid,
+        std::string(role) + " for %" + std::to_string(parent_node.id) +
+            " is " + compiled_node.out_shape.to_string() + " " +
+            dtype_name(compiled_node.out_dtype) + " but the parent declares " +
+            parent_node.out_shape.to_string() + " " +
+            dtype_name(parent_node.out_dtype)));
+  }
+};
+
+// --- sync-elision ------------------------------------------------------------
+// Every cross-device read must be dominated by a transfer-complete edge: some
+// transfer stages the value onto the reader's device, and that staging either
+// IS the reader (it awaits the DMA itself) or happens-before it through the
+// queue-trigger order. missing-transfer proves a transfer exists per edge;
+// this pass re-proves the *synchronization*, so a plan that elides a sync
+// edge (e.g. after dependency surgery) is caught even when the transfer list
+// still looks complete.
+class SyncElisionPass final : public LintPass {
+ public:
+  const char* id() const override { return "sync-elision"; }
+  Diagnostic::Severity severity() const override {
+    return Diagnostic::Severity::kError;
+  }
+
+  VerifyResult run(const LintInput& input) const override {
+    VerifyResult result;
+    const PlanView& view = input.view;
+    const Graph& parent = view.parent;
+    const std::map<int, size_t> index = subgraph_index(view);
+    const HappensBefore hb(view.subgraphs);
+
+    std::map<NodeId, int> producer;  // value -> producing subgraph id
+    for (const PlannedSubgraph& ps : view.subgraphs) {
+      for (NodeId value : ps.produces) producer.emplace(value, ps.id);
+    }
+    const auto device_of = [&](int sid) -> const DeviceKind* {
+      const auto it = index.find(sid);
+      return it == index.end() ? nullptr : &view.subgraphs[it->second].device;
+    };
+
+    for (const PlannedSubgraph& ps : view.subgraphs) {
+      for (const PlannedSubgraph::Feed& f : ps.feeds) {
+        if (!valid_node(f.parent_producer, parent)) continue;  // feed-def
+        if (parent.node(f.parent_producer).is_input()) continue;  // entry-staged
+        const auto it = producer.find(f.parent_producer);
+        if (it == producer.end()) continue;  // feed-def reports it
+        const DeviceKind* src_device = device_of(it->second);
+        if (src_device == nullptr || *src_device == ps.device) continue;
+        if (dominated(view, hb, device_of, f.parent_producer, ps)) continue;
+        result.add(finding(
+            severity(), id(), f.parent_producer, ps.id,
+            "cross-device read of %" + std::to_string(f.parent_producer) +
+                " by subgraph #" + std::to_string(ps.id) + " on " +
+                device_kind_name(ps.device) +
+                " is not dominated by any transfer-complete edge"));
+      }
+    }
+    return result;
+  }
+
+ private:
+  template <typename DeviceOf>
+  static bool dominated(const PlanView& view, const HappensBefore& hb,
+                        const DeviceOf& device_of, NodeId value,
+                        const PlannedSubgraph& reader) {
+    for (const TransferStep& t : view.transfers) {
+      if (t.parent_node != value) continue;
+      const DeviceKind* dst_device = device_of(t.dst_subgraph);
+      if (dst_device == nullptr || *dst_device != reader.device) continue;
+      if (t.dst_subgraph == reader.id || hb.ordered(t.dst_subgraph, reader.id)) {
+        return true;
+      }
+    }
+    return false;
+  }
+};
+
+// --- redundant-transfer ------------------------------------------------------
+// Boundary values are SSA (one producer, never redefined), so shipping one
+// value to the same device more than once can never be observing a fresh
+// def — the later transfers re-pay link bytes for a copy already staged. The
+// builder currently emits one transfer per (producer, consumer) edge, so a
+// value fanning out to two consumers on the far device legitimately trips
+// this; it is a warning (an optimization opportunity), not an error.
+class RedundantTransferPass final : public LintPass {
+ public:
+  const char* id() const override { return "redundant-transfer"; }
+  Diagnostic::Severity severity() const override {
+    return Diagnostic::Severity::kWarning;
+  }
+
+  VerifyResult run(const LintInput& input) const override {
+    VerifyResult result;
+    const PlanView& view = input.view;
+    const std::map<int, size_t> index = subgraph_index(view);
+
+    // (value, destination device) -> destination subgraphs, in transfer order.
+    std::map<std::pair<NodeId, int>, std::vector<int>> shipments;
+    for (const TransferStep& t : view.transfers) {
+      const auto it = index.find(t.dst_subgraph);
+      if (it == index.end()) continue;  // spurious-transfer reports it
+      const DeviceKind device = view.subgraphs[it->second].device;
+      shipments[{t.parent_node, static_cast<int>(device)}].push_back(
+          t.dst_subgraph);
+    }
+    for (const auto& [key, dsts] : shipments) {
+      if (dsts.size() < 2) continue;
+      std::string list;
+      for (int d : dsts) list += (list.empty() ? "#" : ", #") + std::to_string(d);
+      result.add(finding(
+          severity(), id(), key.first, dsts.front(),
+          "value %" + std::to_string(key.first) + " is shipped to " +
+              device_kind_name(static_cast<DeviceKind>(key.second)) + " " +
+              std::to_string(dsts.size()) +
+              " times with no intervening def (consumers " + list +
+              "); later consumers could reuse the staged copy"));
+    }
+    return result;
+  }
+};
+
+// --- dead-subgraph / unreachable-step ---------------------------------------
+// A subgraph is live when its work reaches a parent graph output: it either
+// produces an output value, or a live subgraph depends on it. Anything
+// outside that backward closure is dead weight the partitioner should not
+// have emitted, and every step that launches it is an unreachable step.
+class DeadSubgraphPass final : public LintPass {
+ public:
+  const char* id() const override { return "dead-subgraph"; }
+  Diagnostic::Severity severity() const override {
+    return Diagnostic::Severity::kWarning;
+  }
+
+  VerifyResult run(const LintInput& input) const override {
+    VerifyResult result;
+    const PlanView& view = input.view;
+    const std::map<int, size_t> index = subgraph_index(view);
+    const std::set<NodeId> outputs(view.parent.outputs().begin(),
+                                   view.parent.outputs().end());
+
+    std::set<int> live;
+    std::vector<int> frontier;
+    for (const PlannedSubgraph& ps : view.subgraphs) {
+      for (NodeId value : ps.produces) {
+        if (outputs.count(value) != 0) {
+          if (live.insert(ps.id).second) frontier.push_back(ps.id);
+          break;
+        }
+      }
+    }
+    while (!frontier.empty()) {
+      const int sid = frontier.back();
+      frontier.pop_back();
+      const auto it = index.find(sid);
+      if (it == index.end()) continue;
+      for (int dep : view.subgraphs[it->second].dep_subgraphs) {
+        if (live.insert(dep).second) frontier.push_back(dep);
+      }
+    }
+
+    for (const PlannedSubgraph& ps : view.subgraphs) {
+      if (live.count(ps.id) != 0) continue;
+      result.add(finding(severity(), id(), kInvalidNode, ps.id,
+                         "no output of subgraph #" + std::to_string(ps.id) +
+                             " reaches a graph output"));
+    }
+    for (size_t i = 0; i < view.step_order.size(); ++i) {
+      const int sid = view.step_order[i];
+      if (index.count(sid) == 0) continue;  // step-order reports it
+      if (live.count(sid) != 0) continue;
+      Diagnostic d = finding(severity(), "unreachable-step", kInvalidNode, sid,
+                             "step launches dead subgraph #" +
+                                 std::to_string(sid));
+      d.location.step = static_cast<int>(i);
+      result.add(std::move(d));
+    }
+    return result;
+  }
+};
+
+// --- swap-slot-size / swap-arena-alias --------------------------------------
+// Recalibration swaps a new plan in while workers may still hold the retired
+// snapshot through the grace window. Both plans serve the same parent graph,
+// so a value that lives in both arenas must keep its byte size (a mismatch
+// means one memory plan is corrupt — error). The old snapshot's held-to-end
+// slots (graph outputs a straggling worker still writes/reads) overlapping
+// the new plan's slots is expected when both arenas pack from offset 0 —
+// executors allocate separate arenas per plan — so aliasing is reported as
+// one aggregate warning per device, for operators auditing a shared-arena
+// deployment.
+class PlanSwapAliasPass final : public LintPass {
+ public:
+  const char* id() const override { return "swap-arena-alias"; }
+  Diagnostic::Severity severity() const override {
+    return Diagnostic::Severity::kWarning;
+  }
+
+  VerifyResult run(const LintInput& input) const override {
+    VerifyResult result;
+    if (input.previous == nullptr || input.previous_memory == nullptr ||
+        input.memory == nullptr) {
+      return result;  // nothing swapped in/out
+    }
+    const MemoryPlan& old_mem = *input.previous_memory;
+    const MemoryPlan& new_mem = *input.memory;
+
+    for (const ArenaSlot& old_slot : old_mem.slots()) {
+      const ArenaSlot* now = new_mem.find(old_slot.device, old_slot.value);
+      if (now == nullptr || now->bytes == old_slot.bytes) continue;
+      result.add(finding(
+          Diagnostic::Severity::kError, "swap-slot-size", old_slot.value, -1,
+          "value %" + std::to_string(old_slot.value) + " held " +
+              std::to_string(old_slot.bytes) + " bytes in the retired " +
+              device_kind_name(old_slot.device) +
+              " arena but the swapped-in plan assigns " +
+              std::to_string(now->bytes)));
+    }
+
+    for (int d = 0; d < kNumDeviceKinds; ++d) {
+      const DeviceKind device = static_cast<DeviceKind>(d);
+      size_t overlaps = 0;
+      for (const ArenaSlot& old_slot : old_mem.slots()) {
+        if (!old_slot.held_to_end || old_slot.device != device ||
+            old_slot.bytes == 0) {
+          continue;
+        }
+        for (const ArenaSlot& slot : new_mem.slots()) {
+          if (slot.device != device || slot.bytes == 0) continue;
+          if (old_slot.offset + old_slot.bytes <= slot.offset ||
+              slot.offset + slot.bytes <= old_slot.offset) {
+            continue;
+          }
+          ++overlaps;
+        }
+      }
+      if (overlaps == 0) continue;
+      result.add(finding(
+          severity(), id(), kInvalidNode, -1,
+          std::to_string(overlaps) + " live slot pair(s) of the retired " +
+              std::string(device_kind_name(device)) +
+              " arena alias the swapped-in plan's ranges; sharing one arena "
+              "across the swap would require a full drain, not a grace "
+              "window"));
+    }
+    return result;
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<LintPass> make_boundary_type_pass() {
+  return std::make_unique<BoundaryTypePass>();
+}
+std::unique_ptr<LintPass> make_sync_elision_pass() {
+  return std::make_unique<SyncElisionPass>();
+}
+std::unique_ptr<LintPass> make_redundant_transfer_pass() {
+  return std::make_unique<RedundantTransferPass>();
+}
+std::unique_ptr<LintPass> make_dead_subgraph_pass() {
+  return std::make_unique<DeadSubgraphPass>();
+}
+std::unique_ptr<LintPass> make_plan_swap_alias_pass() {
+  return std::make_unique<PlanSwapAliasPass>();
+}
+
+}  // namespace duet::lint

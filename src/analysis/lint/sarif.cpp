@@ -1,0 +1,97 @@
+#include "analysis/lint/sarif.hpp"
+
+#include <sstream>
+
+#include "analysis/lint/rules.hpp"
+#include "telemetry/chrome_trace.hpp"
+
+namespace duet::lint {
+namespace {
+
+using telemetry::json_escape;
+
+const char* kSchema =
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/Schemata/"
+    "sarif-schema-2.1.0.json";
+
+const char* level_name(Diagnostic::Severity severity) {
+  return severity == Diagnostic::Severity::kError ? "error" : "warning";
+}
+
+void append_rules(std::ostringstream& os) {
+  os << "\"rules\":[";
+  bool first = true;
+  for (const RuleInfo& rule : rule_catalogue()) {
+    if (!first) os << ",";
+    first = false;
+    os << "{\"id\":\"" << json_escape(rule.id) << "\""
+       << ",\"shortDescription\":{\"text\":\"" << json_escape(rule.summary)
+       << "\"},\"defaultConfiguration\":{\"level\":\""
+       << level_name(rule.severity) << "\"}}";
+  }
+  os << "]";
+}
+
+void append_result(std::ostringstream& os, const Diagnostic& d) {
+  const RuleInfo* rule = find_rule(d.rule);
+  os << "{\"ruleId\":\"" << json_escape(d.rule) << "\"";
+  if (rule != nullptr) {
+    os << ",\"ruleIndex\":" << (rule - rule_catalogue().data());
+  }
+  os << ",\"level\":\"" << level_name(d.severity) << "\""
+     << ",\"message\":{\"text\":\"" << json_escape(d.message) << "\"}";
+
+  // Physical location: the diagnostic's own file when it has one, else the
+  // rule's catalogue anchor (the source file whose invariant was violated).
+  std::string file = d.location.file;
+  if (file.empty() && rule != nullptr) file = rule->anchor_file;
+  os << ",\"locations\":[{";
+  bool wrote_physical = false;
+  if (!file.empty()) {
+    os << "\"physicalLocation\":{\"artifactLocation\":{\"uri\":\""
+       << json_escape(file) << "\",\"uriBaseId\":\"SRCROOT\"}";
+    if (d.location.line > 0) {
+      os << ",\"region\":{\"startLine\":" << d.location.line << "}";
+    }
+    os << "}";
+    wrote_physical = true;
+  }
+  // Logical location: which artifact (model) / subgraph / node the finding
+  // is about — the coordinates reviewers actually navigate by.
+  std::ostringstream logical;
+  if (!d.location.artifact.empty()) logical << d.location.artifact;
+  if (d.subgraph >= 0) logical << "/subgraph#" << d.subgraph;
+  if (d.node != kInvalidNode) logical << "/node%" << d.node;
+  if (d.location.step >= 0) logical << "/step" << d.location.step;
+  const std::string name = logical.str();
+  if (!name.empty()) {
+    if (wrote_physical) os << ",";
+    os << "\"logicalLocations\":[{\"fullyQualifiedName\":\""
+       << json_escape(name) << "\"}]";
+  }
+  os << "}]";
+  if (!d.context.empty()) {
+    os << ",\"properties\":{\"pass\":\"" << json_escape(d.context) << "\"}";
+  }
+  os << "}";
+}
+
+}  // namespace
+
+std::string to_sarif(const std::vector<Diagnostic>& diagnostics) {
+  std::ostringstream os;
+  os << "{\"$schema\":\"" << kSchema << "\",\"version\":\"2.1.0\",\"runs\":[{"
+     << "\"tool\":{\"driver\":{\"name\":\"duet-lint\""
+     << ",\"informationUri\":\"https://github.com/duet/duet\""
+     << ",\"version\":\"1.0.0\",";
+  append_rules(os);
+  os << "}},\"columnKind\":\"utf16CodeUnits\",\"results\":[";
+  for (size_t i = 0; i < diagnostics.size(); ++i) {
+    if (i != 0) os << ",";
+    append_result(os, diagnostics[i]);
+  }
+  os << "]}]}";
+  return os.str();
+}
+
+}  // namespace duet::lint

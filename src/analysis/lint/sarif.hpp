@@ -1,0 +1,22 @@
+#pragma once
+
+// SARIF 2.1.0 export for the static-analysis suite (ISSUE 6): one run whose
+// tool.driver.rules is the full rule catalogue (analysis/lint/rules.hpp, so
+// ruleIndex values are stable) and whose results are the given diagnostics.
+// CI uploads the file for PR annotation and gates on zero error-level
+// results (`duet_cli lint --all --sarif <path>`).
+
+#include <string>
+#include <vector>
+
+#include "analysis/diagnostics.hpp"
+
+namespace duet::lint {
+
+// Serializes `diagnostics` (in the order given — sort first for determinism)
+// as a complete SARIF 2.1.0 log. A diagnostic with no file location anchors
+// to its rule's catalogue anchor file; artifact / subgraph / node land in
+// logicalLocations.
+std::string to_sarif(const std::vector<Diagnostic>& diagnostics);
+
+}  // namespace duet::lint

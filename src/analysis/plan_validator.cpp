@@ -124,6 +124,7 @@ VerifyResult verify_partition(const Graph& parent, const Partition& partition) {
       }
     }
   }
+  result.set_artifact(parent.name());
   return result;
 }
 
@@ -340,6 +341,7 @@ VerifyResult verify_plan(const PlanView& view) {
                        " subgraphs");
     }
   }
+  result.set_artifact(view.parent.name());
   return result;
 }
 

@@ -125,7 +125,10 @@ VerifyResult verify_races(const PlanView& view, const MemoryPlan* memory) {
     }
   }
 
-  if (memory == nullptr) return record_findings(std::move(result));
+  if (memory == nullptr) {
+    result.set_artifact(view.parent.name());
+    return record_findings(std::move(result));
+  }
 
   // Slot coverage: the executors route every boundary value through its
   // arena slot, so a missing or mis-sized one is a correctness bug.
@@ -190,6 +193,7 @@ VerifyResult verify_races(const PlanView& view, const MemoryPlan* memory) {
                           "their accesses"));
     }
   }
+  result.set_artifact(view.parent.name());
   return record_findings(std::move(result));
 }
 

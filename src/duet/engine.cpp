@@ -2,6 +2,7 @@
 
 #include <sstream>
 
+#include "analysis/lint/lint.hpp"
 #include "analysis/plan_validator.hpp"
 #include "analysis/race_checker.hpp"
 #include "common/error.hpp"
@@ -148,6 +149,10 @@ DuetEngine::DuetEngine(Graph model, DuetOptions options)
     verify_races(plan_).throw_if_failed(
         "execution plan for \"" + model_.name() +
         "\" has conflicting accesses not ordered by happens-before");
+    // Error-severity lint (boundary types, sync elision, ...); warnings do
+    // not throw — `duet_cli lint` surfaces them.
+    lint::LintSuite::standard().run(plan_).throw_if_failed(
+        "execution plan for \"" + model_.name() + "\" fails lint");
   }
   executor_ = std::make_unique<SimExecutor>(devices_);
 
@@ -195,6 +200,8 @@ ExecutionPlan DuetEngine::build_plan_for(const Placement& placement) const {
     verify_races(plan).throw_if_failed(
         "recalibrated plan for \"" + model_.name() +
         "\" has conflicting accesses not ordered by happens-before");
+    lint::LintSuite::standard().run(plan).throw_if_failed(
+        "recalibrated plan for \"" + model_.name() + "\" fails lint");
   }
   return plan;
 }

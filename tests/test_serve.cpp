@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include <chrono>
+#include <cstdlib>
 #include <cstring>
 #include <future>
 #include <thread>
@@ -283,6 +284,27 @@ serve::ServeOptions hetero_options() {
   return o;
 }
 
+// Stress knobs for the threaded-server tests. The defaults keep CI fast;
+// the TSan job turns them up (more workers, more in-flight requests) so the
+// race detector sees far more interleavings without a code change:
+//   DUET_SERVE_STRESS_WORKERS  worker-thread count        (default: base)
+//   DUET_SERVE_STRESS_ITERS    request-count multiplier   (default: 1)
+int stress_workers(int base) {
+  if (const char* env = std::getenv("DUET_SERVE_STRESS_WORKERS")) {
+    const int v = std::atoi(env);
+    if (v > 0) return v;
+  }
+  return base;
+}
+
+int stress_iters(int base) {
+  if (const char* env = std::getenv("DUET_SERVE_STRESS_ITERS")) {
+    const int mult = std::atoi(env);
+    if (mult > 0) return base * mult;
+  }
+  return base;
+}
+
 TEST(ServeServer, OutputsBitIdenticalForOneAndManyWorkers) {
   DuetOptions eopts;
   eopts.enable_fallback = false;
@@ -291,12 +313,13 @@ TEST(ServeServer, OutputsBitIdenticalForOneAndManyWorkers) {
   const auto feeds = models::make_random_feeds(reference.model(), rng);
   const ExecutionResult expect = reference.infer(feeds);
 
-  for (int workers : {1, 4}) {
+  for (int workers : {1, stress_workers(4)}) {
     serve::ServeOptions opts = hetero_options();
     opts.workers = workers;
     serve::DuetServer server(tiny_model(), opts);
     std::vector<std::future<serve::Response>> futures;
-    for (int i = 0; i < 6; ++i) futures.push_back(server.submit(feeds));
+    const int requests = stress_iters(6);
+    for (int i = 0; i < requests; ++i) futures.push_back(server.submit(feeds));
     for (auto& f : futures) {
       const serve::Response r = f.get();
       ASSERT_EQ(r.status, serve::RequestStatus::kOk);
@@ -373,21 +396,78 @@ TEST(ServeServer, FullQueueRejectsImmediately) {
 
 TEST(ServeServer, DrainResolvesEveryInFlightRequest) {
   serve::ServeOptions opts = hetero_options();
-  opts.workers = 2;
+  opts.workers = stress_workers(2);
+  const int requests = stress_iters(8);
+  // Scale capacity with the request count so the stress run never trades
+  // drain coverage for reject coverage.
+  opts.queue_capacity = static_cast<size_t>(requests);
   serve::DuetServer server(tiny_model(), opts);
   Rng rng(10);
   const auto feeds = models::make_random_feeds(server.engine().model(), rng);
   std::vector<std::future<serve::Response>> futures;
-  for (int i = 0; i < 8; ++i) futures.push_back(server.submit(feeds));
+  for (int i = 0; i < requests; ++i) futures.push_back(server.submit(feeds));
   server.drain();
   for (auto& f : futures) {
     ASSERT_EQ(f.wait_for(std::chrono::seconds(0)), std::future_status::ready)
         << "drain must not return while a request is unresolved";
     EXPECT_EQ(f.get().status, serve::RequestStatus::kOk);
   }
-  EXPECT_EQ(server.stats().admission.completed, 8u);
+  EXPECT_EQ(server.stats().admission.completed,
+            static_cast<uint64_t>(requests));
   // A drained server is closed for business.
   EXPECT_EQ(server.submit(feeds).get().status, serve::RequestStatus::kRejected);
+}
+
+// The threaded twin of the model checker's abstract protocol
+// (analysis/model_check): producers submitting, workers consuming, a swapper
+// flipping placements mid-stream, then drain. Under TSan with the stress env
+// knobs turned up this is the main interleaving amplifier.
+TEST(ServeServer, ConcurrentSubmitSwapDrainStress) {
+  serve::ServeOptions opts = hetero_options();
+  opts.workers = stress_workers(2);
+  const int per_producer = stress_iters(4);
+  constexpr int kProducers = 2;
+  opts.queue_capacity = static_cast<size_t>(kProducers * per_producer);
+  serve::DuetServer server(tiny_model(), opts);
+  Rng rng(16);
+  const auto feeds = models::make_random_feeds(server.engine().model(), rng);
+
+  std::vector<std::future<serve::Response>> futures[kProducers];
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      for (int i = 0; i < per_producer; ++i) {
+        futures[p].push_back(server.submit(feeds));
+      }
+    });
+  }
+  std::thread swapper([&] {
+    Placement flipped = server.current_placement();
+    flipped.flip(0);
+    server.apply_placement(flipped);
+  });
+  for (auto& t : producers) t.join();
+  swapper.join();
+  server.drain();
+
+  uint64_t ok = 0;
+  for (auto& fs : futures) {
+    for (auto& f : fs) {
+      const serve::Response r = f.get();
+      // Admission is closed-loop here (capacity == total submissions), so
+      // every request resolves kOk regardless of swap timing.
+      ASSERT_EQ(r.status, serve::RequestStatus::kOk);
+      ++ok;
+    }
+  }
+  const serve::ServerStats stats = server.stats();
+  EXPECT_EQ(stats.swap_count, 1u);
+  EXPECT_EQ(stats.admission.completed, ok);
+  // Conservation — the invariant the model checker proves exhaustively on
+  // the abstraction must hold on the real implementation too.
+  EXPECT_EQ(stats.admission.offered,
+            stats.admission.completed + stats.admission.shed +
+                stats.admission.rejected);
 }
 
 TEST(ServeServer, PlacementSwapPreservesNumericsExactly) {

@@ -8,7 +8,9 @@
 //   duet_cli verify wide-deep                  # lint one model end to end
 //   duet_cli verify --all                      # lint the whole model zoo
 //   duet_cli analyze wide-deep                 # liveness + memory + race report
-//   duet_cli analyze --all                     # analyze the whole model zoo
+//   duet_cli analyze --all --json              # ... machine-readable, whole zoo
+//   duet_cli lint wide-deep                    # unified static-analysis suite
+//   duet_cli lint --all --sarif out.sarif      # whole zoo + serve protocol, SARIF
 //   duet_cli trace wide-deep --out traces/     # telemetry trace + stats JSON
 //   duet_cli trace --all --out traces/         # ... for the whole zoo
 //   duet_cli stats mtdnn                       # drift tables + metric counters
@@ -29,6 +31,16 @@
 // and the happens-before race check. Single-model runs print the full
 // interval and slot tables; exits nonzero when a device's arena exceeds its
 // naive footprint or any race diagnostic fires.
+//
+// `lint` runs the unified static-analysis suite (ISSUE 6): every checker in
+// src/analysis — graph verifier, partition/placement/plan validators,
+// happens-before race checker, and the lint passes (boundary types, sync
+// elision, redundant transfers, dead subgraphs, plan-swap arena audit with a
+// recalibration-style flipped plan as the retired snapshot) — plus the
+// small-scope serve-protocol model checker. Diagnostics are deterministic
+// (sorted by severity/rule/artifact/subgraph/node); --json emits one
+// validated document per artifact and --sarif writes one SARIF 2.1.0 log
+// for CI annotation. Exits nonzero iff any error-severity finding fires.
 //
 // `trace` enables the telemetry layer, runs the full pipeline plus one
 // numeric inference on each executor (SimExecutor and ThreadedExecutor), and
@@ -88,6 +100,7 @@
 
 #include <cctype>
 #include <cinttypes>
+#include <optional>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -98,7 +111,11 @@
 #include <vector>
 
 #include "analysis/graph_verifier.hpp"
+#include "analysis/lint/lint.hpp"
+#include "analysis/lint/rules.hpp"
+#include "analysis/lint/sarif.hpp"
 #include "analysis/liveness.hpp"
+#include "analysis/model_check/explorer.hpp"
 #include "analysis/plan_validator.hpp"
 #include "analysis/race_checker.hpp"
 #include "common/stats.hpp"
@@ -134,6 +151,8 @@ namespace {
                "       %s verify <model>... | --all [--relay <file>]\n"
                "          [--scheduler <name>]\n"
                "       %s analyze <model>... | --all [--relay <file>]\n"
+               "          [--scheduler <name>] [--json]\n"
+               "       %s lint <model>... | --all [--sarif <path>] [--json]\n"
                "          [--scheduler <name>]\n"
                "       %s trace <model>... | --all [--out <dir>]\n"
                "          [--scheduler <name>]\n"
@@ -145,7 +164,7 @@ namespace {
                "       %s serve-bench <model>... | --all [--qps <Q>]\n"
                "          [--workers <N>] [--deadline-ms <D>] [--requests <N>]\n"
                "          [--json] [--out <dir>] [--scheduler <name>]\n",
-               argv0, argv0, argv0, argv0, argv0, argv0, argv0, argv0);
+               argv0, argv0, argv0, argv0, argv0, argv0, argv0, argv0, argv0);
   std::exit(code);
 }
 
@@ -231,19 +250,25 @@ bool verify_one(const std::string& label, duet::Graph model,
 // Runs the dataflow analysis suite over one model's built plan. Returns true
 // when the arena beats (or ties) the naive footprint on every device and the
 // happens-before race check is clean. `detail` additionally prints the full
-// interval and slot tables.
+// interval and slot tables; `json` emits one validated document per model
+// instead of the summary line.
 bool analyze_one(const std::string& label, duet::Graph model,
-                 const duet::DuetOptions& options, bool detail) {
+                 const duet::DuetOptions& options, bool detail, bool json) {
   using namespace duet;
-  std::printf("analyze %-12s ", label.c_str());
-  std::fflush(stdout);
+  if (!json) {
+    std::printf("analyze %-12s ", label.c_str());
+    std::fflush(stdout);
+  }
   try {
     ScopedVerification checked(true);
     DuetEngine engine(std::move(model), options);
     const ExecutionPlan& plan = engine.plan();
     const MemoryPlan* memory = plan.memory_plan();
     if (memory == nullptr) {
-      std::printf("FAIL (plan carries no memory plan)\n");
+      std::printf(json ? "{\"model\":\"%s\",\"ok\":false,"
+                         "\"error\":\"plan carries no memory plan\"}\n"
+                       : "FAIL (plan carries no memory plan)\n",
+                  telemetry::json_escape(label).c_str());
       return false;
     }
 
@@ -266,6 +291,27 @@ bool analyze_one(const std::string& label, duet::Graph model,
             ? 100.0 * (1.0 - static_cast<double>(arena_total) /
                                  static_cast<double>(naive_total))
             : 0.0;
+    if (json) {
+      std::string doc = "{\"model\":\"" + telemetry::json_escape(label) +
+                        "\",\"ok\":" + (ok ? "true" : "false");
+      for (int d = 0; d < kNumDeviceKinds; ++d) {
+        const DeviceKind dev = static_cast<DeviceKind>(d);
+        doc += std::string(",\"") + device_kind_name(dev) + "\":{\"arena_bytes\":" +
+               std::to_string(memory->arena_bytes(dev)) + ",\"naive_bytes\":" +
+               std::to_string(memory->naive_bytes(dev)) + "}";
+      }
+      doc += ",\"slots\":" + std::to_string(memory->slots().size());
+      doc += ",\"saved_pct\":" + telemetry::json_number(reduction);
+      doc += ",\"race_errors\":" + std::to_string(races.error_count()) + "}";
+      std::string err;
+      if (!telemetry::validate_json(doc, &err)) {
+        std::fprintf(stderr, "analyze %s: invalid JSON produced: %s\n",
+                     label.c_str(), err.c_str());
+        return false;
+      }
+      std::printf("%s\n", doc.c_str());
+      return ok;
+    }
     std::printf("%s  arena %s vs naive %s (%.1f%% saved) | %zu slots | races: %zu\n",
                 ok ? "OK " : "FAIL", human_bytes(arena_total).c_str(),
                 human_bytes(naive_total).c_str(), reduction,
@@ -278,9 +324,88 @@ bool analyze_one(const std::string& label, duet::Graph model,
     }
     return ok;
   } catch (const VerifyError& e) {
-    std::printf("FAIL\n%s\n", e.what());
+    if (json) {
+      std::printf("{\"model\":\"%s\",\"ok\":false}\n",
+                  telemetry::json_escape(label).c_str());
+    } else {
+      std::printf("FAIL\n%s\n", e.what());
+    }
     return false;
   }
+}
+
+// --- lint ---------------------------------------------------------------------
+
+// {"rule":...,"severity":...,"artifact":...,"subgraph":...,"node":...,...}
+std::string diagnostic_json(const duet::Diagnostic& d) {
+  using duet::telemetry::json_escape;
+  std::string out = "{\"rule\":\"" + json_escape(d.rule) + "\"";
+  out += std::string(",\"severity\":\"") + duet::severity_name(d.severity) + "\"";
+  if (!d.location.artifact.empty()) {
+    out += ",\"artifact\":\"" + json_escape(d.location.artifact) + "\"";
+  }
+  if (d.subgraph >= 0) out += ",\"subgraph\":" + std::to_string(d.subgraph);
+  if (d.node != duet::kInvalidNode) out += ",\"node\":" + std::to_string(d.node);
+  if (d.location.step >= 0) {
+    out += ",\"step\":" + std::to_string(d.location.step);
+  }
+  if (!d.context.empty()) out += ",\"pass\":\"" + json_escape(d.context) + "\"";
+  out += ",\"message\":\"" + json_escape(d.message) + "\"}";
+  return out;
+}
+
+std::string lint_document(const std::string& label,
+                          const duet::VerifyResult& result) {
+  std::string doc = "{\"artifact\":\"" + duet::telemetry::json_escape(label) +
+                    "\",\"errors\":" + std::to_string(result.error_count()) +
+                    ",\"warnings\":" + std::to_string(result.warning_count()) +
+                    ",\"diagnostics\":[";
+  for (size_t i = 0; i < result.diagnostics().size(); ++i) {
+    if (i != 0) doc += ",";
+    doc += diagnostic_json(result.diagnostics()[i]);
+  }
+  doc += "]}";
+  return doc;
+}
+
+// The unified static-analysis suite over one model: every checker in
+// src/analysis plus the lint passes, collected (never thrown) so one run
+// reports every finding. The plan-swap audit gets a recalibration-style
+// flipped-placement plan as the retired snapshot.
+duet::VerifyResult lint_model(const std::string& label, duet::Graph model,
+                              duet::DuetOptions options) {
+  using namespace duet;
+  // Fallback would collapse the plan to one device and leave the transfer
+  // passes nothing to check; the engine's own checked-mode hooks are off
+  // because this run reports findings instead of throwing on the first.
+  options.enable_fallback = false;
+  VerifyResult all;
+  all.merge(verify_graph(model));
+  ScopedVerification report_dont_throw(false);
+  DuetEngine engine(std::move(model), options);
+  all.merge(verify_partition(engine.model(), engine.partition()));
+  all.merge(verify_placement(engine.plan().placement(), engine.partition()));
+  all.merge(verify_plan(engine.plan()));
+  all.merge(verify_races(engine.plan()));
+
+  lint::LintInput input = lint::make_input(engine.plan());
+  ExecutionPlan previous;
+  std::optional<PlanView> previous_view;
+  if (engine.plan().placement().size() > 0) {
+    Placement flipped = engine.plan().placement();
+    flipped.flip(0);
+    previous = engine.build_plan_for(flipped);
+    previous_view.emplace(PlanView{
+        previous.parent(), previous.partition(), previous.placement(),
+        previous.subgraphs(), previous.consumers(), previous.transfers(),
+        previous.step_order()});
+    input.previous = &*previous_view;
+    input.previous_memory = previous.memory_plan();
+  }
+  all.merge(lint::LintSuite::standard().run(input));
+  all.set_artifact(label);
+  all.sort();
+  return all;
 }
 
 // One full telemetry capture: enables the layer, runs the whole pipeline
@@ -702,7 +827,7 @@ int main(int argc, char** argv) {
   // is a usage error (exit 2), not a silent fall-through into the default
   // schedule-report path.
   if (!cmd.empty() && cmd[0] != '-' && cmd != "cache" && cmd != "verify" &&
-      cmd != "analyze" && cmd != "trace" && cmd != "stats" &&
+      cmd != "analyze" && cmd != "lint" && cmd != "trace" && cmd != "stats" &&
       cmd != "schedule" && cmd != "serve-bench") {
     std::fprintf(stderr, "unknown subcommand: %s\n", cmd.c_str());
     usage(argv[0]);
@@ -763,6 +888,101 @@ int main(int argc, char** argv) {
     return all_ok ? 0 : 1;
   }
 
+  if (cmd == "lint") {
+    std::vector<std::string> names;
+    std::string sarif_path;
+    bool json = false;
+    DuetOptions options;
+    for (int i = 2; i < argc; ++i) {
+      const std::string arg = argv[i];
+      const auto next = [&]() -> std::string {
+        if (i + 1 >= argc) usage(argv[0]);
+        return argv[++i];
+      };
+      if (arg == "--all") {
+        for (const std::string& name : models::zoo_model_names()) {
+          names.push_back(name);
+        }
+      } else if (arg == "--sarif") {
+        sarif_path = next();
+      } else if (arg == "--json") {
+        json = true;
+      } else if (arg == "--scheduler") {
+        options.scheduler = next();
+      } else if (arg == "--help" || arg == "-h") {
+        usage_exit(argv[0], 0);
+      } else if (arg.rfind("-", 0) == 0) {
+        std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
+        usage(argv[0]);
+      } else {
+        names.push_back(arg);
+      }
+    }
+    if (names.empty()) usage(argv[0]);
+
+    VerifyResult combined;
+    bool all_ok = true;
+    try {
+      const auto report = [&](const std::string& label, const VerifyResult& r,
+                              const std::string& extra) {
+        all_ok &= r.ok();
+        if (json) {
+          const std::string doc = lint_document(label, r);
+          std::string err;
+          if (!telemetry::validate_json(doc, &err)) {
+            std::fprintf(stderr, "lint %s: invalid JSON produced: %s\n",
+                         label.c_str(), err.c_str());
+            all_ok = false;
+            return;
+          }
+          std::printf("%s\n", doc.c_str());
+          return;
+        }
+        std::printf("lint %-14s %s %zu error(s), %zu warning(s)%s%s\n",
+                    label.c_str(), r.ok() ? "OK  " : "FAIL",
+                    r.error_count(), r.warning_count(),
+                    extra.empty() ? "" : " | ", extra.c_str());
+        if (!r.diagnostics().empty()) std::printf("%s", r.to_string().c_str());
+      };
+
+      for (const std::string& name : names) {
+        VerifyResult result =
+            lint_model(name, models::build_by_name(name), options);
+        report(name, result, "");
+        combined.merge(std::move(result));
+      }
+
+      // The serve-protocol model checker runs once per invocation: its
+      // artifact is the protocol, not any model.
+      mc::ExploreResult mc_result = mc::explore(mc::ProtocolConfig{});
+      report("serve-protocol", mc_result.findings, mc_result.summary());
+      all_ok &= mc_result.ok && mc_result.exhausted;
+      combined.merge(std::move(mc_result.findings));
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "error: %s\n", e.what());
+      return 1;
+    }
+
+    if (!sarif_path.empty()) {
+      combined.sort();
+      const std::string sarif = lint::to_sarif(combined.diagnostics());
+      std::string err;
+      if (!telemetry::validate_json(sarif, &err)) {
+        std::fprintf(stderr, "SARIF export is invalid JSON: %s\n", err.c_str());
+        return 1;
+      }
+      std::ofstream out(sarif_path);
+      out << sarif;
+      if (!out.good()) {
+        std::fprintf(stderr, "cannot write %s\n", sarif_path.c_str());
+        return 1;
+      }
+      std::printf("wrote %s (%zu result(s), %zu rule(s))\n", sarif_path.c_str(),
+                  combined.diagnostics().size(), lint::rule_catalogue().size());
+    }
+    return all_ok ? 0 : 1;
+  }
+
   if (cmd == "cache") {
     std::string action;
     std::string cache_dir = default_cache_dir();
@@ -807,7 +1027,7 @@ int main(int argc, char** argv) {
         options.scheduler = next();
       } else if (arg == "--out" && cmd == "trace") {
         out_dir = next();
-      } else if (arg == "--json" && cmd == "stats") {
+      } else if (arg == "--json" && (cmd == "stats" || cmd == "analyze")) {
         json = true;
       } else if (arg == "--cache-dir" && cmd == "schedule") {
         cache_dir = next();
@@ -838,7 +1058,8 @@ int main(int argc, char** argv) {
     const bool detail = names.size() + relay_files.size() == 1;
     const auto run_one = [&](const std::string& label, Graph model) {
       if (cmd == "analyze") {
-        return analyze_one(label, std::move(model), options, detail);
+        return analyze_one(label, std::move(model), options, detail && !json,
+                           json);
       }
       if (cmd == "trace") {
         return trace_one(label, std::move(model), options, out_dir);
