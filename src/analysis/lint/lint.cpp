@@ -16,6 +16,9 @@ LintSuite LintSuite::standard() {
   suite.add(make_redundant_transfer_pass());
   suite.add(make_dead_subgraph_pass());
   suite.add(make_plan_swap_alias_pass());
+  suite.add(make_symbolic_shape_pass());
+  suite.add(make_transfer_blowup_pass());
+  suite.add(make_memo_bitset_pass());
   return suite;
 }
 

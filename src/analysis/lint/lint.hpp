@@ -51,6 +51,11 @@ std::unique_ptr<LintPass> make_redundant_transfer_pass();
 std::unique_ptr<LintPass> make_sync_elision_pass();
 std::unique_ptr<LintPass> make_dead_subgraph_pass();
 std::unique_ptr<LintPass> make_plan_swap_alias_pass();
+// Symbolic batch-polymorphism audits (ISSUE 7; analysis/symbolic/).
+std::unique_ptr<LintPass> make_symbolic_shape_pass();
+std::unique_ptr<LintPass> make_transfer_blowup_pass();
+// Visibility note for the latency evaluator's 64-subgraph memo bitset.
+std::unique_ptr<LintPass> make_memo_bitset_pass();
 
 class LintSuite {
  public:

@@ -12,6 +12,8 @@
 
 #include "analysis/lint/lint.hpp"
 #include "analysis/liveness.hpp"
+#include "analysis/symbolic/sym_cost.hpp"
+#include "analysis/symbolic/sym_shape_inference.hpp"
 #include "device/device.hpp"
 #include "graph/shape_inference.hpp"
 
@@ -344,6 +346,94 @@ class PlanSwapAliasPass final : public LintPass {
   }
 };
 
+// --- symbolic-shape-contract / unbounded-dim ---------------------------------
+// Batch-polymorphism audit (ISSUE 7): run symbolic shape inference over the
+// parent graph with the default batch symbol and surface every op whose
+// shape contract cannot be expressed over it (a reshape folding the batch
+// away, an inexact stride division, a rank break) plus every symbolic dim
+// with no finite declared range. Warning severity: a batch-monomorphic graph
+// still executes correctly at its traced shape — it just cannot join
+// shape-bucketed compilation.
+class SymbolicShapePass final : public LintPass {
+ public:
+  const char* id() const override { return "symbolic-shape-contract"; }
+  Diagnostic::Severity severity() const override {
+    return Diagnostic::Severity::kWarning;
+  }
+
+  VerifyResult run(const LintInput& input) const override {
+    symbolic::SymbolicShapes shapes =
+        symbolic::infer_symbolic(input.view.parent);
+    return std::move(shapes.diagnostics);
+  }
+};
+
+// --- transfer-blowup ----------------------------------------------------------
+// For each subgraph, compare how boundary transfer bytes and flops grow with
+// the batch symbol. When transfers grow strictly faster (e.g. an
+// embedding-only subgraph: zero flops, linear transfer), scaling the batch
+// makes a cross-device placement progressively worse — the scheduler should
+// know this subgraph is link-bound by construction, not by profiling.
+class TransferBlowupPass final : public LintPass {
+ public:
+  const char* id() const override { return "transfer-blowup"; }
+  Diagnostic::Severity severity() const override {
+    return Diagnostic::Severity::kWarning;
+  }
+
+  VerifyResult run(const LintInput& input) const override {
+    VerifyResult result;
+    const Graph& parent = input.view.parent;
+    const symbolic::SymbolicShapes shapes = symbolic::infer_symbolic(parent);
+    if (shapes.batch_symbol.empty()) return result;
+    const std::vector<symbolic::SymSubgraphCost> costs =
+        symbolic::sym_partition_costs(parent, input.view.partition, shapes);
+    for (const symbolic::SymSubgraphCost& c : costs) {
+      const symbolic::SymExpr transfer =
+          c.transfer_in_bytes + c.transfer_out_bytes;
+      if (transfer.is_zero()) continue;
+      const int tdeg = transfer.degree(shapes.batch_symbol);
+      const int fdeg = c.flops.degree(shapes.batch_symbol);
+      if (tdeg <= fdeg) continue;
+      result.add(finding(
+          severity(), id(), kInvalidNode, c.subgraph,
+          "boundary transfer bytes (" + transfer.to_string() + ") grow as " +
+              shapes.batch_symbol + "^" + std::to_string(tdeg) +
+              " but flops (" + c.flops.to_string() + ") only as " +
+              shapes.batch_symbol + "^" + std::to_string(fdeg) +
+              "; a cross-device placement of subgraph #" +
+              std::to_string(c.subgraph) + " degrades as the batch scales"));
+    }
+    return result;
+  }
+};
+
+// --- memo-bitset-fallback -----------------------------------------------------
+// The latency evaluator memoizes placements as a 64-bit device bitset and
+// silently switches to string keys past 64 subgraphs
+// (src/sched/latency_model.cpp). The ROADMAP wants the 2-device assumption
+// retired; until then, make plans that cross the cliff visible.
+class MemoBitsetPass final : public LintPass {
+ public:
+  const char* id() const override { return "memo-bitset-fallback"; }
+  Diagnostic::Severity severity() const override {
+    return Diagnostic::Severity::kWarning;
+  }
+
+  VerifyResult run(const LintInput& input) const override {
+    VerifyResult result;
+    const size_t n = input.view.subgraphs.size();
+    if (n <= 64) return result;
+    result.add(finding(
+        severity(), id(), kInvalidNode, -1,
+        "plan has " + std::to_string(n) +
+            " subgraphs; the latency evaluator's placement memo exceeds its "
+            "64-subgraph bitset and falls back to slower string keys (see "
+            "sched.eval.memo_large_key)"));
+    return result;
+  }
+};
+
 }  // namespace
 
 std::unique_ptr<LintPass> make_boundary_type_pass() {
@@ -360,6 +450,15 @@ std::unique_ptr<LintPass> make_dead_subgraph_pass() {
 }
 std::unique_ptr<LintPass> make_plan_swap_alias_pass() {
   return std::make_unique<PlanSwapAliasPass>();
+}
+std::unique_ptr<LintPass> make_symbolic_shape_pass() {
+  return std::make_unique<SymbolicShapePass>();
+}
+std::unique_ptr<LintPass> make_transfer_blowup_pass() {
+  return std::make_unique<TransferBlowupPass>();
+}
+std::unique_ptr<LintPass> make_memo_bitset_pass() {
+  return std::make_unique<MemoBitsetPass>();
 }
 
 }  // namespace duet::lint

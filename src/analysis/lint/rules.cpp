@@ -145,6 +145,20 @@ std::vector<RuleInfo> build_catalogue() {
       {"mc-depth-bound", kWarning,
        "the interleaving exploration ran to quiescence within the depth bound",
        "src/analysis/model_check/explorer.cpp"},
+      // --- symbolic abstract interpretation (analysis/symbolic/) -----------
+      {"symbolic-shape-contract", kWarning,
+       "every op's output shape is expressible over the batch symbols",
+       "src/analysis/symbolic/sym_shape_inference.cpp"},
+      {"unbounded-dim", kWarning,
+       "every symbolic dim has a declared, finite range",
+       "src/analysis/symbolic/sym_shape_inference.cpp"},
+      {"transfer-blowup", kWarning,
+       "boundary transfer bytes do not outgrow subgraph flops in the batch",
+       "src/analysis/symbolic/sym_cost.cpp"},
+      {"memo-bitset-fallback", kWarning,
+       "the plan fits the latency evaluator's 64-subgraph placement-memo "
+       "bitset",
+       "src/sched/latency_model.cpp"},
   };
 }
 

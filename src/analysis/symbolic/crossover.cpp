@@ -1,0 +1,183 @@
+#include "analysis/symbolic/crossover.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "telemetry/chrome_trace.hpp"
+
+namespace duet::symbolic {
+namespace {
+
+struct BatchTimes {
+  double cpu = 0;
+  double gpu = 0;
+  DeviceKind preferred() const {
+    return cpu <= gpu ? DeviceKind::kCpu : DeviceKind::kGpu;
+  }
+};
+
+}  // namespace
+
+CrossoverReport analyze_crossover(const Graph& parent,
+                                  const Partition& partition,
+                                  const SymbolicShapes& shapes,
+                                  const CrossoverOptions& options,
+                                  const SymBindings& pinned) {
+  DUET_CHECK_LE(options.lo, options.hi) << "crossover range inverted";
+  DUET_CHECK_GE(options.lo, 1) << "crossover range must be positive";
+
+  CrossoverReport report;
+  report.model = parent.name();
+  report.symbol = options.symbol;
+  report.lo = options.lo;
+  report.hi = options.hi;
+
+  const std::vector<SymSubgraphCost> sub_costs =
+      sym_partition_costs(parent, partition, shapes);
+
+  for (const Subgraph& sg : partition.subgraphs) {
+    SubgraphCrossover sc;
+    sc.subgraph = sg.id;
+    sc.label = sg.label;
+
+    // Symbolic node costs are batch-independent; derive them once and
+    // specialize per batch inside the scan.
+    std::vector<std::pair<OpType, SymNodeCost>> node_costs;
+    node_costs.reserve(sg.parent_nodes.size());
+    for (NodeId id : sg.parent_nodes) {
+      const Node& n = parent.node(id);
+      node_costs.emplace_back(n.op, sym_node_cost(parent, n, shapes));
+    }
+    const SymSubgraphCost& totals =
+        sub_costs[static_cast<size_t>(sg.id)];
+
+    BatchTimes prev;
+    for (int64_t b = options.lo; b <= options.hi; ++b) {
+      SymBindings bindings = pinned;
+      bindings[options.symbol] = b;
+
+      BatchTimes t;
+      for (const auto& [op, cost] : node_costs) {
+        const NodeCostQuantities q = specialize(cost, bindings, op);
+        t.cpu += node_time_from_quantities(q, options.cpu, options.compile);
+        t.gpu += node_time_from_quantities(q, options.gpu, options.compile);
+      }
+      // A GPU placement pays the boundary: inputs over, outputs back.
+      const auto in_bytes =
+          static_cast<uint64_t>(totals.transfer_in_bytes.eval(bindings));
+      const auto out_bytes =
+          static_cast<uint64_t>(totals.transfer_out_bytes.eval(bindings));
+      if (in_bytes > 0) t.gpu += transfer_time_seconds(in_bytes, options.link);
+      if (out_bytes > 0) t.gpu += transfer_time_seconds(out_bytes, options.link);
+
+      if (b == options.lo) {
+        sc.intervals.push_back({b, b, t.preferred()});
+      } else if (t.preferred() == sc.intervals.back().device) {
+        sc.intervals.back().hi = b;
+      } else {
+        CrossoverBoundary edge;
+        edge.batch = b;
+        edge.from = sc.intervals.back().device;
+        edge.to = t.preferred();
+        edge.cpu_before = prev.cpu;
+        edge.gpu_before = prev.gpu;
+        edge.cpu_after = t.cpu;
+        edge.gpu_after = t.gpu;
+        sc.boundaries.push_back(edge);
+        sc.intervals.push_back({b, b, t.preferred()});
+      }
+      prev = t;
+    }
+    report.subgraphs.push_back(std::move(sc));
+  }
+
+  for (const SubgraphCrossover& sc : report.subgraphs) {
+    for (const CrossoverBoundary& edge : sc.boundaries) {
+      report.bucket_boundaries.push_back(edge.batch);
+    }
+  }
+  std::sort(report.bucket_boundaries.begin(), report.bucket_boundaries.end());
+  report.bucket_boundaries.erase(
+      std::unique(report.bucket_boundaries.begin(),
+                  report.bucket_boundaries.end()),
+      report.bucket_boundaries.end());
+  return report;
+}
+
+std::string CrossoverReport::to_string() const {
+  std::ostringstream os;
+  os << "crossover " << model << " over " << symbol << " in [" << lo << ", "
+     << hi << "]\n";
+  for (const SubgraphCrossover& sc : subgraphs) {
+    os << "  subgraph " << sc.subgraph << " (" << sc.label << "): ";
+    for (size_t i = 0; i < sc.intervals.size(); ++i) {
+      const PreferenceInterval& iv = sc.intervals[i];
+      if (i) os << ", ";
+      os << device_kind_name(iv.device) << " on [" << iv.lo << ", " << iv.hi
+         << "]";
+    }
+    os << "\n";
+    for (const CrossoverBoundary& e : sc.boundaries) {
+      os << "    flip at " << symbol << "=" << e.batch << ": "
+         << device_kind_name(e.from) << " -> " << device_kind_name(e.to)
+         << " (before cpu=" << e.cpu_before << "s gpu=" << e.gpu_before
+         << "s, after cpu=" << e.cpu_after << "s gpu=" << e.gpu_after
+         << "s)\n";
+    }
+  }
+  os << "  bucket boundaries: ";
+  if (bucket_boundaries.empty()) {
+    os << "(none: one plan covers the whole range)";
+  } else {
+    for (size_t i = 0; i < bucket_boundaries.size(); ++i) {
+      if (i) os << ", ";
+      os << bucket_boundaries[i];
+    }
+  }
+  os << "\n";
+  return os.str();
+}
+
+std::string CrossoverReport::to_json() const {
+  using telemetry::json_escape;
+  using telemetry::json_number;
+  std::ostringstream os;
+  os << "{\"model\":\"" << json_escape(model) << "\",\"symbol\":\""
+     << json_escape(symbol) << "\",\"lo\":" << lo << ",\"hi\":" << hi
+     << ",\"subgraphs\":[";
+  for (size_t s = 0; s < subgraphs.size(); ++s) {
+    const SubgraphCrossover& sc = subgraphs[s];
+    if (s) os << ",";
+    os << "{\"id\":" << sc.subgraph << ",\"label\":\"" << json_escape(sc.label)
+       << "\",\"intervals\":[";
+    for (size_t i = 0; i < sc.intervals.size(); ++i) {
+      const PreferenceInterval& iv = sc.intervals[i];
+      if (i) os << ",";
+      os << "{\"lo\":" << iv.lo << ",\"hi\":" << iv.hi << ",\"device\":\""
+         << device_kind_name(iv.device) << "\"}";
+    }
+    os << "],\"boundaries\":[";
+    for (size_t i = 0; i < sc.boundaries.size(); ++i) {
+      const CrossoverBoundary& e = sc.boundaries[i];
+      if (i) os << ",";
+      os << "{\"batch\":" << e.batch << ",\"from\":\""
+         << device_kind_name(e.from) << "\",\"to\":\""
+         << device_kind_name(e.to)
+         << "\",\"cpu_before_s\":" << json_number(e.cpu_before)
+         << ",\"gpu_before_s\":" << json_number(e.gpu_before)
+         << ",\"cpu_after_s\":" << json_number(e.cpu_after)
+         << ",\"gpu_after_s\":" << json_number(e.gpu_after) << "}";
+    }
+    os << "]}";
+  }
+  os << "],\"bucket_boundaries\":[";
+  for (size_t i = 0; i < bucket_boundaries.size(); ++i) {
+    if (i) os << ",";
+    os << bucket_boundaries[i];
+  }
+  os << "]}";
+  return os.str();
+}
+
+}  // namespace duet::symbolic

@@ -31,6 +31,8 @@ int64_t node_batch(const Node& node) {
   return std::max<int64_t>(1, node.out_shape.dim(0));
 }
 
+}  // namespace
+
 bool is_metadata_op(OpType op) {
   switch (op) {
     case OpType::kInput:
@@ -44,8 +46,6 @@ bool is_metadata_op(OpType op) {
   }
 }
 
-}  // namespace
-
 const char* device_kind_name(DeviceKind kind) {
   return kind == DeviceKind::kCpu ? "cpu" : "gpu";
 }
@@ -58,20 +58,32 @@ double transfer_time_seconds(uint64_t bytes, const TransferParams& link) {
   return link.latency_s + static_cast<double>(bytes) / (link.bandwidth_gbps * 1e9);
 }
 
-double node_time_seconds(const Graph& graph, const Node& node,
-                         const DeviceCostParams& params,
-                         const CompileOptions& options) {
-  if (is_metadata_op(node.op)) return 0.0;
-
-  const double flops = node_flops(graph, node);
+NodeCostQuantities node_cost_quantities(const Graph& graph, const Node& node) {
+  NodeCostQuantities q;
+  q.op = node.op;
+  q.metadata = is_metadata_op(node.op);
+  if (q.metadata) return q;
+  q.flops = node_flops(graph, node);
   const NodeBytes bytes = node_bytes(graph, node);
-  const int64_t launches = node_kernel_launches(graph, node);
+  q.read_bytes = bytes.read;
+  q.written_bytes = bytes.written;
+  q.launches = node_kernel_launches(graph, node);
+  q.batch = node_batch(node);
+  q.layout_tagged = node.op == OpType::kConv2d && node.attrs.has("layout");
+  return q;
+}
 
-  const OpClassCost& cls = class_of(params, node.op);
+double node_time_from_quantities(const NodeCostQuantities& q,
+                                 const DeviceCostParams& params,
+                                 const CompileOptions& options,
+                                 const Node* node) {
+  if (q.metadata) return 0.0;
+
+  const OpClassCost& cls = class_of(params, q.op);
 
   // Occupancy scaling with per-launch kernel size.
   const double flops_per_launch =
-      launches > 0 ? flops / static_cast<double>(launches) : flops;
+      q.launches > 0 ? q.flops / static_cast<double>(q.launches) : q.flops;
   double util = cls.eff;
   if (cls.ref_flops > 0.0 && cls.clamp_hi > cls.clamp_lo) {
     util *= std::clamp(flops_per_launch / cls.ref_flops, cls.clamp_lo, cls.clamp_hi);
@@ -79,28 +91,33 @@ double node_time_seconds(const Graph& graph, const Node& node,
 
   // Occupancy scaling with batch size (how the paper's Fig. 17 batch sweep
   // behaves: GPUs keep gaining throughput as the batch grows).
-  const double batch = static_cast<double>(node_batch(node));
+  const double batch = static_cast<double>(q.batch);
   util *= std::min(params.max_batch_gain, 1.0 + params.batch_gain * (batch - 1.0));
 
   // Low-level layout optimization (the compiler's layout pass tags convs).
-  if (node.op == OpType::kConv2d && node.attrs.has("layout")) {
-    util *= params.layout_bonus;
-  }
+  if (q.layout_tagged) util *= params.layout_bonus;
 
   if (options.framework_mode) util *= params.framework_eff;
-  if (options.schedule_quality) {
-    util *= options.schedule_quality(node, static_cast<int>(params.kind));
+  if (options.schedule_quality && node != nullptr) {
+    util *= options.schedule_quality(*node, static_cast<int>(params.kind));
   }
-  DUET_CHECK_GT(util, 0.0) << "non-positive utilization for " << op_name(node.op);
+  DUET_CHECK_GT(util, 0.0) << "non-positive utilization for " << op_name(q.op);
 
-  const double compute_s = flops / (params.peak_gflops * 1e9 * util);
-  const double memory_s = static_cast<double>(bytes.read + bytes.written) /
+  const double compute_s = q.flops / (params.peak_gflops * 1e9 * util);
+  const double memory_s = static_cast<double>(q.read_bytes + q.written_bytes) /
                           (params.mem_bw_gbps * 1e9);
 
-  double t = static_cast<double>(launches) * params.launch_overhead_s +
+  double t = static_cast<double>(q.launches) * params.launch_overhead_s +
              std::max(compute_s, memory_s);
   if (options.framework_mode) t += params.framework_dispatch_s;
   return t;
+}
+
+double node_time_seconds(const Graph& graph, const Node& node,
+                         const DeviceCostParams& params,
+                         const CompileOptions& options) {
+  return node_time_from_quantities(node_cost_quantities(graph, node), params,
+                                   options, &node);
 }
 
 }  // namespace duet

@@ -61,6 +61,35 @@ struct TransferParams {
 
 double transfer_time_seconds(uint64_t bytes, const TransferParams& link);
 
+// The raw analytic quantities the roofline formula consumes for one node.
+// node_time_seconds fills this from the concrete graph; the symbolic layer
+// (analysis/symbolic) fills it by specializing SymExpr costs at a binding.
+// Both feed node_time_from_quantities, so the two paths cannot drift.
+struct NodeCostQuantities {
+  OpType op = OpType::kIdentity;
+  bool metadata = true;       // terminals/reshape/flatten/identity: zero time
+  double flops = 0.0;
+  uint64_t read_bytes = 0;
+  uint64_t written_bytes = 0;
+  int64_t launches = 0;
+  int64_t batch = 1;          // max(1, out dim 0)
+  bool layout_tagged = false; // conv rewarded by the layout pass
+};
+
+// True for ops the cost model treats as free metadata/movement.
+bool is_metadata_op(OpType op);
+
+// Extracts the quantities for one concrete node.
+NodeCostQuantities node_cost_quantities(const Graph& graph, const Node& node);
+
+// Roofline evaluation shared by the concrete and symbolic paths. `node` is
+// optional and only consulted by options.schedule_quality (the symbolic
+// crossover solver has no Node and passes nullptr).
+double node_time_from_quantities(const NodeCostQuantities& q,
+                                 const DeviceCostParams& params,
+                                 const CompileOptions& options,
+                                 const Node* node = nullptr);
+
 // Modeled execution time of one node. Returns 0 for pure-metadata ops
 // (reshape/flatten/identity) and terminals.
 double node_time_seconds(const Graph& graph, const Node& node,

@@ -113,6 +113,12 @@ double LatencyEvaluator::evaluate(const Placement& placement,
         return it->second;
       }
     } else {
+      // Past 64 subgraphs the placement no longer fits the bitset key and the
+      // memo degrades to string keys. Count every such lookup so the cliff is
+      // visible in telemetry (the memo-bitset-fallback lint rule points here).
+      static telemetry::Counter& memo_large =
+          telemetry::counter("sched.eval.memo_large_key");
+      memo_large.add(1);
       large_key.resize(n);
       for (size_t i = 0; i < n; ++i) {
         large_key[i] =

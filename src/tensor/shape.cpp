@@ -21,7 +21,13 @@ int64_t Shape::dim(size_t i) const {
 
 int64_t Shape::numel() const {
   int64_t n = 1;
-  for (int64_t d : dims_) n *= d;
+  for (int64_t d : dims_) {
+    // Dims are non-negative by construction, so the only failure mode is
+    // positive overflow — and a wrapped element count would silently
+    // under-size every buffer computed from it downstream.
+    DUET_CHECK(!__builtin_mul_overflow(n, d, &n))
+        << "numel overflows int64 for shape " << to_string();
+  }
   return n;
 }
 

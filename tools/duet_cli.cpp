@@ -118,6 +118,8 @@
 #include "analysis/model_check/explorer.hpp"
 #include "analysis/plan_validator.hpp"
 #include "analysis/race_checker.hpp"
+#include "analysis/symbolic/crossover.hpp"
+#include "analysis/symbolic/sym_shape_inference.hpp"
 #include "common/stats.hpp"
 #include "common/string_util.hpp"
 #include "compiler/compile_cache.hpp"
@@ -163,8 +165,13 @@ namespace {
                "       %s cache stats | clear [--cache-dir <dir>]\n"
                "       %s serve-bench <model>... | --all [--qps <Q>]\n"
                "          [--workers <N>] [--deadline-ms <D>] [--requests <N>]\n"
-               "          [--json] [--out <dir>] [--scheduler <name>]\n",
-               argv0, argv0, argv0, argv0, argv0, argv0, argv0, argv0, argv0);
+               "          [--json] [--out <dir>] [--scheduler <name>]\n"
+               "       %s shapes <model>... | --all [--symbolic]\n"
+               "          [--sym NAME=LO..HI]... [--json]\n"
+               "       %s crossover <model>... | --all [--sym NAME=LO..HI]...\n"
+               "          [--json]\n",
+               argv0, argv0, argv0, argv0, argv0, argv0, argv0, argv0, argv0,
+               argv0, argv0);
   std::exit(code);
 }
 
@@ -406,6 +413,147 @@ duet::VerifyResult lint_model(const std::string& label, duet::Graph model,
   all.set_artifact(label);
   all.sort();
   return all;
+}
+
+// Parses a "--sym NAME=LO..HI" range spec. Returns false (leaving outputs
+// untouched) on malformed input — the caller turns that into a usage error.
+bool parse_sym_spec(const std::string& spec, std::string* name,
+                    duet::symbolic::SymRange* range) {
+  const size_t eq = spec.find('=');
+  const size_t dots = spec.find("..");
+  if (eq == std::string::npos || eq == 0 || dots == std::string::npos ||
+      dots < eq + 2 || dots + 2 >= spec.size() + 1) {
+    return false;
+  }
+  const std::string sym = spec.substr(0, eq);
+  const std::string lo_text = spec.substr(eq + 1, dots - eq - 1);
+  const std::string hi_text = spec.substr(dots + 2);
+  if (lo_text.empty() || hi_text.empty()) return false;
+  try {
+    size_t pos = 0;
+    const long long lo = std::stoll(lo_text, &pos);
+    if (pos != lo_text.size()) return false;
+    pos = 0;
+    const long long hi = std::stoll(hi_text, &pos);
+    if (pos != hi_text.size()) return false;
+    if (lo < 1 || hi < lo) return false;
+    *name = sym;
+    range->lo = lo;
+    range->hi = hi;
+    return true;
+  } catch (const std::exception&) {
+    return false;
+  }
+}
+
+// `duet_cli shapes`: per-node shape table, concrete by default, symbolic
+// (polynomials of the batch symbol) with --symbolic. Returns false when
+// symbolic inference reports any error-severity diagnostic (warnings — e.g.
+// a batch-monomorphic reshape — are reported but do not fail the command).
+bool shapes_one(const std::string& label, const duet::Graph& model,
+                bool symbolic_mode, const duet::symbolic::SymbolicOptions& opts,
+                bool json) {
+  using namespace duet;
+  using telemetry::json_escape;
+
+  symbolic::SymbolicShapes sym;
+  if (symbolic_mode) sym = symbolic::infer_symbolic(model, opts);
+  const auto shape_text = [&](const Node& n) {
+    return symbolic_mode
+               ? sym.shapes[static_cast<size_t>(n.id)].to_string()
+               : n.out_shape.to_string();
+  };
+
+  if (json) {
+    std::string doc = "{\"model\":\"" + json_escape(label) +
+                      "\",\"symbolic\":" + (symbolic_mode ? "true" : "false");
+    if (symbolic_mode) {
+      doc += ",\"domain\":{";
+      bool first = true;
+      for (const auto& [name, range] : sym.domain) {
+        if (!first) doc += ",";
+        first = false;
+        doc += "\"" + json_escape(name) + "\":{\"lo\":" +
+               std::to_string(range.lo) + ",\"hi\":" + std::to_string(range.hi) +
+               "}";
+      }
+      doc += "}";
+    }
+    doc += ",\"nodes\":[";
+    for (const Node& n : model.nodes()) {
+      if (n.id != 0) doc += ",";
+      doc += "{\"id\":" + std::to_string(n.id) + ",\"op\":\"" +
+             json_escape(op_name(n.op)) + "\",\"name\":\"" +
+             json_escape(n.name) + "\",\"shape\":\"" +
+             json_escape(shape_text(n)) + "\",\"dtype\":\"" +
+             json_escape(dtype_name(n.out_dtype)) + "\"}";
+    }
+    doc += "],\"errors\":" + std::to_string(sym.diagnostics.error_count()) +
+           ",\"warnings\":" + std::to_string(sym.diagnostics.warning_count()) +
+           ",\"diagnostics\":[";
+    const auto& diags = sym.diagnostics.diagnostics();
+    for (size_t i = 0; i < diags.size(); ++i) {
+      if (i != 0) doc += ",";
+      doc += diagnostic_json(diags[i]);
+    }
+    doc += "]}";
+    std::string err;
+    if (!telemetry::validate_json(doc, &err)) {
+      std::fprintf(stderr, "shapes %s: invalid JSON produced: %s\n",
+                   label.c_str(), err.c_str());
+      return false;
+    }
+    std::printf("%s\n", doc.c_str());
+    return sym.diagnostics.ok();
+  }
+
+  std::printf("shapes %s (%zu nodes%s)\n", label.c_str(), model.num_nodes(),
+              symbolic_mode ? ", symbolic" : "");
+  if (symbolic_mode) {
+    for (const auto& [name, range] : sym.domain) {
+      std::printf("  symbol %s in [%lld, %lld]\n", name.c_str(),
+                  static_cast<long long>(range.lo),
+                  static_cast<long long>(range.hi));
+    }
+  }
+  for (const Node& n : model.nodes()) {
+    std::printf("  %%%-4d %-18s %-24s %s %s\n", n.id, op_name(n.op),
+                n.name.c_str(), shape_text(n).c_str(),
+                dtype_name(n.out_dtype));
+  }
+  if (!sym.diagnostics.diagnostics().empty()) {
+    std::printf("%s", sym.diagnostics.to_string().c_str());
+  }
+  return sym.diagnostics.ok();
+}
+
+// `duet_cli crossover`: optimize + partition the model like the engine
+// would, then scan the batch symbol and report where the analytic CPU/GPU
+// preference of each subgraph flips.
+bool crossover_one(const std::string& label, duet::Graph model,
+                   const duet::symbolic::SymbolicOptions& sym_opts,
+                   const duet::symbolic::CrossoverOptions& x_opts, bool json) {
+  using namespace duet;
+  const Graph optimized =
+      PassManager::standard(CompileOptions::compiler_defaults()).run(std::move(model));
+  const Partition partition = partition_phased(optimized);
+  const symbolic::SymbolicShapes shapes =
+      symbolic::infer_symbolic(optimized, sym_opts);
+  const symbolic::CrossoverReport report =
+      symbolic::analyze_crossover(optimized, partition, shapes, x_opts);
+  if (json) {
+    const std::string doc = report.to_json();
+    std::string err;
+    if (!telemetry::validate_json(doc, &err)) {
+      std::fprintf(stderr, "crossover %s: invalid JSON produced: %s\n",
+                   label.c_str(), err.c_str());
+      return false;
+    }
+    std::printf("%s\n", doc.c_str());
+  } else {
+    std::printf("%s", report.to_string().c_str());
+  }
+  return shapes.diagnostics.ok();
 }
 
 // One full telemetry capture: enables the layer, runs the whole pipeline
@@ -828,9 +976,81 @@ int main(int argc, char** argv) {
   // schedule-report path.
   if (!cmd.empty() && cmd[0] != '-' && cmd != "cache" && cmd != "verify" &&
       cmd != "analyze" && cmd != "lint" && cmd != "trace" && cmd != "stats" &&
-      cmd != "schedule" && cmd != "serve-bench") {
+      cmd != "schedule" && cmd != "serve-bench" && cmd != "shapes" &&
+      cmd != "crossover") {
     std::fprintf(stderr, "unknown subcommand: %s\n", cmd.c_str());
     usage(argv[0]);
+  }
+
+  if (cmd == "shapes" || cmd == "crossover") {
+    std::vector<std::string> names;
+    bool json = false;
+    bool symbolic_mode = cmd == "crossover";  // crossover is always symbolic
+    symbolic::SymbolicOptions sym_opts;
+    symbolic::CrossoverOptions x_opts;
+    bool saw_sym = false;
+    for (int i = 2; i < argc; ++i) {
+      const std::string arg = argv[i];
+      const auto next = [&]() -> std::string {
+        if (i + 1 >= argc) usage(argv[0]);
+        return argv[++i];
+      };
+      if (arg == "--all") {
+        for (const std::string& name : models::zoo_model_names()) {
+          names.push_back(name);
+        }
+      } else if (arg == "--symbolic" && cmd == "shapes") {
+        symbolic_mode = true;
+      } else if (arg == "--sym") {
+        const std::string spec = next();
+        std::string sym_name;
+        symbolic::SymRange range;
+        if (!parse_sym_spec(spec, &sym_name, &range)) {
+          std::fprintf(stderr,
+                       "invalid --sym spec \"%s\" (expected NAME=LO..HI with "
+                       "1 <= LO <= HI)\n",
+                       spec.c_str());
+          usage(argv[0]);
+        }
+        // The first spec names the dimension the scan/bind uses; later specs
+        // just declare additional ranges.
+        if (!saw_sym) {
+          saw_sym = true;
+          symbolic_mode = true;
+          sym_opts.batch_symbol = sym_name;
+          x_opts.symbol = sym_name;
+          x_opts.lo = range.lo;
+          x_opts.hi = range.hi;
+        }
+        sym_opts.domain[sym_name] = range;
+      } else if (arg == "--json") {
+        json = true;
+      } else if (arg == "--help" || arg == "-h") {
+        usage_exit(argv[0], 0);
+      } else if (arg.rfind("-", 0) == 0) {
+        std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
+        usage(argv[0]);
+      } else {
+        names.push_back(arg);
+      }
+    }
+    if (names.empty()) usage(argv[0]);
+    bool all_ok = true;
+    try {
+      for (const std::string& name : names) {
+        if (cmd == "shapes") {
+          all_ok &= shapes_one(name, models::build_by_name(name),
+                               symbolic_mode, sym_opts, json);
+        } else {
+          all_ok &= crossover_one(name, models::build_by_name(name), sym_opts,
+                                  x_opts, json);
+        }
+      }
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "error: %s\n", e.what());
+      return 1;
+    }
+    return all_ok ? 0 : 1;
   }
 
   if (cmd == "serve-bench") {
