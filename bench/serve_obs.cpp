@@ -1,0 +1,234 @@
+// Observability overhead: cost of the always-on flight recorder on the
+// serving runtime, emitted as BENCH_8.json.
+//
+// The flight recorder's contract (src/telemetry/flight_recorder.hpp) is
+// that it stays ON in production, so its cost must be provably negligible.
+// Three legs establish that:
+//
+//  1. record() microbench — wall-clock ns per event with recording enabled
+//     vs disabled (the disabled path is the early-out branch, i.e. the
+//     floor a skeptic would compare against).
+//  2. real serving leg — a live DuetServer run twice, recorder on vs off,
+//     reporting windowed wall p99 from the SLO monitor. Informational:
+//     wall numbers depend on the build machine and scheduler noise, so
+//     they are published but not gated. This leg also measures the actual
+//     flight events emitted per completed request.
+//  3. virtual-time gate — the measured per-event cost times the measured
+//     events-per-request is folded into the modeled service times of the
+//     serving simulator, and the same Poisson trace is replayed with and
+//     without that inflation. Virtual time makes the baseline p99 exactly
+//     reproducible on any machine; the only machine-dependent input is the
+//     (tens of nanoseconds) measured record cost, so the p99 ratio gate is
+//     stable in CI.
+//
+// Runs argument-free; prints the table and writes BENCH_8.json to the
+// current directory (CI uploads it as an artifact and gates on it).
+//
+// Acceptance: virtual-time p99 ratio (recorder on / off) <= 1.05 on every
+// model, and the serving leg must show the recorder actually recording
+// (>= 4 events per completed request — enqueue, pickup, launch, complete).
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "models/model_zoo.hpp"
+#include "serve/server.hpp"
+#include "serve/simulator.hpp"
+#include "serve/workload.hpp"
+#include "telemetry/flight_recorder.hpp"
+#include "telemetry/telemetry.hpp"
+
+namespace {
+
+using namespace duet;
+
+constexpr size_t kMicroEvents = 4'000'000;
+constexpr int kServeRequests = 64;
+constexpr int kServeWave = 16;  // closed-loop wave size (queue stays shallow)
+constexpr int kSimRequests = 2000;
+constexpr double kMaxP99Ratio = 1.05;
+constexpr double kMinEventsPerRequest = 4.0;
+
+// Wall-clock nanoseconds per FlightRecorder::record() call in the current
+// recording state. The loop varies trace id and args so the store pattern
+// matches serving traffic rather than hammering one cache line value.
+double record_ns_per_event(size_t n) {
+  auto& recorder = telemetry::FlightRecorder::instance();
+  const auto t0 = std::chrono::steady_clock::now();
+  for (size_t i = 0; i < n; ++i) {
+    recorder.record(telemetry::FlightKind::kLaunch, /*trace_id=*/i,
+                    /*arg0=*/i & 7, /*arg1=*/1234, /*device=*/0);
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::nano>(t1 - t0).count() /
+         static_cast<double>(n);
+}
+
+struct ServeLeg {
+  uint64_t completed = 0;
+  uint64_t events = 0;  // flight events recorded during the leg
+  double p99_us = 0.0;  // windowed wall latency from the SLO monitor
+};
+
+ServeLeg run_serving(const std::string& name, bool recorder_on) {
+  auto& recorder = telemetry::FlightRecorder::instance();
+  recorder.clear();
+  recorder.set_recording_enabled(recorder_on);
+  const uint64_t recorded_before = recorder.recorded();
+
+  serve::ServeOptions sopts;
+  sopts.workers = 2;
+  sopts.queue_capacity = 64;
+  serve::DuetServer server(models::build_by_name(name), sopts);
+
+  Rng rng(7);
+  const auto feeds = models::make_random_feeds(server.engine().model(), rng);
+  // Closed-loop waves: the queue never outgrows one wave, so the measured
+  // p99 reflects service latency rather than a deep-queue drain, and no
+  // request is rejected at admission.
+  ServeLeg leg;
+  for (int base = 0; base < kServeRequests; base += kServeWave) {
+    std::vector<std::future<serve::Response>> futures;
+    futures.reserve(kServeWave);
+    for (int i = 0; i < kServeWave; ++i) {
+      futures.push_back(server.submit(feeds));
+    }
+    for (auto& f : futures) {
+      leg.completed += f.get().status == serve::RequestStatus::kOk ? 1 : 0;
+    }
+  }
+  leg.p99_us = server.slo_snapshot().latency_p99_us;
+  server.drain();
+  leg.events = recorder.recorded() - recorded_before;
+  recorder.set_recording_enabled(true);
+  return leg;
+}
+
+}  // namespace
+
+int main() {
+  const std::vector<std::string> kModels = {"wide-deep", "mtdnn"};
+
+  bench::header("flight recorder record() microbench");
+  const double ns_off = [] {
+    telemetry::FlightRecorder::instance().set_recording_enabled(false);
+    const double ns = record_ns_per_event(kMicroEvents);
+    telemetry::FlightRecorder::instance().set_recording_enabled(true);
+    return ns;
+  }();
+  telemetry::FlightRecorder::instance().clear();
+  const double ns_on = record_ns_per_event(kMicroEvents);
+  telemetry::FlightRecorder::instance().clear();
+  std::printf("record(): %.1f ns/event on, %.1f ns/event off (%zu events)\n",
+              ns_on, ns_off, kMicroEvents);
+
+  std::string models_json;
+  double worst_ratio = 0.0;
+  double worst_events_per_request = 1e300;
+
+  for (const std::string& name : kModels) {
+    bench::header("serving overhead: " + name);
+
+    // Real serving, recorder on vs off. Wall numbers are informational;
+    // the on-leg's event count feeds the virtual-time gate below.
+    const ServeLeg on = run_serving(name, /*recorder_on=*/true);
+    const ServeLeg off = run_serving(name, /*recorder_on=*/false);
+    const double events_per_request =
+        on.completed > 0
+            ? static_cast<double>(on.events) / static_cast<double>(on.completed)
+            : 0.0;
+    std::printf(
+        "real: %llu/%d ok, wall p99 %.3f ms on / %.3f ms off, "
+        "%.1f flight events per request\n",
+        static_cast<unsigned long long>(on.completed), kServeRequests,
+        on.p99_us * 1e-3, off.p99_us * 1e-3, events_per_request);
+    worst_events_per_request =
+        std::min(worst_events_per_request, events_per_request);
+
+    // Virtual-time gate: replay one Poisson trace against a 4-worker pool
+    // at 0.8x saturation, with per-request service inflated by the
+    // measured recorder cost. Identical arrivals and draws on both legs,
+    // so the ratio isolates the recorder.
+    DuetEngine engine{models::build_by_name(name)};
+    std::vector<double> service(kSimRequests);
+    double total_s = 0.0;
+    for (int i = 0; i < kSimRequests; ++i) {
+      service[static_cast<size_t>(i)] = engine.latency(/*with_noise=*/true);
+      total_s += service[static_cast<size_t>(i)];
+    }
+    const double mean_service_s = total_s / kSimRequests;
+    const double overhead_s = events_per_request * ns_on * 1e-9;
+
+    serve::ServeSimConfig cfg;
+    cfg.workers = 4;
+    cfg.queue_capacity = 128;
+    cfg.deadline_s = 10.0 * mean_service_s;
+    const double offered_qps = 0.8 * cfg.workers / mean_service_s;
+    Rng rng(1234);
+    const std::vector<double> arrivals =
+        serve::poisson_trace(offered_qps, kSimRequests, rng);
+    const serve::ServeStats base = serve::simulate_serving(
+        arrivals, [&service](size_t i) { return service[i]; }, cfg);
+    const serve::ServeStats inflated = serve::simulate_serving(
+        arrivals, [&](size_t i) { return service[i] + overhead_s; }, cfg);
+    const double ratio =
+        base.sojourn.p99 > 0.0 ? inflated.sojourn.p99 / base.sojourn.p99 : 1.0;
+    std::printf(
+        "virtual: p99 %.3f ms baseline, %.3f ms with recorder "
+        "(+%.3f us/request) -> ratio %.4f\n",
+        base.sojourn.p99 * 1e3, inflated.sojourn.p99 * 1e3, overhead_s * 1e6,
+        ratio);
+    worst_ratio = std::max(worst_ratio, ratio);
+
+    char buf[768];
+    std::snprintf(
+        buf, sizeof(buf),
+        "{\"model\":\"%s\",\"real\":{\"completed_on\":%llu,"
+        "\"completed_off\":%llu,\"wall_p99_on_us\":%.1f,"
+        "\"wall_p99_off_us\":%.1f},\"events_per_request\":%.2f,"
+        "\"virtual\":{\"offered_qps\":%.2f,\"p99_base_s\":%.6f,"
+        "\"p99_recorder_s\":%.6f,\"overhead_per_request_s\":%.9f,"
+        "\"p99_ratio\":%.4f}}",
+        name.c_str(), static_cast<unsigned long long>(on.completed),
+        static_cast<unsigned long long>(off.completed), on.p99_us, off.p99_us,
+        events_per_request, offered_qps, base.sojourn.p99,
+        inflated.sojourn.p99, overhead_s, ratio);
+    if (!models_json.empty()) models_json += ",";
+    models_json += buf;
+  }
+
+  std::FILE* out = std::fopen("BENCH_8.json", "w");
+  if (out == nullptr) {
+    std::printf("ERROR: cannot write BENCH_8.json\n");
+    return 1;
+  }
+  std::fprintf(out,
+               "{\"record_ns_on\":%.2f,\"record_ns_off\":%.2f,"
+               "\"models\":[%s],"
+               "\"gate\":{\"max_p99_ratio\":%.2f,\"worst_p99_ratio\":%.4f,"
+               "\"min_events_per_request\":%.1f,"
+               "\"worst_events_per_request\":%.2f}}\n",
+               ns_on, ns_off, models_json.c_str(), kMaxP99Ratio, worst_ratio,
+               kMinEventsPerRequest, worst_events_per_request);
+  std::fclose(out);
+  std::printf("\nwrote BENCH_8.json\n");
+
+  bool ok = true;
+  if (worst_ratio > kMaxP99Ratio) {
+    std::printf("ERROR: recorder p99 ratio %.4f above the %.2f bar\n",
+                worst_ratio, kMaxP99Ratio);
+    ok = false;
+  }
+  if (worst_events_per_request < kMinEventsPerRequest) {
+    std::printf(
+        "ERROR: %.2f flight events per request — the always-on recorder "
+        "should emit at least %.0f (enqueue/pickup/launch/complete)\n",
+        worst_events_per_request, kMinEventsPerRequest);
+    ok = false;
+  }
+  return ok ? 0 : 1;
+}

@@ -19,6 +19,7 @@ LintSuite LintSuite::standard() {
   suite.add(make_symbolic_shape_pass());
   suite.add(make_transfer_blowup_pass());
   suite.add(make_memo_bitset_pass());
+  suite.add(make_unbounded_series_pass());
   return suite;
 }
 

@@ -56,6 +56,9 @@ std::unique_ptr<LintPass> make_symbolic_shape_pass();
 std::unique_ptr<LintPass> make_transfer_blowup_pass();
 // Visibility note for the latency evaluator's 64-subgraph memo bitset.
 std::unique_ptr<LintPass> make_memo_bitset_pass();
+// Metric-registry hygiene: flags families of metric names that embed
+// per-entity numeric ids (unbounded series cardinality; ISSUE 8).
+std::unique_ptr<LintPass> make_unbounded_series_pass();
 
 class LintSuite {
  public:

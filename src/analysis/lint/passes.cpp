@@ -4,6 +4,7 @@
 // diagnostic from the checker that owns the rule.
 
 #include <algorithm>
+#include <cctype>
 #include <map>
 #include <set>
 #include <string>
@@ -16,6 +17,7 @@
 #include "analysis/symbolic/sym_shape_inference.hpp"
 #include "device/device.hpp"
 #include "graph/shape_inference.hpp"
+#include "telemetry/metrics.hpp"
 
 namespace duet::lint {
 namespace {
@@ -434,6 +436,81 @@ class MemoBitsetPass final : public LintPass {
   }
 };
 
+// --- telemetry-unbounded-series ----------------------------------------------
+// The metrics registry keys series by bare name, so "per-request" or
+// "per-plan-version" metrics (serve.request.42.latency_us, ...) grow the
+// registry without bound and make every scrape larger than the last — the
+// classic unbounded-label-cardinality failure. The pass groups registered
+// names by their template (digit-only dot segments replaced by "<id>") and
+// warns when one template has accumulated several distinct numeric
+// instantiations. It audits process state, not the plan, so it reports
+// whatever instrumentation bug the current process has already committed.
+class UnboundedSeriesPass final : public LintPass {
+ public:
+  static constexpr size_t kSeriesThreshold = 4;
+
+  const char* id() const override { return "telemetry-unbounded-series"; }
+  Diagnostic::Severity severity() const override {
+    return Diagnostic::Severity::kWarning;
+  }
+
+  // "serve.request.42.latency_us" -> ("serve.request.<id>.latency_us", true).
+  static std::pair<std::string, bool> name_template(const std::string& name) {
+    std::string out;
+    bool numeric = false;
+    size_t start = 0;
+    while (start <= name.size()) {
+      const size_t dot = name.find('.', start);
+      const size_t end = dot == std::string::npos ? name.size() : dot;
+      const std::string segment = name.substr(start, end - start);
+      const bool digits =
+          !segment.empty() &&
+          std::all_of(segment.begin(), segment.end(),
+                      [](unsigned char c) { return std::isdigit(c) != 0; });
+      if (!out.empty() || start > 0) out += '.';
+      out += digits ? "<id>" : segment;
+      numeric = numeric || digits;
+      if (dot == std::string::npos) break;
+      start = dot + 1;
+    }
+    return {out, numeric};
+  }
+
+  VerifyResult run(const LintInput& input) const override {
+    (void)input;
+    VerifyResult result;
+    std::map<std::string, size_t> families;
+    const auto count = [&families](const std::string& name) {
+      const auto [tmpl, numeric] = name_template(name);
+      if (numeric) families[tmpl]++;
+    };
+    const telemetry::MetricsRegistry& registry =
+        telemetry::MetricsRegistry::instance();
+    for (const auto& [name, value] : registry.counters()) {
+      (void)value;
+      count(name);
+    }
+    for (const auto& [name, value] : registry.gauges()) {
+      (void)value;
+      count(name);
+    }
+    for (const auto& [name, stats] : registry.histograms()) {
+      (void)stats;
+      count(name);
+    }
+    for (const auto& [tmpl, instances] : families) {
+      if (instances < kSeriesThreshold) continue;
+      result.add(finding(
+          severity(), id(), kInvalidNode, -1,
+          "metric family \"" + tmpl + "\" has " + std::to_string(instances) +
+              " numeric-id series; per-entity ids in metric names are "
+              "unbounded cardinality — use one series plus the flight "
+              "recorder / trace ids for per-request detail"));
+    }
+    return result;
+  }
+};
+
 }  // namespace
 
 std::unique_ptr<LintPass> make_boundary_type_pass() {
@@ -459,6 +536,9 @@ std::unique_ptr<LintPass> make_transfer_blowup_pass() {
 }
 std::unique_ptr<LintPass> make_memo_bitset_pass() {
   return std::make_unique<MemoBitsetPass>();
+}
+std::unique_ptr<LintPass> make_unbounded_series_pass() {
+  return std::make_unique<UnboundedSeriesPass>();
 }
 
 }  // namespace duet::lint

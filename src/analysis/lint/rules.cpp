@@ -159,6 +159,10 @@ std::vector<RuleInfo> build_catalogue() {
        "the plan fits the latency evaluator's 64-subgraph placement-memo "
        "bitset",
        "src/sched/latency_model.cpp"},
+      {"telemetry-unbounded-series", kWarning,
+       "no metric family enumerates per-entity numeric ids (unbounded label "
+       "cardinality leaks registry memory and blows up scrapes)",
+       "src/telemetry/metrics.cpp"},
   };
 }
 

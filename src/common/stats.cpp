@@ -45,6 +45,17 @@ double percentile_sorted(const std::vector<double>& sorted, double q) {
   DUET_CHECK(!sorted.empty()) << "percentile of empty sample set";
   DUET_CHECK(q >= 0.0 && q <= 1.0) << "q=" << q;
   if (sorted.size() == 1) return sorted[0];
+  // Tiny samples (n < 5) use the nearest-rank convention: the value at
+  // rank ceil(q*n). Linear interpolation there would manufacture a "p99"
+  // between two points neither of which is a 99th percentile of anything —
+  // e.g. {0, 10} used to report p99 = 9.9. Nearest-rank reports an actual
+  // observation and is the standard convention for small n.
+  if (sorted.size() < 5) {
+    const size_t rank = static_cast<size_t>(
+        std::ceil(q * static_cast<double>(sorted.size())));
+    const size_t index = rank == 0 ? 0 : rank - 1;
+    return sorted[std::min(index, sorted.size() - 1)];
+  }
   const double pos = q * static_cast<double>(sorted.size() - 1);
   const size_t lo = static_cast<size_t>(pos);
   const size_t hi = std::min(lo + 1, sorted.size() - 1);

@@ -42,11 +42,14 @@ class LatencyRecorder {
   std::vector<double> samples_;
 };
 
-// Linear-interpolated percentile of `sorted` (must be ascending, non-empty).
-// `q` in [0, 1].
+// Percentile of `sorted` (must be ascending, non-empty), `q` in [0, 1].
+// n >= 5: linear interpolation between the bracketing order statistics.
+// n < 5: nearest-rank (the value at rank ceil(q*n)) — tiny samples return
+// an actual observation instead of extrapolating a fictitious tail (p99 of
+// two points is the larger point, not 99% of the way between them).
 double percentile_sorted(const std::vector<double>& sorted, double q);
 
-// Convenience: copies, sorts, interpolates.
+// Convenience: copies, sorts, then applies percentile_sorted.
 double percentile(std::vector<double> samples, double q);
 
 double mean_of(const std::vector<double>& samples);

@@ -6,8 +6,10 @@
 #include "device/interconnect.hpp"
 #include "runtime/arena.hpp"
 #include "runtime/executor.hpp"
+#include "telemetry/flight_recorder.hpp"
 #include "telemetry/metrics.hpp"
 #include "telemetry/telemetry.hpp"
+#include "telemetry/trace_context.hpp"
 
 namespace duet {
 namespace {
@@ -36,6 +38,18 @@ ExecutionResult SimExecutor::run_impl(const ExecutionPlan& plan,
                                       bool with_noise, bool record_timeline) {
   const size_t n = plan.subgraphs().size();
   ExecutionResult result;
+
+  // Serving request context, if any. Timeline events are tagged with it so
+  // drift reports can join per-request; flight launch/transfer events are
+  // recorded only inside a request (scheduler evaluation loops calling
+  // run_latency_only must stay unperturbed, and engine-driven runs are not
+  // incidents worth ring space).
+  const uint64_t trace_id =
+      record_timeline ? telemetry::current_trace_id() : 0;
+  const auto add_event = [&](TimelineEvent event) {
+    event.trace_id = trace_id;
+    result.timeline.add(std::move(event));
+  };
 
   std::vector<double> ready(n, 0.0);
   std::vector<double> finish(n, 0.0);
@@ -81,8 +95,14 @@ ExecutionResult SimExecutor::run_impl(const ExecutionPlan& plan,
       SimMetrics::get().transfers.add(1);
       ready[static_cast<size_t>(ps.id)] = dt;
       if (record_timeline) {
-        result.timeline.add({TimelineEvent::Kind::kTransfer, ps.id,
-                             DeviceKind::kGpu, "h2d-input", 0.0, dt});
+        add_event({TimelineEvent::Kind::kTransfer, ps.id, DeviceKind::kGpu,
+                   "h2d-input", 0.0, dt});
+      }
+      if (trace_id != 0) {
+        telemetry::FlightRecorder::instance().record(
+            telemetry::FlightKind::kTransfer, trace_id,
+            static_cast<uint64_t>(ps.id), host_bytes,
+            static_cast<uint8_t>(DeviceKind::kGpu));
       }
     }
   }
@@ -131,6 +151,13 @@ ExecutionResult SimExecutor::run_impl(const ExecutionPlan& plan,
     exec_time += executor_dispatch_overhead();
     SimMetrics::get().launches.add(1);
     SimMetrics::get().subgraph_us.observe(exec_time * 1e6);
+    if (trace_id != 0) {
+      telemetry::FlightRecorder::instance().record(
+          telemetry::FlightKind::kLaunch, trace_id,
+          static_cast<uint64_t>(ps.id),
+          static_cast<uint64_t>(exec_time * 1e9),
+          static_cast<uint8_t>(ps.device));
+    }
 
     const double end = best_start + exec_time;
     finish[i] = end;
@@ -138,8 +165,8 @@ ExecutionResult SimExecutor::run_impl(const ExecutionPlan& plan,
     lane_free[static_cast<int>(ps.device)][earliest_lane(ps.device)] = end;
     ++completed;
     if (record_timeline) {
-      result.timeline.add({TimelineEvent::Kind::kExec, ps.id, ps.device,
-                           plan.partition().subgraphs[i].label, best_start, end});
+      add_event({TimelineEvent::Kind::kExec, ps.id, ps.device,
+                 plan.partition().subgraphs[i].label, best_start, end});
     }
 
     // Trigger dependents; cross-device edges pay a transfer.
@@ -162,8 +189,14 @@ ExecutionResult SimExecutor::run_impl(const ExecutionPlan& plan,
         SimMetrics::get().transfers.add(1);
         avail += dt;
         if (record_timeline) {
-          result.timeline.add({TimelineEvent::Kind::kTransfer, ps.id, cs.device,
-                               "xfer", end, end + dt});
+          add_event({TimelineEvent::Kind::kTransfer, ps.id, cs.device, "xfer",
+                     end, end + dt});
+        }
+        if (trace_id != 0) {
+          telemetry::FlightRecorder::instance().record(
+              telemetry::FlightKind::kTransfer, trace_id,
+              static_cast<uint64_t>(ps.id), bytes,
+              static_cast<uint8_t>(cs.device));
         }
       }
       ready[j] = std::max(ready[j], avail);
@@ -190,8 +223,14 @@ ExecutionResult SimExecutor::run_impl(const ExecutionPlan& plan,
       SimMetrics::get().transfer_bytes.add(bytes);
       SimMetrics::get().transfers.add(1);
       if (record_timeline) {
-        result.timeline.add({TimelineEvent::Kind::kTransfer, owner,
-                             DeviceKind::kCpu, "d2h-output", t, t + dt});
+        add_event({TimelineEvent::Kind::kTransfer, owner, DeviceKind::kCpu,
+                   "d2h-output", t, t + dt});
+      }
+      if (trace_id != 0) {
+        telemetry::FlightRecorder::instance().record(
+            telemetry::FlightKind::kTransfer, trace_id,
+            static_cast<uint64_t>(owner), bytes,
+            static_cast<uint8_t>(DeviceKind::kCpu));
       }
       t += dt;
     }

@@ -4,6 +4,7 @@
 // which transfers crossed the link. Renders the ASCII equivalent of the
 // paper's Fig. 4 execution timelines and exports CSV for plotting.
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -18,6 +19,10 @@ struct TimelineEvent {
   std::string label;
   double start = 0.0;
   double end = 0.0;
+  // Serving request that caused the event (telemetry::current_trace_id() at
+  // record time); 0 outside a request context. Lets drift reports and
+  // post-mortem dumps join timeline events back to individual requests.
+  uint64_t trace_id = 0;
 
   double duration() const { return end - start; }
 };

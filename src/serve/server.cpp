@@ -6,8 +6,12 @@
 #include "common/logging.hpp"
 #include "telemetry/metrics.hpp"
 #include "telemetry/telemetry.hpp"
+#include "telemetry/trace_context.hpp"
 
 namespace duet::serve {
+
+using telemetry::FlightKind;
+using telemetry::FlightRecorder;
 
 DuetServer::DuetServer(Graph model, ServeOptions options)
     : options_(std::move(options)),
@@ -17,7 +21,10 @@ DuetServer::DuetServer(Graph model, ServeOptions options)
       paused_(options_.start_paused),
       plan_(std::make_shared<const ExecutionPlan>(engine_->plan())),
       placement_(engine_->report().schedule.placement),
-      drift_(engine_->partition().subgraphs.size()) {
+      drift_(engine_->partition().subgraphs.size()),
+      slo_(options_.observability.slo_window_s,
+           options_.observability.slo_buckets),
+      dump_trigger_(options_.observability.trigger) {
   DUET_CHECK_GT(options_.workers, 0);
   DUET_CHECK_GT(options_.queue_capacity, 0u);
   workers_.reserve(static_cast<size_t>(options_.workers));
@@ -35,11 +42,17 @@ std::future<Response> DuetServer::submit(std::map<NodeId, Tensor> feeds,
                                          double deadline_s) {
   Request request;
   request.id = next_id_.fetch_add(1, std::memory_order_relaxed);
+  request.trace_id = request.id;  // minted at admission, unique per request
   request.feeds = std::move(feeds);
   request.deadline_s =
       deadline_s < 0.0 ? options_.default_deadline_s : deadline_s;
   request.arrival_s = clock_.elapsed();
   std::future<Response> future = request.promise.get_future();
+  const uint64_t trace_id = request.trace_id;
+  const double now_us = telemetry::now_us();
+  const uint64_t depth = queue_.size();
+  slo_.record_offered(now_us);
+  slo_.record_queue_depth(now_us, static_cast<double>(depth));
 
   admission_.counters().offered.fetch_add(1, std::memory_order_relaxed);
   {
@@ -49,6 +62,7 @@ std::future<Response> DuetServer::submit(std::map<NodeId, Tensor> feeds,
   if (queue_.try_push(std::move(request)) ==
       BoundedQueue<Request>::Push::kAccepted) {
     admission_.counters().accepted.fetch_add(1, std::memory_order_relaxed);
+    FlightRecorder::instance().record(FlightKind::kEnqueue, trace_id, depth);
     return future;
   }
 
@@ -61,6 +75,8 @@ std::future<Response> DuetServer::submit(std::map<NodeId, Tensor> feeds,
   pending_cv_.notify_all();
   admission_.counters().rejected.fetch_add(1, std::memory_order_relaxed);
   telemetry::counter("serve.rejected").add(1);
+  slo_.record_rejected(telemetry::now_us());
+  FlightRecorder::instance().record(FlightKind::kReject, trace_id, depth);
   Response response;
   response.status = RequestStatus::kRejected;
   response.wall_latency_s = clock_.elapsed() - request.arrival_s;
@@ -113,15 +129,31 @@ void DuetServer::worker_loop() {
     const double pickup_s = clock_.elapsed();
     Response response;
     response.wall_wait_s = pickup_s - request.arrival_s;
+    const double wait_us = response.wall_wait_s * 1e6;
+    slo_.record_queue_wait(telemetry::now_us(), wait_us);
 
     if (admission_.should_shed(pickup_s, request.arrival_s,
                                request.deadline_s)) {
       admission_.counters().shed.fetch_add(1, std::memory_order_relaxed);
       telemetry::counter("serve.shed").add(1);
+      const double now_us = telemetry::now_us();
+      slo_.record_shed(now_us);
+      slo_breaches_.fetch_add(1, std::memory_order_relaxed);
+      telemetry::counter("serve.slo_breaches").add(1);
+      FlightRecorder::instance().record(FlightKind::kShed, request.trace_id,
+                                        static_cast<uint64_t>(wait_us));
       response.status = RequestStatus::kShed;
       resolve(request, std::move(response));
+      if (dump_trigger_.on_deadline_miss(now_us)) {
+        maybe_flight_dump("deadline-miss-burst");
+      }
+      if (dump_trigger_.on_outcome(/*shed=*/true)) {
+        maybe_flight_dump("shed-rate");
+      }
       continue;
     }
+    FlightRecorder::instance().record(FlightKind::kPickup, request.trace_id,
+                                      static_cast<uint64_t>(wait_us));
 
     std::shared_ptr<const ExecutionPlan> plan;
     uint64_t version = 0;
@@ -138,6 +170,9 @@ void DuetServer::worker_loop() {
           telemetry_on ? "request:" + std::to_string(request.id)
                        : std::string(),
           "serve", engine_->model().name());
+      // Request context for the executor: timeline events and flight
+      // launch/transfer records inside run() tag themselves with this id.
+      telemetry::TraceScope trace(request.trace_id);
       result = executor.run(*plan, request.feeds, options_.with_noise);
     }
 
@@ -153,12 +188,34 @@ void DuetServer::worker_loop() {
       wall_wait_.add(response.wall_wait_s);
     }
     admission_.counters().completed.fetch_add(1, std::memory_order_relaxed);
-    if (request.deadline_s > 0.0 &&
-        clock_.elapsed() > request.arrival_s + request.deadline_s) {
+    const double done_s = clock_.elapsed();
+    const double latency_s = done_s - request.arrival_s;
+    const bool late = request.deadline_s > 0.0 &&
+                      done_s > request.arrival_s + request.deadline_s;
+    if (late) {
       admission_.counters().completed_late.fetch_add(1,
                                                      std::memory_order_relaxed);
     }
+    // SLO breach: over the configured latency target, or — with no explicit
+    // target — over the request's own deadline.
+    const double slo_s = options_.observability.slo_latency_s;
+    const bool breach = slo_s > 0.0 ? latency_s > slo_s : late;
+    const double now_us = telemetry::now_us();
+    slo_.record_completed(now_us, latency_s * 1e6, breach);
+    if (breach) {
+      slo_breaches_.fetch_add(1, std::memory_order_relaxed);
+      telemetry::counter("serve.slo_breaches").add(1);
+      if (dump_trigger_.on_deadline_miss(now_us)) {
+        maybe_flight_dump("deadline-miss-burst");
+      }
+    }
+    if (dump_trigger_.on_outcome(/*shed=*/false)) {
+      maybe_flight_dump("shed-rate");
+    }
     telemetry::counter("serve.completed").add(1);
+    FlightRecorder::instance().record(FlightKind::kComplete, request.trace_id,
+                                      version,
+                                      static_cast<uint64_t>(latency_s * 1e6));
     resolve(request, std::move(response));
 
     if (options_.recalibrate_every > 0) {
@@ -190,6 +247,21 @@ RecalibrationResult DuetServer::recalibrate_now() {
     observed = drift_;
     ++recalibrations_;
   }
+  // The windowed SLO view gates the work: an empty window with no drift
+  // samples means nothing ran since the last reset, so re-running the
+  // scheduler would only reproduce the offline decision.
+  const telemetry::SloSnapshot slo = slo_.snapshot(telemetry::now_us());
+  if (observed.total_samples() == 0 && slo.completed == 0) {
+    telemetry::counter("serve.recalibrations.skipped_empty").add(1);
+    RecalibrationResult empty;
+    empty.placement = current_placement();
+    return empty;
+  }
+  if (slo.breaches > 0) {
+    DUET_LOG_INFO << "recalibrating with " << slo.breaches
+                  << " SLO breaches in the last " << slo.window_s
+                  << "s window (p99 " << slo.latency_p99_us << "us)";
+  }
   RecalibrationResult result =
       recalibrate(engine_->model(), engine_->partition(),
                   engine_->report().profiles, observed, current_placement(),
@@ -215,14 +287,31 @@ void DuetServer::swap_plan(const Placement& placement) {
   std::shared_ptr<const ExecutionPlan> next =
       std::make_shared<const ExecutionPlan>(
           engine_->build_plan_for(placement));
+  uint64_t version = 0;
   {
     std::lock_guard<std::mutex> lock(plan_mutex_);
     plan_ = std::move(next);
     placement_ = placement;
     ++plan_version_;
     ++swap_count_;
+    version = plan_version_;
   }
   telemetry::counter("serve.plan_swaps").add(1);
+  const double now_us = telemetry::now_us();
+  slo_.record_plan_version(now_us, version);
+  FlightRecorder::instance().record(FlightKind::kSwap, 0, version);
+}
+
+void DuetServer::maybe_flight_dump(const std::string& reason) {
+  if (options_.observability.dump_dir.empty()) return;
+  const telemetry::FlightDumpSummary summary = FlightRecorder::instance().dump(
+      options_.observability.dump_dir, reason,
+      options_.observability.dump_window_ms);
+  flight_dumps_.fetch_add(1, std::memory_order_relaxed);
+  telemetry::counter("serve.flight_dumps").add(1);
+  DUET_LOG_WARN << "flight dump (" << reason << "): " << summary.events
+                << " events, " << summary.complete_paths
+                << " complete request paths -> " << summary.trace_path;
 }
 
 std::shared_ptr<const ExecutionPlan> DuetServer::plan_snapshot() const {
@@ -260,7 +349,17 @@ ServerStats DuetServer::stats() const {
     s.swap_count = swap_count_;
     s.plan_version = plan_version_;
   }
+  s.slo_breaches = slo_breaches_.load(std::memory_order_relaxed);
+  s.flight_dumps = flight_dumps_.load(std::memory_order_relaxed);
   return s;
+}
+
+telemetry::SloSnapshot DuetServer::slo_snapshot() const {
+  telemetry::SloSnapshot snap = slo_.snapshot(telemetry::now_us());
+  // No swap landed inside the window: report the live plan version rather
+  // than 0, so operators always see which plan is serving.
+  if (snap.plan_version == 0) snap.plan_version = plan_version();
+  return snap;
 }
 
 }  // namespace duet::serve

@@ -37,8 +37,29 @@
 #include "serve/admission.hpp"
 #include "serve/recalibration.hpp"
 #include "serve/request_queue.hpp"
+#include "telemetry/flight_recorder.hpp"
+#include "telemetry/slo_monitor.hpp"
 
 namespace duet::serve {
+
+// PR-8 observability knobs. The flight recorder itself is process-global
+// and always on; these configure the server's windowed SLO view and when a
+// post-mortem dump is triggered.
+struct ServeObservability {
+  // Sliding window behind slo_snapshot(): `slo_window_s` of history in
+  // `slo_buckets` ring slots.
+  double slo_window_s = 10.0;
+  int slo_buckets = 10;
+  // Completed requests slower than this are SLO breaches; 0 falls back to
+  // the request deadline (late completions breach, on-time ones do not).
+  double slo_latency_s = 0.0;
+  // Incident triggers (deadline-miss burst / shed-rate threshold). A fired
+  // trigger dumps the flight rings into `dump_dir` once; "" disables
+  // trigger-driven dumps (explicit FlightRecorder::dump still works).
+  telemetry::DumpTriggerConfig trigger;
+  std::string dump_dir;
+  double dump_window_ms = 0.0;  // 0 = everything surviving in the rings
+};
 
 struct ServeOptions {
   int workers = 2;
@@ -56,6 +77,7 @@ struct ServeOptions {
   // tests fill the queue (deterministic rejects) or let deadlines expire
   // (deterministic sheds) without racing the workers.
   bool start_paused = false;
+  ServeObservability observability;
   DuetOptions engine;
 };
 
@@ -78,6 +100,8 @@ struct ServerStats {
   uint64_t plan_version = 0;
   uint64_t recalibrations = 0;
   uint64_t drift_samples = 0;
+  uint64_t slo_breaches = 0;  // sheds + over-SLO completions, process total
+  uint64_t flight_dumps = 0;  // trigger-driven post-mortem dumps written
 };
 
 class DuetServer {
@@ -119,9 +143,15 @@ class DuetServer {
   uint64_t plan_version() const;
   ServerStats stats() const;
 
+  // Windowed SLO view (last observability.slo_window_s seconds): latency
+  // quantiles, queue wait/depth, shed/reject rates, breaches, plan version.
+  telemetry::SloSnapshot slo_snapshot() const;
+
  private:
   struct Request {
     uint64_t id = 0;
+    uint64_t trace_id = 0;  // minted at admission; flows through the flight
+                            // recorder, executor timeline, and Chrome flows
     std::map<NodeId, Tensor> feeds;
     double deadline_s = 0.0;
     double arrival_s = 0.0;  // server clock
@@ -131,6 +161,8 @@ class DuetServer {
   void worker_loop();
   void resolve(Request& request, Response&& response);
   void swap_plan(const Placement& placement);
+  // Writes a trigger-driven flight dump once (no-op without a dump_dir).
+  void maybe_flight_dump(const std::string& reason);
 
   ServeOptions options_;
   std::unique_ptr<DuetEngine> engine_;
@@ -171,6 +203,13 @@ class DuetServer {
   std::atomic<uint64_t> next_id_{1};
   std::atomic<uint64_t> completed_since_recalibration_{0};
   std::atomic<bool> shut_down_{false};
+
+  // PR-8 observability state. The monitor serializes internally; the
+  // trigger and dump flag are safe from any worker.
+  telemetry::SloMonitor slo_;
+  telemetry::DumpTrigger dump_trigger_;
+  std::atomic<uint64_t> slo_breaches_{0};
+  std::atomic<uint64_t> flight_dumps_{0};
 };
 
 }  // namespace duet::serve

@@ -113,6 +113,43 @@ void ChromeTraceWriter::add_complete(const std::string& name,
   events_.push_back(os.str());
 }
 
+void ChromeTraceWriter::add_instant(const std::string& name,
+                                    const std::string& cat, int pid, int tid,
+                                    double ts_us,
+                                    const std::vector<Arg>& args) {
+  std::ostringstream os;
+  os << "{\"name\":\"" << json_escape(name.empty() ? "instant" : name)
+     << "\",\"cat\":\"" << json_escape(cat) << "\",\"ph\":\"i\",\"s\":\"t\""
+     << ",\"pid\":" << pid << ",\"tid\":" << tid
+     << ",\"ts\":" << json_number(ts_us);
+  if (!args.empty()) {
+    os << ",\"args\":{";
+    bool first = true;
+    for (const Arg& arg : args) {
+      if (!first) os << ",";
+      first = false;
+      os << "\"" << json_escape(arg.key) << "\":" << arg.json_value;
+    }
+    os << "}";
+  }
+  os << "}";
+  events_.push_back(os.str());
+}
+
+void ChromeTraceWriter::add_flow(const std::string& name,
+                                 const std::string& cat, int pid, int tid,
+                                 double ts_us, uint64_t id, char phase) {
+  const char ph = (phase == 's' || phase == 't' || phase == 'f') ? phase : 't';
+  std::ostringstream os;
+  os << "{\"name\":\"" << json_escape(name.empty() ? "flow" : name)
+     << "\",\"cat\":\"" << json_escape(cat) << "\",\"ph\":\"" << ph
+     << "\",\"id\":" << id << ",\"pid\":" << pid << ",\"tid\":" << tid
+     << ",\"ts\":" << json_number(ts_us);
+  if (ph != 's') os << ",\"bp\":\"e\"";
+  os << "}";
+  events_.push_back(os.str());
+}
+
 std::string ChromeTraceWriter::to_json() const {
   std::ostringstream os;
   os << "{\"traceEvents\":[";

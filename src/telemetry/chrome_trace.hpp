@@ -44,6 +44,18 @@ class ChromeTraceWriter {
                     int tid, double ts_us, double dur_us,
                     const std::vector<Arg>& args = {});
 
+  // One instant ("i") event, thread-scoped.
+  void add_instant(const std::string& name, const std::string& cat, int pid,
+                   int tid, double ts_us, const std::vector<Arg>& args = {});
+
+  // One flow event: phase must be 's' (start), 't' (step) or 'f' (finish);
+  // events sharing `id` (and name/cat) render as one connected arrow chain
+  // across threads. Each flow event binds to the slice enclosing its
+  // timestamp on (pid, tid); 't'/'f' carry bp:"e" so they attach to the
+  // enclosing slice rather than requiring an exact start match.
+  void add_flow(const std::string& name, const std::string& cat, int pid,
+                int tid, double ts_us, uint64_t id, char phase);
+
   size_t event_count() const { return metadata_.size() + events_.size(); }
 
   // {"traceEvents":[...],"displayTimeUnit":"ms"}

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <set>
 #include <sstream>
 
 #include "common/error.hpp"
@@ -60,7 +61,8 @@ std::string DriftReport::to_json() const {
        << device_kind_name(e.device)
        << "\",\"est_s\":" << json_number(e.est_s)
        << ",\"observed_s\":" << json_number(e.observed_s)
-       << ",\"rel_err\":" << json_number(e.rel_err()) << "}";
+       << ",\"rel_err\":" << json_number(e.rel_err())
+       << ",\"traces\":" << e.trace_count << "}";
   }
   os << "],\"totals\":{\"est_s\":" << json_number(est_total_s)
      << ",\"observed_s\":" << json_number(observed_total_s)
@@ -86,10 +88,12 @@ DriftReport compute_drift(const std::string& model, const std::string& source,
   report.observed_total_s = observed_total_s;
 
   std::vector<double> observed_s(n, 0.0);
+  std::vector<std::set<uint64_t>> traces(n);
   for (const TimelineEvent& e : observed.events()) {
     if (e.kind != TimelineEvent::Kind::kExec) continue;
     if (e.subgraph < 0 || static_cast<size_t>(e.subgraph) >= n) continue;
     observed_s[static_cast<size_t>(e.subgraph)] += e.duration();
+    if (e.trace_id != 0) traces[static_cast<size_t>(e.subgraph)].insert(e.trace_id);
   }
 
   report.entries.reserve(n);
@@ -102,6 +106,7 @@ DriftReport compute_drift(const std::string& model, const std::string& source,
     // so the estimate must include it for an apples-to-apples join.
     entry.est_s = profiles[i].time_on(entry.device) + executor_dispatch_overhead();
     entry.observed_s = observed_s[i];
+    entry.trace_count = traces[i].size();
     report.entries.push_back(std::move(entry));
   }
   return report;

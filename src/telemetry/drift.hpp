@@ -24,6 +24,9 @@ struct DriftEntry {
   std::string label;
   double est_s = 0.0;       // profiled mean on the placed device + dispatch
   double observed_s = 0.0;  // summed executor exec spans for the subgraph
+  // Distinct serving trace ids contributing exec events (0 outside serving:
+  // engine-driven runs carry no request context).
+  uint64_t trace_count = 0;
 
   double abs_err_s() const { return observed_s - est_s; }
   // Signed relative error; +0.5 means the subgraph ran 50% slower than the

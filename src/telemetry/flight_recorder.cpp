@@ -1,0 +1,468 @@
+#include "telemetry/flight_recorder.hpp"
+
+#include <algorithm>
+#include <csignal>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <sstream>
+
+#include "telemetry/chrome_trace.hpp"
+#include "telemetry/telemetry.hpp"
+
+namespace duet::telemetry {
+namespace {
+
+constexpr size_t kDefaultRingCapacity = 4096;
+
+// One per-thread ring. Single writer (its owning thread); readers only via
+// the freeze handshake. `head` counts lifetime records — slot = head %
+// capacity — so overwrites are head - capacity. `active` is the writer's
+// half of the Dekker handshake with the dumper's `g_frozen`.
+struct Ring {
+  explicit Ring(size_t capacity) : slots(capacity) {}
+  std::vector<FlightEvent> slots;
+  std::atomic<uint64_t> head{0};
+  std::atomic<uint32_t> active{0};
+  uint32_t tid = 0;
+};
+
+struct RingRegistry {
+  std::mutex mutex;
+  std::vector<std::shared_ptr<Ring>> rings;
+  size_t capacity = kDefaultRingCapacity;
+};
+
+RingRegistry& ring_registry() {
+  static RingRegistry* r = new RingRegistry();  // leaked: threads outlive main
+  return *r;
+}
+
+Ring& local_ring() {
+  thread_local std::shared_ptr<Ring> ring = [] {
+    std::lock_guard<std::mutex> lock(ring_registry().mutex);
+    auto r = std::make_shared<Ring>(ring_registry().capacity);
+    r->tid = thread_id();
+    ring_registry().rings.push_back(r);
+    return r;
+  }();
+  return *ring;
+}
+
+std::atomic<bool> g_recording{true};  // always-on by default
+std::atomic<bool> g_frozen{false};
+std::mutex g_dump_mutex;
+
+}  // namespace
+
+const char* flight_kind_name(FlightKind kind) {
+  switch (kind) {
+    case FlightKind::kEnqueue:
+      return "enqueue";
+    case FlightKind::kReject:
+      return "reject";
+    case FlightKind::kPickup:
+      return "pickup";
+    case FlightKind::kShed:
+      return "shed";
+    case FlightKind::kLaunch:
+      return "launch";
+    case FlightKind::kTransfer:
+      return "transfer";
+    case FlightKind::kSwap:
+      return "swap";
+    case FlightKind::kComplete:
+      return "complete";
+  }
+  return "unknown";
+}
+
+FlightRecorder& FlightRecorder::instance() {
+  static FlightRecorder* recorder = new FlightRecorder();
+  return *recorder;
+}
+
+bool FlightRecorder::recording_enabled() const {
+  return g_recording.load(std::memory_order_relaxed);
+}
+
+void FlightRecorder::set_recording_enabled(bool on) {
+  g_recording.store(on, std::memory_order_relaxed);
+}
+
+void FlightRecorder::record(FlightKind kind, uint64_t trace_id, uint64_t arg0,
+                            uint64_t arg1, uint8_t device) {
+  if (!g_recording.load(std::memory_order_relaxed)) return;
+  Ring& ring = local_ring();
+  // Dekker handshake with freeze(): publish "writing" before checking
+  // frozen, both seq_cst, so either the dumper sees active and waits, or we
+  // see frozen and abort — never a concurrent slot read/write.
+  ring.active.store(1, std::memory_order_seq_cst);
+  if (g_frozen.load(std::memory_order_seq_cst)) {
+    ring.active.store(0, std::memory_order_release);
+    return;
+  }
+  const uint64_t head = ring.head.load(std::memory_order_relaxed);
+  FlightEvent& slot = ring.slots[head % ring.slots.size()];
+  slot.t_us = now_us();
+  slot.trace_id = trace_id;
+  slot.arg0 = arg0;
+  slot.arg1 = arg1;
+  slot.tid = ring.tid;
+  slot.kind = kind;
+  slot.device = device;
+  ring.head.store(head + 1, std::memory_order_release);
+  ring.active.store(0, std::memory_order_release);
+}
+
+bool FlightRecorder::frozen() const {
+  return g_frozen.load(std::memory_order_seq_cst);
+}
+
+void FlightRecorder::freeze() {
+  g_frozen.store(true, std::memory_order_seq_cst);
+  std::lock_guard<std::mutex> lock(ring_registry().mutex);
+  for (const auto& ring : ring_registry().rings) {
+    // Spin until any in-flight record on this ring retires; each wait is at
+    // most one slot write long.
+    while (ring->active.load(std::memory_order_seq_cst) != 0) {
+    }
+  }
+}
+
+void FlightRecorder::unfreeze() {
+  g_frozen.store(false, std::memory_order_seq_cst);
+}
+
+std::vector<FlightEvent> FlightRecorder::collect(double window_ms) const {
+  std::vector<FlightEvent> out;
+  {
+    std::lock_guard<std::mutex> lock(ring_registry().mutex);
+    for (const auto& ring : ring_registry().rings) {
+      const uint64_t head = ring->head.load(std::memory_order_acquire);
+      const uint64_t capacity = ring->slots.size();
+      const uint64_t first = head > capacity ? head - capacity : 0;
+      for (uint64_t i = first; i < head; ++i) {
+        out.push_back(ring->slots[i % capacity]);
+      }
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const FlightEvent& a, const FlightEvent& b) {
+              return a.t_us < b.t_us;
+            });
+  if (window_ms > 0.0 && !out.empty()) {
+    const double cutoff = out.back().t_us - window_ms * 1000.0;
+    out.erase(std::remove_if(out.begin(), out.end(),
+                             [cutoff](const FlightEvent& e) {
+                               return e.t_us < cutoff;
+                             }),
+              out.end());
+  }
+  return out;
+}
+
+uint64_t FlightRecorder::recorded() const {
+  uint64_t total = 0;
+  std::lock_guard<std::mutex> lock(ring_registry().mutex);
+  for (const auto& ring : ring_registry().rings) {
+    total += ring->head.load(std::memory_order_acquire);
+  }
+  return total;
+}
+
+uint64_t FlightRecorder::overwritten() const {
+  uint64_t total = 0;
+  std::lock_guard<std::mutex> lock(ring_registry().mutex);
+  for (const auto& ring : ring_registry().rings) {
+    const uint64_t head = ring->head.load(std::memory_order_acquire);
+    const uint64_t capacity = ring->slots.size();
+    if (head > capacity) total += head - capacity;
+  }
+  return total;
+}
+
+size_t FlightRecorder::ring_capacity() const {
+  std::lock_guard<std::mutex> lock(ring_registry().mutex);
+  return ring_registry().capacity;
+}
+
+void FlightRecorder::set_ring_capacity(size_t capacity) {
+  std::lock_guard<std::mutex> lock(ring_registry().mutex);
+  ring_registry().capacity = capacity == 0 ? 1 : capacity;
+  for (const auto& ring : ring_registry().rings) {
+    ring->slots.assign(ring_registry().capacity, FlightEvent{});
+    ring->head.store(0, std::memory_order_release);
+  }
+}
+
+void FlightRecorder::clear() {
+  std::lock_guard<std::mutex> lock(ring_registry().mutex);
+  for (const auto& ring : ring_registry().rings) {
+    ring->head.store(0, std::memory_order_release);
+  }
+}
+
+// --- serialization -----------------------------------------------------------
+
+void summarize_flight_events(const std::vector<FlightEvent>& events,
+                             FlightDumpSummary* summary) {
+  summary->events = events.size();
+  if (!events.empty()) {
+    summary->window_start_us = events.front().t_us;
+    summary->window_end_us = events.back().t_us;
+  }
+  std::vector<uint32_t> tids;
+  // Per trace id: which lifecycle kinds survived in the window.
+  std::map<uint64_t, uint32_t> kinds_seen;
+  for (const FlightEvent& e : events) {
+    summary->kind_counts[static_cast<int>(e.kind)]++;
+    tids.push_back(e.tid);
+    if (e.trace_id != 0) {
+      kinds_seen[e.trace_id] |= 1u << static_cast<int>(e.kind);
+    }
+  }
+  std::sort(tids.begin(), tids.end());
+  summary->threads = std::unique(tids.begin(), tids.end()) - tids.begin();
+  constexpr uint32_t kFullPath =
+      (1u << static_cast<int>(FlightKind::kEnqueue)) |
+      (1u << static_cast<int>(FlightKind::kPickup)) |
+      (1u << static_cast<int>(FlightKind::kLaunch)) |
+      (1u << static_cast<int>(FlightKind::kComplete));
+  summary->complete_paths = 0;
+  for (const auto& [id, mask] : kinds_seen) {
+    (void)id;
+    if ((mask & kFullPath) == kFullPath) summary->complete_paths++;
+  }
+}
+
+std::string flight_trace_json(const std::vector<FlightEvent>& events) {
+  constexpr int kFlightPid = 30;
+  ChromeTraceWriter writer;
+  writer.set_process_name(kFlightPid, "flight-recorder");
+  std::vector<uint32_t> tids;
+  for (const FlightEvent& e : events) tids.push_back(e.tid);
+  std::sort(tids.begin(), tids.end());
+  tids.erase(std::unique(tids.begin(), tids.end()), tids.end());
+  for (const uint32_t tid : tids) {
+    writer.set_thread_name(kFlightPid, static_cast<int>(tid),
+                           "thread " + std::to_string(tid));
+  }
+
+  // Events in one request's arc, in time order (events are pre-sorted).
+  std::map<uint64_t, std::vector<size_t>> arcs;
+  for (size_t i = 0; i < events.size(); ++i) {
+    const FlightEvent& e = events[i];
+    std::vector<ChromeTraceWriter::Arg> args;
+    if (e.trace_id != 0) {
+      args.push_back(ChromeTraceWriter::Arg::integer(
+          "trace_id", static_cast<int64_t>(e.trace_id)));
+      arcs[e.trace_id].push_back(i);
+    }
+    args.push_back(ChromeTraceWriter::Arg::integer(
+        "arg0", static_cast<int64_t>(e.arg0)));
+    args.push_back(ChromeTraceWriter::Arg::integer(
+        "arg1", static_cast<int64_t>(e.arg1)));
+    if (e.device != 255) {
+      args.push_back(ChromeTraceWriter::Arg::integer("device", e.device));
+    }
+    // A thin slice per event: flow arrows need an enclosing slice to bind
+    // to, and slices carry the args for inspection.
+    writer.add_complete(flight_kind_name(e.kind), "flight", kFlightPid,
+                        static_cast<int>(e.tid), e.t_us, 1.0, args);
+  }
+
+  for (const auto& [trace_id, indices] : arcs) {
+    if (indices.size() < 2) continue;  // an arc needs two ends
+    for (size_t j = 0; j < indices.size(); ++j) {
+      const FlightEvent& e = events[indices[j]];
+      const char phase =
+          j == 0 ? 's' : (j + 1 == indices.size() ? 'f' : 't');
+      // ts inside the slice (slice start + half its 1us duration) so the
+      // arrow binds to the slice we just emitted for this event.
+      writer.add_flow("request", "flight", kFlightPid,
+                      static_cast<int>(e.tid), e.t_us + 0.5, trace_id, phase);
+    }
+  }
+  return writer.to_json();
+}
+
+std::string flight_summary_json(const FlightDumpSummary& summary,
+                                const std::vector<FlightEvent>& events) {
+  std::ostringstream os;
+  os << "{\"reason\":\"" << json_escape(summary.reason) << "\"";
+  os << ",\"events\":" << summary.events;
+  os << ",\"threads\":" << summary.threads;
+  os << ",\"overwritten\":" << summary.overwritten;
+  os << ",\"window_start_us\":" << json_number(summary.window_start_us);
+  os << ",\"window_end_us\":" << json_number(summary.window_end_us);
+  os << ",\"complete_paths\":" << summary.complete_paths;
+  os << ",\"kind_counts\":{";
+  for (int k = 0; k < kNumFlightKinds; ++k) {
+    if (k) os << ",";
+    os << "\"" << flight_kind_name(static_cast<FlightKind>(k))
+       << "\":" << summary.kind_counts[k];
+  }
+  os << "}";
+  // One reconstructed path as a worked example for the post-mortem reader:
+  // the first trace id whose full lifecycle survived.
+  std::map<uint64_t, uint32_t> kinds_seen;
+  for (const FlightEvent& e : events) {
+    if (e.trace_id != 0) {
+      kinds_seen[e.trace_id] |= 1u << static_cast<int>(e.kind);
+    }
+  }
+  constexpr uint32_t kFullPath =
+      (1u << static_cast<int>(FlightKind::kEnqueue)) |
+      (1u << static_cast<int>(FlightKind::kPickup)) |
+      (1u << static_cast<int>(FlightKind::kLaunch)) |
+      (1u << static_cast<int>(FlightKind::kComplete));
+  uint64_t example = 0;
+  for (const auto& [id, mask] : kinds_seen) {
+    if ((mask & kFullPath) == kFullPath) {
+      example = id;
+      break;
+    }
+  }
+  os << ",\"example_path\":[";
+  if (example != 0) {
+    bool first = true;
+    for (const FlightEvent& e : events) {
+      if (e.trace_id != example) continue;
+      if (!first) os << ",";
+      first = false;
+      os << "{\"kind\":\"" << flight_kind_name(e.kind)
+         << "\",\"t_us\":" << json_number(e.t_us) << ",\"tid\":" << e.tid
+         << "}";
+    }
+  }
+  os << "]}";
+  return os.str();
+}
+
+FlightDumpSummary FlightRecorder::dump(const std::string& dir,
+                                       const std::string& reason,
+                                       double window_ms) {
+  std::lock_guard<std::mutex> serialize(g_dump_mutex);
+  freeze();
+  FlightDumpSummary summary;
+  summary.reason = reason;
+  std::vector<FlightEvent> events = collect(window_ms);
+  summary.overwritten = overwritten();
+  summarize_flight_events(events, &summary);
+
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  const std::string trace = flight_trace_json(events);
+  const std::string summary_text = flight_summary_json(summary, events);
+  std::string error;
+  if (validate_json(trace, &error) && validate_json(summary_text, &error)) {
+    const std::filesystem::path base(dir);
+    summary.trace_path = (base / "flight_trace.json").string();
+    summary.summary_path = (base / "flight_summary.json").string();
+    std::ofstream(summary.trace_path) << trace;
+    std::ofstream(summary.summary_path) << summary_text;
+  }
+  unfreeze();
+  return summary;
+}
+
+// --- dump trigger ------------------------------------------------------------
+
+DumpTrigger::DumpTrigger(DumpTriggerConfig config)
+    : config_(std::move(config)) {}
+
+bool DumpTrigger::fire_locked() {
+  if (fired_) return false;
+  fired_ = true;
+  return true;
+}
+
+bool DumpTrigger::on_deadline_miss(double now_us) {
+  if (config_.miss_burst == 0) return false;
+  std::lock_guard<std::mutex> lock(mutex_);
+  miss_times_us_.push_back(now_us);
+  const double cutoff = now_us - config_.miss_window_ms * 1000.0;
+  while (!miss_times_us_.empty() && miss_times_us_.front() < cutoff) {
+    miss_times_us_.pop_front();
+  }
+  if (miss_times_us_.size() >= config_.miss_burst) return fire_locked();
+  return false;
+}
+
+bool DumpTrigger::on_outcome(bool shed) {
+  if (config_.shed_rate <= 0.0) return false;
+  std::lock_guard<std::mutex> lock(mutex_);
+  outcomes_.push_back(shed);
+  if (shed) ++outcomes_shed_;
+  while (outcomes_.size() > config_.rate_window) {
+    if (outcomes_.front()) --outcomes_shed_;
+    outcomes_.pop_front();
+  }
+  if (outcomes_.size() >= std::min<size_t>(config_.rate_window, 8) &&
+      static_cast<double>(outcomes_shed_) /
+              static_cast<double>(outcomes_.size()) >=
+          config_.shed_rate) {
+    return fire_locked();
+  }
+  return false;
+}
+
+bool DumpTrigger::fired() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return fired_;
+}
+
+void DumpTrigger::reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  miss_times_us_.clear();
+  outcomes_.clear();
+  outcomes_shed_ = 0;
+  fired_ = false;
+}
+
+// --- fatal-signal dump -------------------------------------------------------
+
+namespace {
+
+std::mutex g_signal_mutex;
+std::string g_signal_dir;
+bool g_signal_installed = false;
+
+void fatal_signal_handler(int sig) {
+  // Best effort: the process is dying; freeze so the rings stop moving,
+  // attempt the dump, then fall through to the default disposition.
+  FlightRecorder::instance().freeze();
+  std::string dir;
+  {
+    std::lock_guard<std::mutex> lock(g_signal_mutex);
+    dir = g_signal_dir;
+  }
+  if (!dir.empty()) {
+    FlightRecorder::instance().dump(dir,
+                                    "signal:" + std::to_string(sig));
+  }
+  std::signal(sig, SIG_DFL);
+  std::raise(sig);
+}
+
+}  // namespace
+
+void install_signal_dump(const std::string& dir) {
+  std::lock_guard<std::mutex> lock(g_signal_mutex);
+  g_signal_dir = dir;
+  if (!g_signal_installed) {
+    g_signal_installed = true;
+    std::signal(SIGSEGV, &fatal_signal_handler);
+    std::signal(SIGABRT, &fatal_signal_handler);
+    std::signal(SIGBUS, &fatal_signal_handler);
+  }
+}
+
+std::string signal_dump_dir() {
+  std::lock_guard<std::mutex> lock(g_signal_mutex);
+  return g_signal_dir;
+}
+
+}  // namespace duet::telemetry

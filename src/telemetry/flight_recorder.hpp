@@ -1,0 +1,195 @@
+#pragma once
+
+// Flight recorder — always-on incident capture for the serving runtime.
+//
+// PR-3's span tracer is opt-in and post-hoc: by the time an operator turns
+// it on, the deadline-miss storm that paged them is gone. The flight
+// recorder is the opposite contract: it is ON by default, bounded, and
+// cheap enough to leave on under production load (the overhead gate in
+// bench/serve_obs.cpp holds it to <= 5% p99 on the serving benchmark).
+//
+// Design: each recording thread owns a fixed-capacity ring of compact POD
+// `FlightEvent`s (40 bytes each). The writer never locks and never blocks —
+// a record is a slot write plus an atomic head bump, overwriting the oldest
+// event when the ring wraps. Rings are registered globally (same pattern as
+// the span tracer's per-thread buffers) so a dump can walk threads that
+// have since exited.
+//
+// Dump protocol: `freeze()` stops all writers, then `dump()` collects the
+// surviving window across rings and writes two validated artifacts — a
+// Chrome trace whose flow events stitch each request's cross-thread path
+// into one connected arc, and a JSON summary (event counts, window bounds,
+// reconstructed request paths, trigger reason). Freezing uses a Dekker
+// handshake (writer: active=1 then check frozen; dumper: frozen=1 then spin
+// on active, both seq_cst) so the dump never reads a slot mid-write and the
+// writer never takes a lock — TSan-clean without a mutex on the hot path.
+//
+// Triggers: `DumpTrigger` turns raw signals (deadline misses, shed
+// outcomes) into a fire-once decision — a miss burst within a window or a
+// shed-rate threshold over recent outcomes. `install_signal_dump()` adds a
+// best-effort fatal-signal handler (freeze + dump + re-raise) for crashes.
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace duet::telemetry {
+
+enum class FlightKind : uint8_t {
+  kEnqueue = 0,   // request accepted into the queue (admission)
+  kReject,        // request refused at admission (queue full / draining)
+  kPickup,        // worker popped the request
+  kShed,          // deadline expired before execution; dropped unexecuted
+  kLaunch,        // one subgraph launched on a device
+  kTransfer,      // one cross-device transfer
+  kSwap,          // plan swap (recalibration)
+  kComplete,      // response resolved back to the caller
+};
+inline constexpr int kNumFlightKinds = 8;
+
+const char* flight_kind_name(FlightKind kind);
+
+// Compact fixed-size binary event. Meaning of arg0/arg1 by kind:
+//   kEnqueue/kReject: arg0 = queue depth at admission
+//   kPickup/kShed:    arg0 = queue wait in microseconds
+//   kLaunch:          arg0 = subgraph index, arg1 = modeled duration ns
+//   kTransfer:        arg0 = subgraph index, arg1 = bytes
+//   kSwap:            arg0 = new plan version
+//   kComplete:        arg0 = plan version, arg1 = latency in microseconds
+struct FlightEvent {
+  double t_us = 0.0;
+  uint64_t trace_id = 0;
+  uint64_t arg0 = 0;
+  uint64_t arg1 = 0;
+  uint32_t tid = 0;
+  FlightKind kind = FlightKind::kEnqueue;
+  uint8_t device = 255;  // DeviceKind index; 255 = not device-bound
+  uint16_t pad = 0;
+};
+static_assert(sizeof(FlightEvent) == 40, "flight events must stay compact");
+
+// What a dump produced (also serialized into the summary JSON).
+struct FlightDumpSummary {
+  std::string reason;
+  double window_start_us = 0.0;
+  double window_end_us = 0.0;
+  size_t events = 0;
+  size_t threads = 0;
+  uint64_t overwritten = 0;  // lifetime events lost to ring wrap, all rings
+  uint64_t kind_counts[kNumFlightKinds] = {};
+  // Trace ids whose surviving events form a full request path
+  // (enqueue -> pickup -> launch -> complete).
+  size_t complete_paths = 0;
+  std::string trace_path;    // written Chrome trace file
+  std::string summary_path;  // written summary JSON file
+};
+
+class FlightRecorder {
+ public:
+  static FlightRecorder& instance();
+
+  // Always-on by default. The off switch exists for the overhead benchmark
+  // (recorder on vs off) and for tests; production leaves it on.
+  bool recording_enabled() const;
+  void set_recording_enabled(bool on);
+
+  // Hot path: wait-free slot write + head bump on the calling thread's
+  // ring. Drops the event (cheaply) while frozen or disabled. trace id is
+  // taken from the argument, not the thread context, so callers that
+  // already hold it skip the TLS read.
+  void record(FlightKind kind, uint64_t trace_id, uint64_t arg0 = 0,
+              uint64_t arg1 = 0, uint8_t device = 255);
+
+  bool frozen() const;
+  // Stops all writers and waits until in-flight records finished (Dekker
+  // handshake; see file comment). Idempotent.
+  void freeze();
+  void unfreeze();
+
+  // Surviving events across all rings, oldest first. window_ms > 0 keeps
+  // only events within that many milliseconds of the newest one. Callers
+  // should freeze() first; collect() does not stop writers by itself.
+  std::vector<FlightEvent> collect(double window_ms = 0.0) const;
+
+  // Freezes, collects the last `window_ms`, writes `<dir>/flight_trace.json`
+  // (Chrome trace with per-request flow arcs) and `<dir>/flight_summary.json`
+  // (both validated before write), unfreezes, and returns what happened.
+  // Creates `dir` if needed. Thread-safe; concurrent dumps serialize.
+  FlightDumpSummary dump(const std::string& dir, const std::string& reason,
+                         double window_ms = 0.0);
+
+  // Lifetime totals across all rings (recorded includes overwritten).
+  uint64_t recorded() const;
+  uint64_t overwritten() const;
+
+  size_t ring_capacity() const;
+  // Re-allocates every registered ring and resets heads. Only safe while no
+  // other thread records (tests / process start).
+  void set_ring_capacity(size_t capacity);
+  // Resets every ring's contents and head. Same safety caveat as above.
+  void clear();
+
+ private:
+  FlightRecorder() = default;
+};
+
+// Pure serialization helpers (unit-testable without touching the global
+// recorder). `flight_trace_json` renders events as Chrome complete events
+// plus per-trace-id flow arcs; `flight_summary_json` renders the summary.
+std::string flight_trace_json(const std::vector<FlightEvent>& events);
+std::string flight_summary_json(const FlightDumpSummary& summary,
+                                const std::vector<FlightEvent>& events);
+// Fills kind_counts / complete_paths / window bounds from `events`.
+void summarize_flight_events(const std::vector<FlightEvent>& events,
+                             FlightDumpSummary* summary);
+
+// Fire-once dump policy fed by the serving runtime.
+struct DumpTriggerConfig {
+  // Fire when this many deadline misses (sheds or late completions) land
+  // within `miss_window_ms`. 0 disables the burst trigger.
+  uint32_t miss_burst = 0;
+  double miss_window_ms = 100.0;
+  // Fire when the shed fraction over the last `rate_window` outcomes
+  // reaches this. 0 disables the rate trigger.
+  double shed_rate = 0.0;
+  uint32_t rate_window = 64;
+};
+
+class DumpTrigger {
+ public:
+  explicit DumpTrigger(DumpTriggerConfig config = {});
+
+  // Record a deadline miss at `now_us`; true when the burst trigger fires
+  // (first time only).
+  bool on_deadline_miss(double now_us);
+  // Record a request outcome; true when the shed-rate trigger fires (first
+  // time only).
+  bool on_outcome(bool shed);
+
+  bool fired() const;
+  void reset();
+
+ private:
+  bool fire_locked();
+
+  DumpTriggerConfig config_;
+  mutable std::mutex mutex_;
+  std::deque<double> miss_times_us_;
+  std::deque<bool> outcomes_;
+  size_t outcomes_shed_ = 0;
+  bool fired_ = false;
+};
+
+// Best-effort fatal-signal dump (SIGSEGV / SIGABRT / SIGBUS): freezes the
+// rings, attempts a dump into `dir`, then re-raises with the default
+// handler. Not fully async-signal-safe — acceptable for a post-mortem of a
+// process that is dying anyway. Idempotent; later calls retarget `dir`.
+void install_signal_dump(const std::string& dir);
+// Directory the signal handler would dump into ("" when not installed).
+std::string signal_dump_dir();
+
+}  // namespace duet::telemetry

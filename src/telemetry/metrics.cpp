@@ -115,6 +115,15 @@ double Histogram::percentile(double q) const {
   return observed_max();
 }
 
+std::vector<uint64_t> Histogram::bucket_counts() const {
+  std::vector<uint64_t> out;
+  out.reserve(buckets_.size());
+  for (const auto& b : buckets_) {
+    out.push_back(b.load(std::memory_order_relaxed));
+  }
+  return out;
+}
+
 void Histogram::reset() {
   for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
   count_.store(0, std::memory_order_relaxed);
@@ -248,6 +257,16 @@ std::vector<std::pair<std::string, HistogramStats>> MetricsRegistry::histograms(
   for (const auto& [name, h] : s.histograms) {
     out.emplace_back(name, summarize(*h));
   }
+  return out;
+}
+
+std::vector<std::pair<std::string, const Histogram*>>
+MetricsRegistry::histogram_series() const {
+  RegistryState& s = state();
+  std::lock_guard<std::mutex> lock(s.mutex);
+  std::vector<std::pair<std::string, const Histogram*>> out;
+  out.reserve(s.histograms.size());
+  for (const auto& [name, h] : s.histograms) out.emplace_back(name, h.get());
   return out;
 }
 

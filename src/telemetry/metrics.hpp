@@ -68,6 +68,9 @@ class Histogram {
   double percentile(double q) const;
 
   const std::vector<double>& bounds() const { return bounds_; }
+  // Point-in-time copy of all bucket counts (bounds().size() + 1 entries,
+  // the last being the overflow bucket). Feeds the Prometheus exporter.
+  std::vector<uint64_t> bucket_counts() const;
   void reset();
 
   // Log-spaced bounds from 1us to ~100s — the default for duration metrics
@@ -114,6 +117,10 @@ class MetricsRegistry {
   std::vector<std::pair<std::string, uint64_t>> counters() const;
   std::vector<std::pair<std::string, double>> gauges() const;
   std::vector<std::pair<std::string, HistogramStats>> histograms() const;
+  // Raw histogram references (process-lifetime stable, like all registry
+  // references) for exporters that need bucket-level detail.
+  std::vector<std::pair<std::string, const Histogram*>> histogram_series()
+      const;
 
   // One JSON object: {"counters":{...},"gauges":{...},"histograms":{...}}.
   std::string to_json() const;

@@ -1,0 +1,215 @@
+#include "telemetry/slo_monitor.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace duet::telemetry {
+
+namespace {
+
+double clamp01(double v) { return std::min(1.0, std::max(0.0, v)); }
+
+}  // namespace
+
+// --- LogHistogram ------------------------------------------------------------
+
+int LogHistogram::bucket_index(double v) {
+  if (!(v > 0.0)) return 0;  // underflow bucket (also catches NaN)
+  int exp = 0;
+  const double m = std::frexp(v, &exp);  // v = m * 2^exp, m in [0.5, 1)
+  const int octave = exp - 1;            // v in [2^octave, 2^(octave+1))
+  if (octave < kMinExponent) return 0;
+  if (octave > kMaxExponent) return kNumBuckets - 1;
+  int sub = static_cast<int>((m - 0.5) * 2.0 * kSubBucketsPerOctave);
+  sub = std::min(kSubBucketsPerOctave - 1, std::max(0, sub));
+  return 1 + (octave - kMinExponent) * kSubBucketsPerOctave + sub;
+}
+
+double LogHistogram::bucket_lower(int index) {
+  if (index <= 0) return 0.0;
+  if (index >= kNumBuckets - 1) return std::ldexp(1.0, kMaxExponent + 1);
+  const int octave = (index - 1) / kSubBucketsPerOctave + kMinExponent;
+  const int sub = (index - 1) % kSubBucketsPerOctave;
+  return std::ldexp(1.0 + static_cast<double>(sub) / kSubBucketsPerOctave,
+                    octave);
+}
+
+double LogHistogram::bucket_upper(int index) {
+  if (index <= 0) return std::ldexp(1.0, kMinExponent);
+  if (index >= kNumBuckets - 1) return std::ldexp(1.0, kMaxExponent + 2);
+  const int octave = (index - 1) / kSubBucketsPerOctave + kMinExponent;
+  const int sub = (index - 1) % kSubBucketsPerOctave;
+  return std::ldexp(
+      1.0 + static_cast<double>(sub + 1) / kSubBucketsPerOctave, octave);
+}
+
+void LogHistogram::observe(double v) {
+  buckets_[static_cast<size_t>(bucket_index(v))]++;
+  if (count_ == 0) {
+    min_ = max_ = v;
+  } else {
+    min_ = std::min(min_, v);
+    max_ = std::max(max_, v);
+  }
+  ++count_;
+  sum_ += v;
+}
+
+void LogHistogram::merge(const LogHistogram& other) {
+  if (other.count_ == 0) return;
+  for (size_t i = 0; i < buckets_.size(); ++i) buckets_[i] += other.buckets_[i];
+  if (count_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+}
+
+void LogHistogram::clear() {
+  buckets_.fill(0);
+  count_ = 0;
+  sum_ = 0.0;
+  min_ = 0.0;
+  max_ = 0.0;
+}
+
+double LogHistogram::observed_min() const { return count_ ? min_ : 0.0; }
+double LogHistogram::observed_max() const { return count_ ? max_ : 0.0; }
+
+double LogHistogram::percentile(double q) const {
+  if (count_ == 0) return 0.0;
+  const double target = clamp01(q) * static_cast<double>(count_);
+  uint64_t cumulative = 0;
+  for (int i = 0; i < kNumBuckets; ++i) {
+    if (buckets_[static_cast<size_t>(i)] == 0) continue;
+    const uint64_t before = cumulative;
+    cumulative += buckets_[static_cast<size_t>(i)];
+    if (static_cast<double>(cumulative) >= target) {
+      const double within =
+          clamp01((target - static_cast<double>(before)) /
+                  static_cast<double>(buckets_[static_cast<size_t>(i)]));
+      const double lo = bucket_lower(i);
+      const double hi = bucket_upper(i);
+      const double v = lo + (hi - lo) * within;
+      return std::min(max_, std::max(min_, v));
+    }
+  }
+  return max_;
+}
+
+// --- SloMonitor --------------------------------------------------------------
+
+SloMonitor::SloMonitor(double window_s, int buckets)
+    : window_s_(window_s > 0.0 ? window_s : 10.0),
+      bucket_s_(window_s_ / std::max(1, buckets)),
+      ring_(static_cast<size_t>(std::max(1, buckets))) {}
+
+SloMonitor::Bucket& SloMonitor::advance(double now_us) {
+  const int64_t epoch =
+      static_cast<int64_t>(std::floor(now_us / (bucket_s_ * 1e6)));
+  Bucket& bucket =
+      ring_[static_cast<size_t>(epoch % static_cast<int64_t>(ring_.size()))];
+  if (bucket.epoch != epoch) {
+    bucket = Bucket{};  // this slot's previous window rotated out
+    bucket.epoch = epoch;
+  }
+  return bucket;
+}
+
+void SloMonitor::record_offered(double now_us) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  advance(now_us).offered++;
+}
+
+void SloMonitor::record_completed(double now_us, double latency_us,
+                                  bool breach) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Bucket& bucket = advance(now_us);
+  bucket.completed++;
+  bucket.latency_us.observe(latency_us);
+  if (breach) bucket.breaches++;
+}
+
+void SloMonitor::record_shed(double now_us) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Bucket& bucket = advance(now_us);
+  bucket.shed++;
+  bucket.breaches++;  // a shed request definitionally missed its deadline
+}
+
+void SloMonitor::record_rejected(double now_us) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  advance(now_us).rejected++;
+}
+
+void SloMonitor::record_queue_wait(double now_us, double wait_us) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  advance(now_us).queue_wait_us.observe(wait_us);
+}
+
+void SloMonitor::record_queue_depth(double now_us, double depth) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Bucket& bucket = advance(now_us);
+  bucket.depth_sum += depth;
+  bucket.depth_samples++;
+}
+
+void SloMonitor::record_plan_version(double now_us, uint64_t version) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Bucket& bucket = advance(now_us);
+  bucket.plan_version = std::max(bucket.plan_version, version);
+}
+
+SloSnapshot SloMonitor::snapshot(double now_us) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const int64_t current =
+      static_cast<int64_t>(std::floor(now_us / (bucket_s_ * 1e6)));
+  const int64_t oldest = current - static_cast<int64_t>(ring_.size()) + 1;
+
+  SloSnapshot snap;
+  LogHistogram latency;
+  LogHistogram queue_wait;
+  double depth_sum = 0.0;
+  uint64_t depth_samples = 0;
+  size_t live = 0;
+  for (const Bucket& bucket : ring_) {
+    if (bucket.epoch < oldest || bucket.epoch > current) continue;
+    ++live;
+    snap.offered += bucket.offered;
+    snap.completed += bucket.completed;
+    snap.shed += bucket.shed;
+    snap.rejected += bucket.rejected;
+    snap.breaches += bucket.breaches;
+    snap.plan_version = std::max(snap.plan_version, bucket.plan_version);
+    latency.merge(bucket.latency_us);
+    queue_wait.merge(bucket.queue_wait_us);
+    depth_sum += bucket.depth_sum;
+    depth_samples += bucket.depth_samples;
+  }
+  snap.window_s = static_cast<double>(live) * bucket_s_;
+  if (snap.offered > 0) {
+    snap.shed_rate =
+        static_cast<double>(snap.shed) / static_cast<double>(snap.offered);
+    snap.reject_rate =
+        static_cast<double>(snap.rejected) / static_cast<double>(snap.offered);
+  }
+  snap.latency_p50_us = latency.percentile(0.50);
+  snap.latency_p95_us = latency.percentile(0.95);
+  snap.latency_p99_us = latency.percentile(0.99);
+  snap.queue_wait_p95_us = queue_wait.percentile(0.95);
+  if (depth_samples > 0) {
+    snap.mean_queue_depth = depth_sum / static_cast<double>(depth_samples);
+  }
+  return snap;
+}
+
+void SloMonitor::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (Bucket& bucket : ring_) bucket = Bucket{};
+}
+
+}  // namespace duet::telemetry

@@ -24,10 +24,34 @@ TEST(Stats, PercentileExactValues) {
   EXPECT_DOUBLE_EQ(percentile(v, 0.5), 5.5);
 }
 
-TEST(Stats, PercentileInterpolates) {
+// n < 5 uses nearest-rank: tiny samples report an actual observation
+// instead of extrapolating a fictitious tail (p99 of two points is the
+// larger point, not 9.9 manufactured between them).
+TEST(Stats, PercentileTinySampleNearestRank) {
   std::vector<double> v{0.0, 10.0};
-  EXPECT_DOUBLE_EQ(percentile(v, 0.25), 2.5);
-  EXPECT_DOUBLE_EQ(percentile(v, 0.99), 9.9);
+  // rank = ceil(0.25 * 2) = 1 -> first observation.
+  EXPECT_DOUBLE_EQ(percentile(v, 0.25), 0.0);
+  // rank = ceil(0.99 * 2) = 2 -> second observation, not 9.9.
+  EXPECT_DOUBLE_EQ(percentile(v, 0.99), 10.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 0.5), 0.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 0.51), 10.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 1.0), 10.0);
+}
+
+TEST(Stats, PercentileNearestRankFourSamples) {
+  std::vector<double> v{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(percentile(v, 0.5), 2.0);    // ceil(2.0) = rank 2
+  EXPECT_DOUBLE_EQ(percentile(v, 0.75), 3.0);   // ceil(3.0) = rank 3
+  EXPECT_DOUBLE_EQ(percentile(v, 0.99), 4.0);   // ceil(3.96) = rank 4
+  EXPECT_DOUBLE_EQ(percentile(v, 0.24), 1.0);   // ceil(0.96) = rank 1
+}
+
+// At n >= 5 the convention switches to linear interpolation.
+TEST(Stats, PercentileInterpolatesAtFive) {
+  std::vector<double> v{0.0, 10.0, 20.0, 30.0, 40.0};
+  EXPECT_DOUBLE_EQ(percentile(v, 0.25), 10.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 0.375), 15.0);  // between ranks, interpolated
 }
 
 TEST(Stats, PercentileSingleSample) {

@@ -15,6 +15,7 @@
 #include "partition/partitioner.hpp"
 #include "runtime/plan.hpp"
 #include "telemetry/chrome_trace.hpp"
+#include "telemetry/metrics.hpp"
 
 namespace duet {
 namespace {
@@ -253,6 +254,50 @@ TEST(LintPasses, SwapAliasReportsOverlapWithRetiredArena) {
   EXPECT_EQ(r.error_count(), 0u) << r.to_string();
 }
 
+// --- telemetry-unbounded-series -------------------------------------------------
+
+TEST(LintPasses, UnboundedSeriesCatchesPerRequestMetricFamilies) {
+  PlanFixture f;
+  // The pass audits process registry state, not the plan: before the bug is
+  // committed, the rule must stay silent.
+  const VerifyResult clean = lint::make_unbounded_series_pass()->run(f.input());
+  EXPECT_FALSE(has_rule(clean, "telemetry-unbounded-series"))
+      << clean.to_string();
+
+  // The classic instrumentation bug: one metric family instantiated per
+  // request id. Registration alone (no recording) is the leak.
+  for (int i = 0; i < 4; ++i) {
+    telemetry::counter("lint_test.request." + std::to_string(i) +
+                       ".latency_us");
+  }
+  const VerifyResult r = lint::make_unbounded_series_pass()->run(f.input());
+  ASSERT_TRUE(has_rule(r, "telemetry-unbounded-series")) << r.to_string();
+  // Hygiene advice, not a correctness bug: warning severity.
+  EXPECT_EQ(r.error_count(), 0u);
+  EXPECT_GE(r.warning_count(), 1u);
+  bool names_template = false;
+  for (const Diagnostic& d : r.diagnostics()) {
+    names_template |= d.message.find("lint_test.request.<id>.latency_us") !=
+                      std::string::npos;
+  }
+  EXPECT_TRUE(names_template)
+      << "the finding must name the collapsed family template";
+}
+
+TEST(LintPasses, UnboundedSeriesIgnoresFewInstantiations) {
+  PlanFixture f;
+  // Three instantiations sit under the threshold: a handful of fixed shards
+  // is legitimate, only unbounded growth is the smell.
+  for (int i = 0; i < 3; ++i) {
+    telemetry::counter("lint_test.shard." + std::to_string(i) + ".ops");
+  }
+  const VerifyResult r = lint::make_unbounded_series_pass()->run(f.input());
+  for (const Diagnostic& d : r.diagnostics()) {
+    EXPECT_EQ(d.message.find("lint_test.shard"), std::string::npos)
+        << d.to_string();
+  }
+}
+
 // --- rule catalogue -------------------------------------------------------------
 
 TEST(RuleCatalogue, IdsAreUniqueAndResolvable) {
@@ -272,9 +317,30 @@ TEST(RuleCatalogue, CoversEveryEmittedRule) {
        {"boundary-type", "sync-elision", "redundant-transfer", "dead-subgraph",
         "unreachable-step", "swap-slot-size", "swap-arena-alias",
         "mc-conservation", "mc-queue-accounting", "mc-lost-wakeup",
-        "mc-snapshot-retired", "mc-depth-bound"}) {
+        "mc-snapshot-retired", "mc-depth-bound", "symbolic-shape-contract",
+        "unbounded-dim", "transfer-blowup", "memo-bitset-fallback",
+        "telemetry-unbounded-series"}) {
     EXPECT_NE(lint::find_rule(rule), nullptr) << rule;
   }
+}
+
+TEST(RuleCatalogue, AppendOnlyTailKeepsSarifRuleIndicesStable) {
+  // The catalogue is append-only: consumers key dashboards on SARIF
+  // ruleIndex, so a new rule may only be added at the end. Pin the tail.
+  const std::vector<lint::RuleInfo>& rules = lint::rule_catalogue();
+  ASSERT_FALSE(rules.empty());
+  EXPECT_EQ(std::string(rules.back().id), "telemetry-unbounded-series");
+  EXPECT_EQ(rules.back().severity, Diagnostic::Severity::kWarning);
+  // Indices of long-standing rules must not have shifted.
+  const auto index_of = [&rules](const std::string& id) {
+    for (std::size_t i = 0; i < rules.size(); ++i) {
+      if (id == rules[i].id) return i;
+    }
+    ADD_FAILURE() << "rule not in catalogue: " << id;
+    return rules.size();
+  };
+  EXPECT_LT(index_of("boundary-type"), index_of("mc-conservation"));
+  EXPECT_LT(index_of("mc-depth-bound"), index_of("telemetry-unbounded-series"));
 }
 
 // --- SARIF ----------------------------------------------------------------------

@@ -9,7 +9,10 @@
 #include <chrono>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
+#include <fstream>
 #include <future>
+#include <sstream>
 #include <thread>
 
 #include "device/calibration.hpp"
@@ -521,6 +524,168 @@ TEST(ServeServer, RecalibrateNowUsesObservedDrift) {
   EXPECT_FALSE(r.swapped);
   EXPECT_EQ(server.swap_count(), 0u);
   EXPECT_EQ(server.stats().recalibrations, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Observability (PR 8): windowed SLO view, drift edge cases, flight dumps
+
+TEST(ServeRecal, EmptyWindowRecalibrationIsSafeNoOp) {
+  // A server that has served nothing has an empty SLO window and zero drift
+  // samples; recalibrate_now must skip the scheduler rerun entirely instead
+  // of re-deriving (and possibly swapping to) the offline decision.
+  serve::ServeOptions opts = hetero_options();
+  opts.workers = 1;
+  serve::DuetServer server(tiny_model(), opts);
+  const Placement before = server.current_placement();
+  for (int i = 0; i < 2; ++i) {
+    const serve::RecalibrationResult r = server.recalibrate_now();
+    EXPECT_FALSE(r.swapped);
+    EXPECT_EQ(r.overridden_cells, 0u);
+    EXPECT_EQ(r.placement, before);
+  }
+  EXPECT_EQ(server.swap_count(), 0u);
+  EXPECT_EQ(server.current_placement(), before);
+}
+
+TEST(ServeRecal, SingleSampleDriftIsUsableAtMinSamplesOne) {
+  RecalFixture f;
+  const auto& profiles = f.engine.report().profiles;
+  serve::DriftAccumulator obs(profiles.size());
+  // Exactly one observation, for one cell: with min_samples=1 that cell is
+  // overridden and the schedule still comes out well-formed.
+  const DeviceKind assigned = f.engine.report().schedule.placement.of(0);
+  obs.record(0, assigned,
+             profiles[0].time_on(assigned) + executor_dispatch_overhead());
+  EXPECT_EQ(obs.total_samples(), 1u);
+  serve::RecalibrationOptions opts;
+  opts.min_samples = 1;
+  const serve::RecalibrationResult r = serve::recalibrate(
+      f.engine.model(), f.engine.partition(), profiles, obs,
+      f.engine.report().schedule.placement, f.engine.devices().link->params(),
+      opts);
+  EXPECT_EQ(r.overridden_cells, 1u);
+  EXPECT_FALSE(r.swapped) << "one faithful sample is no reason to move";
+  EXPECT_GT(r.predicted_current_s, 0.0);
+}
+
+// Drift recording (workers, under stats_mutex_) racing recalibration's
+// snapshot-and-swap. The TSan job turns the stress knobs up; the assertion
+// here is conservation plus "no crash, no torn accumulator".
+TEST(ServeServer, ConcurrentRecordDuringSwapStress) {
+  serve::ServeOptions opts = hetero_options();
+  opts.workers = stress_workers(2);
+  opts.recalibration.min_samples = 1;
+  const int requests = stress_iters(8);
+  opts.queue_capacity = static_cast<size_t>(requests);
+  serve::DuetServer server(tiny_model(), opts);
+  Rng rng(18);
+  const auto feeds = models::make_random_feeds(server.engine().model(), rng);
+
+  std::vector<std::future<serve::Response>> futures;
+  std::thread producer([&] {
+    for (int i = 0; i < requests; ++i) futures.push_back(server.submit(feeds));
+  });
+  std::thread recalibrator([&] {
+    for (int i = 0; i < 4; ++i) server.recalibrate_now();
+  });
+  std::thread swapper([&] {
+    Placement flipped = server.current_placement();
+    flipped.flip(0);
+    server.apply_placement(flipped);
+  });
+  producer.join();
+  recalibrator.join();
+  swapper.join();
+  server.drain();
+
+  uint64_t ok = 0;
+  for (auto& f : futures) {
+    ok += f.get().status == serve::RequestStatus::kOk ? 1 : 0;
+  }
+  const serve::ServerStats stats = server.stats();
+  EXPECT_EQ(stats.admission.completed, ok);
+  EXPECT_GE(stats.swap_count, 1u);
+  EXPECT_EQ(stats.admission.offered,
+            stats.admission.completed + stats.admission.shed +
+                stats.admission.rejected);
+}
+
+TEST(ServeServer, SloSnapshotReflectsWindowedTraffic) {
+  serve::ServeOptions opts = hetero_options();
+  opts.workers = 2;
+  serve::DuetServer server(tiny_model(), opts);
+  Rng rng(20);
+  const auto feeds = models::make_random_feeds(server.engine().model(), rng);
+  std::vector<std::future<serve::Response>> futures;
+  for (int i = 0; i < 6; ++i) futures.push_back(server.submit(feeds));
+  for (auto& f : futures) ASSERT_EQ(f.get().status, serve::RequestStatus::kOk);
+  server.drain();
+
+  const telemetry::SloSnapshot snap = server.slo_snapshot();
+  EXPECT_EQ(snap.offered, 6u);
+  EXPECT_EQ(snap.completed, 6u);
+  EXPECT_EQ(snap.shed, 0u);
+  EXPECT_EQ(snap.rejected, 0u);
+  EXPECT_EQ(snap.breaches, 0u) << "no deadlines -> no breaches";
+  EXPECT_GT(snap.latency_p50_us, 0.0);
+  EXPECT_LE(snap.latency_p50_us, snap.latency_p99_us);
+  EXPECT_EQ(snap.plan_version, 1u)
+      << "no swap in the window -> the live plan version";
+}
+
+// The PR-8 acceptance scenario: a seeded deadline-miss storm must produce a
+// validated post-mortem dump whose summary reconstructs at least one full
+// request path (enqueue -> pickup -> launch -> complete).
+TEST(ServeServer, DeadlineMissStormTriggersFlightDump) {
+  namespace fs = std::filesystem;
+  const fs::path dir =
+      fs::path(::testing::TempDir()) / "duet-flight-storm-test";
+  fs::remove_all(dir);
+  telemetry::FlightRecorder::instance().clear();
+
+  serve::ServeOptions opts = hetero_options();
+  opts.workers = 2;
+  opts.queue_capacity = 32;
+  opts.observability.dump_dir = dir.string();
+  opts.observability.trigger.miss_burst = 3;
+  opts.observability.trigger.miss_window_ms = 10e3;
+  serve::DuetServer server(tiny_model(), opts);
+  Rng rng(22);
+  const auto feeds = models::make_random_feeds(server.engine().model(), rng);
+
+  // Healthy phase: full request paths land in the rings.
+  std::vector<std::future<serve::Response>> futures;
+  for (int i = 0; i < 6; ++i) futures.push_back(server.submit(feeds));
+  for (auto& f : futures) ASSERT_EQ(f.get().status, serve::RequestStatus::kOk);
+  futures.clear();
+
+  // Storm: deadlines already expired at admission, every pickup sheds.
+  for (int i = 0; i < 6; ++i) {
+    futures.push_back(server.submit(feeds, /*deadline_s=*/1e-9));
+  }
+  for (auto& f : futures) {
+    EXPECT_EQ(f.get().status, serve::RequestStatus::kShed);
+  }
+  server.drain();
+
+  const serve::ServerStats stats = server.stats();
+  EXPECT_EQ(stats.flight_dumps, 1u) << "the trigger fires exactly once";
+  EXPECT_GE(stats.slo_breaches, 6u);
+  ASSERT_TRUE(fs::exists(dir / "flight_trace.json"));
+  ASSERT_TRUE(fs::exists(dir / "flight_summary.json"));
+
+  std::ifstream in(dir / "flight_summary.json");
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const std::string summary = buffer.str();
+  EXPECT_NE(summary.find("\"reason\":\"deadline-miss-burst\""),
+            std::string::npos);
+  const size_t pos = summary.find("\"complete_paths\":");
+  ASSERT_NE(pos, std::string::npos);
+  const int paths =
+      std::atoi(summary.c_str() + pos + std::strlen("\"complete_paths\":"));
+  EXPECT_GE(paths, 1) << "the dump must reconstruct a full request path";
+  fs::remove_all(dir);
 }
 
 // ---------------------------------------------------------------------------

@@ -60,8 +60,18 @@
 // deterministic open-loop Poisson traces through the virtual-time queueing
 // simulator at a nominal (50% utilization) and a peak (2x capacity) offered
 // load. Reports per-leg throughput, p50/p95/p99 sojourn, shed and reject
-// rates, and the placement-swap count; --json emits one document per model
-// and --out writes a Chrome trace with one span per served request.
+// rates, and the placement-swap count; --json emits one document per model,
+// --out writes a Chrome trace with one span per served request, and
+// --metrics-out writes one Prometheus text exposition of the metrics
+// registry after the run.
+//
+// `flight` exercises the always-on flight recorder end to end: it serves a
+// healthy burst through a real DuetServer, then a seeded deadline-miss
+// storm (requests whose deadlines are already expired at admission), which
+// trips the recorder's burst trigger mid-run and writes the post-mortem
+// dump — <dir>/<model>/flight_trace.json (Chrome trace with per-request
+// flow arcs) and flight_summary.json — exactly as a production incident
+// would. Exits nonzero when no dump landed.
 //
 // `schedule` runs the pipeline with the persistent profile cache enabled
 // (default directory: $DUET_CACHE_DIR or .duet-cache) and reports the cache
@@ -97,6 +107,11 @@
 //   --deadline-ms <D>    serve-bench: per-request deadline (default: 10x the
 //                        modeled service time)
 //   --requests <N>       serve-bench: trace length per simulated leg
+//                        flight: healthy-phase request count (default 24)
+//   --metrics-out <path> serve-bench: write a Prometheus text exposition
+//   --storm <N>          flight: storm-phase request count (default 8)
+//   --dump <dir>         flight: dump root (default flight-dump; per-model
+//                        subdirectories)
 
 #include <cctype>
 #include <cinttypes>
@@ -136,7 +151,10 @@
 #include "serve/workload.hpp"
 #include "telemetry/chrome_trace.hpp"
 #include "telemetry/drift.hpp"
+#include "telemetry/flight_recorder.hpp"
 #include "telemetry/metrics.hpp"
+#include "telemetry/prometheus.hpp"
+#include "telemetry/slo_monitor.hpp"
 #include "telemetry/telemetry.hpp"
 #include "telemetry/trace_export.hpp"
 
@@ -165,13 +183,17 @@ namespace {
                "       %s cache stats | clear [--cache-dir <dir>]\n"
                "       %s serve-bench <model>... | --all [--qps <Q>]\n"
                "          [--workers <N>] [--deadline-ms <D>] [--requests <N>]\n"
-               "          [--json] [--out <dir>] [--scheduler <name>]\n"
+               "          [--json] [--out <dir>] [--metrics-out <path>]\n"
+               "          [--scheduler <name>]\n"
+               "       %s flight <model>... | --all [--dump <dir>]\n"
+               "          [--workers <N>] [--requests <N>] [--storm <N>]\n"
+               "          [--seed <S>] [--json] [--scheduler <name>]\n"
                "       %s shapes <model>... | --all [--symbolic]\n"
                "          [--sym NAME=LO..HI]... [--json]\n"
                "       %s crossover <model>... | --all [--sym NAME=LO..HI]...\n"
                "          [--json]\n",
                argv0, argv0, argv0, argv0, argv0, argv0, argv0, argv0, argv0,
-               argv0, argv0);
+               argv0, argv0, argv0);
   std::exit(code);
 }
 
@@ -565,10 +587,16 @@ struct TelemetryCapture {
   duet::DriftReport threaded_drift;
   std::string trace_json;    // merged Chrome trace (spans + modeled timeline)
   std::string metrics_json;  // registry snapshot
+  std::string serve_json;    // serve-plane counters (empty without a burst)
 };
 
+// `serve_burst` additionally pushes a short real-threaded burst through a
+// DuetServer so the document covers the serving plane (plan version,
+// offered/completed/shed/rejected, SLO breaches) — `stats` wants that view,
+// `trace` does not (it would dilute the single-inference trace).
 TelemetryCapture capture_telemetry(const std::string& label, duet::Graph model,
-                                   duet::DuetOptions options) {
+                                   duet::DuetOptions options,
+                                   bool serve_burst = false) {
   using namespace duet;
   // Fallback would execute the unpartitioned single-device code, leaving no
   // per-subgraph exec events to join the estimates against.
@@ -577,6 +605,7 @@ TelemetryCapture capture_telemetry(const std::string& label, duet::Graph model,
   telemetry::MetricsRegistry::instance().reset();
   telemetry::SpanCollector::instance().clear();
 
+  Graph serve_model = model;  // DuetServer below needs its own copy
   DuetEngine engine(std::move(model), options);
   Rng rng(1);
   const auto feeds = models::make_random_feeds(engine.model(), rng);
@@ -584,6 +613,29 @@ TelemetryCapture capture_telemetry(const std::string& label, duet::Graph model,
   ExecutionResult threaded = engine.infer_threaded(feeds);
 
   TelemetryCapture cap;
+  if (serve_burst) {
+    serve::ServeOptions sopts;
+    sopts.workers = 2;
+    sopts.queue_capacity = 16;
+    sopts.engine = options;
+    serve::DuetServer server(std::move(serve_model), sopts);
+    std::vector<std::future<serve::Response>> futures;
+    for (int i = 0; i < 8; ++i) futures.push_back(server.submit(feeds));
+    for (auto& f : futures) f.get();
+    server.drain();
+    const serve::ServerStats ss = server.stats();
+    std::string s = "{";
+    s += "\"plan_version\":" + std::to_string(ss.plan_version) + ",";
+    s += "\"offered\":" + std::to_string(ss.admission.offered) + ",";
+    s += "\"completed\":" + std::to_string(ss.admission.completed) + ",";
+    s += "\"shed\":" + std::to_string(ss.admission.shed) + ",";
+    s += "\"rejected\":" + std::to_string(ss.admission.rejected) + ",";
+    s += "\"slo_breaches\":" + std::to_string(ss.slo_breaches) + ",";
+    s += "\"flight_dumps\":" + std::to_string(ss.flight_dumps) + ",";
+    s += "\"recalibrations\":" + std::to_string(ss.recalibrations) + ",";
+    s += "\"swaps\":" + std::to_string(ss.swap_count) + "}";
+    cap.serve_json = std::move(s);
+  }
   cap.sim_drift = compute_drift(
       label, "sim", engine.partition(), engine.plan().placement(),
       engine.report().profiles, sim.timeline,
@@ -599,11 +651,12 @@ TelemetryCapture capture_telemetry(const std::string& label, duet::Graph model,
   return cap;
 }
 
-// {"model":...,"metrics":{...},"drift":{"sim":{...},"threaded":{...}}}
+// {"model":...,"metrics":{...},["serve":{...},]"drift":{"sim":...,...}}
 std::string stats_document(const TelemetryCapture& cap, const std::string& label) {
   using duet::telemetry::json_escape;
   std::string out = "{\"model\":\"" + json_escape(label) + "\",";
   out += "\"metrics\":" + cap.metrics_json + ",";
+  if (!cap.serve_json.empty()) out += "\"serve\":" + cap.serve_json + ",";
   out += "\"drift\":{\"sim\":" + cap.sim_drift.to_json() +
          ",\"threaded\":" + cap.threaded_drift.to_json() + "}}";
   return out;
@@ -652,7 +705,8 @@ bool trace_one(const std::string& label, duet::Graph model,
 bool stats_one(const std::string& label, duet::Graph model,
                const duet::DuetOptions& options, bool json) {
   using namespace duet;
-  const TelemetryCapture cap = capture_telemetry(label, std::move(model), options);
+  const TelemetryCapture cap = capture_telemetry(label, std::move(model),
+                                                 options, /*serve_burst=*/true);
   if (json) {
     std::printf("%s\n", stats_document(cap, label).c_str());
     return true;
@@ -780,7 +834,8 @@ struct ServeBenchConfig {
   int server_requests = 48;  // real-threaded leg
   uint64_t seed = 42;
   bool json = false;
-  std::string out_dir;  // Chrome trace destination; empty = skip
+  std::string out_dir;      // Chrome trace destination; empty = skip
+  std::string metrics_out;  // Prometheus exposition path; empty = skip
   std::string scheduler = "greedy-correction";
 };
 
@@ -816,8 +871,10 @@ bool serve_bench_one(const std::string& label, duet::Graph model,
   }
 
   const bool want_trace = !cfg.out_dir.empty();
-  telemetry::ScopedTelemetry telemetry_on(want_trace);
+  const bool want_metrics = !cfg.metrics_out.empty();
+  telemetry::ScopedTelemetry telemetry_on(want_trace || want_metrics);
   if (want_trace) telemetry::SpanCollector::instance().clear();
+  if (want_metrics) telemetry::MetricsRegistry::instance().reset();
 
   serve::ServeOptions sopts;
   sopts.workers = cfg.workers;
@@ -904,6 +961,26 @@ bool serve_bench_one(const std::string& label, duet::Graph model,
     }
   }
 
+  // One Prometheus exposition of everything the run recorded (serve.*
+  // counters, executor histograms, ...). Appending per model would corrupt
+  // the format, so the last model of a multi-model invocation wins.
+  bool metrics_ok = true;
+  if (want_metrics) {
+    const std::string prom =
+        telemetry::to_prometheus_text(telemetry::MetricsRegistry::instance());
+    const std::filesystem::path path(cfg.metrics_out);
+    std::error_code ec;
+    if (path.has_parent_path()) {
+      std::filesystem::create_directories(path.parent_path(), ec);
+    }
+    std::ofstream prom_out(path);
+    prom_out << prom;
+    metrics_ok = prom_out.good();
+    if (!cfg.json && metrics_ok) {
+      std::printf("[metrics %s] ", path.string().c_str());
+    }
+  }
+
   if (cfg.json) {
     using telemetry::json_escape;
     using telemetry::json_number;
@@ -949,7 +1026,105 @@ bool serve_bench_one(const std::string& label, duet::Graph model,
         static_cast<unsigned long long>(sstats.recalibrations),
         static_cast<unsigned long long>(sstats.swap_count));
   }
-  return server_ok > 0 && trace_ok;
+  return server_ok > 0 && trace_ok && metrics_ok;
+}
+
+struct FlightConfig {
+  std::string dump_dir = "flight-dump";  // per-model subdirectories
+  int workers = 2;
+  int requests = 24;  // healthy phase
+  int storm = 8;      // storm phase: deadlines already expired at admission
+  uint64_t seed = 42;
+  bool json = false;
+  std::string scheduler = "greedy-correction";
+};
+
+// Seeded deadline-miss storm through a real DuetServer. A healthy burst
+// fills the rings with normal traffic, then `storm` requests arrive with
+// deadlines that expired before admission — every pickup sheds, the
+// miss-burst trigger fires mid-run, and the server writes the post-mortem
+// dump into <dump_dir>/<model>/. Fails when no dump landed.
+bool flight_one(const std::string& label, duet::Graph model,
+                const FlightConfig& cfg) {
+  using namespace duet;
+  // Counters (serve.flight_dumps etc.) are gated on the telemetry switch;
+  // the flight recorder itself is always on.
+  telemetry::ScopedTelemetry telemetry_on(true);
+  telemetry::FlightRecorder::instance().clear();
+
+  const std::filesystem::path dir = std::filesystem::path(cfg.dump_dir) / label;
+
+  serve::ServeOptions sopts;
+  sopts.workers = cfg.workers;
+  sopts.queue_capacity =
+      static_cast<size_t>(cfg.requests) + static_cast<size_t>(cfg.storm) + 8;
+  sopts.engine.scheduler = cfg.scheduler;
+  sopts.engine.seed = cfg.seed;
+  sopts.observability.dump_dir = dir.string();
+  sopts.observability.trigger.miss_burst = 3;
+  sopts.observability.trigger.miss_window_ms = 10e3;
+  serve::DuetServer server(std::move(model), sopts);
+
+  Rng rng(cfg.seed);
+  const auto feeds = models::make_random_feeds(server.engine().model(), rng);
+
+  std::vector<std::future<serve::Response>> futures;
+  futures.reserve(static_cast<size_t>(cfg.requests));
+  for (int i = 0; i < cfg.requests; ++i) {
+    futures.push_back(server.submit(feeds));
+  }
+  size_t ok = 0;
+  for (auto& f : futures) {
+    ok += f.get().status == serve::RequestStatus::kOk ? 1 : 0;
+  }
+  futures.clear();
+
+  for (int i = 0; i < cfg.storm; ++i) {
+    futures.push_back(server.submit(feeds, /*deadline_s=*/1e-9));
+  }
+  size_t shed = 0;
+  for (auto& f : futures) {
+    shed += f.get().status == serve::RequestStatus::kShed ? 1 : 0;
+  }
+  server.drain();
+
+  const serve::ServerStats stats = server.stats();
+  const std::filesystem::path trace_path = dir / "flight_trace.json";
+  const std::filesystem::path summary_path = dir / "flight_summary.json";
+  const bool dumped = stats.flight_dumps > 0 &&
+                      std::filesystem::exists(trace_path) &&
+                      std::filesystem::exists(summary_path);
+  const bool pass = dumped && ok > 0 && shed > 0;
+
+  if (cfg.json) {
+    using telemetry::json_escape;
+    std::string doc = "{";
+    doc += "\"model\":\"" + json_escape(label) + "\",";
+    doc += "\"healthy_ok\":" + std::to_string(ok) + ",";
+    doc += "\"storm_shed\":" + std::to_string(shed) + ",";
+    doc += "\"slo_breaches\":" + std::to_string(stats.slo_breaches) + ",";
+    doc += "\"flight_dumps\":" + std::to_string(stats.flight_dumps) + ",";
+    doc += "\"events_recorded\":" +
+           std::to_string(telemetry::FlightRecorder::instance().recorded()) +
+           ",";
+    doc += "\"trace\":\"" + json_escape(trace_path.string()) + "\",";
+    doc += "\"summary\":\"" + json_escape(summary_path.string()) + "\",";
+    doc += std::string("\"ok\":") + (pass ? "true" : "false") + "}";
+    std::string err;
+    if (!telemetry::validate_json(doc, &err)) {
+      std::fprintf(stderr, "flight %s: invalid JSON: %s\n", label.c_str(),
+                   err.c_str());
+      return false;
+    }
+    std::printf("%s\n", doc.c_str());
+  } else {
+    std::printf(
+        "flight %-12s %zu/%d ok, %zu/%d shed, %llu breaches | %s -> %s\n",
+        label.c_str(), ok, cfg.requests, shed, cfg.storm,
+        static_cast<unsigned long long>(stats.slo_breaches),
+        dumped ? "dump" : "NO DUMP", trace_path.string().c_str());
+  }
+  return pass;
 }
 
 std::string read_file(const std::string& path) {
@@ -976,8 +1151,8 @@ int main(int argc, char** argv) {
   // schedule-report path.
   if (!cmd.empty() && cmd[0] != '-' && cmd != "cache" && cmd != "verify" &&
       cmd != "analyze" && cmd != "lint" && cmd != "trace" && cmd != "stats" &&
-      cmd != "schedule" && cmd != "serve-bench" && cmd != "shapes" &&
-      cmd != "crossover") {
+      cmd != "schedule" && cmd != "serve-bench" && cmd != "flight" &&
+      cmd != "shapes" && cmd != "crossover") {
     std::fprintf(stderr, "unknown subcommand: %s\n", cmd.c_str());
     usage(argv[0]);
   }
@@ -1080,6 +1255,8 @@ int main(int argc, char** argv) {
         cfg.json = true;
       } else if (arg == "--out") {
         cfg.out_dir = next();
+      } else if (arg == "--metrics-out") {
+        cfg.metrics_out = next();
       } else if (arg == "--scheduler") {
         cfg.scheduler = next();
       } else if (arg == "--help" || arg == "-h") {
@@ -1100,6 +1277,60 @@ int main(int argc, char** argv) {
     try {
       for (const std::string& name : names) {
         all_ok &= serve_bench_one(name, models::build_by_name(name), cfg);
+      }
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "error: %s\n", e.what());
+      return 1;
+    }
+    return all_ok ? 0 : 1;
+  }
+
+  if (cmd == "flight") {
+    std::vector<std::string> names;
+    FlightConfig cfg;
+    for (int i = 2; i < argc; ++i) {
+      const std::string arg = argv[i];
+      const auto next = [&]() -> std::string {
+        if (i + 1 >= argc) usage(argv[0]);
+        return argv[++i];
+      };
+      if (arg == "--all") {
+        for (const std::string& name : models::zoo_model_names()) {
+          names.push_back(name);
+        }
+      } else if (arg == "--dump") {
+        cfg.dump_dir = next();
+      } else if (arg == "--workers") {
+        cfg.workers = parse_int(argv[0], arg, next());
+      } else if (arg == "--requests") {
+        cfg.requests = parse_int(argv[0], arg, next());
+      } else if (arg == "--storm") {
+        cfg.storm = parse_int(argv[0], arg, next());
+      } else if (arg == "--seed") {
+        cfg.seed = static_cast<uint64_t>(parse_int(argv[0], arg, next()));
+      } else if (arg == "--json") {
+        cfg.json = true;
+      } else if (arg == "--scheduler") {
+        cfg.scheduler = next();
+      } else if (arg == "--help" || arg == "-h") {
+        usage_exit(argv[0], 0);
+      } else if (arg.rfind("-", 0) == 0) {
+        std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
+        usage(argv[0]);
+      } else {
+        names.push_back(arg);
+      }
+    }
+    if (names.empty() || cfg.dump_dir.empty()) usage(argv[0]);
+    if (cfg.workers <= 0 || cfg.requests <= 0 || cfg.storm <= 0) {
+      std::fprintf(stderr,
+                   "--workers, --requests and --storm must be positive\n");
+      usage(argv[0]);
+    }
+    bool all_ok = true;
+    try {
+      for (const std::string& name : names) {
+        all_ok &= flight_one(name, models::build_by_name(name), cfg);
       }
     } catch (const std::exception& e) {
       std::fprintf(stderr, "error: %s\n", e.what());
