@@ -180,4 +180,13 @@ std::string CrossoverReport::to_json() const {
   return os.str();
 }
 
+std::vector<int64_t> serving_bucket_boundaries(const CrossoverReport& report,
+                                               int64_t max_batch) {
+  std::vector<int64_t> out;
+  for (int64_t b : report.bucket_boundaries) {
+    if (b > 1 && b <= max_batch) out.push_back(b);
+  }
+  return out;  // bucket_boundaries is already sorted and deduplicated
+}
+
 }  // namespace duet::symbolic

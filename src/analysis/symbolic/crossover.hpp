@@ -82,4 +82,11 @@ CrossoverReport analyze_crossover(const Graph& parent,
                                   const CrossoverOptions& options = {},
                                   const SymBindings& pinned = {});
 
+// Certificate -> serving export (ISSUE 10): the report's flip batches,
+// clipped to the serving runtime's coalescing range (1, max_batch], ready
+// to seed `make_batch_buckets`. The report keeps every certified flip; the
+// serving registry only buckets the range it will actually batch over.
+std::vector<int64_t> serving_bucket_boundaries(const CrossoverReport& report,
+                                               int64_t max_batch);
+
 }  // namespace duet::symbolic

@@ -20,6 +20,62 @@ Graph build_by_name(const std::string& name, uint64_t seed) {
   DUET_THROW("unknown model: " << name);
 }
 
+Graph build_by_name_batched(const std::string& name, int64_t batch,
+                            bool tiny, uint64_t seed) {
+  DUET_CHECK_GE(batch, 1) << "batch must be positive";
+  if (name == "wide-deep") {
+    WideDeepConfig c = tiny ? WideDeepConfig::tiny() : WideDeepConfig{};
+    c.batch = batch;
+    return build_wide_deep(c, seed);
+  }
+  if (name == "siamese") {
+    SiameseConfig c = tiny ? SiameseConfig::tiny() : SiameseConfig{};
+    c.batch = batch;
+    return build_siamese(c, seed);
+  }
+  if (name == "mtdnn") {
+    MtDnnConfig c = tiny ? MtDnnConfig::tiny() : MtDnnConfig{};
+    c.batch = batch;
+    return build_mtdnn(c, seed);
+  }
+  if (name == "vgg16") {
+    VggConfig c = tiny ? VggConfig::tiny() : VggConfig{};
+    c.batch = batch;
+    return build_vgg16(c, seed);
+  }
+  if (name == "squeezenet") {
+    SqueezeNetConfig c = tiny ? SqueezeNetConfig::tiny() : SqueezeNetConfig{};
+    c.batch = batch;
+    return build_squeezenet(c, seed);
+  }
+  if (name == "inception") {
+    InceptionConfig c = tiny ? InceptionConfig::tiny() : InceptionConfig{};
+    c.batch = batch;
+    return build_inception(c, seed);
+  }
+  if (name == "dlrm") {
+    DlrmConfig c = tiny ? DlrmConfig::tiny() : DlrmConfig{};
+    c.batch = batch;
+    return build_dlrm(c, seed);
+  }
+  if (name.rfind("resnet", 0) == 0) {
+    ResNetConfig c = tiny ? ResNetConfig::tiny() : ResNetConfig{};
+    c.depth = std::stoi(name.substr(6));
+    c.batch = batch;
+    return build_resnet(c, seed);
+  }
+  DUET_THROW("unknown model: " << name);
+}
+
+std::function<Graph(int64_t)> zoo_batched_factory(const std::string& name,
+                                                  bool tiny, uint64_t seed) {
+  // Validates eagerly so a bad name throws at registration, not first use.
+  (void)build_by_name_batched(name, 1, tiny, seed);
+  return [name, tiny, seed](int64_t batch) {
+    return build_by_name_batched(name, batch, tiny, seed);
+  };
+}
+
 const std::vector<std::string>& zoo_model_names() {
   static const std::vector<std::string> kNames = {
       "wide-deep", "siamese",  "mtdnn",    "resnet18", "resnet34", "resnet50",

@@ -7,6 +7,7 @@
 // defaults reproduce the paper's setting; the sweep benchmarks (Figs. 14-17)
 // vary single fields.
 
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -131,6 +132,18 @@ NodeId resnet_trunk(GraphBuilder& b, NodeId x, int depth,
 // Builds by name: "wide-deep", "siamese", "mtdnn", "resnet18/34/50/101",
 // "vgg16", "squeezenet". Uses each model's default config.
 Graph build_by_name(const std::string& name, uint64_t seed = 42);
+
+// Batch-parameterized builders (ISSUE 10): the named model's default (or
+// tiny) config with `batch` overridden, same seed — so the batch-B graph has
+// the same structure, node ids, and weights as the batch-1 graph, which is
+// what lets the serving runtime coalesce requests and compile one plan per
+// batch bucket. `zoo_batched_factory` packages this as the factory the
+// ModelRegistry consumes.
+Graph build_by_name_batched(const std::string& name, int64_t batch,
+                            bool tiny = false, uint64_t seed = 42);
+std::function<Graph(int64_t)> zoo_batched_factory(const std::string& name,
+                                                  bool tiny = false,
+                                                  uint64_t seed = 42);
 
 // Every name build_by_name accepts (one entry per ResNet depth) — the model
 // zoo as `duet_cli verify --all` walks it.

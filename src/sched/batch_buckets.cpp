@@ -1,0 +1,53 @@
+#include "sched/batch_buckets.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace duet {
+
+std::vector<BatchBucket> make_batch_buckets(std::vector<int64_t> boundaries,
+                                            int64_t max_batch,
+                                            size_t max_buckets) {
+  DUET_CHECK_GE(max_batch, 1) << "max_batch must be at least 1";
+  DUET_CHECK_GE(max_buckets, 1) << "need at least one bucket";
+
+  std::sort(boundaries.begin(), boundaries.end());
+  boundaries.erase(std::unique(boundaries.begin(), boundaries.end()),
+                   boundaries.end());
+  // A bucket starting at b needs b in (1, max_batch]: b == 1 is the table's
+  // implicit left edge and anything past max_batch is never served.
+  boundaries.erase(
+      std::remove_if(boundaries.begin(), boundaries.end(),
+                     [&](int64_t b) { return b <= 1 || b > max_batch; }),
+      boundaries.end());
+  if (boundaries.size() > max_buckets - 1) boundaries.resize(max_buckets - 1);
+
+  std::vector<BatchBucket> buckets;
+  int64_t lo = 1;
+  for (int64_t b : boundaries) {
+    buckets.push_back({lo, b - 1});
+    lo = b;
+  }
+  buckets.push_back({lo, max_batch});
+  return buckets;
+}
+
+size_t bucket_for(const std::vector<BatchBucket>& buckets, int64_t batch) {
+  DUET_CHECK(!buckets.empty()) << "empty bucket table";
+  DUET_CHECK_GE(batch, 1) << "batch must be positive";
+  for (size_t i = 0; i < buckets.size(); ++i) {
+    if (buckets[i].contains(batch)) return i;
+  }
+  return buckets.size() - 1;  // clamp overshoot to the top interval
+}
+
+std::string buckets_to_string(const std::vector<BatchBucket>& buckets) {
+  std::string out;
+  for (const BatchBucket& b : buckets) {
+    out += "[" + std::to_string(b.lo) + "," + std::to_string(b.hi) + "]";
+  }
+  return out;
+}
+
+}  // namespace duet

@@ -1,0 +1,50 @@
+#pragma once
+
+// Batch-bucket intervals for shape-bucketed plan selection (ISSUE 10). The
+// symbolic crossover certificates (analysis/symbolic/crossover.hpp) name the
+// batch sizes where a subgraph's CPU-vs-GPU preference flips; between two
+// flips the preferred placement is constant, so one compiled plan per
+// interval suffices. This file is the pure interval arithmetic: turn a
+// sorted boundary list into a covering bucket table over [1, max_batch] and
+// map a concrete batch to its bucket. The serving registry
+// (serve/model_registry.hpp) attaches a placement to each bucket; the
+// schedulers themselves stay batch-oblivious.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace duet {
+
+// One contiguous batch interval [lo, hi] served by a single placement. The
+// representative batch — where the scheduler actually ran — is `lo`: a
+// boundary at B is the first batch of the new preference, so scheduling at
+// the interval's left edge evaluates exactly the certified flip point.
+struct BatchBucket {
+  int64_t lo = 1;
+  int64_t hi = 1;
+
+  int64_t rep() const { return lo; }
+  bool contains(int64_t batch) const { return batch >= lo && batch <= hi; }
+};
+
+// Builds the covering bucket table for [1, max_batch]: every boundary b in
+// (1, max_batch] starts a new bucket at b. Boundaries outside that range are
+// dropped, duplicates collapse, and when more than `max_buckets` intervals
+// would result, the smallest boundaries win (low-batch flips separate the
+// latency-critical single-request regime; the tail merges into one wide
+// bucket). Always returns at least the single bucket [1, max_batch].
+std::vector<BatchBucket> make_batch_buckets(std::vector<int64_t> boundaries,
+                                            int64_t max_batch,
+                                            size_t max_buckets = 4);
+
+// Index into `buckets` of the interval containing `batch`. Batches above
+// the table's top interval clamp to it (the serving runtime never coalesces
+// past max_batch, but a defensive caller should not crash on an overshoot);
+// batches below 1 are a caller bug and throw.
+size_t bucket_for(const std::vector<BatchBucket>& buckets, int64_t batch);
+
+// "[1,3][4,32]" — for reports and logs.
+std::string buckets_to_string(const std::vector<BatchBucket>& buckets);
+
+}  // namespace duet

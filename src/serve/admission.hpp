@@ -21,10 +21,31 @@
 
 #include <atomic>
 #include <cstdint>
+#include <string>
+#include <vector>
 
 namespace duet::serve {
 
 enum class Verdict { kAdmit, kReject, kShed };
+
+// A tenant priority class for the multi-tenant fleet runtime (ISSUE 10).
+// `weight` is the tenant's weighted-fair-queueing share: over a contended
+// interval a tenant with twice the weight is billed half the virtual time
+// per second of service, so it gets twice the throughput. `deadline_s` is
+// the default deadline applied to the tenant's requests submitted without
+// one (<= 0 disables shedding for them). Names are small human labels
+// (gold/silver/bronze), never per-request ids — tenant-labelled telemetry
+// series must stay bounded (see the telemetry-unbounded-series lint).
+struct TenantClass {
+  std::string name = "default";
+  double weight = 1.0;
+  double deadline_s = 0.0;
+};
+
+// The default three-class palette benchmarks and the CLI use: gold carries
+// double silver's share, silver double bronze's.
+std::vector<TenantClass> default_tenant_classes(int count,
+                                                double deadline_s = 0.0);
 
 // Tally of every admission decision. Safe for concurrent recording;
 // snapshot() gives a consistent-enough view for reports (counters are

@@ -1,0 +1,46 @@
+#include "serve/batching.hpp"
+
+#include "common/error.hpp"
+
+namespace duet::serve {
+
+std::map<NodeId, Tensor> stack_feeds(
+    const std::vector<const std::map<NodeId, Tensor>*>& feeds) {
+  DUET_CHECK(!feeds.empty()) << "stack_feeds of zero requests";
+  const std::map<NodeId, Tensor>& first = *feeds.front();
+  std::map<NodeId, Tensor> stacked;
+  for (const auto& [id, tensor] : first) {
+    (void)tensor;
+    std::vector<Tensor> parts;
+    parts.reserve(feeds.size());
+    for (const std::map<NodeId, Tensor>* request : feeds) {
+      DUET_CHECK_EQ(request->size(), first.size())
+          << "coalesced requests bind different input sets";
+      const auto it = request->find(id);
+      DUET_CHECK(it != request->end())
+          << "coalesced request missing input node " << id;
+      parts.push_back(it->second);
+    }
+    stacked.emplace(id, Tensor::concat0(parts));
+  }
+  return stacked;
+}
+
+std::vector<std::vector<Tensor>> split_outputs(
+    const std::vector<Tensor>& outputs, size_t requests) {
+  DUET_CHECK_GT(requests, 0u);
+  std::vector<std::vector<Tensor>> per_request(requests);
+  for (const Tensor& out : outputs) {
+    DUET_CHECK_GE(out.shape().rank(), 1u) << "rank-0 output cannot be split";
+    DUET_CHECK_EQ(out.shape()[0] % static_cast<int64_t>(requests), 0)
+        << "output dim 0 not divisible by coalesced request count";
+    const int64_t rows = out.shape()[0] / static_cast<int64_t>(requests);
+    for (size_t i = 0; i < requests; ++i) {
+      per_request[i].push_back(
+          out.slice0(static_cast<int64_t>(i) * rows, rows));
+    }
+  }
+  return per_request;
+}
+
+}  // namespace duet::serve

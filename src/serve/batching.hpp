@@ -1,0 +1,36 @@
+#pragma once
+
+// Request coalescing primitives: merge B compatible batch-1 requests into
+// one batch-B execution and split the batched outputs back per request.
+//
+// The contract the batching correctness gate enforces (tests/test_fleet.cpp
+// and the serve-smoke CI job): a coalesced execution over stacked feeds is
+// bit-identical to the B independent single-request executions, for every
+// zoo model. This holds because (a) the builders are deterministic, so the
+// batch-B graph has the same node ids and the same weights as the batch-1
+// graph, and (b) every kernel treats dim-0 rows independently with the same
+// per-row reduction order at any batch size.
+
+#include <map>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "tensor/tensor.hpp"
+
+namespace duet::serve {
+
+// Stacks per-request feed maps along dim 0: for every input id present in
+// the first map, concatenates the requests' tensors in order. All maps must
+// bind the same input ids (checked) — coalescing only ever merges requests
+// for the same model.
+std::map<NodeId, Tensor> stack_feeds(
+    const std::vector<const std::map<NodeId, Tensor>*>& feeds);
+
+// Splits batched outputs back into per-request rows: result[i] holds row
+// ranges [i*rows_per_request, (i+1)*rows_per_request) of every output, in
+// the parent graph's output order. `requests` must evenly divide each
+// output's dim 0.
+std::vector<std::vector<Tensor>> split_outputs(
+    const std::vector<Tensor>& outputs, size_t requests);
+
+}  // namespace duet::serve

@@ -1,0 +1,330 @@
+#include "serve/fleet.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/error.hpp"
+#include "common/logging.hpp"
+#include "serve/batching.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/telemetry.hpp"
+#include "telemetry/trace_context.hpp"
+
+namespace duet::serve {
+
+using telemetry::FlightKind;
+using telemetry::FlightRecorder;
+
+namespace {
+
+std::vector<TenantClass> normalize_tenants(std::vector<TenantClass> tenants) {
+  if (tenants.empty()) tenants.push_back(TenantClass{});
+  return tenants;
+}
+
+}  // namespace
+
+FleetServer::FleetServer(ModelRegistry& registry, FleetOptions options)
+    : registry_(registry),
+      options_([&] {
+        options.tenants = normalize_tenants(std::move(options.tenants));
+        options.max_batch =
+            std::min(options.max_batch, registry.options().max_batch);
+        return std::move(options);
+      }()),
+      paused_(options_.start_paused),
+      policy_(options_.tenants, options_.queue_capacity),
+      counters_(options_.tenants.size()) {
+  DUET_CHECK_GT(options_.workers, 0);
+  DUET_CHECK_GT(options_.queue_capacity, 0u);
+  DUET_CHECK_GE(options_.max_batch, 1);
+  DUET_CHECK_GT(registry_.size(), 0u) << "fleet over an empty registry";
+  workers_.reserve(static_cast<size_t>(options_.workers));
+  for (int w = 0; w < options_.workers; ++w) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+  DUET_LOG_INFO << "FleetServer up: " << options_.workers << " workers, "
+                << registry_.size() << " resident models, "
+                << options_.tenants.size() << " tenant classes, max batch "
+                << options_.max_batch;
+}
+
+FleetServer::~FleetServer() { shutdown(); }
+
+std::future<FleetResponse> FleetServer::submit(int model, int tenant,
+                                               std::map<NodeId, Tensor> feeds,
+                                               double deadline_s) {
+  DUET_CHECK_GE(model, 0);
+  DUET_CHECK_LT(static_cast<size_t>(model), registry_.size());
+  DUET_CHECK_GE(tenant, 0);
+  DUET_CHECK_LT(static_cast<size_t>(tenant), options_.tenants.size());
+
+  const uint64_t id = next_id_.fetch_add(1, std::memory_order_relaxed);
+  const double arrival_s = clock_.elapsed();
+  const double rel = deadline_s < 0.0 ? options_.tenants[static_cast<size_t>(
+                                            tenant)].deadline_s
+                                      : deadline_s;
+
+  Pending pending;
+  pending.trace_id = id;
+  pending.tenant = tenant;
+  pending.arrival_s = arrival_s;
+  pending.deadline_s = rel > 0.0 ? arrival_s + rel : 0.0;
+  pending.feeds = std::move(feeds);
+  std::future<FleetResponse> future = pending.promise.get_future();
+
+  FleetRequest request;
+  request.id = id;
+  request.tenant = tenant;
+  request.model = model;
+  request.arrival_s = arrival_s;
+  request.deadline_s = pending.deadline_s;
+
+  counters_[static_cast<size_t>(tenant)].offered.fetch_add(
+      1, std::memory_order_relaxed);
+
+  bool accepted = false;
+  uint64_t depth = 0;
+  {
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+    depth = policy_.size();
+    if (!draining_ && policy_.push(request)) {
+      accepted = true;
+      pending_.emplace(id, std::move(pending));
+      ++inflight_;
+      max_queue_depth_ = std::max(max_queue_depth_, policy_.size());
+    }
+  }
+  if (accepted) {
+    counters_[static_cast<size_t>(tenant)].accepted.fetch_add(
+        1, std::memory_order_relaxed);
+    FlightRecorder::instance().record(FlightKind::kEnqueue, id, depth);
+    telemetry::counter("fleet.offered." + options_.tenants[tenant].name)
+        .add(1);
+    queue_cv_.notify_one();
+    return future;
+  }
+
+  counters_[static_cast<size_t>(tenant)].rejected.fetch_add(
+      1, std::memory_order_relaxed);
+  telemetry::counter("fleet.rejected." + options_.tenants[tenant].name).add(1);
+  FlightRecorder::instance().record(FlightKind::kReject, id, depth);
+  FleetResponse response;
+  response.status = RequestStatus::kRejected;
+  response.wall_latency_s = clock_.elapsed() - arrival_s;
+  pending.promise.set_value(std::move(response));
+  return future;
+}
+
+void FleetServer::resume() {
+  {
+    std::lock_guard<std::mutex> lock(pause_mutex_);
+    paused_ = false;
+  }
+  pause_cv_.notify_all();
+}
+
+void FleetServer::drain() {
+  {
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+    draining_ = true;
+  }
+  resume();
+  queue_cv_.notify_all();
+  std::unique_lock<std::mutex> lock(queue_mutex_);
+  inflight_cv_.wait(lock, [this] { return inflight_ == 0; });
+}
+
+void FleetServer::shutdown() {
+  if (shut_down_.exchange(true)) return;
+  drain();
+  queue_cv_.notify_all();
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+}
+
+FleetServer::Pending FleetServer::take_pending(uint64_t id) {
+  const auto it = pending_.find(id);
+  DUET_CHECK(it != pending_.end()) << "picked request has no payload";
+  Pending out = std::move(it->second);
+  pending_.erase(it);
+  return out;
+}
+
+void FleetServer::resolve(Pending& pending, FleetResponse&& response) {
+  response.wall_latency_s = clock_.elapsed() - pending.arrival_s;
+  pending.promise.set_value(std::move(response));
+  {
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+    DUET_CHECK_GT(inflight_, 0u);
+    --inflight_;
+  }
+  inflight_cv_.notify_all();
+}
+
+void FleetServer::worker_loop() {
+  // Full device-pair replica per worker, as in DuetServer: execution never
+  // contends, and with noise off the outputs are bit-identical whichever
+  // worker (and whatever coalescing) served the request.
+  DevicePair devices =
+      make_default_device_pair(registry_.options().engine.seed ^
+                               0x5EEDFACEull);
+  SimExecutor executor(devices);
+
+  {
+    std::unique_lock<std::mutex> lock(pause_mutex_);
+    pause_cv_.wait(lock, [this] { return !paused_; });
+  }
+
+  while (true) {
+    PickResult picked;
+    std::vector<Pending> batch_pending;
+    std::vector<Pending> shed_pending;
+    double pickup_s = 0.0;
+    {
+      std::unique_lock<std::mutex> lock(queue_mutex_);
+      queue_cv_.wait(lock, [this] { return draining_ || !policy_.empty(); });
+      if (policy_.empty()) {
+        if (draining_) return;
+        continue;
+      }
+      pickup_s = clock_.elapsed();
+      picked = policy_.pick(pickup_s, options_.max_batch);
+      shed_pending.reserve(picked.shed.size());
+      for (const FleetRequest& r : picked.shed) {
+        shed_pending.push_back(take_pending(r.id));
+      }
+      batch_pending.reserve(picked.batch.size());
+      for (const FleetRequest& r : picked.batch) {
+        batch_pending.push_back(take_pending(r.id));
+      }
+    }
+
+    for (Pending& p : shed_pending) {
+      const size_t t = static_cast<size_t>(p.tenant);
+      counters_[t].shed.fetch_add(1, std::memory_order_relaxed);
+      telemetry::counter("fleet.shed." + options_.tenants[t].name).add(1);
+      FlightRecorder::instance().record(
+          FlightKind::kShed, p.trace_id,
+          static_cast<uint64_t>((pickup_s - p.arrival_s) * 1e6));
+      FleetResponse response;
+      response.status = RequestStatus::kShed;
+      response.wall_wait_s = pickup_s - p.arrival_s;
+      resolve(p, std::move(response));
+    }
+    if (picked.batch.empty()) continue;
+
+    const int model = picked.batch.front().model;
+    const int64_t batch = static_cast<int64_t>(picked.batch.size());
+    ResidentModel& resident = registry_.model(model);
+    const std::shared_ptr<const ExecutionPlan> plan =
+        resident.plan_for_batch(batch);
+    const size_t bucket = resident.bucket_of(batch);
+
+    std::vector<const std::map<NodeId, Tensor>*> feed_ptrs;
+    feed_ptrs.reserve(batch_pending.size());
+    for (const Pending& p : batch_pending) feed_ptrs.push_back(&p.feeds);
+    const std::map<NodeId, Tensor> stacked = stack_feeds(feed_ptrs);
+
+    for (const Pending& p : batch_pending) {
+      FlightRecorder::instance().record(
+          FlightKind::kPickup, p.trace_id,
+          static_cast<uint64_t>((pickup_s - p.arrival_s) * 1e6));
+    }
+    if (batch > 1) {
+      FlightRecorder::instance().record(FlightKind::kCoalesce,
+                                        batch_pending.front().trace_id,
+                                        static_cast<uint64_t>(batch),
+                                        static_cast<uint64_t>(model));
+    }
+
+    ExecutionResult result;
+    {
+      telemetry::TraceScope trace(batch_pending.front().trace_id);
+      result = executor.run(*plan, stacked, options_.with_noise);
+    }
+    std::vector<std::vector<Tensor>> rows =
+        split_outputs(result.outputs, batch_pending.size());
+
+    {
+      std::lock_guard<std::mutex> lock(queue_mutex_);
+      for (const FleetRequest& r : picked.batch) {
+        policy_.charge(r.tenant,
+                       result.latency_s / static_cast<double>(batch));
+      }
+    }
+
+    const double done_s = clock_.elapsed();
+    telemetry::histogram("fleet.batch_size")
+        .observe(static_cast<double>(batch));
+    {
+      std::lock_guard<std::mutex> lock(stats_mutex_);
+      ++batches_;
+      served_ += static_cast<uint64_t>(batch);
+      if (batch > 1) coalesced_ += static_cast<uint64_t>(batch);
+      ++batch_histogram_[batch];
+      for (const Pending& p : batch_pending) {
+        modeled_latency_.add(result.latency_s);
+        wall_wait_.add(pickup_s - p.arrival_s);
+      }
+    }
+    for (size_t i = 0; i < batch_pending.size(); ++i) {
+      Pending& p = batch_pending[i];
+      const size_t t = static_cast<size_t>(p.tenant);
+      counters_[t].completed.fetch_add(1, std::memory_order_relaxed);
+      if (p.deadline_s > 0.0 && done_s > p.deadline_s) {
+        counters_[t].completed_late.fetch_add(1, std::memory_order_relaxed);
+      }
+      telemetry::counter("fleet.completed." + options_.tenants[t].name)
+          .add(1);
+      FlightRecorder::instance().record(
+          FlightKind::kComplete, p.trace_id, static_cast<uint64_t>(batch),
+          static_cast<uint64_t>((done_s - p.arrival_s) * 1e6));
+      FleetResponse response;
+      response.status = RequestStatus::kOk;
+      response.outputs = std::move(rows[i]);
+      response.modeled_latency_s = result.latency_s;
+      response.batch = batch;
+      response.bucket = bucket;
+      response.wall_wait_s = pickup_s - p.arrival_s;
+      resolve(p, std::move(response));
+    }
+  }
+}
+
+FleetServerStats FleetServer::stats() const {
+  FleetServerStats s;
+  AdmissionCounters total;
+  for (size_t t = 0; t < options_.tenants.size(); ++t) {
+    FleetTenantStats ts;
+    ts.name = options_.tenants[t].name;
+    ts.admission = counters_[t].snapshot();
+    total.offered += ts.admission.offered;
+    total.accepted += ts.admission.accepted;
+    total.rejected += ts.admission.rejected;
+    total.shed += ts.admission.shed;
+    total.completed += ts.admission.completed;
+    total.completed_late += ts.admission.completed_late;
+    s.tenants.push_back(std::move(ts));
+  }
+  s.total = total.snapshot();
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    s.batches = batches_;
+    s.coalesced_requests = coalesced_;
+    s.mean_batch = batches_ > 0 ? static_cast<double>(served_) /
+                                      static_cast<double>(batches_)
+                                : 0.0;
+    s.batch_histogram = batch_histogram_;
+    s.modeled_latency = modeled_latency_.summarize();
+    s.wall_wait = wall_wait_.summarize();
+  }
+  {
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+    s.max_queue_depth = max_queue_depth_;
+  }
+  return s;
+}
+
+}  // namespace duet::serve

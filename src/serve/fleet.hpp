@@ -1,0 +1,153 @@
+#pragma once
+
+// FleetServer — the multi-tenant, multi-model serving frontend (ISSUE 10
+// tentpole). Where DuetServer is one model × N replica workers over a FIFO
+// queue, FleetServer fronts a ModelRegistry of resident models with the
+// WFQ + EDF + coalescing pickup policy of serve/fleet_policy.hpp:
+//
+//   * submit() names a registered model and a tenant class; admission is
+//     reject-on-full exactly as before, but counted per tenant — the
+//     conservation identity offered = completed + shed + rejected holds for
+//     every tenant class separately (tested).
+//   * workers pick with the shared FleetQueue policy: the least-served
+//     backlogged tenant's most urgent request fixes the model, then up to
+//     max_batch compatible requests coalesce into ONE batched execution
+//     under the batch's bucket plan (registry.plan_for_batch). Outputs are
+//     split back per request — bit-identical to the requests having run
+//     alone (the batching correctness gate).
+//   * every served request bills its own tenant virtual time, so a
+//     coalesced batch spanning tenants charges each fairly.
+//
+// The same policy object drives the virtual-time twin simulate_fleet
+// (serve/simulator.hpp); CI's tail-latency and fairness gates run there.
+
+#include <future>
+#include <map>
+#include <memory>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "common/timer.hpp"
+#include "serve/fleet_policy.hpp"
+#include "serve/model_registry.hpp"
+#include "serve/server.hpp"
+#include "serve/simulator.hpp"
+
+namespace duet::serve {
+
+struct FleetOptions {
+  int workers = 2;
+  size_t queue_capacity = 128;
+  // Tenant classes; empty = one default tenant (weight 1, no deadline).
+  std::vector<TenantClass> tenants;
+  // Coalescing cap per pickup; clipped to the registry's max_batch.
+  int64_t max_batch = 8;
+  bool with_noise = false;
+  // Workers start blocked before their first pick until resume() — same
+  // deterministic-test affordance as ServeOptions::start_paused.
+  bool start_paused = false;
+  uint64_t seed = 42;
+};
+
+struct FleetResponse {
+  RequestStatus status = RequestStatus::kRejected;
+  std::vector<Tensor> outputs;     // this request's rows only; kOk only
+  double modeled_latency_s = 0.0;  // makespan of the (batched) execution
+  int64_t batch = 0;               // coalesced size of that execution
+  size_t bucket = 0;               // bucket whose plan served it
+  double wall_wait_s = 0.0;
+  double wall_latency_s = 0.0;
+};
+
+struct FleetServerStats {
+  std::vector<FleetTenantStats> tenants;
+  AdmissionCounters::Snapshot total;
+  uint64_t batches = 0;
+  uint64_t coalesced_requests = 0;
+  double mean_batch = 0.0;
+  // Executions by batch size — the coalescing histogram.
+  std::map<int64_t, uint64_t> batch_histogram;
+  SummaryStats modeled_latency;  // per completed request
+  SummaryStats wall_wait;
+  size_t max_queue_depth = 0;
+};
+
+class FleetServer {
+ public:
+  // The registry must outlive the server (it is the shared substrate many
+  // servers / benches may front).
+  FleetServer(ModelRegistry& registry, FleetOptions options = {});
+  ~FleetServer();
+
+  FleetServer(const FleetServer&) = delete;
+  FleetServer& operator=(const FleetServer&) = delete;
+
+  const FleetOptions& options() const { return options_; }
+  ModelRegistry& registry() { return registry_; }
+
+  // Thread-safe. `model` is a registry index, `tenant` a class index.
+  // `deadline_s` < 0 applies the tenant class default; 0 disables.
+  std::future<FleetResponse> submit(int model, int tenant,
+                                    std::map<NodeId, Tensor> feeds,
+                                    double deadline_s = -1.0);
+
+  void resume();
+  void drain();
+  void shutdown();
+
+  FleetServerStats stats() const;
+
+ private:
+  struct Pending {
+    uint64_t trace_id = 0;
+    int tenant = 0;
+    double arrival_s = 0.0;
+    double deadline_s = 0.0;  // absolute
+    std::map<NodeId, Tensor> feeds;
+    std::promise<FleetResponse> promise;
+  };
+
+  void worker_loop();
+  // Resolves + inflight bookkeeping. Caller must not hold queue_mutex_.
+  void resolve(Pending& pending, FleetResponse&& response);
+  Pending take_pending(uint64_t id);
+
+  ModelRegistry& registry_;
+  FleetOptions options_;
+  WallTimer clock_;
+  std::vector<std::thread> workers_;
+
+  // Pause gate (start_paused).
+  std::mutex pause_mutex_;
+  std::condition_variable pause_cv_;
+  bool paused_ = false;
+
+  // Policy queue + request payloads + lifecycle, one lock: pickups must see
+  // a consistent queue/payload pair.
+  mutable std::mutex queue_mutex_;
+  std::condition_variable queue_cv_;
+  FleetQueue policy_;
+  std::unordered_map<uint64_t, Pending> pending_;
+  bool draining_ = false;
+  uint64_t inflight_ = 0;
+  size_t max_queue_depth_ = 0;
+  std::condition_variable inflight_cv_;
+
+  // Per-tenant admission counters (atomics; index = tenant class).
+  std::vector<AdmissionCounters> counters_;
+
+  mutable std::mutex stats_mutex_;
+  LatencyRecorder modeled_latency_;
+  LatencyRecorder wall_wait_;
+  uint64_t batches_ = 0;
+  uint64_t served_ = 0;
+  uint64_t coalesced_ = 0;
+  std::map<int64_t, uint64_t> batch_histogram_;
+
+  std::atomic<uint64_t> next_id_{1};
+  std::atomic<bool> shut_down_{false};
+};
+
+}  // namespace duet::serve

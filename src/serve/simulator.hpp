@@ -12,10 +12,12 @@
 // validate against.
 
 #include <functional>
+#include <string>
 #include <vector>
 
 #include "common/stats.hpp"
 #include "serve/admission.hpp"
+#include "serve/fleet_policy.hpp"
 
 namespace duet::serve {
 
@@ -43,5 +45,56 @@ struct ServeStats {
 ServeStats simulate_serving(const std::vector<double>& arrivals,
                             const std::function<double(size_t)>& service_s,
                             const ServeSimConfig& config);
+
+// --- Multi-tenant batched twin (ISSUE 10) ----------------------------------
+//
+// simulate_fleet extends the model above with the FleetServer's pickup
+// policy — weighted fair queueing across tenants, EDF within, same-model
+// coalescing up to max_batch (serve/fleet_policy.hpp, shared verbatim with
+// the real threads). Service time is per (model, batch), which is exactly
+// what makes the plan-per-bucket efficacy CI gate machine-independent: feed
+// it ResidentModel::modeled_service_s for the bucketed run and
+// baseline_service_s for the single-plan baseline and compare.
+
+struct FleetSimRequest {
+  double arrival_s = 0.0;  // ascending across the trace
+  int tenant = 0;
+  int model = 0;
+};
+
+struct FleetSimConfig {
+  int workers = 1;
+  size_t queue_capacity = 128;
+  // Tenant classes (weights + per-class relative deadlines). Empty = one
+  // default tenant, no deadline.
+  std::vector<TenantClass> tenants;
+  int64_t max_batch = 8;
+};
+
+struct FleetTenantStats {
+  std::string name;
+  AdmissionCounters::Snapshot admission;
+};
+
+struct FleetSimStats {
+  // Per-tenant conservation holds classwise:
+  // offered = completed + shed + rejected.
+  std::vector<FleetTenantStats> tenants;
+  AdmissionCounters::Snapshot total;
+  double makespan_s = 0.0;
+  double throughput_qps = 0.0;
+  SummaryStats sojourn;
+  SummaryStats queue_wait;
+  double worker_busy_frac = 0.0;
+  size_t max_queue_depth = 0;
+  uint64_t batches = 0;             // executions launched
+  uint64_t coalesced_requests = 0;  // requests served in batches of > 1
+  double mean_batch = 0.0;          // completed requests / batches
+};
+
+FleetSimStats simulate_fleet(
+    const std::vector<FleetSimRequest>& requests,
+    const std::function<double(int model, int64_t batch)>& service_s,
+    const FleetSimConfig& config);
 
 }  // namespace duet::serve

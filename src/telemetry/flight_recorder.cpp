@@ -74,6 +74,8 @@ const char* flight_kind_name(FlightKind kind) {
       return "swap";
     case FlightKind::kComplete:
       return "complete";
+    case FlightKind::kCoalesce:
+      return "coalesce";
   }
   return "unknown";
 }

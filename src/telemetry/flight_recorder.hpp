@@ -48,8 +48,9 @@ enum class FlightKind : uint8_t {
   kTransfer,      // one cross-device transfer
   kSwap,          // plan swap (recalibration)
   kComplete,      // response resolved back to the caller
+  kCoalesce,      // batched pickup merged multiple requests (fleet serving)
 };
-inline constexpr int kNumFlightKinds = 8;
+inline constexpr int kNumFlightKinds = 9;
 
 const char* flight_kind_name(FlightKind kind);
 
@@ -60,6 +61,7 @@ const char* flight_kind_name(FlightKind kind);
 //   kTransfer:        arg0 = subgraph index, arg1 = bytes
 //   kSwap:            arg0 = new plan version
 //   kComplete:        arg0 = plan version, arg1 = latency in microseconds
+//   kCoalesce:        arg0 = batch size, arg1 = registry model index
 struct FlightEvent {
   double t_us = 0.0;
   uint64_t trace_id = 0;

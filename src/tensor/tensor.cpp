@@ -43,6 +43,55 @@ Tensor Tensor::reshaped(Shape new_shape) const {
   return out;
 }
 
+Tensor Tensor::concat0(const std::vector<Tensor>& parts) {
+  DUET_CHECK(!parts.empty()) << "concat0 of zero tensors";
+  const Tensor& first = parts.front();
+  DUET_CHECK(first.defined());
+  DUET_CHECK_GE(first.shape().rank(), 1u) << "concat0 needs rank >= 1";
+
+  int64_t rows = 0;
+  for (const Tensor& t : parts) {
+    DUET_CHECK(t.defined());
+    DUET_CHECK(t.dtype() == first.dtype()) << "concat0 dtype mismatch";
+    DUET_CHECK_EQ(t.shape().rank(), first.shape().rank())
+        << "concat0 rank mismatch";
+    for (size_t d = 1; d < first.shape().rank(); ++d) {
+      DUET_CHECK_EQ(t.shape()[d], first.shape()[d])
+          << "concat0 trailing-dim mismatch at dim " << d;
+    }
+    rows += t.shape()[0];
+  }
+
+  Tensor out(first.shape().with_dim(0, rows), first.dtype());
+  uint8_t* dst = static_cast<uint8_t*>(out.raw_data());
+  for (const Tensor& t : parts) {
+    if (t.byte_size() > 0) {
+      std::memcpy(dst, t.raw_data(), t.byte_size());
+      dst += t.byte_size();
+    }
+  }
+  return out;
+}
+
+Tensor Tensor::slice0(int64_t lo, int64_t count) const {
+  DUET_CHECK(defined());
+  DUET_CHECK_GE(shape_.rank(), 1u) << "slice0 needs rank >= 1";
+  DUET_CHECK_GE(lo, 0);
+  DUET_CHECK_GE(count, 0);
+  DUET_CHECK_LE(lo + count, shape_[0]) << "slice0 out of range";
+
+  Tensor out(shape_.with_dim(0, count), dtype_);
+  const size_t row_bytes =
+      shape_[0] > 0 ? byte_size() / static_cast<size_t>(shape_[0]) : 0;
+  if (out.byte_size() > 0) {
+    std::memcpy(out.raw_data(),
+                static_cast<const uint8_t*>(raw_data()) +
+                    static_cast<size_t>(lo) * row_bytes,
+                out.byte_size());
+  }
+  return out;
+}
+
 Tensor Tensor::zeros(Shape shape, DType dtype) {
   Tensor t(std::move(shape), dtype);
   if (t.byte_size() > 0) std::memset(t.raw_data(), 0, t.byte_size());

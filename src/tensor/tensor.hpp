@@ -60,6 +60,17 @@ class Tensor {
   // Aliases the same buffer under a different shape (numel must match).
   Tensor reshaped(Shape new_shape) const;
 
+  // Concatenates along dim 0 — the request-coalescing primitive: B batch-1
+  // feed tensors stack into one batch-B tensor. All parts must share dtype
+  // and trailing dims; rank-0 parts are rejected. Row-major layout makes
+  // this a straight buffer concatenation, so stacked rows are bytewise the
+  // originals (the serving batching gate memcmps on this).
+  static Tensor concat0(const std::vector<Tensor>& parts);
+
+  // Copies rows [lo, lo+count) along dim 0 into a fresh tensor — the
+  // inverse of concat0, splitting a batched output back per request.
+  Tensor slice0(int64_t lo, int64_t count) const;
+
   // --- factories -----------------------------------------------------------
   static Tensor zeros(Shape shape, DType dtype = DType::kFloat32);
   static Tensor full(Shape shape, float value);

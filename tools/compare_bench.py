@@ -1,0 +1,174 @@
+#!/usr/bin/env python3
+"""Perf-trajectory gate: compare BENCH_*.json outputs against committed
+baselines (bench/baselines/) and fail on any metric drifting more than the
+tolerance.
+
+The repo's benchmark convention makes this workable: headline numbers are
+virtual-time (modeled) quantities, deterministic given the code and seeds,
+so any drift is a code change, not machine noise. Wall-clock metrics some
+benches also record (ccache-style microbenchmarks, real-threaded legs) are
+machine-dependent and are excluded from comparison by key pattern plus a
+small per-file skip list.
+
+Usage:
+  compare_bench.py --baselines bench/baselines --current build/bench
+                   [--tolerance 0.10] [--summary summary.md]
+  compare_bench.py --self-test --baselines bench/baselines
+
+Exit codes: 0 all metrics within tolerance, 1 regression (or self-test
+failure), 2 usage / missing files.
+"""
+
+import argparse
+import copy
+import json
+import os
+import re
+import sys
+
+# Machine-dependent metrics, skipped everywhere: wall-clock seconds,
+# nanosecond/microsecond timers, and throughput of the host's own CPU.
+SKIP_KEY_RE = re.compile(r"(wall|_ns\b|_ns_|_us\b|_us_|evals_per_sec|"
+                         r"overhead_per_request)")
+
+# Per-file extra skips (dotted paths, arrays indexed numerically): metrics
+# derived from wall clocks whose names do not say so.
+EXTRA_SKIP = {
+    "BENCH_4.json": {"speedup", "cache.speedup"},
+    "BENCH_8.json": {"record_ns_on", "record_ns_off"},
+}
+
+
+def numeric_leaves(doc, prefix=""):
+    """Yields (dotted_path, value) for every numeric scalar in doc."""
+    if isinstance(doc, dict):
+        for key, value in doc.items():
+            path = f"{prefix}.{key}" if prefix else key
+            yield from numeric_leaves(value, path)
+    elif isinstance(doc, list):
+        for i, value in enumerate(doc):
+            yield from numeric_leaves(value, f"{prefix}[{i}]")
+    elif isinstance(doc, bool):
+        return
+    elif isinstance(doc, (int, float)):
+        yield prefix, float(doc)
+
+
+def skipped(path, extra_skip):
+    bare = re.sub(r"\[\d+\]", "", path)
+    return bool(SKIP_KEY_RE.search(path)) or bare in extra_skip
+
+
+def compare_file(name, base_doc, cur_doc, tolerance):
+    """Returns (rows, regressions) where rows are (path, base, cur, drift)."""
+    extra_skip = EXTRA_SKIP.get(name, set())
+    base = {p: v for p, v in numeric_leaves(base_doc)
+            if not skipped(p, extra_skip)}
+    cur = dict(numeric_leaves(cur_doc))
+    rows, regressions = [], []
+    for path, base_v in sorted(base.items()):
+        if path not in cur:
+            regressions.append((path, base_v, None, None))
+            continue
+        cur_v = cur[path]
+        denom = max(abs(base_v), 1e-12)
+        drift = abs(cur_v - base_v) / denom
+        rows.append((path, base_v, cur_v, drift))
+        if drift > tolerance:
+            regressions.append((path, base_v, cur_v, drift))
+    return rows, regressions
+
+
+def self_test(baselines_dir, tolerance):
+    """The gate must trip on a seeded perturbation of a real baseline."""
+    for name in sorted(os.listdir(baselines_dir)):
+        if not name.endswith(".json"):
+            continue
+        with open(os.path.join(baselines_dir, name)) as f:
+            base_doc = json.load(f)
+        extra_skip = EXTRA_SKIP.get(name, set())
+        comparable = [p for p, _ in numeric_leaves(base_doc)
+                      if not skipped(p, extra_skip)
+                      and abs(dict(numeric_leaves(base_doc))[p]) > 1e-9]
+        if not comparable:
+            continue
+        perturbed = copy.deepcopy(base_doc)
+        target = comparable[0]
+
+        def scale(doc, path, factor):
+            tokens = re.findall(r"([^.\[\]]+)|\[(\d+)\]", path)
+            node = doc
+            keys = [k if k else int(i) for k, i in tokens]
+            for key in keys[:-1]:
+                node = node[key]
+            node[keys[-1]] = node[keys[-1]] * factor
+
+        scale(perturbed, target, 1.0 + 2.0 * tolerance)
+        _, regressions = compare_file(name, base_doc, perturbed, tolerance)
+        if not regressions:
+            print(f"SELF-TEST FAILED: {name}: perturbing {target} by "
+                  f"{2 * tolerance:.0%} was not flagged")
+            return 1
+        print(f"self-test: {name}: perturbed {target} -> flagged "
+              f"({regressions[0][3]:.1%} drift)")
+    print("self-test passed: the regression gate trips on perturbation")
+    return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baselines", required=True)
+    parser.add_argument("--current")
+    parser.add_argument("--tolerance", type=float, default=0.10)
+    parser.add_argument("--summary", help="append a markdown table here")
+    parser.add_argument("--self-test", action="store_true")
+    args = parser.parse_args()
+
+    if args.self_test:
+        sys.exit(self_test(args.baselines, args.tolerance))
+    if not args.current:
+        parser.error("--current is required unless --self-test")
+
+    failures = 0
+    summary_lines = ["| bench | metrics | worst drift | status |",
+                     "| --- | --- | --- | --- |"]
+    names = sorted(n for n in os.listdir(args.baselines)
+                   if n.endswith(".json"))
+    if not names:
+        print(f"no baselines in {args.baselines}", file=sys.stderr)
+        sys.exit(2)
+    for name in names:
+        cur_path = os.path.join(args.current, name)
+        if not os.path.exists(cur_path):
+            print(f"{name}: MISSING from {args.current}")
+            summary_lines.append(f"| {name} | - | - | missing |")
+            failures += 1
+            continue
+        with open(os.path.join(args.baselines, name)) as f:
+            base_doc = json.load(f)
+        with open(cur_path) as f:
+            cur_doc = json.load(f)
+        rows, regressions = compare_file(name, base_doc, cur_doc,
+                                         args.tolerance)
+        worst = max((r[3] for r in rows if r[3] is not None), default=0.0)
+        status = "ok" if not regressions else "REGRESSION"
+        print(f"{name}: {len(rows)} metrics, worst drift {worst:.2%} "
+              f"[{status}]")
+        for path, base_v, cur_v, drift in regressions:
+            if cur_v is None:
+                print(f"  MISSING METRIC {path} (baseline {base_v:g})")
+            else:
+                print(f"  {path}: {base_v:g} -> {cur_v:g} "
+                      f"({drift:+.1%} vs {args.tolerance:.0%} tolerance)")
+        summary_lines.append(
+            f"| {name} | {len(rows)} | {worst:.2%} | {status} |")
+        failures += len(regressions)
+
+    if args.summary:
+        with open(args.summary, "a") as f:
+            f.write("\n".join(summary_lines) + "\n")
+    sys.exit(1 if failures else 0)
+
+
+if __name__ == "__main__":
+    main()

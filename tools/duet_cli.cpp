@@ -109,10 +109,20 @@
 //   --requests <N>       serve-bench: trace length per simulated leg
 //                        flight: healthy-phase request count (default 24)
 //   --metrics-out <path> serve-bench: write a Prometheus text exposition
+//   --models <a,b,..>    serve-bench: comma-separated resident models; engages
+//                        the multi-tenant fleet mode (one ModelRegistry, a
+//                        FleetServer leg, bucketed-vs-baseline virtual legs)
+//   --tenants <N>        serve-bench fleet: tenant classes (default 3:
+//                        gold/silver/bronze, WFQ weights 4/2/1)
+//   --max-batch <B>      serve-bench fleet: coalescing cap (default 8)
+//   --verify-batching    serve-bench: CI determinism gate — a coalesced
+//                        batch must be bit-identical to the same requests
+//                        run alone; exits non-zero on any divergence
 //   --storm <N>          flight: storm-phase request count (default 8)
 //   --dump <dir>         flight: dump root (default flight-dump; per-model
 //                        subdirectories)
 
+#include <algorithm>
 #include <cctype>
 #include <cinttypes>
 #include <optional>
@@ -146,6 +156,9 @@
 #include "models/model_zoo.hpp"
 #include "relay/relay.hpp"
 #include "relay/serialize.hpp"
+#include "serve/batching.hpp"
+#include "serve/fleet.hpp"
+#include "serve/model_registry.hpp"
 #include "serve/server.hpp"
 #include "serve/simulator.hpp"
 #include "serve/workload.hpp"
@@ -185,6 +198,8 @@ namespace {
                "          [--workers <N>] [--deadline-ms <D>] [--requests <N>]\n"
                "          [--json] [--out <dir>] [--metrics-out <path>]\n"
                "          [--scheduler <name>]\n"
+               "          [--models <a,b,..>] [--tenants <N>] [--max-batch <B>]\n"
+               "          [--verify-batching]\n"
                "       %s flight <model>... | --all [--dump <dir>]\n"
                "          [--workers <N>] [--requests <N>] [--storm <N>]\n"
                "          [--seed <S>] [--json] [--scheduler <name>]\n"
@@ -225,6 +240,47 @@ double parse_double(const char* argv0, const std::string& flag,
   std::fprintf(stderr, "invalid number for %s: \"%s\"\n", flag.c_str(),
                text.c_str());
   usage(argv0);
+}
+
+// The one model-list resolver behind every "<model>... | --all" subcommand
+// (and serve-bench's comma-separated --models): the whole zoo for --all,
+// then validation of the final list. An empty list or a name the zoo does
+// not know is a usage error — exit 2 with the valid names printed — never a
+// mid-run throw that exits 1 and looks like a runtime failure to CI.
+void append_all_models(std::vector<std::string>* names) {
+  for (const std::string& name : duet::models::zoo_model_names()) {
+    names->push_back(name);
+  }
+}
+
+void append_csv_models(const std::string& csv, std::vector<std::string>* names) {
+  std::string token;
+  std::istringstream in(csv);
+  while (std::getline(in, token, ',')) {
+    if (!token.empty()) names->push_back(token);
+  }
+}
+
+std::vector<std::string> resolve_model_list(const char* argv0,
+                                            std::vector<std::string> names,
+                                            bool allow_empty = false) {
+  const std::vector<std::string>& zoo = duet::models::zoo_model_names();
+  if (names.empty()) {
+    if (allow_empty) return names;
+    std::fprintf(stderr, "no models named (pass <model>... or --all)\n");
+    usage(argv0);
+  }
+  for (const std::string& name : names) {
+    if (std::find(zoo.begin(), zoo.end(), name) == zoo.end()) {
+      std::fprintf(stderr, "unknown model: %s\nknown models:", name.c_str());
+      for (const std::string& known : zoo) {
+        std::fprintf(stderr, " %s", known.c_str());
+      }
+      std::fprintf(stderr, "\n");
+      usage(argv0);
+    }
+  }
+  return names;
 }
 
 // Lints one model through the whole pipeline. Returns true when every stage
@@ -1029,6 +1085,302 @@ bool serve_bench_one(const std::string& label, duet::Graph model,
   return server_ok > 0 && trace_ok && metrics_ok;
 }
 
+// Multi-tenant fleet configuration for `serve-bench` (ISSUE 10): engaged by
+// --tenants / --max-batch / --models, it fronts a ModelRegistry with the
+// FleetServer instead of one DuetServer per model.
+struct FleetBenchConfig {
+  int workers = 2;
+  int tenants = 3;        // gold/silver/bronze by default
+  int64_t max_batch = 8;  // coalescing cap
+  double qps = 0.0;       // virtual legs; 0 = 2x the pool's B=1 saturation
+  double deadline_ms = 0.0;  // per-tenant default deadline; 0 = none
+  int requests = 256;        // per virtual leg
+  int server_requests = 32;  // real-threaded leg
+  uint64_t seed = 42;
+  bool json = false;
+  std::string scheduler = "greedy-correction";
+};
+
+// {"name":...,"offered":...,...} for one tenant's admission snapshot.
+std::string fleet_tenant_json(const duet::serve::FleetTenantStats& t) {
+  using duet::telemetry::json_escape;
+  using duet::telemetry::json_number;
+  std::string out = "{";
+  out += "\"name\":\"" + json_escape(t.name) + "\",";
+  out += "\"offered\":" + std::to_string(t.admission.offered) + ",";
+  out += "\"completed\":" + std::to_string(t.admission.completed) + ",";
+  out += "\"shed\":" + std::to_string(t.admission.shed) + ",";
+  out += "\"rejected\":" + std::to_string(t.admission.rejected) + ",";
+  out += "\"completed_late\":" + std::to_string(t.admission.completed_late) + ",";
+  out += "\"shed_rate\":" + json_number(t.admission.shed_rate()) + "}";
+  return out;
+}
+
+std::string fleet_sim_json(double offered_qps,
+                           const duet::serve::FleetSimStats& s) {
+  using duet::telemetry::json_number;
+  std::string out = "{";
+  out += "\"offered_qps\":" + json_number(offered_qps) + ",";
+  out += "\"throughput_qps\":" + json_number(s.throughput_qps) + ",";
+  out += "\"p50_s\":" + json_number(s.sojourn.p50) + ",";
+  out += "\"p99_s\":" + json_number(s.sojourn.p99) + ",";
+  out += "\"mean_batch\":" + json_number(s.mean_batch) + ",";
+  out += "\"batches\":" + std::to_string(s.batches) + ",";
+  out += "\"coalesced_requests\":" + std::to_string(s.coalesced_requests) + ",";
+  out += "\"completed\":" + std::to_string(s.total.completed) + ",";
+  out += "\"shed\":" + std::to_string(s.total.shed) + ",";
+  out += "\"rejected\":" + std::to_string(s.total.rejected) + ",";
+  out += "\"tenants\":[";
+  for (size_t i = 0; i < s.tenants.size(); ++i) {
+    if (i > 0) out += ",";
+    out += fleet_tenant_json(s.tenants[i]);
+  }
+  out += "]}";
+  return out;
+}
+
+// The multi-tenant serving bench: every named model resident in one
+// ModelRegistry (shared PR-4 caches), a real-threaded FleetServer leg, then
+// two virtual-time legs over the same arrival trace — plans per batch
+// bucket vs the single-plan baseline — so the plan-per-bucket payoff is a
+// printed ratio.
+bool fleet_bench(const std::vector<std::string>& names,
+                 const FleetBenchConfig& cfg) {
+  using namespace duet;
+
+  serve::ModelRegistryOptions ropts;
+  ropts.max_batch = cfg.max_batch;
+  ropts.engine.scheduler = cfg.scheduler;
+  ropts.engine.seed = cfg.seed;
+  serve::ModelRegistry registry(ropts);
+  for (const std::string& name : names) {
+    registry.register_model(name, models::zoo_batched_factory(name));
+  }
+  const int num_models = static_cast<int>(registry.size());
+  const std::vector<serve::TenantClass> tenants =
+      serve::default_tenant_classes(
+          cfg.tenants, cfg.deadline_ms > 0.0 ? cfg.deadline_ms / 1e3 : 0.0);
+
+  // Real-threaded leg: a round-robin burst across models and tenants.
+  serve::FleetOptions fopts;
+  fopts.workers = cfg.workers;
+  fopts.queue_capacity =
+      static_cast<size_t>(std::max(cfg.server_requests, 16));
+  fopts.tenants = tenants;
+  fopts.max_batch = cfg.max_batch;
+  serve::FleetServer server(registry, fopts);
+  Rng feed_rng(3);
+  std::vector<std::map<NodeId, Tensor>> feeds;
+  for (int m = 0; m < num_models; ++m) {
+    feeds.push_back(
+        models::make_random_feeds(registry.model(m).engine().model(), feed_rng));
+  }
+  std::vector<std::future<serve::FleetResponse>> futures;
+  for (int i = 0; i < cfg.server_requests; ++i) {
+    futures.push_back(server.submit(i % num_models, i % cfg.tenants,
+                                    feeds[static_cast<size_t>(i % num_models)]));
+  }
+  size_t server_ok = 0;
+  for (auto& f : futures) {
+    if (f.get().status == serve::RequestStatus::kOk) ++server_ok;
+  }
+  server.drain();
+  const serve::FleetServerStats sstats = server.stats();
+  if (server_ok == 0) {
+    std::printf("FAIL (no fleet request completed)\n");
+    return false;
+  }
+
+  // Virtual-time legs. Offered load defaults to 2x the pool's batch-1
+  // saturation — the batch-heavy regime where coalescing and bucket plans
+  // are supposed to pay.
+  double mean_service1 = 0.0;
+  for (int m = 0; m < num_models; ++m) {
+    mean_service1 += registry.model(m).modeled_service_s(1);
+  }
+  mean_service1 /= static_cast<double>(num_models);
+  const double saturation_qps = static_cast<double>(cfg.workers) / mean_service1;
+  const double offered_qps = cfg.qps > 0.0 ? cfg.qps : 2.0 * saturation_qps;
+
+  Rng trace_rng(cfg.seed + 11);
+  const std::vector<double> arrivals =
+      serve::poisson_trace(offered_qps, cfg.requests, trace_rng);
+  std::vector<serve::FleetSimRequest> sim_requests;
+  sim_requests.reserve(arrivals.size());
+  for (size_t i = 0; i < arrivals.size(); ++i) {
+    serve::FleetSimRequest r;
+    r.arrival_s = arrivals[i];
+    r.tenant = static_cast<int>(i) % cfg.tenants;
+    r.model = static_cast<int>(i) % num_models;
+    sim_requests.push_back(r);
+  }
+  serve::FleetSimConfig sim;
+  sim.workers = cfg.workers;
+  sim.queue_capacity = 512;
+  sim.tenants = tenants;
+  sim.max_batch = cfg.max_batch;
+  const auto bucketed_service = [&registry](int model, int64_t batch) {
+    return registry.model(model).modeled_service_s(batch);
+  };
+  const auto baseline_service = [&registry](int model, int64_t batch) {
+    return registry.model(model).baseline_service_s(batch);
+  };
+  const serve::FleetSimStats bucketed =
+      serve::simulate_fleet(sim_requests, bucketed_service, sim);
+  const serve::FleetSimStats baseline =
+      serve::simulate_fleet(sim_requests, baseline_service, sim);
+  const double throughput_ratio =
+      baseline.throughput_qps > 0.0
+          ? bucketed.throughput_qps / baseline.throughput_qps
+          : 0.0;
+  const double p99_ratio = baseline.sojourn.p99 > 0.0
+                               ? bucketed.sojourn.p99 / baseline.sojourn.p99
+                               : 0.0;
+
+  const serve::RegistryCacheStats& cache = registry.cache_stats();
+  if (cfg.json) {
+    using telemetry::json_escape;
+    using telemetry::json_number;
+    std::string doc = "{\"models\":[";
+    for (size_t m = 0; m < registry.size(); ++m) {
+      if (m > 0) doc += ",";
+      serve::ResidentModel& rm = registry.model(static_cast<int>(m));
+      doc += "{\"name\":\"" + json_escape(rm.name()) + "\",";
+      doc += "\"buckets\":\"" + json_escape(buckets_to_string(rm.buckets())) +
+             "\",";
+      doc += "\"service_b1_s\":" + json_number(rm.modeled_service_s(1)) + "}";
+    }
+    doc += "],";
+    doc += "\"tenants\":" + std::to_string(cfg.tenants) + ",";
+    doc += "\"workers\":" + std::to_string(cfg.workers) + ",";
+    doc += "\"max_batch\":" + std::to_string(cfg.max_batch) + ",";
+    doc += "\"registry\":{";
+    doc += "\"compile_hits\":" + std::to_string(cache.compile_hits) + ",";
+    doc += "\"compile_misses\":" + std::to_string(cache.compile_misses) + ",";
+    doc += "\"profile_hits\":" + std::to_string(cache.profile_hits) + ",";
+    doc += "\"profile_misses\":" + std::to_string(cache.profile_misses) + ",";
+    doc +=
+        "\"compile_dedup_ratio\":" + json_number(cache.compile_dedup_ratio()) +
+        "},";
+    doc += "\"server\":{";
+    doc += "\"requests\":" + std::to_string(cfg.server_requests) + ",";
+    doc += "\"completed\":" + std::to_string(sstats.total.completed) + ",";
+    doc += "\"shed\":" + std::to_string(sstats.total.shed) + ",";
+    doc += "\"rejected\":" + std::to_string(sstats.total.rejected) + ",";
+    doc += "\"batches\":" + std::to_string(sstats.batches) + ",";
+    doc += "\"mean_batch\":" + json_number(sstats.mean_batch) + ",";
+    doc += "\"coalesced_requests\":" +
+           std::to_string(sstats.coalesced_requests) + ",";
+    doc += "\"tenants\":[";
+    for (size_t t = 0; t < sstats.tenants.size(); ++t) {
+      if (t > 0) doc += ",";
+      doc += fleet_tenant_json(sstats.tenants[t]);
+    }
+    doc += "]},";
+    doc += "\"virtual\":{";
+    doc += "\"bucketed\":" + fleet_sim_json(offered_qps, bucketed) + ",";
+    doc += "\"baseline\":" + fleet_sim_json(offered_qps, baseline) + ",";
+    doc += "\"throughput_ratio\":" + json_number(throughput_ratio) + ",";
+    doc += "\"p99_ratio\":" + json_number(p99_ratio) + "}";
+    doc += "}";
+    std::string err;
+    if (!telemetry::validate_json(doc, &err)) {
+      std::fprintf(stderr, "serve-bench fleet: invalid JSON: %s\n",
+                   err.c_str());
+      return false;
+    }
+    std::printf("%s\n", doc.c_str());
+  } else {
+    std::printf(
+        "fleet: %d models, %d tenants, %d workers, max batch %lld\n",
+        num_models, cfg.tenants, cfg.workers,
+        static_cast<long long>(cfg.max_batch));
+    std::printf("%s", cache.to_string().c_str());
+    std::printf(
+        "server leg: %zu/%d ok, %llu batches (mean %.2f), %llu coalesced\n",
+        server_ok, cfg.server_requests,
+        static_cast<unsigned long long>(sstats.batches), sstats.mean_batch,
+        static_cast<unsigned long long>(sstats.coalesced_requests));
+    for (const serve::FleetTenantStats& t : sstats.tenants) {
+      std::printf("  tenant %-8s offered %llu completed %llu shed %llu "
+                  "rejected %llu\n",
+                  t.name.c_str(),
+                  static_cast<unsigned long long>(t.admission.offered),
+                  static_cast<unsigned long long>(t.admission.completed),
+                  static_cast<unsigned long long>(t.admission.shed),
+                  static_cast<unsigned long long>(t.admission.rejected));
+    }
+    std::printf(
+        "virtual @ %.1f qps: bucketed %.1f qps p99 %.3f ms | baseline %.1f "
+        "qps p99 %.3f ms | %.2fx throughput, p99 ratio %.2f\n",
+        offered_qps, bucketed.throughput_qps, bucketed.sojourn.p99 * 1e3,
+        baseline.throughput_qps, baseline.sojourn.p99 * 1e3, throughput_ratio,
+        p99_ratio);
+  }
+  return true;
+}
+
+// The batching determinism gate behind `serve-bench --verify-batching`: a
+// coalesced batch-B execution must be byte-identical to the B requests run
+// alone. Placement never changes numerics, so an all-CPU plan keeps the
+// whole-zoo sweep cheap (tiny variants; the same property is asserted on
+// full-size plans by tests/test_fleet.cpp).
+bool verify_batching_one(const std::string& name, int64_t batch) {
+  using namespace duet;
+  Rng rng(17);
+  Graph g1 = models::build_by_name_batched(name, 1, /*tiny=*/true);
+  Graph gb = models::build_by_name_batched(name, batch, /*tiny=*/true);
+  DevicePair devices = make_default_device_pair(42);
+  const CompileOptions copts;
+  Partition p1 = partition_phased(g1);
+  Partition pb = partition_phased(gb);
+  if (p1.subgraphs.size() != pb.subgraphs.size()) {
+    std::printf("verify-batching %-12s FAIL (partition diverged: %zu vs %zu)\n",
+                name.c_str(), p1.subgraphs.size(), pb.subgraphs.size());
+    return false;
+  }
+  const Placement cpu(p1.subgraphs.size(), DeviceKind::kCpu);
+  const ExecutionPlan plan1 =
+      ExecutionPlan::build(g1, std::move(p1), cpu, devices, copts);
+  const ExecutionPlan planb =
+      ExecutionPlan::build(gb, std::move(pb), cpu, devices, copts);
+  SimExecutor executor(devices);
+
+  std::vector<std::map<NodeId, Tensor>> feeds;
+  std::vector<ExecutionResult> singles;
+  for (int64_t i = 0; i < batch; ++i) {
+    feeds.push_back(models::make_random_feeds(g1, rng));
+    singles.push_back(executor.run(plan1, feeds.back()));
+  }
+  std::vector<const std::map<NodeId, Tensor>*> ptrs;
+  for (const auto& f : feeds) ptrs.push_back(&f);
+  const ExecutionResult batched = executor.run(planb, serve::stack_feeds(ptrs));
+  const auto rows =
+      serve::split_outputs(batched.outputs, static_cast<size_t>(batch));
+  for (int64_t i = 0; i < batch; ++i) {
+    if (rows[static_cast<size_t>(i)].size() != singles[i].outputs.size()) {
+      std::printf("verify-batching %-12s FAIL (output arity)\n", name.c_str());
+      return false;
+    }
+    for (size_t o = 0; o < rows[static_cast<size_t>(i)].size(); ++o) {
+      const Tensor& got = rows[static_cast<size_t>(i)][o];
+      const Tensor& want = singles[i].outputs[o];
+      if (got.shape() != want.shape() ||
+          std::memcmp(got.raw_data(), want.raw_data(), got.byte_size()) != 0) {
+        std::printf(
+            "verify-batching %-12s FAIL (row %lld output %zu diverged)\n",
+            name.c_str(), static_cast<long long>(i), o);
+        return false;
+      }
+    }
+  }
+  std::printf("verify-batching %-12s OK (batch %lld == %lld singles, "
+              "bit-identical)\n",
+              name.c_str(), static_cast<long long>(batch),
+              static_cast<long long>(batch));
+  return true;
+}
+
 struct FlightConfig {
   std::string dump_dir = "flight-dump";  // per-model subdirectories
   int workers = 2;
@@ -1171,9 +1523,7 @@ int main(int argc, char** argv) {
         return argv[++i];
       };
       if (arg == "--all") {
-        for (const std::string& name : models::zoo_model_names()) {
-          names.push_back(name);
-        }
+        append_all_models(&names);
       } else if (arg == "--symbolic" && cmd == "shapes") {
         symbolic_mode = true;
       } else if (arg == "--sym") {
@@ -1209,7 +1559,7 @@ int main(int argc, char** argv) {
         names.push_back(arg);
       }
     }
-    if (names.empty()) usage(argv[0]);
+    names = resolve_model_list(argv[0], std::move(names));
     bool all_ok = true;
     try {
       for (const std::string& name : names) {
@@ -1231,6 +1581,10 @@ int main(int argc, char** argv) {
   if (cmd == "serve-bench") {
     std::vector<std::string> names;
     ServeBenchConfig cfg;
+    FleetBenchConfig fleet_cfg;
+    bool fleet_mode = false;
+    bool verify_batching = false;
+    int64_t verify_batch = 3;
     for (int i = 2; i < argc; ++i) {
       const std::string arg = argv[i];
       const auto next = [&]() -> std::string {
@@ -1238,27 +1592,45 @@ int main(int argc, char** argv) {
         return argv[++i];
       };
       if (arg == "--all") {
-        for (const std::string& name : models::zoo_model_names()) {
-          names.push_back(name);
-        }
+        append_all_models(&names);
+      } else if (arg == "--models") {
+        append_csv_models(next(), &names);
+        fleet_mode = true;
+      } else if (arg == "--tenants") {
+        fleet_cfg.tenants = parse_int(argv[0], arg, next());
+        fleet_mode = true;
+      } else if (arg == "--max-batch") {
+        const int b = parse_int(argv[0], arg, next());
+        fleet_cfg.max_batch = b;
+        verify_batch = b;
+        fleet_mode = true;
+      } else if (arg == "--verify-batching") {
+        verify_batching = true;
       } else if (arg == "--qps") {
         cfg.qps = parse_double(argv[0], arg, next());
+        fleet_cfg.qps = cfg.qps;
       } else if (arg == "--workers") {
         cfg.workers = parse_int(argv[0], arg, next());
+        fleet_cfg.workers = cfg.workers;
       } else if (arg == "--deadline-ms") {
         cfg.deadline_ms = parse_double(argv[0], arg, next());
+        fleet_cfg.deadline_ms = cfg.deadline_ms;
       } else if (arg == "--requests") {
         cfg.requests = parse_int(argv[0], arg, next());
+        fleet_cfg.requests = cfg.requests;
       } else if (arg == "--seed") {
         cfg.seed = static_cast<uint64_t>(parse_int(argv[0], arg, next()));
+        fleet_cfg.seed = cfg.seed;
       } else if (arg == "--json") {
         cfg.json = true;
+        fleet_cfg.json = true;
       } else if (arg == "--out") {
         cfg.out_dir = next();
       } else if (arg == "--metrics-out") {
         cfg.metrics_out = next();
       } else if (arg == "--scheduler") {
         cfg.scheduler = next();
+        fleet_cfg.scheduler = cfg.scheduler;
       } else if (arg == "--help" || arg == "-h") {
         usage_exit(argv[0], 0);
       } else if (arg.rfind("-", 0) == 0) {
@@ -1268,15 +1640,27 @@ int main(int argc, char** argv) {
         names.push_back(arg);
       }
     }
-    if (names.empty()) usage(argv[0]);
+    names = resolve_model_list(argv[0], std::move(names));
     if (cfg.workers <= 0 || cfg.requests <= 0) {
       std::fprintf(stderr, "--workers and --requests must be positive\n");
       usage(argv[0]);
     }
+    if (fleet_cfg.tenants <= 0 || fleet_cfg.max_batch < 1) {
+      std::fprintf(stderr, "--tenants and --max-batch must be positive\n");
+      usage(argv[0]);
+    }
     bool all_ok = true;
     try {
-      for (const std::string& name : names) {
-        all_ok &= serve_bench_one(name, models::build_by_name(name), cfg);
+      if (verify_batching) {
+        for (const std::string& name : names) {
+          all_ok &= verify_batching_one(name, std::max<int64_t>(verify_batch, 2));
+        }
+      } else if (fleet_mode) {
+        all_ok = fleet_bench(names, fleet_cfg);
+      } else {
+        for (const std::string& name : names) {
+          all_ok &= serve_bench_one(name, models::build_by_name(name), cfg);
+        }
       }
     } catch (const std::exception& e) {
       std::fprintf(stderr, "error: %s\n", e.what());
@@ -1295,9 +1679,7 @@ int main(int argc, char** argv) {
         return argv[++i];
       };
       if (arg == "--all") {
-        for (const std::string& name : models::zoo_model_names()) {
-          names.push_back(name);
-        }
+        append_all_models(&names);
       } else if (arg == "--dump") {
         cfg.dump_dir = next();
       } else if (arg == "--workers") {
@@ -1321,7 +1703,8 @@ int main(int argc, char** argv) {
         names.push_back(arg);
       }
     }
-    if (names.empty() || cfg.dump_dir.empty()) usage(argv[0]);
+    names = resolve_model_list(argv[0], std::move(names));
+    if (cfg.dump_dir.empty()) usage(argv[0]);
     if (cfg.workers <= 0 || cfg.requests <= 0 || cfg.storm <= 0) {
       std::fprintf(stderr,
                    "--workers, --requests and --storm must be positive\n");
@@ -1351,9 +1734,7 @@ int main(int argc, char** argv) {
         return argv[++i];
       };
       if (arg == "--all") {
-        for (const std::string& name : models::zoo_model_names()) {
-          names.push_back(name);
-        }
+        append_all_models(&names);
       } else if (arg == "--sarif") {
         sarif_path = next();
       } else if (arg == "--json") {
@@ -1369,7 +1750,7 @@ int main(int argc, char** argv) {
         names.push_back(arg);
       }
     }
-    if (names.empty()) usage(argv[0]);
+    names = resolve_model_list(argv[0], std::move(names));
 
     VerifyResult combined;
     bool all_ok = true;
@@ -1469,9 +1850,7 @@ int main(int argc, char** argv) {
         return argv[++i];
       };
       if (arg == "--all") {
-        for (const std::string& name : models::zoo_model_names()) {
-          names.push_back(name);
-        }
+        append_all_models(&names);
       } else if (arg == "--relay" && (cmd == "verify" || cmd == "analyze")) {
         relay_files.push_back(next());
       } else if (arg == "--scheduler") {
@@ -1493,6 +1872,8 @@ int main(int argc, char** argv) {
         names.push_back(arg);
       }
     }
+    names = resolve_model_list(argv[0], std::move(names),
+                               /*allow_empty=*/!relay_files.empty());
     if (names.empty() && relay_files.empty()) usage(argv[0]);
     if (cmd == "schedule") {
       if (no_cache) {
